@@ -1,0 +1,157 @@
+// Package aide is a distributed platform for resource-constrained devices:
+// a Go reproduction of AIDE from "Towards a Distributed Platform for
+// Resource-Constrained Devices" (ICDCS 2002).
+//
+// A resource-constrained client device runs applications on an interpreted
+// object VM. The platform monitors the application's execution and the
+// state of system resources; when a trigger event occurs — resources
+// running low or periodic re-evaluation — it analyzes the collected
+// execution graph, decides whether offloading part of the application to a
+// nearby surrogate server would be beneficial, and if so transparently
+// migrates the selected classes' objects. Remote data accesses and method
+// invocations then transparently cross the network in both directions.
+//
+// The package exposes the platform's three roles:
+//
+//   - Client: the constrained device. Runs the application, monitors it,
+//     partitions it, offloads to a surrogate.
+//   - Surrogate: a nearby server that lends memory and CPU.
+//   - The application model: classes with Go-closure method bodies
+//     registered in a Registry shared by both sides (the stand-in for Java
+//     bytecode, which the paper assumes both VMs can access).
+//
+// Use NewLocalPair for an in-process platform, or NewClient /
+// NewSurrogate with a TCP transport for a real two-process deployment.
+package aide
+
+import (
+	"time"
+
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+	"aide/internal/vm"
+)
+
+// Re-exported application-model types. The aliases make the VM's object
+// model usable through the public API.
+type (
+	// Registry holds class definitions shared by client and surrogate.
+	Registry = vm.Registry
+
+	// ClassSpec declares a class; MethodSpec declares a method.
+	ClassSpec = vm.ClassSpec
+	// MethodSpec declares one method of a ClassSpec.
+	MethodSpec = vm.MethodSpec
+
+	// Thread is the execution context handed to method bodies.
+	Thread = vm.Thread
+
+	// Value is the VM's tagged scalar/reference union.
+	Value = vm.Value
+
+	// ObjectID identifies an object in a VM's namespace.
+	ObjectID = vm.ObjectID
+
+	// Link models the client↔surrogate network for simulated costing.
+	Link = netmodel.Link
+
+	// PolicyParams bundles the trigger/partitioning policy parameters.
+	PolicyParams = policy.Params
+)
+
+// InvalidObject is the zero object reference.
+const InvalidObject = vm.InvalidObject
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry { return vm.NewRegistry() }
+
+// Value constructors, re-exported.
+var (
+	// Nil returns the nil value.
+	Nil = vm.Nil
+	// Int boxes an integer.
+	Int = vm.Int
+	// Float boxes a float.
+	Float = vm.Float
+	// Bool boxes a boolean.
+	Bool = vm.Bool
+	// Str boxes a string.
+	Str = vm.Str
+	// Blob boxes a byte payload.
+	Blob = vm.Blob
+	// RefOf boxes an object reference.
+	RefOf = vm.RefOf
+)
+
+// WaveLAN returns the paper's 11 Mbps / 2.4 ms RTT link model.
+func WaveLAN() Link { return netmodel.WaveLAN() }
+
+// InitialPolicy returns the paper's initial policy parameters: trigger
+// below 5% free memory on three consecutive collection cycles, free at
+// least 20% of the heap.
+func InitialPolicy() PolicyParams { return policy.InitialParams() }
+
+// Options configure a Client or Surrogate.
+
+// Option configures platform construction.
+type Option func(*options)
+
+type options struct {
+	heap        int64
+	cpuSpeed    float64
+	workers     int
+	link        *netmodel.Link
+	params      policy.Params
+	monitor     bool
+	monCost     time.Duration
+	stateless   bool
+	rebalanceGC int
+}
+
+func defaultOptions() options {
+	return options{
+		heap:     64 << 20,
+		cpuSpeed: 1,
+		workers:  4,
+		params:   policy.InitialParams(),
+		monitor:  true,
+	}
+}
+
+// WithHeap sets the VM heap budget in bytes (the client device's Java
+// heap).
+func WithHeap(bytes int64) Option { return func(o *options) { o.heap = bytes } }
+
+// WithCPUSpeed scales the VM's simulated execution speed (the paper's
+// surrogate runs 3.5× the client).
+func WithCPUSpeed(speed float64) Option { return func(o *options) { o.cpuSpeed = speed } }
+
+// WithWorkers sizes the RPC service thread pool.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithLink attaches a simulated network-cost model to remote operations.
+func WithLink(l Link) Option { return func(o *options) { o.link = &l } }
+
+// WithPolicy sets the adaptive-offloading policy parameters.
+func WithPolicy(p PolicyParams) Option { return func(o *options) { o.params = p } }
+
+// WithoutMonitoring disables execution monitoring (and with it, adaptive
+// offloading): the configuration of the paper's monitoring-overhead
+// baseline.
+func WithoutMonitoring() Option { return func(o *options) { o.monitor = false } }
+
+// WithMonitorCost charges simulated time per monitored event, modeling the
+// prototype's ~11% monitoring overhead.
+func WithMonitorCost(d time.Duration) Option { return func(o *options) { o.monCost = d } }
+
+// WithStatelessNativeLocal executes stateless native methods on the device
+// where they are invoked (the paper's §5.2 enhancement).
+func WithStatelessNativeLocal() Option { return func(o *options) { o.stateless = true } }
+
+// WithPeriodicRebalance re-evaluates the whole placement every n
+// garbage-collection cycles while a surrogate is attached, moving classes
+// in both directions (the paper's §2 "periodic re-evaluation" combined
+// with its §8 global-placement direction). Zero disables it.
+func WithPeriodicRebalance(everyNGCs int) Option {
+	return func(o *options) { o.rebalanceGC = everyNGCs }
+}

@@ -1,0 +1,261 @@
+package aide
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/apps"
+	"aide/internal/vm"
+)
+
+// demoRegistry builds a small editor-like application: pinned GUI, an
+// offloadable document, and a stateless math native.
+func demoRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	mustRegister(t, reg, ClassSpec{
+		Name: "Screen",
+		Methods: []MethodSpec{
+			{Name: "draw", Native: true, Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
+				th.Work(50 * time.Microsecond)
+				return Nil(), nil
+			}},
+		},
+	})
+	mustRegister(t, reg, ClassSpec{
+		Name:   "Doc",
+		Fields: []string{"len"},
+		Methods: []MethodSpec{
+			{Name: "append", Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
+				th.Work(20 * time.Microsecond)
+				cur, err := th.GetField(self, "len")
+				if err != nil {
+					return Nil(), err
+				}
+				n := cur.I + args[0].I
+				return Int(n), th.SetField(self, "len", Int(n))
+			}},
+		},
+	})
+	mustRegister(t, reg, ClassSpec{
+		Name: "MathLib",
+		Methods: []MethodSpec{
+			{Name: "sqrt", Native: true, Stateless: true, Static: true, Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
+				return Float(1.414), nil
+			}},
+		},
+	})
+	mustRegister(t, reg, ClassSpec{Name: "Chunk", Fields: []string{"next"}})
+	return reg
+}
+
+func mustRegister(t *testing.T, reg *Registry, spec ClassSpec) {
+	t.Helper()
+	if _, err := reg.Register(spec); err != nil {
+		t.Fatalf("register %s: %v", spec.Name, err)
+	}
+}
+
+func TestLocalPairLifecycle(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg,
+		[]Option{WithHeap(1 << 20)},
+		[]Option{WithCPUSpeed(3.5)})
+	if err != nil {
+		t.Fatalf("NewLocalPair: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close client: %v", err)
+		}
+		if err := surrogate.Close(); err != nil {
+			t.Errorf("close surrogate: %v", err)
+		}
+	}()
+	if err := client.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(3)); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+
+	rep, err := client.Offload()
+	if err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	found := false
+	for _, c := range rep.Classes {
+		if c == "Doc" {
+			found = true
+		}
+		if c == "Screen" {
+			t.Fatal("pinned native class Screen must never offload")
+		}
+	}
+	if !found {
+		t.Fatalf("Doc not offloaded; classes = %v", rep.Classes)
+	}
+
+	// Execution continues transparently against the migrated object.
+	v, err := th.Invoke(doc, "append", Int(4))
+	if err != nil {
+		t.Fatalf("remote invoke: %v", err)
+	}
+	if v.I != 7 {
+		t.Fatalf("state after migration = %d, want 7", v.I)
+	}
+}
+
+func TestAdaptiveOffloadRescuesOOM(t *testing.T) {
+	reg := demoRegistry(t)
+	const heap = 256 << 10
+	client, surrogate, err := NewLocalPair(reg, []Option{WithHeap(heap)}, nil)
+	if err != nil {
+		t.Fatalf("NewLocalPair: %v", err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	// Allocate 4× the client heap in chained chunks: without offloading
+	// this dies; the platform must detect pressure and offload.
+	th := client.Thread()
+	var prev ObjectID
+	for i := 0; i < 512; i++ {
+		id, err := th.New("Chunk", 2048)
+		if err != nil {
+			t.Fatalf("alloc %d: %v (adaptive offload should have rescued)", i, err)
+		}
+		if prev != InvalidObject {
+			if err := th.SetField(id, "next", RefOf(prev)); err != nil {
+				t.Fatalf("link: %v", err)
+			}
+		}
+		client.VM().SetRoot("head", id)
+		prev = id
+		th.ClearTemps()
+	}
+	reports, _ := client.Offloads()
+	if len(reports) == 0 {
+		t.Fatal("no offload happened")
+	}
+	if surrogate.Heap().Live == 0 {
+		t.Fatal("surrogate holds no migrated objects")
+	}
+}
+
+func TestOffloadWithoutSurrogate(t *testing.T) {
+	client := NewClient(demoRegistry(t))
+	defer client.Close()
+	if _, err := client.Offload(); !errors.Is(err, ErrNoSurrogate) {
+		t.Fatalf("err = %v, want ErrNoSurrogate", err)
+	}
+}
+
+func TestTCPPlatform(t *testing.T) {
+	reg := demoRegistry(t)
+	surrogate := NewSurrogate(reg)
+	addr, err := surrogate.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer surrogate.Close()
+
+	client := NewClient(reg, WithHeap(1<<20), WithLink(WaveLAN()))
+	defer client.Close()
+	if err := client.AttachTCP(addr); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatalf("ping over TCP: %v", err)
+	}
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(1)); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if _, err := client.Offload(); err != nil {
+		t.Fatalf("offload over TCP: %v", err)
+	}
+	v, err := th.Invoke(doc, "append", Int(1))
+	if err != nil {
+		t.Fatalf("remote invoke over TCP: %v", err)
+	}
+	if v.I != 2 {
+		t.Fatalf("remote state = %d, want 2", v.I)
+	}
+	// With a link model attached, remote work must stretch the simulated
+	// clock.
+	if client.Clock() <= 0 {
+		t.Fatal("client clock did not advance")
+	}
+}
+
+// TestJavaNoteLiveRescue runs the paper's headline §5.1 scenario on the
+// real platform: JavaNote's full workload on a constrained client heap,
+// rescued by adaptive offloading.
+func TestJavaNoteLiveRescue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full JavaNote scenario is slow")
+	}
+	spec, err := apps.ByName("JavaNote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, driver, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First confirm the unmodified VM fails on the constrained heap.
+	plain := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: spec.EmuHeap})
+	if err := driver(plain.NewThread()); !errors.Is(err, vm.ErrOutOfMemory) {
+		t.Fatalf("unmodified VM err = %v, want ErrOutOfMemory", err)
+	}
+
+	client, surrogate, err := NewLocalPair(reg, []Option{WithHeap(spec.EmuHeap)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+	if err := driver(client.Thread()); err != nil {
+		t.Fatalf("JavaNote died despite offloading: %v", err)
+	}
+	reports, _ := client.Offloads()
+	if len(reports) == 0 {
+		t.Fatal("JavaNote completed without offloading; heap should have been constrained")
+	}
+	var moved int64
+	var offloadedDoc bool
+	for _, r := range reports {
+		moved += r.Bytes
+		for _, cls := range r.Classes {
+			if strings.HasPrefix(cls, "doc.") {
+				offloadedDoc = true
+			}
+			if strings.HasPrefix(cls, "gui.Screen") {
+				t.Fatalf("pinned class offloaded: %v", r.Classes)
+			}
+		}
+	}
+	if !offloadedDoc {
+		t.Errorf("expected document classes among offloads: %+v", reports)
+	}
+	if moved == 0 {
+		t.Error("no bytes moved")
+	}
+}

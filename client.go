@@ -1,0 +1,550 @@
+package aide
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/mincut"
+	"aide/internal/monitor"
+	"aide/internal/policy"
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// ErrNoSurrogate is returned when an operation requires an attached
+// surrogate and none is connected.
+var ErrNoSurrogate = errors.New("aide: no surrogate attached")
+
+// ErrNotBeneficial is returned when the partitioning policy finds no
+// beneficial offloading; the application stays local.
+var ErrNotBeneficial = policy.ErrNotBeneficial
+
+// OffloadReport summarizes one offloading operation.
+type OffloadReport struct {
+	// Classes lists the classes whose objects moved to the surrogate.
+	Classes []string
+
+	// Objects and Bytes count what moved.
+	Objects int
+	Bytes   int64
+
+	// CutBytes is the historical information transfer across the chosen
+	// cut; FreedFraction relates Bytes to the heap capacity.
+	CutBytes      int64
+	FreedFraction float64
+
+	// At is the client's simulated clock when the offload completed.
+	At time.Duration
+}
+
+// Client is the platform on the resource-constrained device: a VM plus
+// AIDE's monitoring, partitioning, and remote-invocation modules.
+type Client struct {
+	opts options
+
+	vm  *vm.VM
+	mon *monitor.Monitor
+
+	mu         sync.Mutex
+	peers      []*remote.Peer
+	trigger    policy.MemoryTrigger
+	adaptive   bool
+	reports    []OffloadReport
+	rejected   int
+	offloaded  map[string]int // class → index of the surrogate hosting it
+	gcCount    int
+	rebalances int
+}
+
+// NewClient builds a client platform over the shared class registry.
+func NewClient(reg *Registry, opts ...Option) *Client {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{opts: o}
+	c.vm = vm.New(reg, vm.Config{
+		Role:                vm.RoleClient,
+		HeapCapacity:        o.heap,
+		CPUSpeed:            o.cpuSpeed,
+		MonitorCostPerEvent: o.monCost,
+	})
+	c.vm.SetStatelessNativeLocal(o.stateless)
+	if o.monitor {
+		c.mon = monitor.New(monitor.RegistryMeta(reg))
+		c.vm.SetHooks(c.mon)
+	}
+	c.trigger = policy.MemoryTrigger{
+		FreeFraction: o.params.TriggerFreeFraction,
+		Tolerance:    o.params.Tolerance,
+	}
+	c.offloaded = make(map[string]int)
+	return c
+}
+
+// Thread returns an execution context for running application code.
+func (c *Client) Thread() *Thread { return c.vm.NewThread() }
+
+// VM exposes the underlying client VM (roots, heap statistics, clock).
+func (c *Client) VM() *vm.VM { return c.vm }
+
+// Clock returns the client's simulated clock.
+func (c *Client) Clock() time.Duration { return c.vm.Clock() }
+
+// Heap returns client heap statistics.
+func (c *Client) Heap() vm.HeapStats { return c.vm.Heap() }
+
+// Graph returns a snapshot of the monitored execution graph.
+func (c *Client) Graph() (*graph.Graph, error) {
+	if c.mon == nil {
+		return nil, errors.New("aide: monitoring disabled")
+	}
+	return c.mon.Graph(), nil
+}
+
+// Attach connects the client to a surrogate over the given transport and
+// enables adaptive offloading: memory pressure and low-memory trigger
+// events now partition and offload automatically (ad-hoc platform
+// creation, paper §2). A client may attach several surrogates; the
+// partitioner then spreads offloaded classes across them by available
+// memory ("multiple surrogates could be used by the client", §2).
+func (c *Client) Attach(t remote.Transport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := remote.NewPeer(c.vm, t, remote.Options{Workers: c.opts.workers, Link: c.opts.link})
+	c.peers = append(c.peers, p)
+	if c.mon != nil && !c.adaptive {
+		c.adaptive = true
+		c.mon.OnGCListener(c.onGC)
+		c.vm.SetPressureHandler(c.onPressure)
+	}
+	return nil
+}
+
+// Surrogates returns the number of attached surrogates.
+func (c *Client) Surrogates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// AttachTCP dials a surrogate's listener and attaches to it.
+func (c *Client) AttachTCP(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("aide: dial surrogate: %w", err)
+	}
+	return c.Attach(remote.NewConnTransport(conn))
+}
+
+// Detach tears the platform down: every surrogate connection closes and
+// adaptive offloading stops. Objects already offloaded become unreachable;
+// detach only when the application is done with them.
+func (c *Client) Detach() error {
+	c.mu.Lock()
+	peers := c.peers
+	c.peers = nil
+	c.adaptive = false
+	c.mu.Unlock()
+	c.vm.SetPressureHandler(nil)
+	var firstErr error
+	for _, p := range peers {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close releases the client's resources.
+func (c *Client) Close() error { return c.Detach() }
+
+// Ping round-trips a null message to every attached surrogate.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	peers := append([]*remote.Peer(nil), c.peers...)
+	c.mu.Unlock()
+	if len(peers) == 0 {
+		return ErrNoSurrogate
+	}
+	for _, p := range peers {
+		if err := p.Ping(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onGC feeds collection reports into the memory trigger and drives
+// periodic re-evaluation.
+func (c *Client) onGC(free, capacity int64, freed bool) {
+	c.mu.Lock()
+	fire := c.adaptive && c.trigger.Report(free, capacity, freed)
+	c.gcCount++
+	rebalance := c.adaptive && !fire && c.opts.rebalanceGC > 0 &&
+		len(c.offloaded) > 0 && c.gcCount%c.opts.rebalanceGC == 0
+	c.mu.Unlock()
+	if fire {
+		// Best effort: a failed or non-beneficial partitioning leaves the
+		// application running locally.
+		if _, err := c.Offload(); err != nil {
+			c.mu.Lock()
+			c.rejected++
+			c.mu.Unlock()
+		}
+		return
+	}
+	if rebalance {
+		if rep, err := c.Rebalance(); err == nil && rep.Moved() {
+			c.mu.Lock()
+			c.rebalances++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Rebalances reports how many periodic re-evaluations changed the
+// placement.
+func (c *Client) Rebalances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rebalances
+}
+
+// onPressure handles a failed post-GC allocation: offload or die.
+func (c *Client) onPressure(needed int64) bool {
+	_, err := c.Offload()
+	return err == nil
+}
+
+// Offload runs the partitioning pipeline once: snapshot the execution
+// graph, generate candidate partitionings with the modified MINCUT
+// heuristic, apply the memory policy, and migrate the chosen classes'
+// objects. With several surrogates attached, classes are spread across
+// them greedily by available memory (paper §2: "If the necessary resources
+// for a client are not available at the closest surrogate, multiple
+// surrogates could be used").
+func (c *Client) Offload() (*OffloadReport, error) {
+	c.mu.Lock()
+	peers := append([]*remote.Peer(nil), c.peers...)
+	c.mu.Unlock()
+	if len(peers) == 0 {
+		return nil, ErrNoSurrogate
+	}
+	if c.mon == nil {
+		return nil, errors.New("aide: monitoring disabled; nothing to partition")
+	}
+
+	g := c.mon.Graph()
+	cands, err := mincut.Candidates(mincut.FromGraph(g, graph.BytesWeight))
+	if err != nil {
+		return nil, fmt.Errorf("aide: partition: %w", err)
+	}
+	mp := policy.MemoryPolicy{MinFreeFraction: c.opts.params.MinFreeFraction}
+	dec, err := mp.Choose(g, c.opts.heap, cands)
+	if err != nil {
+		// Hard fallback: when the heap is critically full, free whatever
+		// we can rather than fail the application.
+		heap := c.vm.Heap()
+		if float64(heap.Free)/float64(heap.Capacity) < 0.05 {
+			mp.MinFreeFraction = 0
+			dec, err = mp.Choose(g, c.opts.heap, cands)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	chosen := make([]classInfo, 0, dec.OffloadClasses)
+	for _, n := range g.Nodes() {
+		if !dec.InClient[n.ID] {
+			chosen = append(chosen, classInfo{name: n.Name, size: n.Memory})
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool {
+		if chosen[i].size != chosen[j].size {
+			return chosen[i].size > chosen[j].size // biggest first
+		}
+		return chosen[i].name < chosen[j].name
+	})
+
+	placement, err := c.placeAcross(peers, chosen)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := OffloadReport{
+		CutBytes: dec.CutBytes,
+		At:       c.vm.Clock(),
+	}
+	moved := make(map[string]int)
+	for idx, classes := range placement {
+		if len(classes) == 0 {
+			continue
+		}
+		objects, bytes, err := peers[idx].Offload(classes)
+		if err != nil {
+			return nil, fmt.Errorf("aide: offload to surrogate %d: %w", idx, err)
+		}
+		rep.Objects += objects
+		rep.Bytes += bytes
+		rep.Classes = append(rep.Classes, classes...)
+		for _, cls := range classes {
+			moved[cls] = idx
+		}
+	}
+	sort.Strings(rep.Classes)
+	c.vm.Collect() // reclaim the space the migrated objects occupied
+	rep.FreedFraction = float64(rep.Bytes) / float64(c.opts.heap)
+	rep.At = c.vm.Clock()
+
+	c.mu.Lock()
+	c.trigger.Reset()
+	c.reports = append(c.reports, rep)
+	for cls, idx := range moved {
+		c.offloaded[cls] = idx
+	}
+	c.mu.Unlock()
+	return &rep, nil
+}
+
+// placeAcross assigns classes (largest first) to surrogates, greedily
+// filling the one with the most remaining free memory. With a single
+// surrogate everything goes to it without probing.
+// classInfo pairs a class with its live memory for placement decisions.
+type classInfo struct {
+	name string
+	size int64
+}
+
+func (c *Client) placeAcross(peers []*remote.Peer, chosen []classInfo) (map[int][]string, error) {
+	placement := make(map[int][]string, len(peers))
+	if len(peers) == 1 {
+		for _, ci := range chosen {
+			placement[0] = append(placement[0], ci.name)
+		}
+		return placement, nil
+	}
+	free := make([]int64, len(peers))
+	for i, p := range peers {
+		info, err := p.Info()
+		if err != nil {
+			return nil, fmt.Errorf("aide: probe surrogate %d: %w", i, err)
+		}
+		free[i] = info.FreeBytes
+	}
+	for _, ci := range chosen {
+		best := 0
+		for i := range free {
+			if free[i] > free[best] {
+				best = i
+			}
+		}
+		placement[best] = append(placement[best], ci.name)
+		free[best] -= ci.size
+	}
+	return placement, nil
+}
+
+// OffloadedClasses returns the classes currently placed on the surrogate,
+// sorted.
+func (c *Client) OffloadedClasses() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.offloaded))
+	for cls := range c.offloaded {
+		out = append(out, cls)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Offloads returns the reports of every offload performed so far and the
+// number of rejected (non-beneficial) attempts.
+func (c *Client) Offloads() ([]OffloadReport, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]OffloadReport(nil), c.reports...), c.rejected
+}
+
+// Recall migrates the surrogate's live objects of the named classes back
+// to the client: the reverse of Offload (the paper's §8 "global placement"
+// direction). References held on either side stay valid.
+func (c *Client) Recall(classes []string) (objects int, bytes int64, err error) {
+	c.mu.Lock()
+	peers := append([]*remote.Peer(nil), c.peers...)
+	byPeer := make(map[int][]string)
+	for _, cls := range classes {
+		idx, ok := c.offloaded[cls]
+		if !ok {
+			idx = 0 // not tracked: ask the first surrogate (harmless no-op)
+		}
+		byPeer[idx] = append(byPeer[idx], cls)
+	}
+	c.mu.Unlock()
+	if len(peers) == 0 {
+		return 0, 0, ErrNoSurrogate
+	}
+	for idx, group := range byPeer {
+		if idx >= len(peers) {
+			continue
+		}
+		n, b, rerr := peers[idx].Recall(group)
+		if rerr != nil {
+			return objects, bytes, rerr
+		}
+		objects += n
+		bytes += b
+		c.mu.Lock()
+		for _, cls := range group {
+			delete(c.offloaded, cls)
+		}
+		c.mu.Unlock()
+	}
+	return objects, bytes, nil
+}
+
+// RebalanceReport summarizes one global-placement pass.
+type RebalanceReport struct {
+	// Offloaded and Recalled list the classes that moved in each
+	// direction.
+	Offloaded []string
+	Recalled  []string
+
+	// BytesOut and BytesIn count payload moved each way.
+	BytesOut, BytesIn int64
+}
+
+// Moved reports whether the pass changed anything.
+func (r *RebalanceReport) Moved() bool { return len(r.Offloaded)+len(r.Recalled) > 0 }
+
+// Rebalance re-evaluates the placement of every class against the current
+// execution graph and moves objects in *both* directions to realize it —
+// the paper's §8 "global placement strategies ... moving objects from the
+// surrogate to the client device". If no partitioning is beneficial any
+// more, everything comes home.
+func (c *Client) Rebalance() (*RebalanceReport, error) {
+	c.mu.Lock()
+	nPeers := len(c.peers)
+	current := make(map[string]bool, len(c.offloaded))
+	for cls := range c.offloaded {
+		current[cls] = true
+	}
+	c.mu.Unlock()
+	if nPeers == 0 {
+		return nil, ErrNoSurrogate
+	}
+	if c.mon == nil {
+		return nil, errors.New("aide: monitoring disabled; nothing to partition")
+	}
+
+	// Desired placement from a fresh snapshot. Memory annotations for
+	// offloaded classes live on the surrogate, so weigh the decision by
+	// the recorded (historical) graph, which still carries their totals.
+	g := c.mon.Graph()
+	desired := make(map[string]bool)
+	cands, err := mincut.Candidates(mincut.FromGraph(g, graph.BytesWeight))
+	if err == nil {
+		mp := policy.MemoryPolicy{MinFreeFraction: c.opts.params.MinFreeFraction}
+		if dec, derr := mp.Choose(g, c.opts.heap, cands); derr == nil {
+			for _, n := range g.Nodes() {
+				if !dec.InClient[n.ID] {
+					desired[n.Name] = true
+				}
+			}
+		}
+		// ErrNotBeneficial leaves desired empty: recall everything.
+	} else {
+		return nil, fmt.Errorf("aide: rebalance: %w", err)
+	}
+
+	rep := &RebalanceReport{}
+	for cls := range desired {
+		if !current[cls] {
+			rep.Offloaded = append(rep.Offloaded, cls)
+		}
+	}
+	for cls := range current {
+		if !desired[cls] {
+			rep.Recalled = append(rep.Recalled, cls)
+		}
+	}
+	sort.Strings(rep.Offloaded)
+	sort.Strings(rep.Recalled)
+
+	if len(rep.Recalled) > 0 {
+		_, bytes, err := c.Recall(rep.Recalled)
+		if err != nil {
+			return nil, fmt.Errorf("aide: rebalance recall: %w", err)
+		}
+		rep.BytesIn = bytes
+	}
+	if len(rep.Offloaded) > 0 {
+		c.mu.Lock()
+		peers := append([]*remote.Peer(nil), c.peers...)
+		c.mu.Unlock()
+		chosen := make([]classInfo, 0, len(rep.Offloaded))
+		for _, cls := range rep.Offloaded {
+			var size int64
+			if n, ok := g.Lookup(cls); ok {
+				size = n.Memory
+			}
+			chosen = append(chosen, classInfo{name: cls, size: size})
+		}
+		placement, err := c.placeAcross(peers, chosen)
+		if err != nil {
+			return nil, fmt.Errorf("aide: rebalance: %w", err)
+		}
+		for idx, group := range placement {
+			if len(group) == 0 {
+				continue
+			}
+			_, bytes, err := peers[idx].Offload(group)
+			if err != nil {
+				return nil, fmt.Errorf("aide: rebalance offload: %w", err)
+			}
+			rep.BytesOut += bytes
+			c.mu.Lock()
+			for _, cls := range group {
+				c.offloaded[cls] = idx
+			}
+			c.mu.Unlock()
+		}
+		c.vm.Collect()
+	}
+	return rep, nil
+}
+
+// SurrogateInfo probes the first attached surrogate's resources and
+// round-trip latency.
+func (c *Client) SurrogateInfo() (remote.PeerInfo, error) {
+	infos, err := c.SurrogateInfos()
+	if err != nil {
+		return remote.PeerInfo{}, err
+	}
+	return infos[0], nil
+}
+
+// SurrogateInfos probes every attached surrogate.
+func (c *Client) SurrogateInfos() ([]remote.PeerInfo, error) {
+	c.mu.Lock()
+	peers := append([]*remote.Peer(nil), c.peers...)
+	c.mu.Unlock()
+	if len(peers) == 0 {
+		return nil, ErrNoSurrogate
+	}
+	infos := make([]remote.PeerInfo, len(peers))
+	for i, p := range peers {
+		info, err := p.Info()
+		if err != nil {
+			return nil, fmt.Errorf("aide: surrogate %d: %w", i, err)
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}

@@ -1,0 +1,206 @@
+// Command aide-bench regenerates every table and figure of the paper's
+// evaluation (§5) and prints paper-style rows alongside the paper's
+// published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aide/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep)")
+	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
+	flag.Parse()
+	if err := run(*full, *only, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool, only, dotDir string) error {
+	s := experiments.NewSuite()
+	want := func(name string) bool { return only == "" || only == name }
+	section := func(title, paper string) {
+		fmt.Printf("\n== %s ==\n   paper: %s\n", title, paper)
+	}
+
+	start := time.Now()
+	if only == "diag" {
+		return diag(s)
+	}
+	if want("table1") {
+		section("Table 1: study applications", "five Java applications with varied resource demands")
+		for _, r := range experiments.Table1() {
+			fmt.Printf("%-9s %-32s %s\n", r.Name, r.Description, r.Profile)
+		}
+	}
+	if want("table2") {
+		section("Table 2: JavaNote execution metrics",
+			"classes 134/138/138, objects 1230/2810/6808, interactions 1126/1190/1186532")
+		r, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	}
+	if want("figure5") {
+		section("Figure 5: JavaNote OOM rescue", "~90% of heap offloaded, ~100KB/s predicted, heuristic ~0.1s")
+		r, err := s.Figure5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if dotDir != "" {
+			before := filepath.Join(dotDir, "figure5a.dot")
+			after := filepath.Join(dotDir, "figure5b.dot")
+			if err := os.WriteFile(before, []byte(r.DOTBefore), 0o644); err != nil {
+				return err
+			}
+			if err := os.WriteFile(after, []byte(r.DOTAfter), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s and %s (render with graphviz: neato -Tpng)\n", before, after)
+		}
+	}
+	if want("figure6") {
+		section("Figure 6: remote execution overhead (initial policy)", "JavaNote 4.8%, Dia 8.5%, Biomer 27.5%")
+		rows, err := s.Figure6()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("figure7") {
+		section("Figure 7: policy sweep", "Biomer/Dia overhead reduced 30-43%, JavaNote unchanged")
+		rows, err := s.Figure7(!full)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("figure8") {
+		section("Figure 8: remote native invocations", "large native share for JavaNote/Dia, smaller for Biomer")
+		rows, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("monitoring") {
+		section("Monitoring overhead", "31.59s -> 35.04s (~11%)")
+		r, err := s.MonitoringOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("figure9") {
+		section("Figure 9: execution time attribution", "a::f 0.12s total -> a 0.02s, b 0.10s")
+		d, err := experiments.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(d)
+	}
+	if want("figure10") {
+		section("Figure 10: offloading under processing constraints",
+			"Voxel/Tracer improve up to ~15% combined; Biomer declined (790s predicted vs 750s, manual 711s)")
+		rows, err := s.Figure10()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("ablation") {
+		section("Extension: partitioning-heuristic ablation (paper §8)",
+			"modified MINCUT vs KL-refined vs greedy memory-density")
+		rows, err := s.AblationHeuristics()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("heapsweep") {
+		section("Extension: client heap sweep", "below the floor even offloading cannot help; with enough memory the platform never offloads")
+		points, err := s.HeapSweep()
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Println(p)
+		}
+	}
+	if want("linksweep") {
+		section("Extension: link-technology sweep", "offloading viability tracks RTT more than bandwidth")
+		points, err := s.LinkSweep()
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Println(p)
+		}
+	}
+	if want("energy") {
+		section("Extension: client battery drain (paper §2/§8)",
+			"offloading trades CPU-seconds for radio-seconds")
+		rows, err := s.EnergyStudy()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	fmt.Printf("\n(total %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// diag prints calibration internals: per-application trace statistics and
+// the partitioning records of the Figure 6 runs.
+func diag(s *experiments.Suite) error {
+	for _, name := range []string{"JavaNote", "Dia", "Biomer", "Voxel", "Tracer"} {
+		t, err := s.Trace(name)
+		if err != nil {
+			return err
+		}
+		st := experiments.TraceStats(t)
+		fmt.Printf("%-9s classes %3d  events %8d  interactions %8d  peakLive %5.2fMB  selfTime %7.1fs\n",
+			name, len(t.Classes), len(t.Events), st.InteractionEvents,
+			float64(st.PeakLiveBytes)/(1<<20), st.SelfTime.Seconds())
+	}
+	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
+		res, err := s.DiagMemoryRun(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s: time %.1fs exec %.1fs comm %.1fs xfer %.1fs gc %d remoteInv %d remoteNative %d remoteAcc %d\n",
+			name, res.Time.Seconds(), res.ExecTime.Seconds(), res.CommTime.Seconds(),
+			res.TransferTime.Seconds(), res.GCCycles, res.RemoteInvocations, res.RemoteNative, res.RemoteAccesses)
+		for _, p := range res.Partitions {
+			fmt.Printf("  partition@%d t=%.1fs forced=%t rejected=%t moved=%dKB classes=%d cutBytes=%dKB reason=%s\n",
+				p.EventIndex, p.At.Seconds(), p.Forced, p.Rejected, p.TransferBytes/1024,
+				len(p.OffloadedClasses), p.Decision.CutBytes/1024, p.RejectedReason)
+			if len(p.OffloadedClasses) > 0 && len(p.OffloadedClasses) <= 140 {
+				fmt.Printf("  offloaded: %v\n", p.OffloadedClasses)
+			}
+		}
+	}
+	return nil
+}

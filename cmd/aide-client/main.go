@@ -1,0 +1,76 @@
+// Command aide-client runs an application on a resource-constrained client
+// VM, attached to an aide-surrogate over TCP. With a heap too small for
+// the workload, the platform detects memory pressure, partitions the
+// execution graph, and offloads — the paper's §5.1 scenario, live.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aide"
+	"aide/internal/apps"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7707", "surrogate address")
+		app    = flag.String("app", "JavaNote", "application to run")
+		heapMB = flag.Int("heap", 6, "client heap in MiB (JavaNote needs ~6.5 alone)")
+		local  = flag.Bool("local", false, "run without a surrogate (demonstrates the OOM failure)")
+	)
+	flag.Parse()
+	if err := run(*addr, *app, *heapMB, *local); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, app string, heapMB int, local bool) error {
+	spec, err := apps.ByName(app)
+	if err != nil {
+		return err
+	}
+	reg, driver, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	client := aide.NewClient(reg,
+		aide.WithHeap(int64(heapMB)<<20),
+		aide.WithLink(aide.WaveLAN()),
+	)
+	defer client.Close()
+
+	if !local {
+		if err := client.AttachTCP(addr); err != nil {
+			return err
+		}
+		if err := client.Ping(); err != nil {
+			return err
+		}
+		fmt.Printf("attached to surrogate %s\n", addr)
+	}
+
+	fmt.Printf("running %s on a %d MiB heap...\n", spec.Name, heapMB)
+	if err := driver(client.Thread()); err != nil {
+		return fmt.Errorf("application failed: %w", err)
+	}
+	fmt.Printf("completed; simulated client time %.2fs\n", client.Clock().Seconds())
+
+	reports, rejected := client.Offloads()
+	if len(reports) == 0 {
+		fmt.Println("no offloading was needed")
+	}
+	for i, r := range reports {
+		fmt.Printf("offload #%d at t=%.2fs: %d objects, %.0f KB (%.0f%% of heap), %d classes\n",
+			i+1, r.At.Seconds(), r.Objects, float64(r.Bytes)/1024, r.FreedFraction*100, len(r.Classes))
+	}
+	if rejected > 0 {
+		fmt.Printf("%d trigger(s) found no beneficial partitioning\n", rejected)
+	}
+	h := client.Heap()
+	fmt.Printf("final client heap: %.2f MiB live of %.0f MiB\n",
+		float64(h.Live)/(1<<20), float64(h.Capacity)/(1<<20))
+	return nil
+}

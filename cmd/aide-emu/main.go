@@ -1,0 +1,113 @@
+// Command aide-emu runs a single trace-driven emulation: pick an
+// application (or a recorded trace file), a resource mode, and policy
+// parameters, and it reports the simulated execution breakdown and every
+// partitioning decision.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aide/internal/apps"
+	"aide/internal/emulator"
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+	"aide/internal/trace"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "JavaNote", "application to emulate (JavaNote, Dia, Biomer, Voxel, Tracer)")
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of -app")
+		heapMB    = flag.Int("heap", 6, "client heap size in MiB")
+		mode      = flag.String("mode", "memory", "constraint mode: memory or cpu")
+		threshold = flag.Float64("threshold", 0.05, "low-memory trigger threshold (fraction free)")
+		tolerance = flag.Int("tolerance", 3, "consecutive low-memory reports before triggering")
+		minFree   = flag.Float64("minfree", 0.20, "minimum heap fraction a partitioning must free")
+		speedup   = flag.Float64("speedup", 1.0, "surrogate/client CPU ratio (3.5 in the paper's §5.2)")
+		slowdown  = flag.Float64("slowdown", 10.0, "client slowdown vs the tracing PC")
+		stateless = flag.Bool("stateless-native", false, "execute stateless natives where invoked (§5.2)")
+		arrays    = flag.Bool("array-granularity", false, "place primitive arrays per object (§5.2)")
+		baseline  = flag.Bool("original", false, "replay without offloading (the Original bars)")
+		bwMbps    = flag.Float64("bandwidth", 11, "link bandwidth in Mbps (paper: 11 Mbps WaveLAN)")
+		rttMS     = flag.Float64("rtt", 2.4, "link null round-trip time in ms (paper: 2.4 ms)")
+	)
+	flag.Parse()
+	if err := run(*app, *traceFile, *heapMB, *mode, *threshold, *tolerance, *minFree,
+		*speedup, *slowdown, *stateless, *arrays, *baseline, *bwMbps, *rttMS); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-emu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, traceFile string, heapMB int, mode string, threshold float64, tolerance int,
+	minFree, speedup, slowdown float64, stateless, arrays, baseline bool, bwMbps, rttMS float64) error {
+	var tr *trace.Trace
+	var err error
+	if traceFile != "" {
+		tr, err = trace.ReadFile(traceFile)
+	} else {
+		var spec *apps.Spec
+		spec, err = apps.ByName(app)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "recording %s trace...\n", spec.Name)
+			tr, err = apps.Record(spec)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := emulator.Config{
+		HeapCapacity: int64(heapMB) << 20,
+		Link: netmodel.Link{
+			BandwidthBps: bwMbps * 1e6,
+			RTT:          time.Duration(rttMS * float64(time.Millisecond)),
+			HeaderBytes:  32,
+		},
+		SurrogateSpeedup:     speedup,
+		ClientSlowdown:       slowdown,
+		Params:               policy.Params{TriggerFreeFraction: threshold, Tolerance: tolerance, MinFreeFraction: minFree},
+		StatelessNativeLocal: stateless,
+		ArrayGranularity:     arrays,
+		DisableOffload:       baseline,
+		GCBytesTrigger:       96 << 10,
+	}
+	switch strings.ToLower(mode) {
+	case "memory":
+		cfg.Mode = emulator.MemoryMode
+	case "cpu":
+		cfg.Mode = emulator.CPUMode
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	res, err := emulator.Run(tr, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on a %d MiB client heap (%s mode)\n", tr.App, heapMB, mode)
+	fmt.Printf("  simulated time  %10.2fs\n", res.Time.Seconds())
+	fmt.Printf("    execution     %10.2fs\n", res.ExecTime.Seconds())
+	fmt.Printf("    communication %10.2fs (%d remote invocations, %d accesses, %d native)\n",
+		res.CommTime.Seconds(), res.RemoteInvocations, res.RemoteAccesses, res.RemoteNative)
+	fmt.Printf("    offload xfer  %10.2fs\n", res.TransferTime.Seconds())
+	fmt.Printf("  GC cycles %d, events %d\n", res.GCCycles, res.Events)
+	if res.OOM {
+		fmt.Printf("  *** OUT OF MEMORY at event %d ***\n", res.OOMEvent)
+	}
+	for _, p := range res.Partitions {
+		if p.Rejected {
+			fmt.Printf("  partition attempt at t=%.1fs: rejected (%s)\n", p.At.Seconds(), p.RejectedReason)
+			continue
+		}
+		fmt.Printf("  partitioned at t=%.1fs: %d classes, %.0f KB moved (%.0f%% of heap), cut %.0f KB\n",
+			p.At.Seconds(), len(p.OffloadedClasses), float64(p.TransferBytes)/1024,
+			p.HeapFreedFraction*100, float64(p.Decision.CutBytes)/1024)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aide/internal/apps"
+	"aide/internal/trace"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run("Nope", "", 6, "memory", 0.05, 3, 0.2, 1, 10, false, false, false, 11, 2.4); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("Tracer", "", 6, "warp", 0.05, 3, 0.2, 1, 10, false, false, false, 11, 2.4); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run("", "/nonexistent/trace", 6, "memory", 0.05, 3, 0.2, 1, 10, false, false, false, 11, 2.4); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a trace")
+	}
+	spec, err := apps.ByName("Tracer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := apps.Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace.gz")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 8, "cpu", 0.05, 3, 0.2, 3.5, 10, true, true, false, 11, 2.4); err != nil {
+		t.Fatalf("cpu-mode replay from file: %v", err)
+	}
+	if err := run("", path, 8, "memory", 0.05, 3, 0.2, 1, 10, false, false, true, 11, 2.4); err != nil {
+		t.Fatalf("original replay from file: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command aide-surrogate runs a surrogate server: a nearby machine that
+// lends its memory and CPU to resource-constrained clients over TCP. Pair
+// it with aide-client for a two-process demonstration of the platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aide"
+	"aide/internal/apps"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7707", "listen address")
+		app    = flag.String("app", "JavaNote", "application whose classes to serve (must match the client)")
+		heapMB = flag.Int("heap", 256, "surrogate heap in MiB")
+		speed  = flag.Float64("speed", 3.5, "surrogate CPU speed relative to the client")
+	)
+	flag.Parse()
+	if err := run(*addr, *app, *heapMB, *speed); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-surrogate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, app string, heapMB int, speed float64) error {
+	spec, err := apps.ByName(app)
+	if err != nil {
+		return err
+	}
+	// Both VMs must have access to the application's classes (paper §4).
+	reg, _, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	s := aide.NewSurrogate(reg,
+		aide.WithHeap(int64(heapMB)<<20),
+		aide.WithCPUSpeed(speed),
+	)
+	bound, err := s.ListenAndServe(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surrogate for %s listening on %s (heap %d MiB, %.1fx CPU)\n",
+		spec.Name, bound, heapMB, speed)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return s.Close()
+		case <-ticker.C:
+			h := s.Heap()
+			fmt.Printf("  heap: %.2f MiB live, %d objects hosted\n",
+				float64(h.Live)/(1<<20), h.Objects)
+		}
+	}
+}

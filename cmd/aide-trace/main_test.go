@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordAndInfo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a trace")
+	}
+	out := filepath.Join(t.TempDir(), "tracer.trace.gz")
+	if err := run("Tracer", out, ""); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run("", "", out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	if err := run("", "", ""); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+	if err := run("Nope", "", ""); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("", "", "/nonexistent"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package aide_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aide"
+)
+
+// exampleRegistry defines a tiny application: a pinned native Display and
+// an offloadable Model.
+func exampleRegistry() *aide.Registry {
+	reg := aide.NewRegistry()
+	reg.MustRegister(aide.ClassSpec{
+		Name: "Display",
+		Methods: []aide.MethodSpec{{
+			Name:   "paint",
+			Native: true,
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(10 * time.Microsecond)
+				return aide.Nil(), nil
+			},
+		}},
+	})
+	reg.MustRegister(aide.ClassSpec{
+		Name:   "Model",
+		Fields: []string{"sum"},
+		Methods: []aide.MethodSpec{{
+			Name: "add",
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(10 * time.Microsecond)
+				cur, err := th.GetField(self, "sum")
+				if err != nil {
+					return aide.Nil(), err
+				}
+				n := cur.I + args[0].I
+				return aide.Int(n), th.SetField(self, "sum", aide.Int(n))
+			},
+		}},
+	})
+	return reg
+}
+
+// The simplest complete platform: create a client/surrogate pair, offload,
+// and keep invoking the same reference.
+func ExampleNewLocalPair() {
+	client, surrogate, err := aide.NewLocalPair(exampleRegistry(),
+		[]aide.Option{aide.WithHeap(1 << 20)},
+		[]aide.Option{aide.WithCPUSpeed(3.5)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	model, err := th.New("Model", 400<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.VM().SetRoot("model", model)
+	if _, err := th.Invoke(model, "add", aide.Int(40)); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := client.Offload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("offloaded:", rep.Classes)
+
+	v, err := th.Invoke(model, "add", aide.Int(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum:", v.I)
+	// Output:
+	// offloaded: [Model]
+	// sum: 42
+}
+
+// Recall reverses an offload: the objects come home and the same
+// references keep working.
+func ExampleClient_Recall() {
+	client, surrogate, err := aide.NewLocalPair(exampleRegistry(),
+		[]aide.Option{aide.WithHeap(1 << 20)}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	model, _ := th.New("Model", 400<<10)
+	client.VM().SetRoot("model", model)
+	if _, err := th.Invoke(model, "add", aide.Int(1)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Offload(); err != nil {
+		log.Fatal(err)
+	}
+	n, _, err := client.Recall([]string{"Model"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recalled objects:", n)
+	v, _ := th.Invoke(model, "add", aide.Int(1))
+	fmt.Println("sum:", v.I)
+	// Output:
+	// recalled objects: 1
+	// sum: 2
+}

@@ -1,0 +1,109 @@
+// Ad-hoc platform creation and teardown (paper §2): a client discovers a
+// surrogate, probes it, forms a distributed platform over TCP, offloads
+// under pressure, and tears the platform down — all within one process
+// here, but over a real network socket.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aide"
+)
+
+func registry() *aide.Registry {
+	reg := aide.NewRegistry()
+	reg.MustRegister(aide.ClassSpec{
+		Name: "Sensor",
+		Methods: []aide.MethodSpec{{
+			Name:   "read",
+			Native: true, // hardware access: pinned to the device
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(20 * time.Microsecond)
+				return aide.Int(42), nil
+			},
+		}},
+	})
+	reg.MustRegister(aide.ClassSpec{
+		Name:   "History",
+		Fields: []string{"n"},
+		Methods: []aide.MethodSpec{{
+			Name: "log",
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(30 * time.Microsecond)
+				cur, err := th.GetField(self, "n")
+				if err != nil {
+					return aide.Nil(), err
+				}
+				return aide.Nil(), th.SetField(self, "n", aide.Int(cur.I+1))
+			},
+		}},
+	})
+	reg.MustRegister(aide.ClassSpec{Name: "Archive", Fields: []string{"next"}})
+	return reg
+}
+
+func main() {
+	reg := registry()
+
+	// A surrogate appears in the environment.
+	surrogate := aide.NewSurrogate(reg, aide.WithCPUSpeed(3.5))
+	addr, err := surrogate.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer surrogate.Close()
+	fmt.Printf("surrogate up at %s\n", addr)
+
+	// The constrained device forms the platform ad hoc.
+	client := aide.NewClient(reg,
+		aide.WithHeap(128<<10),
+		aide.WithLink(aide.WaveLAN()),
+		aide.WithPolicy(aide.PolicyParams{TriggerFreeFraction: 0.10, Tolerance: 2, MinFreeFraction: 0.20}),
+	)
+	if err := client.AttachTCP(addr); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Ping(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("platform formed (latency probe ok)")
+
+	// The device logs sensor readings; archives accumulate past the tiny
+	// heap, and the platform offloads them automatically.
+	th := client.Thread()
+	hist, err := th.New("History", 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.VM().SetRoot("hist", hist)
+	var prev aide.ObjectID
+	for i := 0; i < 200; i++ {
+		if _, err := th.Invoke(hist, "log"); err != nil {
+			log.Fatal(err)
+		}
+		rec, err := th.New("Archive", 2048)
+		if err != nil {
+			log.Fatalf("archive %d: %v", i, err)
+		}
+		if prev != aide.InvalidObject {
+			if err := th.SetField(rec, "next", aide.RefOf(prev)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		client.VM().SetRoot("archive", rec)
+		prev = rec
+		th.ClearTemps()
+	}
+
+	reports, _ := client.Offloads()
+	fmt.Printf("%d automatic offload(s); surrogate now holds %.0f KB\n",
+		len(reports), float64(surrogate.Heap().Live)/1024)
+
+	// Done in this locale: tear the platform down.
+	if err := client.Detach(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("platform torn down")
+}

@@ -1,0 +1,66 @@
+// CPU offload: the paper's §5.2 study on one application.
+//
+// Voxel (a fractal landscape generator) runs on an emulated handheld
+// client with a surrogate 3.5× faster across a WaveLAN link. Offloading
+// naively is *slower* than staying local — native math functions route
+// back to the client and whole heightmap arrays are stranded on one side
+// — but the two §5.2 enhancements (stateless natives execute where
+// invoked; arrays follow their dominant user per object) turn offloading
+// into a real win.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aide/internal/apps"
+	"aide/internal/emulator"
+	"aide/internal/netmodel"
+)
+
+func main() {
+	spec, err := apps.ByName("Voxel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recording Voxel trace...")
+	tr, err := apps.Record(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := emulator.Config{
+		Mode:             emulator.CPUMode,
+		HeapCapacity:     spec.RecordHeap,
+		Link:             netmodel.WaveLAN(),
+		SurrogateSpeedup: 3.5,
+		ClientSlowdown:   apps.VoxelClientSlowdown,
+	}
+	origCfg := base
+	origCfg.DisableOffload = true
+	orig, err := emulator.Run(tr, origCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.ReevalEvery = orig.Time / 8
+
+	show := func(label string, stateless, array, forced bool) {
+		cfg := base
+		cfg.StatelessNativeLocal = stateless
+		cfg.ArrayGranularity = array
+		cfg.ForceCPUOffload = forced
+		res, err := emulator.Run(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta := 100 * (float64(res.Time)/float64(orig.Time) - 1)
+		fmt.Printf("%-22s %8.0fs (%+5.1f%%)  remote: %d invocations, %d accesses\n",
+			label, res.Time.Seconds(), delta, res.RemoteInvocations, res.RemoteAccesses)
+	}
+
+	fmt.Printf("%-22s %8.0fs\n", "original (local only)", orig.Time.Seconds())
+	show("offload, no tricks", false, false, true)
+	show("+ stateless natives", true, false, true)
+	show("+ array granularity", false, true, true)
+	show("both (policy-driven)", true, true, false)
+}

@@ -1,0 +1,113 @@
+// Multiple surrogates: the paper's §2 vision that "if the necessary
+// resources for a client are not available at the closest surrogate,
+// multiple surrogates could be used by the client". A client attaches two
+// surrogates; the partitioner spreads offloaded classes across them by
+// available memory, invocations transparently reach whichever surrogate
+// hosts each object, and recall brings everything home.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aide"
+)
+
+func registry() *aide.Registry {
+	reg := aide.NewRegistry()
+	reg.MustRegister(aide.ClassSpec{
+		Name: "Input",
+		Methods: []aide.MethodSpec{{
+			Name:   "poll",
+			Native: true,
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(10 * time.Microsecond)
+				return aide.Int(1), nil
+			},
+		}},
+	})
+	for _, name := range []string{"Index", "Blob"} {
+		name := name
+		reg.MustRegister(aide.ClassSpec{
+			Name:   name,
+			Fields: []string{"next", "n"},
+			Methods: []aide.MethodSpec{{
+				Name: "bump",
+				Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+					cur, err := th.GetField(self, "n")
+					if err != nil {
+						return aide.Nil(), err
+					}
+					return aide.Int(cur.I + 1), th.SetField(self, "n", aide.Int(cur.I+1))
+				},
+			}},
+		})
+	}
+	return reg
+}
+
+func main() {
+	reg := registry()
+	var addrs []string
+	var surrogates []*aide.Surrogate
+	for i := 0; i < 2; i++ {
+		s := aide.NewSurrogate(reg, aide.WithHeap(4<<20))
+		addr, err := s.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		surrogates = append(surrogates, s)
+		addrs = append(addrs, addr)
+	}
+
+	client := aide.NewClient(reg, aide.WithHeap(2<<20), aide.WithLink(aide.WaveLAN()))
+	defer client.Close()
+	for _, addr := range addrs {
+		if err := client.AttachTCP(addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("attached %d surrogates\n", client.Surrogates())
+
+	th := client.Thread()
+	index, err := th.New("Index", 700<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.VM().SetRoot("index", index)
+	blob, err := th.New("Blob", 700<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.VM().SetRoot("blob", blob)
+	for _, id := range []aide.ObjectID{index, blob} {
+		if _, err := th.Invoke(id, "bump"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep, err := client.Offload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offloaded %v (%d KB total)\n", rep.Classes, rep.Bytes/1024)
+	for i, s := range surrogates {
+		fmt.Printf("  surrogate %d hosts %4.0f KB\n", i, float64(s.Heap().Live)/1024)
+	}
+
+	// Both objects keep working, wherever they landed.
+	for _, id := range []aide.ObjectID{index, blob} {
+		if _, err := th.Invoke(id, "bump"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	n, _, err := client.Recall(rep.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recalled %d objects; client live again: %.0f KB\n",
+		n, float64(client.Heap().Live)/1024)
+}

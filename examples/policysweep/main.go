@@ -1,0 +1,86 @@
+// Policy sweep: the paper's Figure 7 methodology on one application.
+//
+// The same recorded Dia trace is repartitioned under multiple triggering
+// and partitioning policies (the paper varies the trigger threshold from
+// 2% to 50% free, the tolerance from 1 to 3 low-memory reports, and the
+// minimum memory to free from 10% to 80%). The remote-execution overhead
+// varies widely — the paper's lesson that the system must select policies
+// dynamically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"aide/internal/apps"
+	"aide/internal/emulator"
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+)
+
+func main() {
+	spec, err := apps.ByName("Dia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recording Dia trace...")
+	tr, err := apps.Record(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := emulator.Config{
+		Mode:           emulator.MemoryMode,
+		Link:           netmodel.WaveLAN(),
+		ClientSlowdown: 10,
+		GCBytesTrigger: 96 << 10,
+	}
+	origCfg := base
+	origCfg.HeapCapacity = spec.RecordHeap
+	origCfg.DisableOffload = true
+	orig, err := emulator.Run(tr, origCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original execution: %.1fs\n\n", orig.Time.Seconds())
+
+	type outcome struct {
+		params   policy.Params
+		overhead float64
+		oom      bool
+	}
+	var results []outcome
+	for _, p := range policy.SweepSpace() {
+		cfg := base
+		cfg.HeapCapacity = spec.EmuHeap
+		cfg.Params = p
+		res, err := emulator.Run(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, outcome{p, res.Overhead(orig.Time), res.OOM})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].overhead < results[j].overhead })
+
+	fmt.Println("five best policies:")
+	for _, r := range results[:5] {
+		fmt.Printf("  %-28s overhead %6.1f%%\n", r.params, r.overhead*100)
+	}
+	fmt.Println("five worst policies:")
+	for _, r := range results[len(results)-5:] {
+		note := ""
+		if r.oom {
+			note = "  (application died)"
+		}
+		fmt.Printf("  %-28s overhead %6.1f%%%s\n", r.params, r.overhead*100, note)
+	}
+	initial := policy.InitialParams()
+	for _, r := range results {
+		if r.params == initial {
+			fmt.Printf("\nthe paper's initial policy (%s): %.1f%%\n", r.params, r.overhead*100)
+			break
+		}
+	}
+	fmt.Printf("best-to-initial spread demonstrates why policy selection must be dynamic (paper §6).\n")
+}

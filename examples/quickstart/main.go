@@ -1,0 +1,87 @@
+// Quickstart: stand up a complete distributed platform in one process,
+// offload an application object to the surrogate, and keep calling it
+// transparently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aide"
+)
+
+func main() {
+	// 1. Define the application's classes — the stand-in for Java
+	//    bytecode, shared by both VMs. The GUI class has a native method,
+	//    so it is pinned to the client device.
+	reg := aide.NewRegistry()
+	reg.MustRegister(aide.ClassSpec{
+		Name: "Screen",
+		Methods: []aide.MethodSpec{{
+			Name:   "draw",
+			Native: true,
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(100 * time.Microsecond)
+				return aide.Nil(), nil
+			},
+		}},
+	})
+	reg.MustRegister(aide.ClassSpec{
+		Name:   "Document",
+		Fields: []string{"words"},
+		Methods: []aide.MethodSpec{{
+			Name: "append",
+			Body: func(th *aide.Thread, self aide.ObjectID, args []aide.Value) (aide.Value, error) {
+				th.Work(50 * time.Microsecond)
+				cur, err := th.GetField(self, "words")
+				if err != nil {
+					return aide.Nil(), err
+				}
+				n := cur.I + args[0].I
+				return aide.Int(n), th.SetField(self, "words", aide.Int(n))
+			},
+		}},
+	})
+
+	// 2. Create the platform: a constrained client plus a surrogate with
+	//    3.5× the CPU, wired together in process.
+	client, surrogate, err := aide.NewLocalPair(reg,
+		[]aide.Option{aide.WithHeap(1 << 20), aide.WithLink(aide.WaveLAN())},
+		[]aide.Option{aide.WithCPUSpeed(3.5)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	// 3. Run application code on the client.
+	th := client.Thread()
+	doc, err := th.New("Document", 600<<10) // a 600 KB document
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", aide.Int(100)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Offload: the platform snapshots the execution graph, runs the
+	//    modified MINCUT heuristic, and migrates the chosen classes.
+	rep, err := client.Offload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offloaded %d objects (%d KB) across classes %v\n",
+		rep.Objects, rep.Bytes/1024, rep.Classes)
+
+	// 5. The same invocation now transparently crosses the network.
+	v, err := th.Invoke(doc, "append", aide.Int(23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document now has %d words (state survived migration)\n", v.I)
+	fmt.Printf("surrogate hosts %.1f KB\n", float64(surrogate.Heap().Live)/1024)
+	fmt.Printf("client simulated clock: %v (includes WaveLAN costs)\n", client.Clock().Round(time.Microsecond))
+}

@@ -1,0 +1,381 @@
+package aide
+
+import (
+	"testing"
+)
+
+func TestRecallBringsObjectsHome(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg, []Option{WithHeap(1 << 20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Offload(); err != nil {
+		t.Fatal(err)
+	}
+	if surrogate.Heap().Live < 300<<10 {
+		t.Fatal("offload did not move the document")
+	}
+
+	// Bring it back: the paper's §8 "global placement" reverse direction.
+	n, bytes, err := client.Recall([]string{"Doc"})
+	if err != nil {
+		t.Fatalf("recall: %v", err)
+	}
+	if n != 1 || bytes < 300<<10 {
+		t.Fatalf("recall moved %d objects, %d bytes", n, bytes)
+	}
+	surrogate.VM().Collect()
+	if live := surrogate.Heap().Live; live >= 300<<10 {
+		t.Fatalf("surrogate still hosts the document: %d live", live)
+	}
+	// The original reference still works, locally again.
+	v, err := th.Invoke(doc, "append", Int(2))
+	if err != nil {
+		t.Fatalf("invoke after recall: %v", err)
+	}
+	if v.I != 7 {
+		t.Fatalf("state after round trip = %d, want 7", v.I)
+	}
+	if o := client.VM().Object(doc); o == nil || o.Remote {
+		t.Fatal("client object must be real (not a stub) after recall")
+	}
+}
+
+func TestRecallWithoutSurrogate(t *testing.T) {
+	client := NewClient(demoRegistry(t))
+	defer client.Close()
+	if _, _, err := client.Recall([]string{"Doc"}); err != ErrNoSurrogate {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSurrogateInfo(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg, nil, []Option{WithHeap(64 << 20), WithCPUSpeed(3.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	info, err := client.SurrogateInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CapacityBytes != 64<<20 || info.CPUSpeed != 3.5 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.FreeBytes <= 0 || info.FreeBytes > info.CapacityBytes {
+		t.Fatalf("free bytes out of range: %+v", info)
+	}
+}
+
+func TestSurrogateSelection(t *testing.T) {
+	reg := demoRegistry(t)
+	// Two candidates: a small one and a roomy, faster one.
+	small := NewSurrogate(reg, WithHeap(1<<20), WithCPUSpeed(1))
+	smallAddr, err := small.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	big := NewSurrogate(reg, WithHeap(512<<20), WithCPUSpeed(3.5))
+	bigAddr, err := big.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+
+	probes := ProbeSurrogates([]string{smallAddr, bigAddr, "127.0.0.1:1"})
+	if probes[0].Err != nil || probes[1].Err != nil {
+		t.Fatalf("live surrogates unreachable: %+v", probes)
+	}
+	if probes[2].Err == nil {
+		t.Fatal("dead address must fail")
+	}
+	ranked := RankSurrogates(probes)
+	if ranked[len(ranked)-1].Err == nil {
+		t.Fatal("failed probe must rank last")
+	}
+	// On loopback the latency bucket ties; the roomier surrogate wins.
+	if ranked[0].Addr != bigAddr {
+		t.Fatalf("ranked[0] = %s, want the roomy surrogate %s (probes: %+v)", ranked[0].Addr, bigAddr, ranked)
+	}
+
+	client := NewClient(reg, WithHeap(1<<20))
+	defer client.Close()
+	chosen, err := client.AttachBestTCP([]string{smallAddr, bigAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != bigAddr {
+		t.Fatalf("attached to %s, want %s", chosen, bigAddr)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachBestTCPNoCandidates(t *testing.T) {
+	client := NewClient(demoRegistry(t))
+	defer client.Close()
+	if _, err := client.AttachBestTCP(nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	if _, err := client.AttachBestTCP([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable candidates accepted")
+	}
+}
+
+func TestRebalanceRecallsWhenPressureLifts(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg, []Option{WithHeap(1 << 20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Offload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.OffloadedClasses(); len(got) == 0 || got[0] != "Doc" {
+		t.Fatalf("offloaded classes = %v", got)
+	}
+
+	// The document shrinks (most of it garbage-collected): a fresh
+	// partitioning no longer frees 20% of the heap, so rebalancing must
+	// bring everything home.
+	if err := th.Free(doc); err != nil {
+		t.Fatal(err)
+	}
+	small, err := th.New("Doc", 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", small)
+	client.VM().Collect()
+
+	rep, err := client.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if !rep.Moved() {
+		t.Fatal("rebalance should have moved something")
+	}
+	found := false
+	for _, cls := range rep.Recalled {
+		if cls == "Doc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Doc not recalled: %+v", rep)
+	}
+	if got := client.OffloadedClasses(); len(got) != 0 {
+		t.Fatalf("classes still marked offloaded: %v", got)
+	}
+	surrogate.VM().Collect()
+	if live := surrogate.Heap().Live; live > 8<<10 {
+		t.Fatalf("surrogate still hosts %d bytes", live)
+	}
+}
+
+func TestRebalanceStableWhenNothingChanges(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg, []Option{WithHeap(1 << 20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Offload(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved() {
+		t.Fatalf("placement churned with no workload change: %+v", rep)
+	}
+}
+
+func TestPeriodicRebalance(t *testing.T) {
+	reg := demoRegistry(t)
+	client, surrogate, err := NewLocalPair(reg,
+		[]Option{WithHeap(1 << 20), WithPeriodicRebalance(2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defer surrogate.Close()
+
+	th := client.Thread()
+	doc, err := th.New("Doc", 300<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	if _, err := th.Invoke(doc, "append", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Offload(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The document dies; churn drives collection cycles, and the periodic
+	// re-evaluation notices nothing is worth offloading any more and
+	// recalls the class marker.
+	if err := th.Free(doc); err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", InvalidObject)
+	for i := 0; i < 12; i++ {
+		id, err := th.New("Chunk", 2<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = id
+		th.ClearTemps()
+		client.VM().Collect()
+	}
+	if client.Rebalances() == 0 {
+		t.Fatal("periodic re-evaluation never rebalanced")
+	}
+	if got := client.OffloadedClasses(); len(got) != 0 {
+		t.Fatalf("classes still offloaded after rebalance: %v", got)
+	}
+}
+
+func TestMultiSurrogateOffloadSpreads(t *testing.T) {
+	reg := demoRegistry(t)
+	s1 := NewSurrogate(reg, WithHeap(8<<20))
+	a1, err := s1.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2 := NewSurrogate(reg, WithHeap(8<<20))
+	a2, err := s2.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	client := NewClient(reg, WithHeap(2<<20))
+	defer client.Close()
+	if err := client.AttachTCP(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AttachTCP(a2); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.Surrogates(); got != 2 {
+		t.Fatalf("surrogates = %d", got)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := client.SurrogateInfos()
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("infos = %v, %v", infos, err)
+	}
+
+	// Two sizeable classes: the greedy spreader should use both
+	// surrogates (each can hold the pieces, and balancing by free memory
+	// splits them).
+	th := client.Thread()
+	doc, err := th.New("Doc", 600<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.VM().SetRoot("doc", doc)
+	var prev ObjectID
+	for i := 0; i < 64; i++ {
+		id, err := th.New("Chunk", 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != InvalidObject {
+			if err := th.SetField(id, "next", RefOf(prev)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		client.VM().SetRoot("chunks", id)
+		prev = id
+		th.ClearTemps()
+	}
+	if _, err := th.Invoke(doc, "append", Int(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := client.Offload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) < 2 {
+		t.Fatalf("expected both classes offloaded: %v", rep.Classes)
+	}
+	if s1.Heap().Live == 0 || s2.Heap().Live == 0 {
+		t.Fatalf("offload did not spread: s1=%d s2=%d", s1.Heap().Live, s2.Heap().Live)
+	}
+
+	// Transparent invocation still works wherever Doc landed.
+	v, err := th.Invoke(doc, "append", Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 7 {
+		t.Fatalf("state = %d, want 7", v.I)
+	}
+
+	// Recall routes each class back from the surrogate that hosts it.
+	n, _, err := client.Recall(rep.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 65 { // 1 Doc + 64 Chunks
+		t.Fatalf("recalled %d objects, want 65", n)
+	}
+	s1.VM().Collect()
+	s2.VM().Collect()
+	if s1.Heap().Live != 0 || s2.Heap().Live != 0 {
+		t.Fatalf("surrogates not emptied: %d / %d", s1.Heap().Live, s2.Heap().Live)
+	}
+	if v, err := th.Invoke(doc, "append", Int(1)); err != nil || v.I != 8 {
+		t.Fatalf("post-recall invoke: %v %v", v, err)
+	}
+}

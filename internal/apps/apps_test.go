@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"aide/internal/trace"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	specs := All()
+	if len(specs) != 5 {
+		t.Fatalf("%d applications, want 5 (Table 1)", len(specs))
+	}
+	want := map[string]string{
+		"JavaNote": "Content-based, memory intensive",
+		"Dia":      "Content-based, memory intensive",
+		"Biomer":   "Memory/CPU intensive",
+		"Voxel":    "CPU intensive, interactive",
+		"Tracer":   "CPU intensive, low interaction",
+	}
+	for _, s := range specs {
+		if want[s.Name] != s.Profile {
+			t.Errorf("%s profile = %q, want %q", s.Name, s.Profile, want[s.Name])
+		}
+		if s.RecordHeap <= s.EmuHeap {
+			t.Errorf("%s: record heap must exceed the constrained heap", s.Name)
+		}
+	}
+	if _, err := ByName("JavaNote"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRecordProducesValidTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recording all applications is slow")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tr, err := Record(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.App != spec.Name {
+				t.Errorf("trace app = %q", tr.App)
+			}
+			st := trace.ComputeStats(tr)
+			if st.InteractionEvents < 10_000 {
+				t.Errorf("only %d interaction events; workload too small", st.InteractionEvents)
+			}
+			if st.PeakLiveBytes <= 0 || st.SelfTime <= 0 {
+				t.Errorf("degenerate stats: %+v", st)
+			}
+			// Every application needs pinned (native) classes — they seed
+			// the client partition.
+			pinned := 0
+			for _, c := range tr.Classes {
+				if c.Pinned {
+					pinned++
+				}
+			}
+			if pinned == 0 {
+				t.Error("no pinned classes recorded")
+			}
+			// The memory-bound applications must pressure their
+			// constrained heap.
+			if !spec.CPUBound && st.PeakLiveBytes < spec.EmuHeap*9/10 {
+				t.Errorf("peak live %d never pressures the %d heap", st.PeakLiveBytes, spec.EmuHeap)
+			}
+		})
+	}
+}
+
+func TestJavaNoteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tr, err := Record(JavaNote())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 shape: ~138 classes, ~1.2M interaction events.
+	if n := len(tr.Classes); n < 120 || n > 160 {
+		t.Errorf("JavaNote classes = %d, want ≈138", n)
+	}
+	st := trace.ComputeStats(tr)
+	if st.InteractionEvents < 800_000 || st.InteractionEvents > 1_800_000 {
+		t.Errorf("interaction events = %d, want ≈1.2M", st.InteractionEvents)
+	}
+	// The document must be stored in a primitive-array pseudo-class.
+	foundArray := false
+	for _, c := range tr.Classes {
+		if c.Array && strings.HasPrefix(c.Name, "doc.") {
+			foundArray = true
+		}
+	}
+	if !foundArray {
+		t.Error("doc.CharArray missing")
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := NewCache()
+	spec := Tracer()
+	a, err := c.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache must return the same trace instance")
+	}
+}
+
+func TestRecordingIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, err := Record(Dia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(Dia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}

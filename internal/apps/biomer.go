@@ -1,0 +1,216 @@
+package apps
+
+import (
+	"time"
+
+	"aide/internal/vm"
+)
+
+// Biomer calibration knobs. The scenario models molecular editing: a
+// molecule model (atoms, bonds) ground by a force engine and redrawn by a
+// native renderer every round. Every cluster keeps a hot edge to a pinned
+// class, so any memory partitioning that frees substantial heap crosses
+// heavy edges (Figure 6 overhead ≈25–30%), the CPU policy correctly
+// declines to offload (Figure 10, predicted ≈790 s vs 750 s local), and
+// only a small cold trajectory archive offloads cheaply (Figure 7's best
+// policies).
+const (
+	bioRounds = 40
+
+	bioMolClasses = 16
+	bioMolObjects = 41
+	bioMolSize    = 3000
+
+	bioAtomTiles  = 32
+	bioAtomTileSz = 48 << 10
+	bioBondTiles  = 14
+	bioBondTileSz = 40 << 10
+
+	bioTrajSnapshots = 9
+	bioTrajSnapSize  = 72 << 10
+
+	bioCacheClasses = 10
+	bioCacheObjects = 26
+	bioCacheSize    = 2200
+)
+
+// Biomer returns the molecular editing application of Table 1.
+func Biomer() *Spec {
+	return &Spec{
+		Name:        "Biomer",
+		Description: "Molecular editing application",
+		Profile:     "Memory/CPU intensive",
+		RecordHeap:  12 << 20,
+		EmuHeap:     6 << 20,
+		CPUBound:    true,
+		Build:       buildBiomer,
+	}
+}
+
+func buildBiomer() (*vm.Registry, Driver, error) {
+	b := newBench()
+
+	mols := namesOf("mol.M%02d", bioMolClasses)
+	for _, n := range mols {
+		b.worker(n, 40*time.Microsecond, 8)
+	}
+	b.array("mol.AtomArray")
+	b.array("mol.BondArray")
+
+	trajs := namesOf("traj.Snap%02d", 8)
+	for _, n := range trajs {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+	b.array("traj.SnapArray")
+
+	engs := namesOf("eng.F%02d", 14)
+	for _, n := range engs {
+		b.worker(n, 120*time.Microsecond, 8)
+	}
+
+	rendNative := []string{"rend.Gl0", "rend.Gl1", "rend.Gl2", "rend.Gl3"}
+	for _, n := range rendNative {
+		b.nativeUI(n, 12*time.Microsecond, 16)
+	}
+	rends := namesOf("rend.R%02d", 6)
+	for _, n := range rends {
+		b.worker(n, 40*time.Microsecond, 8)
+	}
+
+	uiNative := []string{"ui.BIn", "ui.BWin"}
+	for _, n := range uiNative {
+		b.nativeUI(n, 15*time.Microsecond, 8)
+	}
+	uis := namesOf("ui.B%02d", 10)
+	for _, n := range uis {
+		b.worker(n, 20*time.Microsecond, 8)
+	}
+
+	utils := namesOf("util.B%02d", 20)
+	for _, n := range utils {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+	b.nativeMath("bio.Math", 20*time.Microsecond, 8)
+	miscs := namesOf("misc.B%02d", 20)
+	for _, n := range miscs {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+
+	reg, err := b.build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	driver := func(th *vm.Thread) error {
+		k := newKit(th)
+		all := make([]string, 0, 120)
+		all = append(all, mols...)
+		all = append(all, trajs...)
+		all = append(all, engs...)
+		all = append(all, rendNative...)
+		all = append(all, rends...)
+		all = append(all, uiNative...)
+		all = append(all, uis...)
+		all = append(all, utils...)
+		all = append(all, "bio.Math")
+		all = append(all, miscs...)
+		for _, n := range all {
+			k.hub(n, 256)
+		}
+
+		// --- Load the molecule. ---
+		// The previous session's trajectory archive loads first, so an
+		// early-trigger policy finds cold data available to offload.
+		var snaps []vm.ObjectID
+		for i := 0; i < bioTrajSnapshots; i++ {
+			_, s := k.chain("traj.SnapArray", 1, bioTrajSnapSize)
+			snaps = append(snaps, s)
+		}
+		for _, t := range trajs {
+			k.chain(t, 6, 800)
+		}
+		var atoms, bonds []vm.ObjectID
+		for i := 0; i < bioAtomTiles; i++ {
+			_, t := k.chain("mol.AtomArray", 1, bioAtomTileSz)
+			k.poke(mols[i%len(mols)], t, 1, 512)
+			atoms = append(atoms, t)
+		}
+		for i := 0; i < bioBondTiles; i++ {
+			_, t := k.chain("mol.BondArray", 1, bioBondTileSz)
+			k.poke(mols[(i+3)%len(mols)], t, 1, 512)
+			bonds = append(bonds, t)
+		}
+		for _, m := range mols {
+			k.chain(m, bioMolObjects, bioMolSize)
+		}
+		for i := 0; i < bioCacheClasses; i++ {
+			k.chain(utils[i%len(utils)], bioCacheObjects, bioCacheSize)
+		}
+		for i := 0; i < 14; i++ {
+			g, _ := k.chain("misc.B05", 60, 2200)
+			k.freeGroup(g)
+		}
+
+		// --- Simulation + editing rounds. ---
+		for r := 0; r < bioRounds && !k.failed(); r++ {
+			// Force engine grinds the molecule: hot eng↔mol coupling.
+			for i := 0; i < 8; i++ {
+				k.call(engs[(r+i)%len(engs)], mols[(r+i)%len(mols)], 300, 64)
+			}
+			for i := 0; i < 8; i++ {
+				k.call(mols[i%len(mols)], mols[(i+5)%len(mols)], 250, 48)
+			}
+			for i := 0; i < 12; i++ {
+				k.touch(mols[i%len(mols)], atoms[(r+i)%len(atoms)], 60)
+			}
+			for i := 0; i < 5; i++ {
+				k.touch(engs[i%len(engs)], atoms[(r+2*i)%len(atoms)], 80)
+			}
+			for i := 0; i < 4; i++ {
+				k.touch(mols[(i+7)%len(mols)], bonds[(r+i)%len(bonds)], 50)
+			}
+			k.call(engs[r%len(engs)], "bio.Math", 250, 24)
+
+			// The renderer redraws the molecule every round: the hot edge
+			// between the memory-heavy data and the pinned client side.
+			for i := 0; i < 6; i++ {
+				k.call(rends[i%len(rends)], mols[(r+i)%len(mols)], 70, 96)
+			}
+			for i := 0; i < 4; i++ {
+				k.call(mols[(r+i)%len(mols)], rendNative[i%len(rendNative)], 40, 128)
+			}
+			k.call(rends[r%len(rends)], rendNative[r%len(rendNative)], 300, 64)
+			k.touch(rends[(r+1)%len(rends)], atoms[r%len(atoms)], 40)
+
+			// UI and utility traffic; every cluster keeps a pinned tie.
+			for i := 0; i < 5; i++ {
+				k.call(uis[(r+i)%len(uis)], uiNative[i%len(uiNative)], 150, 32)
+			}
+			k.call(uis[0], rends[0], 60, 32)
+			k.call(uis[2], engs[0], 60, 32)
+			for i := 0; i < 5; i++ {
+				k.call(utils[i%len(utils)], utils[(i+9)%len(utils)], 80, 16)
+			}
+			for i := 0; i < 4; i++ {
+				k.call(utils[(r+i)%len(utils)], uis[(r+i)%len(uis)], 24, 160)
+			}
+			k.call(miscs[r%len(miscs)], utils[(r+3)%len(utils)], 100, 16)
+			k.call(miscs[r%len(miscs)], "ui.BIn", 12, 160)
+			k.call(miscs[(r+7)%len(miscs)], rends[(r+2)%len(rends)], 50, 160)
+
+			// Trajectory archive: eng appends snapshots; nothing reads
+			// them back.
+			k.poke(engs[r%len(engs)], snaps[r%len(snaps)], 190, 8)
+			if r%2 == 1 {
+				_, s := k.chain("traj.SnapArray", 1, 24<<10)
+				snaps = append(snaps, s)
+			}
+			k.call(trajs[r%len(trajs)], trajs[(r+3)%len(trajs)], 10, 16)
+
+			g, _ := k.chain("misc.B06", 240, 1000)
+			k.freeGroup(g)
+		}
+		return k.err
+	}
+	return reg, driver, nil
+}

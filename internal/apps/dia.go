@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"time"
+
+	"aide/internal/vm"
+)
+
+// Dia calibration knobs. The scenario models an image-manipulation session:
+// load an image into tiled pixel buffers, then apply filters while the UI
+// previews the result. Targets: moderate cut coupling (Figure 6 overhead
+// ≈8–9%), a cold undo-history cluster that a lower min-free policy can
+// offload cheaply (Figure 7 improvement 30–43%), and a significant native
+// share among remote invocations (Figure 8).
+const (
+	diaRounds = 40
+
+	diaPixelTiles   = 40
+	diaPixelTileSz  = 90 << 10
+	diaLayerClasses = 10
+	diaLayerObjects = 34
+	diaLayerSize    = 1800
+
+	diaUndoSnapshots = 12
+	diaUndoSnapSize  = 56 << 10
+	diaUndoPerRound  = 1 // snapshots appended per editing round
+
+	diaCacheClasses = 8
+	diaCacheObjects = 20
+	diaCacheSize    = 2200
+)
+
+// Dia returns the image-manipulation program of Table 1.
+func Dia() *Spec {
+	return &Spec{
+		Name:        "Dia",
+		Description: "Image manipulation program",
+		Profile:     "Content-based, memory intensive",
+		RecordHeap:  12 << 20,
+		EmuHeap:     6 << 20,
+		Build:       buildDia,
+	}
+}
+
+func buildDia() (*vm.Registry, Driver, error) {
+	b := newBench()
+
+	uiNative := []string{"ui.Canvas", "ui.Render", "ui.Pointer", "ui.Dialog"}
+	for _, n := range uiNative {
+		b.nativeUI(n, 35*time.Microsecond, 16)
+	}
+	uiW := namesOf("ui.W%02d", 20)
+	for _, n := range uiW {
+		b.worker(n, 20*time.Microsecond, 8)
+	}
+
+	b.worker("img.Image", 30*time.Microsecond, 8)
+	layers := namesOf("img.Layer%02d", diaLayerClasses)
+	for _, n := range layers {
+		b.worker(n, 30*time.Microsecond, 8)
+	}
+	b.array("img.PixelArray")
+	b.array("img.UndoArray")
+	undos := namesOf("img.Undo%02d", 6)
+	for _, n := range undos {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+
+	filts := namesOf("filt.Op%02d", 16)
+	for _, n := range filts {
+		b.worker(n, 45*time.Microsecond, 8)
+	}
+	geoms := namesOf("geom.G%02d", 12)
+	for _, n := range geoms {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+
+	utils := namesOf("util.D%02d", 16)
+	for _, n := range utils {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+	b.nativeMath("util.Gfx", 20*time.Microsecond, 8)
+	b.nativeMath("util.Mx", 12*time.Microsecond, 8)
+
+	b.nativeUI("io.Load", 40*time.Microsecond, 16)
+	b.worker("io.Dec", 20*time.Microsecond, 8)
+	ios := namesOf("io.D%02d", 4)
+	for _, n := range ios {
+		b.worker(n, 20*time.Microsecond, 8)
+	}
+
+	reg, err := b.build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	driver := func(th *vm.Thread) error {
+		k := newKit(th)
+		all := make([]string, 0, 120)
+		all = append(all, uiNative...)
+		all = append(all, uiW...)
+		all = append(all, "img.Image")
+		all = append(all, layers...)
+		all = append(all, undos...)
+		all = append(all, filts...)
+		all = append(all, geoms...)
+		all = append(all, utils...)
+		all = append(all, "util.Gfx", "util.Mx", "io.Load", "io.Dec")
+		all = append(all, ios...)
+		for _, n := range all {
+			k.hub(n, 256)
+		}
+
+		// --- Load the image. ---
+		k.call("io.Dec", "io.Load", 900, 1024)
+		k.call("img.Image", "io.Dec", 600, 512)
+		// Undo baseline loads first (the previous session's history), so
+		// an early-trigger policy finds it available to offload.
+		for i := 0; i < diaUndoSnapshots; i++ {
+			_, snap := k.chain("img.UndoArray", 1, diaUndoSnapSize)
+			k.poke(undos[i%len(undos)], snap, 1, 2048)
+		}
+		for _, u := range undos {
+			k.chain(u, 12, 900)
+		}
+		var tiles []vm.ObjectID
+		for i := 0; i < diaPixelTiles; i++ {
+			_, tile := k.chain("img.PixelArray", 1, diaPixelTileSz)
+			k.poke("img.Image", tile, 1, 8192)
+			tiles = append(tiles, tile)
+		}
+		for _, l := range layers {
+			k.chain(l, diaLayerObjects, diaLayerSize)
+		}
+		for i := 0; i < diaCacheClasses; i++ {
+			k.chain(utils[i%len(utils)], diaCacheObjects, diaCacheSize)
+		}
+		// Decode churn.
+		for i := 0; i < 16; i++ {
+			g, _ := k.chain("util.D08", 70, 2400)
+			k.freeGroup(g)
+		}
+
+		// --- Filter + preview rounds. ---
+		for r := 0; r < diaRounds && !k.failed(); r++ {
+			// UI traffic.
+			for i := 0; i < 10; i++ {
+				k.call("ui.W00", uiW[(r+i)%len(uiW)], 200, 48)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(uiW[(r+i)%len(uiW)], "ui.Render", 50, 64)
+			}
+			k.call("ui.W01", "ui.Pointer", 80, 16)
+
+			// Filters grind the image data (surrogate-internal once
+			// offloaded).
+			for i := 0; i < 10; i++ {
+				k.call(filts[(r+i)%len(filts)], layers[(r+i)%len(layers)], 260, 48)
+			}
+			for i := 0; i < 8; i++ {
+				k.call(layers[i%len(layers)], layers[(i+3)%len(layers)], 220, 32)
+			}
+			for i := 0; i < 10; i++ {
+				k.touch(layers[i%len(layers)], tiles[(r+i)%len(tiles)], 60)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(filts[i%len(filts)], filts[(i+5)%len(filts)], 150, 32)
+			}
+			k.call("img.Image", layers[r%len(layers)], 120, 64)
+
+			// The UI previews pixel data directly: the medium-weight cut
+			// edges that make Dia's offload cost more than JavaNote's.
+			k.call("ui.W02", "img.Image", 75, 96)
+			k.touch("ui.Render", tiles[r%len(tiles)], 40)
+			k.call(uiW[(r+4)%len(uiW)], layers[(r+1)%len(layers)], 35, 64)
+
+			// Image code calls rendering and math natives.
+			k.call(layers[r%len(layers)], "ui.Render", 35, 96)
+			k.call(filts[r%len(filts)], "util.Gfx", 30, 64)
+			k.call(layers[(r+2)%len(layers)], "util.Mx", 15, 16)
+
+			// Geometry + utility meshes.
+			for i := 0; i < 6; i++ {
+				k.call(geoms[i%len(geoms)], geoms[(i+4)%len(geoms)], 90, 24)
+			}
+			k.call(geoms[(r+1)%len(geoms)], "ui.Dialog", 15, 24)
+			k.call(geoms[r%len(geoms)], utils[r%len(utils)], 70, 24)
+			for i := 0; i < 4; i++ {
+				k.call(utils[i%len(utils)], utils[(i+7)%len(utils)], 60, 16)
+			}
+			for i := 0; i < 4; i++ {
+				k.call(utils[(r+i)%len(utils)], "ui.Canvas", 15, 128)
+			}
+
+			// Undo history: cold append-only snapshots (written, never
+			// read back) — the cheap offload a 10% min-free policy finds.
+			k.call("img.Image", undos[r%len(undos)], 95, 48)
+			for i := 0; i < diaUndoPerRound; i++ {
+				_, snap := k.chain("img.UndoArray", 1, 10<<10)
+				k.poke(undos[r%len(undos)], snap, 90, 8)
+			}
+
+			// Scratch garbage.
+			g, _ := k.chain("util.D09", 180, 1100)
+			k.freeGroup(g)
+		}
+		return k.err
+	}
+	return reg, driver, nil
+}

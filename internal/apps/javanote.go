@@ -1,0 +1,237 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/vm"
+)
+
+// namesOf expands a numbered class-name family.
+func namesOf(format string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(format, i)
+	}
+	return out
+}
+
+// JavaNote calibration knobs. The scenario reproduces the paper's §5.1
+// JavaNote study: load a 600 KB text file into a simple text editor, then
+// edit and scroll. Targets: ~138 classes, ~1.2 M interaction events,
+// ~31.6 s of PC-speed execution (Table 2, §5.1 monitoring study), heap
+// pressure near 6 MB, a weakly coupled document-data cluster whose offload
+// costs <10% overhead (Figure 6), and a large native share among remote
+// invocations (Figure 8).
+const (
+	jnEditRounds = 75
+
+	jnCharSegments = 42       // 600 KB document stored in char arrays with
+	jnCharSegSize  = 64 << 10 // editor expansion (gap buffers, undo spans)
+
+	jnDocPartClasses = 16
+	jnDocPartObjects = 36
+	jnDocPartSize    = 2000
+
+	jnBufferCaches   = 24
+	jnBufferCacheSz  = 20000
+	jnLineIdxEntries = 16
+	jnLineIdxSize    = 8000
+
+	jnUtilCacheClasses = 6
+	jnUtilCacheObjects = 30
+	jnUtilCacheSize    = 3000
+
+	jnWidgetObjects = 64
+	jnWidgetSize    = 3000
+)
+
+// JavaNote returns the simple text editor of Table 1.
+func JavaNote() *Spec {
+	return &Spec{
+		Name:        "JavaNote",
+		Description: "Simple text editor",
+		Profile:     "Content-based, memory intensive",
+		RecordHeap:  12 << 20,
+		EmuHeap:     6 << 20,
+		Build:       buildJavaNote,
+	}
+}
+
+func buildJavaNote() (*vm.Registry, Driver, error) {
+	b := newBench()
+
+	// GUI toolkit: framebuffer, fonts, input — native, pinned.
+	guiNative := []string{"gui.Screen", "gui.Font", "gui.Framebuffer", "gui.Input", "gui.Clipboard", "gui.Sound"}
+	for _, n := range guiNative {
+		b.nativeUI(n, 30*time.Microsecond, 16)
+	}
+	widgets := namesOf("gui.Widget%02d", 24)
+	for _, n := range widgets {
+		b.worker(n, 20*time.Microsecond, 8)
+	}
+
+	// Editor core.
+	b.worker("edit.Controller", 25*time.Microsecond, 8)
+	b.worker("edit.UndoMgr", 25*time.Microsecond, 8)
+	cores := namesOf("edit.Core%02d", 18)
+	for _, n := range cores {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+
+	// Document data: the content the 600 KB file expands into.
+	b.worker("doc.TextBuffer", 30*time.Microsecond, 8)
+	b.worker("doc.LineIndex", 30*time.Microsecond, 8)
+	parts := namesOf("doc.Part%02d", jnDocPartClasses)
+	for _, n := range parts {
+		b.worker(n, 30*time.Microsecond, 8)
+	}
+	b.array("doc.CharArray")
+
+	// Utility library: strings, math; the native members are stateless.
+	utils := namesOf("util.Str%02d", 28)
+	for _, n := range utils {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+	b.nativeMath("util.StrOps", 18*time.Microsecond, 8)
+	b.nativeMath("util.Math", 12*time.Microsecond, 8)
+
+	// I/O and system property classes (host-specific; pinned).
+	b.nativeUI("io.File", 40*time.Microsecond, 16)
+	b.worker("io.Codec", 20*time.Microsecond, 8)
+	ios := namesOf("io.Misc%02d", 8)
+	for _, n := range ios {
+		b.worker(n, 20*time.Microsecond, 8)
+	}
+	b.nativeUI("sys.Runtime", 25*time.Microsecond, 8)
+	sysProps := namesOf("sys.Prop%02d", 9)
+	for _, n := range sysProps {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+	misc := namesOf("misc.Helper%02d", 19)
+	for _, n := range misc {
+		b.worker(n, 15*time.Microsecond, 8)
+	}
+
+	reg, err := b.build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	driver := func(th *vm.Thread) error {
+		k := newKit(th)
+		all := make([]string, 0, 160)
+		all = append(all, guiNative...)
+		all = append(all, widgets...)
+		all = append(all, "edit.Controller", "edit.UndoMgr")
+		all = append(all, cores...)
+		all = append(all, "doc.TextBuffer", "doc.LineIndex")
+		all = append(all, parts...)
+		all = append(all, utils...)
+		all = append(all, "util.StrOps", "util.Math", "io.File", "io.Codec")
+		all = append(all, ios...)
+		all = append(all, "sys.Runtime")
+		all = append(all, sysProps...)
+		all = append(all, misc...)
+		for _, n := range all {
+			k.hub(n, 256)
+		}
+
+		// --- Startup: widget tree, menu text. ---
+		k.chain("gui.Widget00", jnWidgetObjects, jnWidgetSize)
+		_, menu := k.chain("doc.CharArray", 30, 2000)
+		k.poke("gui.Framebuffer", menu, 1, 1800)
+
+		// --- Load the 600 KB file. ---
+		k.call("io.Codec", "io.File", 1200, 512) // native file reads
+		k.call("doc.TextBuffer", "io.Codec", 800, 256)
+		var charSegs []vm.ObjectID
+		for i := 0; i < jnCharSegments; i++ {
+			_, seg := k.chain("doc.CharArray", 1, jnCharSegSize)
+			k.poke("doc.TextBuffer", seg, 1, 4096)
+			charSegs = append(charSegs, seg)
+		}
+		for _, p := range parts {
+			k.chain(p, jnDocPartObjects, jnDocPartSize)
+		}
+		k.chain("doc.TextBuffer", jnBufferCaches, jnBufferCacheSz)
+		k.chain("doc.LineIndex", jnLineIdxEntries, jnLineIdxSize)
+		for i := 0; i < jnUtilCacheClasses; i++ {
+			k.chain(utils[i], jnUtilCacheObjects, jnUtilCacheSize)
+		}
+		// Parse churn: transient garbage exercising the collector.
+		for i := 0; i < 20; i++ {
+			g, _ := k.chain("util.Str20", 30, 2500)
+			k.freeGroup(g)
+		}
+
+		// --- Edit and scroll. ---
+		for r := 0; r < jnEditRounds && !k.failed(); r++ {
+			// GUI traffic: events, layout, repaints. The widget↔native
+			// coupling is massive — that is what anchors the GUI side of
+			// the graph to the pinned classes.
+			for i := 0; i < 12; i++ {
+				k.call("gui.Widget00", widgets[(r+i)%len(widgets)], 220, 48)
+				k.call(widgets[(r+i)%len(widgets)], "gui.Screen", 150, 128)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(widgets[(r+2*i)%len(widgets)], "gui.Font", 60, 64)
+				k.call(widgets[(r+2*i+1)%len(widgets)], "gui.Framebuffer", 50, 96)
+			}
+			k.call("gui.Widget01", "gui.Input", 60, 16)
+			k.call("gui.Widget02", "edit.Controller", 36, 32)
+			k.call("edit.Controller", "gui.Screen", 12, 64)
+
+			// Editor core mesh.
+			for i := 0; i < 6; i++ {
+				k.call("edit.Controller", cores[(r+i)%len(cores)], 180, 40)
+			}
+			for i := 0; i < 8; i++ {
+				k.call(cores[i%len(cores)], cores[(i+3)%len(cores)], 160, 32)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(cores[(r+i)%len(cores)], utils[(r+2*i)%len(utils)], 120, 24)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(utils[i%len(utils)], utils[(i+5)%len(utils)], 80, 16)
+			}
+			k.call("edit.Core00", "util.Math", 15, 16)
+			k.call("edit.Core01", "util.Math", 15, 16)
+			k.call("edit.Core02", "util.StrOps", 15, 24)
+			k.call("edit.Core03", "util.StrOps", 15, 24)
+
+			// The editor↔document boundary: batched, low-rate relative to
+			// the meshes on either side (this is the cut the partitioner
+			// should find).
+			k.call("edit.Controller", "doc.TextBuffer", 20, 80)
+			k.call("edit.Controller", "doc.LineIndex", 10, 24)
+
+			// Document internals: heavy, self-contained.
+			for i := 0; i < 12; i++ {
+				k.call(parts[i%len(parts)], parts[(i+5)%len(parts)], 400, 32)
+			}
+			for i := 0; i < 16; i++ {
+				k.call("doc.TextBuffer", parts[(r+i)%len(parts)], 90, 64)
+			}
+			for i := 0; i < 16; i++ {
+				k.touch(parts[i%len(parts)], charSegs[(r+i)%len(charSegs)], 50)
+			}
+			k.touch("doc.TextBuffer", charSegs[r%len(charSegs)], 40)
+
+			// Document rendering callbacks and string natives: these are
+			// the remote native calls of Figure 8 once the document is
+			// offloaded. Light in bytes so they do not pull the document
+			// toward the pinned classes during partitioning.
+			k.call("doc.TextBuffer", "gui.Screen", 14, 48)
+			k.call("doc.TextBuffer", "util.StrOps", 18, 32)
+			k.call(parts[r%len(parts)], "util.Math", 6, 16)
+
+			// Undo log growth plus per-round scratch garbage.
+			k.chain(parts[(r+7)%len(parts)], 5, 3800)
+			g, _ := k.chain("misc.Helper00", 40, 1200)
+			k.freeGroup(g)
+		}
+		return k.err
+	}
+	return reg, driver, nil
+}

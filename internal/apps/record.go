@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"aide/internal/monitor"
+	"aide/internal/trace"
+	"aide/internal/vm"
+)
+
+// Record runs the application scenario to completion on a single,
+// unconstrained VM with monitoring attached and returns the extracted
+// execution trace — the paper's trace-acquisition procedure (§4: "The
+// traces for an application were extracted from the prototype while
+// running the application to completion on a single PC").
+func Record(spec *Spec) (*trace.Trace, error) {
+	reg, driver, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("apps: build %s: %w", spec.Name, err)
+	}
+	meta := monitor.RegistryMeta(reg)
+	v := vm.New(reg, vm.Config{
+		Role:         vm.RoleClient,
+		HeapCapacity: spec.RecordHeap,
+		// Frequent cycles give the emulator a dense stream of object
+		// deaths to replay.
+		GCBytesTrigger: 512 << 10,
+	})
+	mon := monitor.New(meta)
+	rec := monitor.NewRecorder(spec.Name, spec.RecordHeap, meta)
+	mon.SetRecorder(rec)
+	v.SetHooks(mon)
+	th := v.NewThread()
+	if err := driver(th); err != nil {
+		return nil, fmt.Errorf("apps: run %s: %w", spec.Name, err)
+	}
+	// Flush remaining garbage so the trace carries final object deaths.
+	v.Collect()
+	t := rec.Trace()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: %s produced an inconsistent trace: %w", spec.Name, err)
+	}
+	return t, nil
+}
+
+// Cache memoizes recorded traces by application name: trace extraction
+// runs a full scenario through the VM, so experiments share one recording.
+type Cache struct {
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+}
+
+// NewCache returns an empty trace cache.
+func NewCache() *Cache {
+	return &Cache{traces: make(map[string]*trace.Trace)}
+}
+
+// Get returns the cached trace for the spec, recording it on first use.
+func (c *Cache) Get(spec *Spec) (*trace.Trace, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.traces[spec.Name]; ok {
+		return t, nil
+	}
+	t, err := Record(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.traces[spec.Name] = t
+	return t, nil
+}
+
+// All returns the five study applications of Table 1.
+func All() []*Spec {
+	return []*Spec{JavaNote(), Dia(), Biomer(), Voxel(), Tracer()}
+}
+
+// ByName returns the named application spec.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}

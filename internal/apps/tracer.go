@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"time"
+
+	"aide/internal/vm"
+)
+
+// Tracer calibration knobs. The scenario models an interactive raytracer
+// rendering scanline by scanline: heavy, self-contained ray computation
+// over scene data, occasional canvas submissions, little interaction
+// (Table 1: "CPU intensive, low interaction"). Targets (Figure 10): the
+// initial offload is roughly break-even (math natives routing back eat the
+// surrogate's speed advantage), and the combined enhancements approach a
+// ~15% improvement.
+const (
+	trcScanlines = 60
+
+	// Ray work per ping at tracing-PC speed; Figure 10 emulates the
+	// client at TracerClientSlowdown×.
+	trcRayWork = 400 * time.Microsecond
+)
+
+// TracerClientSlowdown is the Figure 10 client-speed factor for Tracer.
+const TracerClientSlowdown = 10.0
+
+// Tracer returns the interactive Java raytracer of Table 1.
+func Tracer() *Spec {
+	return &Spec{
+		Name:        "Tracer",
+		Description: "Interactive Java raytracer",
+		Profile:     "CPU intensive, low interaction",
+		RecordHeap:  12 << 20,
+		EmuHeap:     8 << 20,
+		CPUBound:    true,
+		Build:       buildTracer,
+	}
+}
+
+func buildTracer() (*vm.Registry, Driver, error) {
+	b := newBench()
+
+	rays := namesOf("ray.R%02d", 16)
+	for _, n := range rays {
+		b.worker(n, trcRayWork, 8)
+	}
+	scenes := namesOf("scene.S%02d", 10)
+	for _, n := range scenes {
+		b.worker(n, 250*time.Microsecond, 8)
+	}
+	b.nativeMath("ray.Math", 120*time.Microsecond, 8)
+	b.nativeUI("out.Canvas", 1050*time.Microsecond, 16)
+
+	b.nativeUI("ui.TIn", 30*time.Microsecond, 8)
+	uis := namesOf("ui.T%02d", 6)
+	for _, n := range uis {
+		b.worker(n, 200*time.Microsecond, 8)
+	}
+	utils := namesOf("util.T%02d", 12)
+	for _, n := range utils {
+		b.worker(n, 150*time.Microsecond, 8)
+	}
+	miscs := namesOf("misc.T%02d", 8)
+	for _, n := range miscs {
+		b.worker(n, 150*time.Microsecond, 8)
+	}
+
+	reg, err := b.build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	driver := func(th *vm.Thread) error {
+		k := newKit(th)
+		all := make([]string, 0, 60)
+		all = append(all, rays...)
+		all = append(all, scenes...)
+		all = append(all, "ray.Math", "out.Canvas", "ui.TIn")
+		all = append(all, uis...)
+		all = append(all, utils...)
+		all = append(all, miscs...)
+		for _, n := range all {
+			k.hub(n, 256)
+		}
+
+		// Scene construction.
+		for _, s := range scenes {
+			k.chain(s, 18, 2400)
+		}
+		k.call(scenes[0], scenes[1], 200, 64)
+
+		for line := 0; line < trcScanlines && !k.failed(); line++ {
+			// Ray computation: heavy, self-contained.
+			for i := 0; i < 12; i++ {
+				k.call(rays[(line+i)%len(rays)], rays[(line+i+7)%len(rays)], 20, 48)
+			}
+			// Rays intersect scene geometry: co-offloaded with rays.
+			for i := 0; i < 8; i++ {
+				k.call(rays[i%len(rays)], scenes[(line+i)%len(scenes)], 30, 64)
+			}
+			for i := 0; i < 4; i++ {
+				k.call(scenes[i%len(scenes)], scenes[(i+5)%len(scenes)], 25, 32)
+			}
+			// Native math in the inner loop: the routing cost the §5.2
+			// enhancement removes.
+			for i := 0; i < 5; i++ {
+				k.call(rays[i], "ray.Math", 60, 24)
+			}
+			// Scanline submission to the native canvas.
+			k.call(rays[line%len(rays)], "out.Canvas", 300, 512)
+
+			// Light UI traffic.
+			k.call("ui.T00", "ui.TIn", 100, 16)
+			k.call(uis[line%len(uis)], rays[line%len(rays)], 4, 64)
+			k.call(utils[line%len(utils)], utils[(line+5)%len(utils)], 20, 16)
+			k.call(miscs[line%len(miscs)], utils[line%len(utils)], 15, 16)
+
+			if line%10 == 9 {
+				g, _ := k.chain(miscs[line%len(miscs)], 10, 1000)
+				k.freeGroup(g)
+			}
+		}
+		return k.err
+	}
+	return reg, driver, nil
+}

@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"time"
+
+	"aide/internal/vm"
+)
+
+// Voxel calibration knobs. The scenario models an interactive fractal
+// landscape generator: terrain generators grind heightmap tiles while the
+// native display blits them every frame. Targets (Figure 10): the initial
+// class-granularity offload is slightly *slower* than local execution
+// (math natives route back to the client; whole-class array placement
+// forces heavy tile traffic across the link), each enhancement alone
+// recovers part of the loss, and both combined run ~15% faster than local.
+const (
+	voxFrames = 40
+
+	voxRenderTiles = 12 // tiles read by the display every frame
+	voxBackTiles   = 12 // scratch tiles only the generators touch
+	voxTileSize    = 60 << 10
+
+	// Generator work per ping, recorded at tracing-PC speed. Figure 10
+	// emulates the client at voxClientSlowdown× (the Jornada), making the
+	// original run land near the paper's ~5900 s scale.
+	voxGenWork = 1500 * time.Microsecond
+)
+
+// VoxelClientSlowdown is the Figure 10 client-speed factor for Voxel.
+const VoxelClientSlowdown = 10.0
+
+// Voxel returns the fractal landscape generator of Table 1.
+func Voxel() *Spec {
+	return &Spec{
+		Name:        "Voxel",
+		Description: "Fractal landscape generator",
+		Profile:     "CPU intensive, interactive",
+		RecordHeap:  12 << 20,
+		EmuHeap:     8 << 20,
+		CPUBound:    true,
+		Build:       buildVoxel,
+	}
+}
+
+func buildVoxel() (*vm.Registry, Driver, error) {
+	b := newBench()
+
+	gens := namesOf("terr.Gen%02d", 16)
+	for _, n := range gens {
+		b.worker(n, voxGenWork, 8)
+	}
+	b.array("terr.HeightMap")
+	b.nativeMath("vox.Math", 250*time.Microsecond, 8)
+
+	dispNative := []string{"disp.Blit0", "disp.Blit1", "disp.Blit2", "disp.Blit3"}
+	for _, n := range dispNative {
+		b.nativeUI(n, 450*time.Microsecond, 16)
+	}
+	disps := namesOf("disp.R%02d", 8)
+	for _, n := range disps {
+		b.worker(n, 80*time.Microsecond, 8)
+	}
+
+	b.nativeUI("ui.VIn", 30*time.Microsecond, 8)
+	uis := namesOf("ui.V%02d", 8)
+	for _, n := range uis {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+	utils := namesOf("util.V%02d", 16)
+	for _, n := range utils {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+	miscs := namesOf("misc.V%02d", 12)
+	for _, n := range miscs {
+		b.worker(n, 25*time.Microsecond, 8)
+	}
+
+	reg, err := b.build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	driver := func(th *vm.Thread) error {
+		k := newKit(th)
+		all := make([]string, 0, 80)
+		all = append(all, gens...)
+		all = append(all, "vox.Math")
+		all = append(all, dispNative...)
+		all = append(all, disps...)
+		all = append(all, "ui.VIn")
+		all = append(all, uis...)
+		all = append(all, utils...)
+		all = append(all, miscs...)
+		for _, n := range all {
+			k.hub(n, 256)
+		}
+
+		var render, back []vm.ObjectID
+		for i := 0; i < voxRenderTiles; i++ {
+			_, t := k.chain("terr.HeightMap", 1, voxTileSize)
+			render = append(render, t)
+		}
+		for i := 0; i < voxBackTiles; i++ {
+			_, t := k.chain("terr.HeightMap", 1, voxTileSize)
+			back = append(back, t)
+		}
+		for i := 0; i < 4; i++ {
+			k.chain(utils[i], 20, 2000)
+		}
+
+		for f := 0; f < voxFrames && !k.failed(); f++ {
+			// Terrain generation: the offloadable compute.
+			for i := 0; i < 10; i++ {
+				k.call(gens[(f+i)%len(gens)], gens[(f+i+5)%len(gens)], 16, 48)
+			}
+			// Generators lean on native math.
+			for i := 0; i < 7; i++ {
+				k.call(gens[(f+i)%len(gens)], "vox.Math", 50, 24)
+			}
+			// Generators write tiles: full rewrites of scratch tiles,
+			// small delta updates of the on-screen tiles.
+			for i := 0; i < len(back); i++ {
+				k.poke(gens[i%len(gens)], back[(f+i)%len(back)], 75, 128)
+			}
+			for i := 0; i < len(render); i++ {
+				k.poke(gens[(i+3)%len(gens)], render[(f+i)%len(render)], 5, 256)
+			}
+			// Generators read scratch tiles while composing.
+			for i := 0; i < 6; i++ {
+				k.touch(gens[i%len(gens)], back[(f+2*i)%len(back)], 20)
+			}
+
+			// Display: native blits read the on-screen tiles every frame.
+			for i := 0; i < len(render); i++ {
+				k.touch(disps[i%len(disps)], render[i], 20)
+			}
+			for i := 0; i < 6; i++ {
+				k.call(disps[i%len(disps)], dispNative[i%len(dispNative)], 300, 128)
+			}
+			k.call(disps[f%len(disps)], disps[(f+3)%len(disps)], 40, 32)
+
+			// UI and bookkeeping.
+			k.call("ui.V00", "ui.VIn", 300, 256)
+			k.call(uis[f%len(uis)], disps[f%len(disps)], 20, 32)
+			k.call(uis[(f+1)%len(uis)], gens[f%len(gens)], 8, 96)
+			for i := 0; i < 4; i++ {
+				k.call(utils[i%len(utils)], utils[(i+7)%len(utils)], 30, 16)
+			}
+			k.call(miscs[f%len(miscs)], utils[f%len(utils)], 25, 16)
+
+			g, _ := k.chain(miscs[(f+3)%len(miscs)], 10, 1200)
+			k.freeGroup(g)
+		}
+		return k.err
+	}
+	return reg, driver, nil
+}

@@ -1,0 +1,331 @@
+// Package apps provides the five study applications of the paper's Table 1
+// — JavaNote, Dia, Biomer, Voxel, and Tracer — as synthetic workloads that
+// execute on the interpreted VM.
+//
+// The original 2001 Java applications are not available; each workload here
+// is calibrated to the structural characteristics the paper reports (class
+// counts, memory distribution, native-call mix, inter-class coupling, CPU
+// locality) so that monitoring, partitioning, and offloading traverse the
+// same decision space. DESIGN.md documents the substitution.
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/vm"
+)
+
+// Driver runs an application scenario on a VM thread.
+type Driver func(th *vm.Thread) error
+
+// Spec describes one application.
+type Spec struct {
+	// Name is the application name as the paper uses it.
+	Name string
+
+	// Description and Profile reproduce the paper's Table 1 entries.
+	Description string
+	Profile     string
+
+	// RecordHeap is a heap size under which the scenario completes
+	// without memory exhaustion (trace extraction runs use it).
+	RecordHeap int64
+
+	// EmuHeap is the constrained client heap the paper's experiments
+	// emulate for this application.
+	EmuHeap int64
+
+	// CPUBound marks the applications studied under processing
+	// constraints (paper §5.2).
+	CPUBound bool
+
+	// Build registers the application's classes into a fresh registry and
+	// returns the scenario driver.
+	Build func() (*vm.Registry, Driver, error)
+}
+
+// bench is the class-definition workbench shared by the application
+// builders.
+type bench struct {
+	reg *vm.Registry
+	err error
+}
+
+func newBench() *bench { return &bench{reg: vm.NewRegistry()} }
+
+func (b *bench) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// worker defines a regular (offloadable) class. Its "ping" method performs
+// pingWork of computation and returns retBytes of payload; "call" fans out
+// count pings to a target object; "touch" reads an object's data field
+// count times; "store"/"drop" manage a retained reference.
+func (b *bench) worker(name string, pingWork time.Duration, retBytes int) {
+	b.defineClass(name, pingWork, retBytes, false, false)
+}
+
+// nativeUI defines a class with a native, stateful method (screen, input,
+// file system): pinned to the client.
+func (b *bench) nativeUI(name string, pingWork time.Duration, retBytes int) {
+	b.defineClass(name, pingWork, retBytes, true, false)
+}
+
+// nativeMath defines a class whose native methods are stateless and
+// idempotent (math functions, string copies): pinned, but eligible for the
+// §5.2 local-execution enhancement.
+func (b *bench) nativeMath(name string, pingWork time.Duration, retBytes int) {
+	b.defineClass(name, pingWork, retBytes, true, true)
+}
+
+// array defines a primitive-array pseudo-class: data only, no methods.
+func (b *bench) array(name string) {
+	if b.err != nil {
+		return
+	}
+	_, err := b.reg.Register(vm.ClassSpec{
+		Name:   name,
+		Fields: []string{"next", "data"},
+		Array:  true,
+	})
+	if err != nil {
+		b.fail(err)
+	}
+}
+
+func (b *bench) defineClass(name string, pingWork time.Duration, retBytes int, native, stateless bool) {
+	if b.err != nil {
+		return
+	}
+	ret := vm.Int(0)
+	if retBytes > 8 {
+		ret = vm.Blob(make([]byte, retBytes))
+	}
+	ping := func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+		th.Work(pingWork)
+		return ret, nil
+	}
+	_, err := b.reg.Register(vm.ClassSpec{
+		Name:   name,
+		Fields: []string{"next", "head"},
+		Methods: []vm.MethodSpec{
+			{Name: "ping", Native: native, Stateless: stateless, Body: ping},
+			{Name: "call", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				// args: target ref, count, payload bytes
+				if len(args) != 3 {
+					return vm.Nil(), fmt.Errorf("call expects (target, count, payloadBytes)")
+				}
+				payload := vm.Int(0)
+				if n := args[2].I; n > 8 {
+					payload = vm.Blob(make([]byte, n))
+				}
+				for i := int64(0); i < args[1].I; i++ {
+					if _, err := th.Invoke(args[0].Ref, "ping", payload); err != nil {
+						return vm.Nil(), err
+					}
+				}
+				return vm.Nil(), nil
+			}},
+			{Name: "touch", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				// args: target ref, count — data-field accesses.
+				if len(args) != 2 {
+					return vm.Nil(), fmt.Errorf("touch expects (target, count)")
+				}
+				for i := int64(0); i < args[1].I; i++ {
+					if _, err := th.GetField(args[0].Ref, "data"); err != nil {
+						return vm.Nil(), err
+					}
+				}
+				return vm.Nil(), nil
+			}},
+			{Name: "poke", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				// args: target ref, count, payload bytes — data-field writes.
+				if len(args) != 3 {
+					return vm.Nil(), fmt.Errorf("poke expects (target, count, payloadBytes)")
+				}
+				payload := vm.Int(0)
+				if n := args[2].I; n > 8 {
+					payload = vm.Blob(make([]byte, n))
+				}
+				for i := int64(0); i < args[1].I; i++ {
+					if err := th.SetField(args[0].Ref, "data", payload); err != nil {
+						return vm.Nil(), err
+					}
+				}
+				return vm.Nil(), nil
+			}},
+			{Name: "store", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				if len(args) != 1 {
+					return vm.Nil(), fmt.Errorf("store expects (ref)")
+				}
+				return vm.Nil(), th.SetField(self, "head", args[0])
+			}},
+			{Name: "drop", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				return vm.Nil(), th.SetField(self, "head", vm.Nil())
+			}},
+		},
+	})
+	if err != nil {
+		b.fail(err)
+	}
+}
+
+// build finalizes the workbench.
+func (b *bench) build() (*vm.Registry, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.reg, nil
+}
+
+// driverKit bundles the operations scenario drivers perform at top level.
+type driverKit struct {
+	th  *vm.Thread
+	err error
+
+	// hubs maps class name to that class's hub object (one per class).
+	hubs map[string]vm.ObjectID
+
+	groups int
+}
+
+func newKit(th *vm.Thread) *driverKit {
+	return &driverKit{th: th, hubs: make(map[string]vm.ObjectID)}
+}
+
+func (k *driverKit) failed() bool { return k.err != nil }
+
+func (k *driverKit) fail(err error) {
+	if k.err == nil {
+		k.err = err
+	}
+}
+
+// hub creates (once) a singleton object of the class, rooted for the
+// duration of the scenario, sized objSize.
+func (k *driverKit) hub(class string, objSize int64) vm.ObjectID {
+	if k.err != nil {
+		return vm.InvalidObject
+	}
+	if id, ok := k.hubs[class]; ok {
+		return id
+	}
+	id, err := k.th.New(class, objSize)
+	if err != nil {
+		k.fail(fmt.Errorf("hub %s: %w", class, err))
+		return vm.InvalidObject
+	}
+	k.th.VM().SetRoot("hub:"+class, id)
+	k.hubs[class] = id
+	k.th.ClearTemps()
+	return id
+}
+
+// chain allocates count objects of the class, each of size bytes, linked
+// through their "next" fields and rooted under a fresh group name. It
+// returns the group name (for freeGroup) and the head object.
+func (k *driverKit) chain(class string, count int, size int64) (string, vm.ObjectID) {
+	if k.err != nil {
+		return "", vm.InvalidObject
+	}
+	k.groups++
+	group := fmt.Sprintf("group:%d", k.groups)
+	var head vm.ObjectID
+	for i := 0; i < count; i++ {
+		id, err := k.th.New(class, size)
+		if err != nil {
+			k.fail(fmt.Errorf("chain %s[%d]: %w", class, i, err))
+			return group, vm.InvalidObject
+		}
+		if head != vm.InvalidObject {
+			if err := k.th.SetField(id, "next", vm.RefOf(head)); err != nil {
+				k.fail(err)
+				return group, vm.InvalidObject
+			}
+		}
+		head = id
+		// Root the head as we go so a mid-chain collection keeps the
+		// partial chain alive, then release the temp protection.
+		k.th.VM().SetRoot(group, head)
+		k.th.ClearTemps()
+	}
+	return group, head
+}
+
+// freeGroup unroots a chain; its objects become garbage at the next
+// collection.
+func (k *driverKit) freeGroup(group string) {
+	k.th.VM().SetRoot(group, vm.InvalidObject)
+}
+
+// call drives count interactions from the hub of one class to the hub of
+// another: the monitored edge from→to accumulates count invocations of
+// payloadBytes each.
+func (k *driverKit) call(from, to string, count int, payloadBytes int64) {
+	if k.err != nil {
+		return
+	}
+	src, ok := k.hubs[from]
+	if !ok {
+		k.fail(fmt.Errorf("call: no hub for %s", from))
+		return
+	}
+	dst, ok := k.hubs[to]
+	if !ok {
+		k.fail(fmt.Errorf("call: no hub for %s", to))
+		return
+	}
+	if _, err := k.th.Invoke(src, "call", vm.RefOf(dst), vm.Int(int64(count)), vm.Int(payloadBytes)); err != nil {
+		k.fail(fmt.Errorf("call %s->%s: %w", from, to, err))
+	}
+}
+
+// callObj drives count interactions from a class hub to a specific object.
+func (k *driverKit) callObj(from string, target vm.ObjectID, count int, payloadBytes int64) {
+	if k.err != nil {
+		return
+	}
+	src, ok := k.hubs[from]
+	if !ok {
+		k.fail(fmt.Errorf("callObj: no hub for %s", from))
+		return
+	}
+	if _, err := k.th.Invoke(src, "call", vm.RefOf(target), vm.Int(int64(count)), vm.Int(payloadBytes)); err != nil {
+		k.fail(fmt.Errorf("callObj %s: %w", from, err))
+	}
+}
+
+// touch drives count data-field reads from a class hub to a target object
+// (typically an array).
+func (k *driverKit) touch(from string, target vm.ObjectID, count int) {
+	if k.err != nil {
+		return
+	}
+	src, ok := k.hubs[from]
+	if !ok {
+		k.fail(fmt.Errorf("touch: no hub for %s", from))
+		return
+	}
+	if _, err := k.th.Invoke(src, "touch", vm.RefOf(target), vm.Int(int64(count))); err != nil {
+		k.fail(fmt.Errorf("touch %s: %w", from, err))
+	}
+}
+
+// poke drives count data-field writes of payloadBytes from a class hub to
+// a target object (typically an array).
+func (k *driverKit) poke(from string, target vm.ObjectID, count int, payloadBytes int64) {
+	if k.err != nil {
+		return
+	}
+	src, ok := k.hubs[from]
+	if !ok {
+		k.fail(fmt.Errorf("poke: no hub for %s", from))
+		return
+	}
+	if _, err := k.th.Invoke(src, "poke", vm.RefOf(target), vm.Int(int64(count)), vm.Int(payloadBytes)); err != nil {
+		k.fail(fmt.Errorf("poke %s: %w", from, err))
+	}
+}

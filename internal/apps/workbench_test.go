@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"aide/internal/monitor"
+	"aide/internal/vm"
+)
+
+func testBench(t *testing.T) (*vm.Registry, *vm.VM, *monitor.Monitor) {
+	t.Helper()
+	b := newBench()
+	b.worker("w.A", 10*time.Microsecond, 8)
+	b.worker("w.B", 20*time.Microsecond, 8)
+	b.nativeUI("n.UI", 5*time.Microsecond, 8)
+	b.nativeMath("n.Math", 5*time.Microsecond, 8)
+	b.array("a.Arr")
+	reg, err := b.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(reg, vm.Config{HeapCapacity: 8 << 20})
+	m := monitor.New(monitor.RegistryMeta(reg))
+	v.SetHooks(m)
+	return reg, v, m
+}
+
+func TestBenchClassKinds(t *testing.T) {
+	reg, _, _ := testBench(t)
+	if reg.Class("w.A").Pinned() {
+		t.Fatal("worker must not be pinned")
+	}
+	if !reg.Class("n.UI").Pinned() || reg.Class("n.UI").NativeStateless() {
+		t.Fatal("nativeUI misclassified")
+	}
+	if !reg.Class("n.Math").Pinned() || !reg.Class("n.Math").NativeStateless() {
+		t.Fatal("nativeMath misclassified")
+	}
+	if !reg.Class("a.Arr").Array {
+		t.Fatal("array class not flagged")
+	}
+}
+
+func TestBenchRejectsDuplicates(t *testing.T) {
+	b := newBench()
+	b.worker("dup", time.Microsecond, 8)
+	b.worker("dup", time.Microsecond, 8)
+	if _, err := b.build(); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+}
+
+func TestKitCallRecordsEdges(t *testing.T) {
+	_, v, m := testBench(t)
+	k := newKit(v.NewThread())
+	k.hub("w.A", 64)
+	k.hub("w.B", 64)
+	k.call("w.A", "w.B", 7, 32)
+	if k.failed() {
+		t.Fatal(k.err)
+	}
+	g := m.Graph()
+	a, _ := g.Lookup("w.A")
+	bn, _ := g.Lookup("w.B")
+	e := g.Edge(a.ID, bn.ID)
+	if e == nil || e.Invocations != 7 {
+		t.Fatalf("edge = %+v, want 7 invocations", e)
+	}
+	if bn.CPUTime != 7*20*time.Microsecond {
+		t.Fatalf("B CPU = %v", bn.CPUTime)
+	}
+}
+
+func TestKitTouchAndPoke(t *testing.T) {
+	_, v, m := testBench(t)
+	k := newKit(v.NewThread())
+	k.hub("w.A", 64)
+	_, arr := k.chain("a.Arr", 1, 4096)
+	k.poke("w.A", arr, 3, 256)
+	k.touch("w.A", arr, 5)
+	if k.failed() {
+		t.Fatal(k.err)
+	}
+	g := m.Graph()
+	a, _ := g.Lookup("w.A")
+	an, ok := g.Lookup("a.Arr")
+	if !ok {
+		t.Fatal("array class missing from graph")
+	}
+	e := g.Edge(a.ID, an.ID)
+	if e == nil || e.Accesses != 8 {
+		t.Fatalf("edge = %+v, want 8 accesses", e)
+	}
+	// Touch reads back what poke wrote: 256-byte payloads.
+	if e.Bytes < 5*256 {
+		t.Fatalf("edge bytes = %d; touch should read the poked payload", e.Bytes)
+	}
+}
+
+func TestKitChainKeepsObjectsAlive(t *testing.T) {
+	_, v, _ := testBench(t)
+	k := newKit(v.NewThread())
+	group, head := k.chain("w.A", 10, 1000)
+	if k.failed() {
+		t.Fatal(k.err)
+	}
+	if head == vm.InvalidObject {
+		t.Fatal("no head")
+	}
+	v.Collect()
+	if got := v.Heap().Live; got != 10*1000 {
+		t.Fatalf("live = %d, want 10000 (chain rooted)", got)
+	}
+	k.freeGroup(group)
+	v.Collect()
+	if got := v.Heap().Live; got != 0 {
+		t.Fatalf("live = %d after freeGroup, want 0", got)
+	}
+}
+
+func TestKitErrorPropagation(t *testing.T) {
+	_, v, _ := testBench(t)
+	k := newKit(v.NewThread())
+	k.call("w.A", "w.B", 1, 0) // no hubs yet: must fail and stick
+	if !k.failed() {
+		t.Fatal("missing hub not reported")
+	}
+	// Subsequent operations are no-ops after failure.
+	k.hub("w.A", 64)
+	if k.hubs["w.A"] != vm.InvalidObject {
+		t.Fatal("operations after failure must be inert")
+	}
+}
+
+func TestNamesOf(t *testing.T) {
+	names := namesOf("x.%02d", 3)
+	if len(names) != 3 || names[0] != "x.00" || names[2] != "x.02" {
+		t.Fatalf("names = %v", names)
+	}
+}

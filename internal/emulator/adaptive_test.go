@@ -1,0 +1,96 @@
+package emulator
+
+import (
+	"testing"
+	"time"
+
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+	"aide/internal/trace"
+)
+
+// phasedTrace builds a workload whose hot set shifts halfway through:
+// phase 1 grows DATA1, phase 2 deletes it and grows DATA2. With repeated
+// repartitioning allowed, the emulator should partition once per pressure
+// phase.
+func phasedTrace() *trace.Trace {
+	tr := &trace.Trace{
+		App:          "Phased",
+		HeapCapacity: 32 << 20,
+		Classes: []trace.ClassInfo{
+			{Name: "ui", Pinned: true}, // 0
+			{Name: "data1"},            // 1
+			{Name: "data2"},            // 2
+		},
+	}
+	var obj trace.ObjectID
+	mk := func(cls trace.ClassID, size int64) trace.ObjectID {
+		obj++
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindCreate, Callee: cls, Obj: obj, Bytes: size})
+		return obj
+	}
+	del := func(id trace.ObjectID, cls trace.ClassID, size int64) {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindDelete, Callee: cls, Obj: id, Bytes: size})
+	}
+	work := func(cls trace.ClassID) {
+		tr.Events = append(tr.Events, trace.Event{
+			Kind: trace.KindInvoke, Caller: 0, Callee: cls, Obj: trace.NoObject,
+			Bytes: 16, SelfTime: 20 * time.Microsecond,
+		})
+	}
+
+	// Phase 1: 4 MB of data1.
+	var phase1 []trace.ObjectID
+	for i := 0; i < 40; i++ {
+		phase1 = append(phase1, mk(1, 100<<10))
+		work(1)
+	}
+	// Phase 2: data1 dies; 4 MB of data2 arrives.
+	for _, id := range phase1 {
+		del(id, 1, 100<<10)
+	}
+	for i := 0; i < 40; i++ {
+		mk(2, 100<<10)
+		work(2)
+	}
+	return tr
+}
+
+func TestRepeatedRepartitioning(t *testing.T) {
+	tr := phasedTrace()
+	cfg := Config{
+		Mode:          MemoryMode,
+		HeapCapacity:  5 << 20,
+		Link:          netmodel.WaveLAN(),
+		Params:        policy.Params{TriggerFreeFraction: 0.35, Tolerance: 1, MinFreeFraction: 0.20},
+		MaxPartitions: 4, // the emulator can repeatedly repartition (paper §4)
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatalf("adaptive run died: %+v", res)
+	}
+	applied := 0
+	for _, p := range res.Partitions {
+		if !p.Rejected {
+			applied++
+		}
+	}
+	if applied < 2 {
+		t.Fatalf("expected at least two partitionings across the phase shift, got %d (%+v)",
+			applied, res.Partitions)
+	}
+	// Compare with the single-partition prototype behaviour: it must also
+	// survive here (the first offload of data1 frees enough), but the
+	// multi-partition run adapts to the second phase.
+	cfg.MaxPartitions = 1
+	single, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.OOM {
+		t.Fatalf("single-partition run died unexpectedly")
+	}
+}

@@ -1,0 +1,161 @@
+package emulator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+	"aide/internal/trace"
+)
+
+// randomTrace generates a structurally valid trace with random clusters,
+// sizes, and interaction patterns.
+func randomTrace(r *rand.Rand) *trace.Trace {
+	nClasses := 3 + r.Intn(10)
+	tr := &trace.Trace{App: "Random", HeapCapacity: 32 << 20}
+	for i := 0; i < nClasses; i++ {
+		tr.Classes = append(tr.Classes, trace.ClassInfo{
+			Name:      string(rune('A' + i)),
+			Pinned:    i == 0 || r.Intn(5) == 0,
+			Array:     r.Intn(6) == 0,
+			Stateless: r.Intn(8) == 0,
+		})
+	}
+	var nextObj trace.ObjectID
+	live := map[trace.ObjectID]trace.ClassID{}
+	liveSize := map[trace.ObjectID]int64{}
+	events := 200 + r.Intn(800)
+	for i := 0; i < events; i++ {
+		switch r.Intn(10) {
+		case 0, 1, 2: // create
+			nextObj++
+			cls := trace.ClassID(r.Intn(nClasses))
+			size := int64(r.Intn(64 << 10))
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.KindCreate, Callee: cls, Obj: nextObj, Bytes: size,
+			})
+			live[nextObj] = cls
+			liveSize[nextObj] = size
+		case 3: // delete a random live object
+			for id, cls := range live {
+				tr.Events = append(tr.Events, trace.Event{
+					Kind: trace.KindDelete, Callee: cls, Obj: id, Bytes: liveSize[id],
+				})
+				delete(live, id)
+				delete(liveSize, id)
+				break
+			}
+		case 4, 5, 6, 7: // invoke
+			caller := trace.ClassID(r.Intn(nClasses))
+			callee := trace.ClassID(r.Intn(nClasses))
+			native := tr.Classes[callee].Pinned && r.Intn(2) == 0
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.KindInvoke, Caller: caller, Callee: callee,
+				Obj: trace.NoObject, Bytes: int64(r.Intn(512)),
+				SelfTime: time.Duration(r.Intn(1000)) * time.Microsecond,
+				Native:   native, Stateless: native && tr.Classes[callee].Stateless,
+			})
+		default: // access
+			caller := trace.ClassID(r.Intn(nClasses))
+			callee := trace.ClassID(r.Intn(nClasses))
+			var obj trace.ObjectID = trace.NoObject
+			for id, cls := range live {
+				obj, callee = id, cls
+				break
+			}
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.KindAccess, Caller: caller, Callee: callee,
+				Obj: obj, Bytes: int64(r.Intn(256)),
+			})
+		}
+	}
+	return tr
+}
+
+// TestReplayInvariants checks, over random traces and configurations, that
+// the emulator never produces inconsistent results: time decomposition
+// holds, components are non-negative, baseline equals ΣSelfTime, and
+// replay is deterministic.
+func TestReplayInvariants(t *testing.T) {
+	check := func(seed int64, heapKB uint16, memMode bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r)
+		if err := tr.Validate(); err != nil {
+			t.Logf("generator bug: %v", err)
+			return false
+		}
+		cfg := Config{
+			HeapCapacity:   int64(heapKB)<<10 + 64<<10,
+			Link:           netmodel.WaveLAN(),
+			ClientSlowdown: 1 + float64(seed%7),
+			Params:         policy.Params{TriggerFreeFraction: 0.10, Tolerance: 1, MinFreeFraction: 0.10},
+		}
+		if memMode {
+			cfg.Mode = MemoryMode
+		} else {
+			cfg.Mode = CPUMode
+			cfg.SurrogateSpeedup = 3.5
+			cfg.ReevalEvery = time.Millisecond
+		}
+		res, err := Run(tr, cfg)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if res.Time != res.ExecTime+res.CommTime+res.TransferTime+res.MonitorTime {
+			t.Logf("decomposition broken: %+v", res)
+			return false
+		}
+		if res.ExecTime < 0 || res.CommTime < 0 || res.TransferTime < 0 {
+			t.Logf("negative component: %+v", res)
+			return false
+		}
+		if res.ExecClient+res.ExecSurrogate != res.ExecTime {
+			t.Logf("exec split broken: %+v", res)
+			return false
+		}
+		if res.RemoteNative > res.RemoteInvocations {
+			t.Logf("native exceeds remote: %+v", res)
+			return false
+		}
+		if !res.Offloaded && (res.CommTime != 0 || res.RemoteInvocations != 0) {
+			t.Logf("communication without offload: %+v", res)
+			return false
+		}
+		// Determinism.
+		res2, err := Run(tr, cfg)
+		if err != nil || res2.Time != res.Time || res2.Events != res.Events {
+			t.Logf("nondeterministic replay")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselineEqualsSelfTime: with offloading disabled and no slowdown,
+// the replay's execution time is exactly the trace's total self time.
+func TestBaselineEqualsSelfTime(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r)
+		res, err := Run(tr, Config{
+			Mode:           MemoryMode,
+			HeapCapacity:   1 << 30,
+			Link:           netmodel.WaveLAN(),
+			DisableOffload: true,
+		})
+		if err != nil {
+			return false
+		}
+		return res.ExecTime == tr.TotalSelfTime() && res.ExecSurrogate == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

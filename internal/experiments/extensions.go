@@ -1,0 +1,184 @@
+package experiments
+
+// Extensions beyond the paper's evaluation, following its §8 future-work
+// agenda: alternative partitioning heuristics (with a refinement pass) and
+// energy/battery-life accounting.
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/apps"
+	"aide/internal/emulator"
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+)
+
+// AblationRow compares partitioning-heuristic variants on one application
+// under the Figure 6 memory setup: the paper's modified MINCUT, the
+// greedy memory-density heuristic, and modified MINCUT with a
+// Kernighan–Lin swap-refinement pass.
+type AblationRow struct {
+	App      string
+	Original time.Duration
+
+	MinCut      float64 // overhead fraction
+	Greedy      float64
+	MinCutKL    float64
+	GreedyOOM   bool
+	MinCutOOM   bool
+	MinCutKLOOM bool
+}
+
+// String renders a comparison row.
+func (r AblationRow) String() string {
+	f := func(ovh float64, oom bool) string {
+		if oom {
+			return "  died"
+		}
+		return fmt.Sprintf("%5.1f%%", ovh*100)
+	}
+	return fmt.Sprintf("%-9s mincut %s  mincut+KL %s  greedy-density %s",
+		r.App, f(r.MinCut, r.MinCutOOM), f(r.MinCutKL, r.MinCutKLOOM), f(r.Greedy, r.GreedyOOM))
+}
+
+// AblationHeuristics runs the heuristic comparison for the three
+// memory-study applications (paper §8: "study additional partitioning
+// heuristics besides the modified MINCUT approach").
+func (s *Suite) AblationHeuristics() ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 3)
+	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
+		spec, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := s.run(spec, s.originalConfig(spec))
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{App: name, Original: orig.Time}
+
+		variant := func(h emulator.Heuristic, kl bool) (float64, bool, error) {
+			cfg := s.memoryConfig(spec, policy.InitialParams())
+			cfg.Heuristic = h
+			cfg.KLRefine = kl
+			res, err := s.run(spec, cfg)
+			if err != nil {
+				return 0, false, err
+			}
+			return res.Overhead(orig.Time), res.OOM, nil
+		}
+		if row.MinCut, row.MinCutOOM, err = variant(emulator.HeuristicModifiedMinCut, false); err != nil {
+			return nil, err
+		}
+		if row.MinCutKL, row.MinCutKLOOM, err = variant(emulator.HeuristicModifiedMinCut, true); err != nil {
+			return nil, err
+		}
+		if row.Greedy, row.GreedyOOM, err = variant(emulator.HeuristicGreedyDensity, false); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EnergyRow compares the client's battery drain with and without
+// offloading for one application (paper §2: offloading may extend battery
+// life; §8: power as a constraint to examine).
+type EnergyRow struct {
+	App string
+
+	// LocalJ and OffloadedJ are the client's total energy for the run.
+	LocalJ, OffloadedJ float64
+
+	// LocalBreakdown and OffloadedBreakdown decompose the totals.
+	LocalBreakdown, OffloadedBreakdown netmodel.EnergyBreakdown
+
+	// SavingFrac is the energy saved by offloading (negative = offloading
+	// costs energy).
+	SavingFrac float64
+
+	// PSMOffloadedJ and PSMSavingFrac repeat the offloaded measurement
+	// with 802.11 power-save mode (the radio dozes between transfers).
+	PSMOffloadedJ float64
+	PSMSavingFrac float64
+}
+
+// String renders a comparison row.
+func (r EnergyRow) String() string {
+	return fmt.Sprintf("%-9s local %7.0f J  offloaded %7.0f J (saving %+5.1f%%)  with radio PSM %7.0f J (saving %+5.1f%%)",
+		r.App, r.LocalJ, r.OffloadedJ, r.SavingFrac*100, r.PSMOffloadedJ, r.PSMSavingFrac*100)
+}
+
+// EnergyStudy measures client energy for the CPU-bound applications under
+// the Figure 10 combined configuration and for JavaNote under the memory
+// configuration, using a 2001-era handheld power model. CPU-heavy
+// offloads trade active CPU-seconds for cheaper radio-seconds; chatty
+// workloads pay more in radio than they save.
+func (s *Suite) EnergyStudy() ([]EnergyRow, error) {
+	model := netmodel.HandheldEnergy()
+	rows := make([]EnergyRow, 0, 3)
+
+	psm := netmodel.HandheldEnergyPSM()
+	add := func(name string, orig, off *emulator.Result) {
+		row := EnergyRow{App: name}
+		row.LocalBreakdown = orig.ClientEnergy(model)
+		row.OffloadedBreakdown = off.ClientEnergy(model)
+		row.LocalJ = row.LocalBreakdown.TotalJ
+		row.OffloadedJ = row.OffloadedBreakdown.TotalJ
+		row.PSMOffloadedJ = off.ClientEnergy(psm).TotalJ
+		if row.LocalJ > 0 {
+			row.SavingFrac = 1 - row.OffloadedJ/row.LocalJ
+			row.PSMSavingFrac = 1 - row.PSMOffloadedJ/row.LocalJ
+		}
+		rows = append(rows, row)
+	}
+
+	// Memory-bound: JavaNote (offloading is about survival, energy is the
+	// price paid).
+	jn, err := apps.ByName("JavaNote")
+	if err != nil {
+		return nil, err
+	}
+	jnOrig, err := s.run(jn, s.originalConfig(jn))
+	if err != nil {
+		return nil, err
+	}
+	jnOff, err := s.run(jn, s.memoryConfig(jn, policy.InitialParams()))
+	if err != nil {
+		return nil, err
+	}
+	add("JavaNote", jnOrig, jnOff)
+
+	// CPU-bound: Voxel and Tracer under the combined §5.2 configuration.
+	for _, name := range []string{"Voxel", "Tracer"} {
+		spec, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		slow := cpuSlowdown(name)
+		base := emulator.Config{
+			Mode:             emulator.CPUMode,
+			HeapCapacity:     spec.RecordHeap,
+			Link:             s.link,
+			SurrogateSpeedup: 3.5,
+			ClientSlowdown:   slow,
+		}
+		origCfg := base
+		origCfg.DisableOffload = true
+		orig, err := s.run(spec, origCfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.ReevalEvery = orig.Time / 8
+		cfg.StatelessNativeLocal = true
+		cfg.ArrayGranularity = true
+		off, err := s.run(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(name, orig, off)
+	}
+	return rows, nil
+}

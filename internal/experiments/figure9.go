@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/monitor"
+	"aide/internal/vm"
+)
+
+// figure9Graph executes the paper's Figure 9 example on the live VM with
+// monitoring attached: a::f() works for 0.02 s and calls b::g(), which
+// works for 0.10 s. The monitor must attribute 0.02 s to class a and
+// 0.10 s to class b.
+func figure9Graph() (*graph.Graph, error) {
+	reg := vm.NewRegistry()
+	reg.MustRegister(vm.ClassSpec{
+		Name: "b",
+		Methods: []vm.MethodSpec{
+			{Name: "g", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				th.Work(100 * time.Millisecond)
+				return vm.Nil(), nil
+			}},
+		},
+	})
+	reg.MustRegister(vm.ClassSpec{
+		Name:   "a",
+		Fields: []string{"b"},
+		Methods: []vm.MethodSpec{
+			{Name: "f", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				th.Work(20 * time.Millisecond)
+				bref, err := th.GetField(self, "b")
+				if err != nil {
+					return vm.Nil(), err
+				}
+				return th.Invoke(bref.Ref, "g")
+			}},
+		},
+	})
+
+	v := vm.New(reg, vm.Config{HeapCapacity: 1 << 20})
+	mon := monitor.New(monitor.RegistryMeta(reg))
+	v.SetHooks(mon)
+	th := v.NewThread()
+	a, err := th.New("a", 64)
+	if err != nil {
+		return nil, err
+	}
+	bObj, err := th.New("b", 64)
+	if err != nil {
+		return nil, err
+	}
+	if err := th.SetField(a, "b", vm.RefOf(bObj)); err != nil {
+		return nil, err
+	}
+	if _, err := th.Invoke(a, "f"); err != nil {
+		return nil, err
+	}
+	return mon.Graph(), nil
+}

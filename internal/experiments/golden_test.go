@@ -1,0 +1,85 @@
+package experiments
+
+// Golden regression tests: every workload and emulation in this repository
+// is fully deterministic, so the headline numbers of EXPERIMENTS.md can be
+// pinned exactly. A calibration change that shifts them is visible here
+// and must be reflected in the documentation.
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f ±%.4f (update EXPERIMENTS.md if this calibration change is intentional)",
+			name, got, want, tol)
+	}
+}
+
+func TestGoldenFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := suite().Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"JavaNote": 0.0769, "Dia": 0.0931, "Biomer": 0.2891}
+	for _, r := range rows {
+		approx(t, "figure6/"+r.App, r.OverheadFrac, want[r.App], 0.002)
+	}
+}
+
+func TestGoldenTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := suite().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.ClassEvents != 138 {
+		t.Errorf("classes = %d, want 138", r.Stats.ClassEvents)
+	}
+	if r.Stats.InteractionEvents != 1192103 {
+		t.Errorf("interaction events = %d, want 1192103", r.Stats.InteractionEvents)
+	}
+	if r.Stats.ObjectEvents != 8644 {
+		t.Errorf("object events = %d, want 8644", r.Stats.ObjectEvents)
+	}
+}
+
+func TestGoldenMonitoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := suite().MonitoringOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "monitoring overhead", r.OverheadFrac, 0.119, 0.002)
+}
+
+func TestGoldenFigure10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := suite().Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.App {
+		case "Voxel":
+			approx(t, "voxel combined speedup", r.Speedup(), 0.109, 0.005)
+		case "Tracer":
+			approx(t, "tracer combined speedup", r.Speedup(), 0.076, 0.005)
+		case "Biomer":
+			if !r.Declined {
+				t.Error("Biomer must decline")
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5): each runner regenerates one artifact from the synthetic
+// applications, the trace-driven emulator, and the partitioning modules,
+// and returns a typed result that prints paper-style rows.
+package experiments
+
+import (
+	"time"
+
+	"aide/internal/apps"
+	"aide/internal/emulator"
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+	"aide/internal/trace"
+)
+
+// MemoryClientSlowdown scales PC-speed traces to the emulated handheld
+// client for the §5.1 memory experiments (the paper measured its
+// applications ~3.5–10× slower on a Jornada 547 than on the tracing PC;
+// Figure 6's absolute scale corresponds to the slow end).
+const MemoryClientSlowdown = 10.0
+
+// MonitorCostPerEvent is the simulated cost of one monitoring event,
+// calibrated against the prototype's measured ~11% JavaNote overhead
+// (§5.1: 31.59 s → 35.04 s over ~1.2 M events ≈ 2.9 µs/event).
+const MonitorCostPerEvent = 2900 * time.Nanosecond
+
+// Suite shares recorded traces across experiment runners.
+type Suite struct {
+	cache *apps.Cache
+	link  netmodel.Link
+}
+
+// NewSuite returns a suite with an empty trace cache and the paper's
+// WaveLAN link model.
+func NewSuite() *Suite {
+	return &Suite{cache: apps.NewCache(), link: netmodel.WaveLAN()}
+}
+
+// Trace returns the (cached) recorded trace of the named application.
+func (s *Suite) Trace(name string) (*trace.Trace, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.cache.Get(spec)
+}
+
+// memoryConfig is the shared §5.1 emulation setup for an application under
+// the given policy parameters.
+func (s *Suite) memoryConfig(spec *apps.Spec, params policy.Params) emulator.Config {
+	return emulator.Config{
+		Mode:             emulator.MemoryMode,
+		HeapCapacity:     spec.EmuHeap,
+		Link:             s.link,
+		SurrogateSpeedup: 1, // §5.1: same processor speed on both sides
+		ClientSlowdown:   MemoryClientSlowdown,
+		Params:           params,
+		// Chai's incremental collector sweeps often, producing frequent
+		// memory reports (paper §5.1).
+		GCBytesTrigger: 96 << 10,
+	}
+}
+
+// originalConfig replays the application unpartitioned with an
+// unconstrained heap: the paper's "Original" bars.
+func (s *Suite) originalConfig(spec *apps.Spec) emulator.Config {
+	cfg := s.memoryConfig(spec, policy.InitialParams())
+	cfg.HeapCapacity = spec.RecordHeap
+	cfg.DisableOffload = true
+	return cfg
+}
+
+// run replays the application's trace under the config.
+func (s *Suite) run(spec *apps.Spec, cfg emulator.Config) (*emulator.Result, error) {
+	t, err := s.cache.Get(spec)
+	if err != nil {
+		return nil, err
+	}
+	return emulator.Run(t, cfg)
+}
+
+// TraceStats exposes trace statistics for diagnostic tools.
+func TraceStats(t *trace.Trace) trace.Stats { return trace.ComputeStats(t) }
+
+// DiagMemoryRun runs the Figure 6 configuration for one application and
+// returns the raw emulator result for calibration diagnostics.
+func (s *Suite) DiagMemoryRun(name string) (*emulator.Result, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(spec, s.memoryConfig(spec, policy.InitialParams()))
+}
+
+// DiagCPURun runs one Figure 10 variant for calibration diagnostics.
+func (s *Suite) DiagCPURun(name string, stateless, array, forced bool) (*emulator.Result, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	slow := MemoryClientSlowdown
+	switch name {
+	case "Voxel":
+		slow = apps.VoxelClientSlowdown
+	case "Tracer":
+		slow = apps.TracerClientSlowdown
+	}
+	origCfg := emulator.Config{
+		Mode: emulator.CPUMode, HeapCapacity: spec.RecordHeap, Link: s.link,
+		SurrogateSpeedup: 3.5, ClientSlowdown: slow, DisableOffload: true,
+	}
+	orig, err := s.run(spec, origCfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := origCfg
+	cfg.DisableOffload = false
+	cfg.ReevalEvery = orig.Time / 8
+	cfg.StatelessNativeLocal = stateless
+	cfg.ArrayGranularity = array
+	cfg.ForceCPUOffload = forced
+	return s.run(spec, cfg)
+}

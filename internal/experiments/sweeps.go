@@ -1,0 +1,117 @@
+package experiments
+
+// Sensitivity sweeps beyond the paper's evaluation: where offloading stops
+// being needed (heap size) and where it stops being viable (link quality).
+// Both extend the paper's assumption checks — it fixed the heap at 6 MB
+// and the link at WaveLAN.
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/apps"
+	"aide/internal/netmodel"
+	"aide/internal/policy"
+)
+
+// HeapPoint is one heap size in the sweep.
+type HeapPoint struct {
+	HeapMB    float64
+	OOM       bool // the platform could not save the run
+	Offloaded bool
+	Overhead  float64 // vs the unconstrained original
+}
+
+// String renders a sweep point.
+func (p HeapPoint) String() string {
+	switch {
+	case p.OOM:
+		return fmt.Sprintf("%5.1f MiB: out of memory", p.HeapMB)
+	case p.Offloaded:
+		return fmt.Sprintf("%5.1f MiB: offloaded, overhead %5.1f%%", p.HeapMB, p.Overhead*100)
+	default:
+		return fmt.Sprintf("%5.1f MiB: ran locally", p.HeapMB)
+	}
+}
+
+// HeapSweep replays JavaNote across client heap sizes: below the workload's
+// floor even offloading cannot help (the pinned classes alone overflow),
+// in the constrained band the platform offloads with modest overhead, and
+// with enough memory it correctly never offloads.
+func (s *Suite) HeapSweep() ([]HeapPoint, error) {
+	spec, err := apps.ByName("JavaNote")
+	if err != nil {
+		return nil, err
+	}
+	orig, err := s.run(spec, s.originalConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	sizes := []float64{1, 2, 4, 5, 6, 7, 8, 12}
+	points := make([]HeapPoint, 0, len(sizes))
+	for _, mb := range sizes {
+		cfg := s.memoryConfig(spec, policy.InitialParams())
+		cfg.HeapCapacity = int64(mb * float64(1<<20))
+		res, err := s.run(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, HeapPoint{
+			HeapMB:    mb,
+			OOM:       res.OOM,
+			Offloaded: res.Offloaded,
+			Overhead:  res.Overhead(orig.Time),
+		})
+	}
+	return points, nil
+}
+
+// LinkPoint is one link configuration in the sweep.
+type LinkPoint struct {
+	Label    string
+	Link     netmodel.Link
+	Overhead float64
+	OOM      bool
+}
+
+// String renders a sweep point.
+func (p LinkPoint) String() string {
+	if p.OOM {
+		return fmt.Sprintf("%-22s out of memory", p.Label)
+	}
+	return fmt.Sprintf("%-22s overhead %6.1f%%", p.Label, p.Overhead*100)
+}
+
+// LinkSweep replays the JavaNote offload across link technologies, from a
+// 2001 Bluetooth-class serial link to switched fast Ethernet: the
+// remote-execution overhead is dominated by round-trip latency, so the
+// viability of transparent offloading tracks the link's RTT more than its
+// bandwidth.
+func (s *Suite) LinkSweep() ([]LinkPoint, error) {
+	spec, err := apps.ByName("JavaNote")
+	if err != nil {
+		return nil, err
+	}
+	orig, err := s.run(spec, s.originalConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	links := []LinkPoint{
+		{Label: "Bluetooth 1.0 (721kbps)", Link: netmodel.Link{BandwidthBps: 721e3, RTT: 30 * time.Millisecond, HeaderBytes: 32}},
+		{Label: "802.11b ad-hoc (2Mbps)", Link: netmodel.Link{BandwidthBps: 2e6, RTT: 5 * time.Millisecond, HeaderBytes: 32}},
+		{Label: "WaveLAN (11Mbps)", Link: netmodel.WaveLAN()},
+		{Label: "Ethernet 10 (10Mbps)", Link: netmodel.Link{BandwidthBps: 10e6, RTT: 1 * time.Millisecond, HeaderBytes: 32}},
+		{Label: "Fast Ethernet (100M)", Link: netmodel.Link{BandwidthBps: 100e6, RTT: 300 * time.Microsecond, HeaderBytes: 32}},
+	}
+	for i := range links {
+		cfg := s.memoryConfig(spec, policy.InitialParams())
+		cfg.Link = links[i].Link
+		res, err := s.run(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		links[i].Overhead = res.Overhead(orig.Time)
+		links[i].OOM = res.OOM
+	}
+	return links, nil
+}

@@ -1,0 +1,329 @@
+// Package graph implements the weighted execution graph that AIDE builds
+// from run-time monitoring information (paper §3.4).
+//
+// Each node represents a class and is annotated with the amount of memory
+// occupied by the objects of that class, the attributed CPU time, and
+// whether the class is pinned to the client (native methods, static data).
+// Each edge represents the interactions between two classes and is annotated
+// with the number of interactions (method invocations and data accesses)
+// and the total amount of information transferred between objects of the
+// classes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NodeID identifies a class node within a Graph. IDs are dense, starting at
+// zero, in insertion order; they index internal tables directly.
+type NodeID int32
+
+// Node carries the per-class annotations of the execution graph.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	// Memory is the number of bytes currently occupied by live objects of
+	// this class.
+	Memory int64
+
+	// PeakMemory is the largest value Memory has held.
+	PeakMemory int64
+
+	// LiveObjects is the current number of live objects of this class.
+	LiveObjects int64
+
+	// TotalObjects counts every object of this class ever created.
+	TotalObjects int64
+
+	// CPUTime is the execution time attributed to this class: time spent in
+	// its methods minus time spent in nested calls to methods of other
+	// classes (paper Figure 9).
+	CPUTime time.Duration
+
+	// Pinned marks classes that cannot be offloaded, such as classes with
+	// native methods or host-specific static data (paper §3.2, §3.3).
+	Pinned bool
+
+	// Array marks primitive-array pseudo-classes, which the §5.2
+	// "array granularity" enhancement may place at object granularity.
+	Array bool
+
+	// Stateless marks pinned classes whose native methods are all
+	// stateless (math functions, string copies); under the §5.2 native
+	// enhancement their invocations execute on the calling device.
+	Stateless bool
+}
+
+// Edge carries the per-pair interaction annotations of the execution graph.
+// Edges are undirected: interactions between classes a and b accumulate on a
+// single edge regardless of direction.
+type Edge struct {
+	A, B NodeID // A < B
+
+	// Invocations counts method invocations between objects of the two
+	// classes.
+	Invocations int64
+
+	// Accesses counts data-field accesses between objects of the two
+	// classes.
+	Accesses int64
+
+	// Bytes is the total amount of information transferred between objects
+	// of the two classes, as represented by the parameters and return
+	// values used in inter-class interactions.
+	Bytes int64
+}
+
+// Interactions returns the combined interaction-event count for the edge.
+func (e *Edge) Interactions() int64 { return e.Invocations + e.Accesses }
+
+// EdgeKey canonically orders an unordered class pair.
+type EdgeKey struct{ A, B NodeID }
+
+func makeEdgeKey(a, b NodeID) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{A: a, B: b}
+}
+
+// Graph is the fully connected weighted execution graph of paper §3.4. The
+// zero value is not usable; call New.
+type Graph struct {
+	nodes  []*Node
+	byName map[string]NodeID
+	edges  map[EdgeKey]*Edge
+}
+
+// New returns an empty execution graph.
+func New() *Graph {
+	return &Graph{
+		byName: make(map[string]NodeID),
+		edges:  make(map[EdgeKey]*Edge),
+	}
+}
+
+// Len returns the number of class nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of distinct class-pair links with recorded
+// interactions. The paper's Table 2 reports this as "interactions"
+// (average/maximum links), distinct from interaction events.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Intern returns the node for the named class, creating it if needed.
+func (g *Graph) Intern(name string) *Node {
+	if id, ok := g.byName[name]; ok {
+		return g.nodes[id]
+	}
+	id := NodeID(len(g.nodes))
+	n := &Node{ID: id, Name: name}
+	g.nodes = append(g.nodes, n)
+	g.byName[name] = id
+	return n
+}
+
+// Lookup returns the node for the named class and whether it exists.
+func (g *Graph) Lookup(name string) (*Node, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return g.nodes[id], true
+}
+
+// Node returns the node with the given ID. It returns nil if the ID is out
+// of range.
+func (g *Graph) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// Nodes returns the nodes in ID order. The returned slice is shared; treat
+// it as read-only.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Edge returns the edge between a and b, or nil if no interaction has been
+// recorded.
+func (g *Graph) Edge(a, b NodeID) *Edge {
+	return g.edges[makeEdgeKey(a, b)]
+}
+
+// Edges returns all edges in deterministic (A, B) order.
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func (g *Graph) edge(a, b NodeID) *Edge {
+	k := makeEdgeKey(a, b)
+	e, ok := g.edges[k]
+	if !ok {
+		e = &Edge{A: k.A, B: k.B}
+		g.edges[k] = e
+	}
+	return e
+}
+
+// AddInvocation records a method invocation from class a to class b
+// transferring the given number of parameter/return bytes. Intra-class
+// interactions are not recorded (paper §5.1: "Information is recorded only
+// for interactions between two different classes").
+func (g *Graph) AddInvocation(a, b NodeID, bytes int64) {
+	if a == b {
+		return
+	}
+	e := g.edge(a, b)
+	e.Invocations++
+	e.Bytes += bytes
+}
+
+// AddAccess records a data-field access from class a to class b transferring
+// the given number of bytes.
+func (g *Graph) AddAccess(a, b NodeID, bytes int64) {
+	if a == b {
+		return
+	}
+	e := g.edge(a, b)
+	e.Accesses++
+	e.Bytes += bytes
+}
+
+// AddObject records the creation of an object of the class with the given
+// size in bytes.
+func (g *Graph) AddObject(id NodeID, size int64) {
+	n := g.nodes[id]
+	n.Memory += size
+	n.LiveObjects++
+	n.TotalObjects++
+	if n.Memory > n.PeakMemory {
+		n.PeakMemory = n.Memory
+	}
+}
+
+// RemoveObject records the deletion (collection) of an object of the class
+// with the given size in bytes.
+func (g *Graph) RemoveObject(id NodeID, size int64) {
+	n := g.nodes[id]
+	n.Memory -= size
+	n.LiveObjects--
+}
+
+// AddCPU attributes self execution time to the class (paper Figure 9).
+func (g *Graph) AddCPU(id NodeID, d time.Duration) {
+	g.nodes[id].CPUTime += d
+}
+
+// TotalMemory returns the memory occupied by live objects across all
+// classes.
+func (g *Graph) TotalMemory() int64 {
+	var total int64
+	for _, n := range g.nodes {
+		total += n.Memory
+	}
+	return total
+}
+
+// TotalCPU returns the total attributed CPU time across all classes.
+func (g *Graph) TotalCPU() time.Duration {
+	var total time.Duration
+	for _, n := range g.nodes {
+		total += n.CPUTime
+	}
+	return total
+}
+
+// Clone returns a deep copy of the graph. Partitioning runs against a clone
+// so that monitoring can continue concurrently.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  make([]*Node, len(g.nodes)),
+		byName: make(map[string]NodeID, len(g.byName)),
+		edges:  make(map[EdgeKey]*Edge, len(g.edges)),
+	}
+	for i, n := range g.nodes {
+		cp := *n
+		c.nodes[i] = &cp
+		c.byName[n.Name] = n.ID
+	}
+	for k, e := range g.edges {
+		cp := *e
+		c.edges[k] = &cp
+	}
+	return c
+}
+
+// WeightFunc maps an edge to the weight used by partitioning. The paper's
+// cost function uses the historical amount of information transferred
+// (bytes); alternatives weight by interaction count.
+type WeightFunc func(*Edge) float64
+
+// BytesWeight weights edges by total bytes transferred (the paper's §3.3
+// cost function).
+func BytesWeight(e *Edge) float64 { return float64(e.Bytes) }
+
+// InteractionWeight weights edges by interaction-event count.
+func InteractionWeight(e *Edge) float64 { return float64(e.Interactions()) }
+
+// CutWeight returns the total weight of edges crossing the cut defined by
+// inA: edges with exactly one endpoint x for which inA(x) is true.
+func (g *Graph) CutWeight(inA func(NodeID) bool, w WeightFunc) float64 {
+	var total float64
+	for _, e := range g.edges {
+		if inA(e.A) != inA(e.B) {
+			total += w(e)
+		}
+	}
+	return total
+}
+
+// CutBytes returns the historical bytes crossing the cut, used to predict
+// the network bandwidth a partitioning would consume.
+func (g *Graph) CutBytes(inA func(NodeID) bool) int64 {
+	var total int64
+	for _, e := range g.edges {
+		if inA(e.A) != inA(e.B) {
+			total += e.Bytes
+		}
+	}
+	return total
+}
+
+// DOT renders the graph in Graphviz format, used to visualize Figure 5
+// style execution graphs. Nodes in offloaded (may be nil) render as boxes;
+// cut edges render dotted, matching the paper's Figure 5b convention.
+func (g *Graph) DOT(offloaded map[NodeID]bool) string {
+	var b strings.Builder
+	b.WriteString("graph execution {\n")
+	for _, n := range g.nodes {
+		shape := "ellipse"
+		if offloaded[n.ID] {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, fmt.Sprintf("%s\\n%dB", n.Name, n.Memory), shape)
+	}
+	for _, e := range g.Edges() {
+		style := "solid"
+		if offloaded[e.A] != offloaded[e.B] {
+			style = "dotted"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%d/%dB\" style=%s];\n", e.A, e.B, e.Interactions(), e.Bytes, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

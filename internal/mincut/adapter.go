@@ -1,0 +1,27 @@
+package mincut
+
+import "aide/internal/graph"
+
+// FromGraph converts an execution graph into a dense partitioning input
+// using the given edge-weight function. Node IDs map one-to-one onto vertex
+// indices.
+func FromGraph(g *graph.Graph, w graph.WeightFunc) Input {
+	n := g.Len()
+	in := Input{
+		N:      n,
+		Weight: make([][]float64, n),
+		Pinned: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		in.Weight[i] = make([]float64, n)
+	}
+	for _, node := range g.Nodes() {
+		in.Pinned[node.ID] = node.Pinned
+	}
+	for _, e := range g.Edges() {
+		wt := w(e)
+		in.Weight[e.A][e.B] = wt
+		in.Weight[e.B][e.A] = wt
+	}
+	return in
+}

@@ -1,0 +1,290 @@
+// Package mincut implements graph partitioning for AIDE (paper §3.3).
+//
+// It provides the classic Stoer–Wagner global minimum cut [Stoer & Wagner,
+// JACM 44(4), 1997] and the paper's modified heuristic, which seeds the
+// client partition with every class that cannot be offloaded (native
+// methods, static data) and then emits a family of approximate minimum-cut
+// candidate partitionings for the partitioning policy to evaluate.
+package mincut
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Input is a dense, undirected, weighted graph together with the set of
+// vertices pinned to the client partition.
+type Input struct {
+	// N is the number of vertices, numbered 0..N-1.
+	N int
+
+	// Weight is the symmetric N×N edge-weight matrix. Weight[i][i] is
+	// ignored. Weights must be non-negative.
+	Weight [][]float64
+
+	// Pinned marks vertices that must remain in the client partition
+	// (classes with native methods or host-specific static data).
+	Pinned []bool
+}
+
+// Validate reports whether the input is well formed.
+func (in Input) Validate() error {
+	if in.N < 0 {
+		return fmt.Errorf("mincut: negative vertex count %d", in.N)
+	}
+	if len(in.Weight) != in.N {
+		return fmt.Errorf("mincut: weight matrix has %d rows, want %d", len(in.Weight), in.N)
+	}
+	for i, row := range in.Weight {
+		if len(row) != in.N {
+			return fmt.Errorf("mincut: weight row %d has %d columns, want %d", i, len(row), in.N)
+		}
+		for j, w := range row {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("mincut: invalid weight %v at (%d,%d)", w, i, j)
+			}
+			if in.Weight[j][i] != w {
+				return fmt.Errorf("mincut: weight matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if in.Pinned != nil && len(in.Pinned) != in.N {
+		return fmt.Errorf("mincut: pinned has %d entries, want %d", len(in.Pinned), in.N)
+	}
+	return nil
+}
+
+// Candidate is one intermediate partitioning produced by the modified
+// MINCUT heuristic. InClient[v] reports whether vertex v stays on the
+// client; the complement is the offload set.
+type Candidate struct {
+	InClient []bool
+
+	// CutWeight is the total weight of edges crossing the partition: the
+	// predicted interaction cost of this placement.
+	CutWeight float64
+
+	// Offloaded is the number of vertices in the offload (surrogate) set.
+	Offloaded int
+}
+
+// ErrNoVertices is returned when an empty graph is partitioned.
+var ErrNoVertices = errors.New("mincut: graph has no vertices")
+
+// Candidates runs the paper's modified Stoer–Wagner heuristic.
+//
+// The heuristic places all pinned vertices in the client partition, then
+// repeatedly moves the vertex of the offload partition with the greatest
+// connectivity to the client partition, recording every intermediate
+// partitioning. The first candidate offloads everything that is not pinned;
+// the last offloads a single vertex. The partitioning policy evaluates all
+// candidates and selects the one that best satisfies the overall policy,
+// which is not necessarily the one with the minimum interaction cost.
+//
+// If no vertex is pinned, vertex 0 seeds the client partition, matching the
+// original Stoer–Wagner minimum-cut-phase construction.
+func Candidates(in Input) ([]Candidate, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.N == 0 {
+		return nil, ErrNoVertices
+	}
+
+	inClient := make([]bool, in.N)
+	clientN := 0
+	for v := 0; v < in.N; v++ {
+		if in.Pinned != nil && in.Pinned[v] {
+			inClient[v] = true
+			clientN++
+		}
+	}
+	var candidates []Candidate
+	if clientN == 0 {
+		// Nothing is pinned: offloading everything is itself a valid
+		// partitioning (the whole application runs on the surrogate), and
+		// the maximum-adjacency ordering seeds from the best-connected
+		// vertex, as in the original Stoer–Wagner phase.
+		candidates = append(candidates, Candidate{
+			InClient:  make([]bool, in.N),
+			CutWeight: 0,
+			Offloaded: in.N,
+		})
+		seed, best := 0, -1.0
+		for v := 0; v < in.N; v++ {
+			var total float64
+			for u := 0; u < in.N; u++ {
+				if u != v {
+					total += in.Weight[v][u]
+				}
+			}
+			if total > best {
+				seed, best = v, total
+			}
+		}
+		inClient[seed] = true
+		clientN = 1
+	}
+	if clientN == in.N {
+		// Everything (that remains) is in the client partition: the only
+		// further candidate offloads nothing.
+		candidates = append(candidates, Candidate{InClient: cloneBools(inClient), Offloaded: 0})
+		return candidates, nil
+	}
+
+	// conn[v] = total weight between v and the current client partition.
+	conn := make([]float64, in.N)
+	var cut float64
+	for v := 0; v < in.N; v++ {
+		if inClient[v] {
+			continue
+		}
+		for u := 0; u < in.N; u++ {
+			if u != v && inClient[u] {
+				conn[v] += in.Weight[v][u]
+			}
+		}
+		cut += conn[v]
+	}
+
+	record := func() {
+		candidates = append(candidates, Candidate{
+			InClient:  cloneBools(inClient),
+			CutWeight: cut,
+			Offloaded: in.N - clientN,
+		})
+	}
+	record() // offload everything that is not pinned
+
+	for in.N-clientN > 1 {
+		// Move the most-connected offload vertex into the client partition.
+		best, bestConn := -1, math.Inf(-1)
+		for v := 0; v < in.N; v++ {
+			if !inClient[v] && conn[v] > bestConn {
+				best, bestConn = v, conn[v]
+			}
+		}
+		inClient[best] = true
+		clientN++
+		cut -= conn[best]
+		for v := 0; v < in.N; v++ {
+			if !inClient[v] && v != best {
+				w := in.Weight[v][best]
+				conn[v] += w
+				cut += w
+			}
+		}
+		record()
+	}
+	return candidates, nil
+}
+
+// GlobalMinCut computes the exact global minimum cut of the weighted graph
+// using the Stoer–Wagner algorithm. It returns one side of the minimum cut
+// (as a membership slice over the original vertices) and its weight. Pinning
+// is ignored; this is the reference algorithm the paper's heuristic derives
+// from, used here for validation and as an ablation baseline.
+func GlobalMinCut(n int, weight [][]float64) ([]bool, float64, error) {
+	in := Input{N: n, Weight: weight}
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, ErrNoVertices
+	}
+	if n == 1 {
+		return []bool{true}, 0, nil
+	}
+
+	// w is mutated as vertices merge; groups[i] lists original vertices
+	// merged into contracted vertex i.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		copy(w[i], weight[i])
+	}
+	groups := make([][]int, n)
+	active := make([]int, n)
+	for i := 0; i < n; i++ {
+		groups[i] = []int{i}
+		active[i] = i
+	}
+
+	bestWeight := math.Inf(1)
+	var bestSide []int
+
+	for len(active) > 1 {
+		// Minimum cut phase: maximum adjacency ordering over active
+		// vertices starting from active[0].
+		added := map[int]bool{active[0]: true}
+		conn := make(map[int]float64, len(active))
+		for _, v := range active[1:] {
+			conn[v] = w[v][active[0]]
+		}
+		order := []int{active[0]}
+		for len(order) < len(active) {
+			best, bestConn := -1, math.Inf(-1)
+			for _, v := range active {
+				if !added[v] && conn[v] > bestConn {
+					best, bestConn = v, conn[v]
+				}
+			}
+			added[best] = true
+			order = append(order, best)
+			for _, v := range active {
+				if !added[v] {
+					conn[v] += w[v][best]
+				}
+			}
+		}
+
+		s, t := order[len(order)-2], order[len(order)-1]
+		cutOfPhase := conn[t]
+		if cutOfPhase < bestWeight {
+			bestWeight = cutOfPhase
+			bestSide = append([]int(nil), groups[t]...)
+		}
+
+		// Merge t into s.
+		groups[s] = append(groups[s], groups[t]...)
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		keep := active[:0]
+		for _, v := range active {
+			if v != t {
+				keep = append(keep, v)
+			}
+		}
+		active = keep
+	}
+
+	side := make([]bool, n)
+	for _, v := range bestSide {
+		side[v] = true
+	}
+	return side, bestWeight, nil
+}
+
+// CutWeight computes the weight of the cut defined by the membership slice.
+func CutWeight(n int, weight [][]float64, inA []bool) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if inA[i] != inA[j] {
+				total += weight[i][j]
+			}
+		}
+	}
+	return total
+}
+
+func cloneBools(b []bool) []bool {
+	out := make([]bool, len(b))
+	copy(out, b)
+	return out
+}

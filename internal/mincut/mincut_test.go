@@ -1,0 +1,240 @@
+package mincut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a symmetric non-negative weight matrix.
+func randomGraph(r *rand.Rand, n int, density float64, maxW float64) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				v := r.Float64() * maxW
+				w[i][j] = v
+				w[j][i] = v
+			}
+		}
+	}
+	return w
+}
+
+// bruteMinCut enumerates all 2^(n-1) cuts.
+func bruteMinCut(n int, w [][]float64) float64 {
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		inA := make([]bool, n)
+		inA[0] = true // fix vertex 0's side to halve the space
+		for v := 1; v < n; v++ {
+			if mask&(1<<(v-1)) != 0 {
+				inA[v] = true
+			}
+		}
+		// Skip the trivial all-in-A cut.
+		all := true
+		for v := 0; v < n; v++ {
+			if !inA[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			continue
+		}
+		if c := CutWeight(n, w, inA); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestGlobalMinCutMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(8)
+		w := randomGraph(r, n, 0.3+r.Float64()*0.7, 100)
+		side, weight, err := GlobalMinCut(n, w)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := CutWeight(n, w, side); math.Abs(got-weight) > 1e-6 {
+			t.Fatalf("trial %d: reported weight %v but cut evaluates to %v", trial, weight, got)
+		}
+		want := bruteMinCut(n, w)
+		if math.Abs(weight-want) > 1e-6 {
+			t.Fatalf("trial %d (n=%d): Stoer–Wagner %v, brute force %v", trial, n, weight, want)
+		}
+		// The returned side must be a proper cut.
+		var a, b int
+		for _, in := range side {
+			if in {
+				a++
+			} else {
+				b++
+			}
+		}
+		if a == 0 || b == 0 {
+			t.Fatalf("trial %d: degenerate cut %d/%d", trial, a, b)
+		}
+	}
+}
+
+func TestGlobalMinCutEdgeCases(t *testing.T) {
+	if _, _, err := GlobalMinCut(0, nil); err == nil {
+		t.Fatal("empty graph must error")
+	}
+	side, w, err := GlobalMinCut(1, [][]float64{{0}})
+	if err != nil || w != 0 || len(side) != 1 {
+		t.Fatalf("singleton: side=%v w=%v err=%v", side, w, err)
+	}
+	// Disconnected graph: min cut weight 0.
+	w2 := [][]float64{
+		{0, 5, 0, 0},
+		{5, 0, 0, 0},
+		{0, 0, 0, 7},
+		{0, 0, 7, 0},
+	}
+	_, weight, err := GlobalMinCut(4, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight != 0 {
+		t.Fatalf("disconnected graph min cut = %v, want 0", weight)
+	}
+}
+
+func TestCandidatesInvariants(t *testing.T) {
+	check := func(seed int64, nRaw, pinnedRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%12
+		w := randomGraph(r, n, 0.5, 50)
+		pinned := make([]bool, n)
+		for v := 0; v < n && int(pinnedRaw) > 0; v++ {
+			if r.Intn(3) == 0 {
+				pinned[v] = true
+			}
+		}
+		cands, err := Candidates(Input{N: n, Weight: w, Pinned: pinned})
+		if err != nil {
+			return false
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		prevOffloaded := n + 1
+		for _, c := range cands {
+			// Pinned vertices never offload.
+			for v := 0; v < n; v++ {
+				if pinned[v] && !c.InClient[v] {
+					return false
+				}
+			}
+			// Reported cut weight must match direct evaluation.
+			if math.Abs(c.CutWeight-CutWeight(n, w, c.InClient)) > 1e-6 {
+				return false
+			}
+			// Offload counts shrink monotonically and match membership.
+			var off int
+			for v := 0; v < n; v++ {
+				if !c.InClient[v] {
+					off++
+				}
+			}
+			if off != c.Offloaded || off >= prevOffloaded {
+				return false
+			}
+			prevOffloaded = off
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidatesWithoutPinsIncludesOffloadAll(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 1; n <= 6; n++ {
+		w := randomGraph(r, n, 0.8, 10)
+		cands, err := Candidates(Input{N: n, Weight: w})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cands[0].Offloaded != n {
+			t.Fatalf("n=%d: first candidate offloads %d, want all %d", n, cands[0].Offloaded, n)
+		}
+	}
+}
+
+func TestCandidatesAllPinned(t *testing.T) {
+	w := randomGraph(rand.New(rand.NewSource(1)), 4, 1, 10)
+	cands, err := Candidates(Input{N: 4, Weight: w, Pinned: []bool{true, true, true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Offloaded != 0 {
+		t.Fatalf("all-pinned graph: cands = %+v, want single no-op", cands)
+	}
+}
+
+func TestCandidatesSeparatesClusters(t *testing.T) {
+	// Two 3-cliques joined by one light edge; vertex 0 pinned. The best
+	// candidate should offload exactly the far clique.
+	n := 6
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	heavy := func(a, b int) { w[a][b], w[b][a] = 100, 100 }
+	heavy(0, 1)
+	heavy(1, 2)
+	heavy(0, 2)
+	heavy(3, 4)
+	heavy(4, 5)
+	heavy(3, 5)
+	w[2][3], w[3][2] = 1, 1 // the bridge
+
+	cands, err := Candidates(Input{N: n, Weight: w, Pinned: []bool{true, false, false, false, false, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestW := math.Inf(1)
+	var best Candidate
+	for _, c := range cands {
+		if c.Offloaded > 0 && c.CutWeight < bestW {
+			bestW = c.CutWeight
+			best = c
+		}
+	}
+	want := []bool{true, true, true, false, false, false}
+	for v, in := range want {
+		if best.InClient[v] != in {
+			t.Fatalf("best cut = %v (weight %v), want far clique offloaded", best.InClient, bestW)
+		}
+	}
+	if bestW != 1 {
+		t.Fatalf("best cut weight = %v, want 1 (the bridge)", bestW)
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	cases := []Input{
+		{N: -1},
+		{N: 2, Weight: [][]float64{{0, 1}}},
+		{N: 2, Weight: [][]float64{{0, 1}, {2, 0}}},                       // asymmetric
+		{N: 2, Weight: [][]float64{{0, -1}, {-1, 0}}},                     // negative
+		{N: 2, Weight: [][]float64{{0, math.NaN()}, {0, 0}}},              // NaN
+		{N: 2, Weight: [][]float64{{0, 1}, {1, 0}}, Pinned: []bool{true}}, // short pins
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid input", i)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package monitor implements AIDE's execution and resource monitoring
+// module (paper §3.4).
+//
+// It consumes the VM's instrumentation callbacks (method invocations, data
+// field accesses, object creation and deletion, garbage-collection
+// reports), aggregates object-level information to class level, and
+// maintains the weighted execution graph that the partitioning module
+// consumes. The same aggregation code also replays recorded traces, which
+// is how the emulator drives the shared modules (paper §4).
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/trace"
+	"aide/internal/vm"
+)
+
+// ClassMeta is per-class metadata the monitor cannot observe from events
+// alone.
+type ClassMeta struct {
+	// Pinned: the class cannot be offloaded (native methods).
+	Pinned bool
+
+	// Array: primitive-array pseudo-class.
+	Array bool
+
+	// Stateless: all native methods are stateless/idempotent.
+	Stateless bool
+}
+
+// ClassMetaFunc supplies class metadata by name.
+type ClassMetaFunc func(name string) ClassMeta
+
+// GCListener receives garbage-collection resource reports (the trigger
+// policies subscribe here).
+type GCListener func(free, capacity int64, freed bool)
+
+// Monitor builds and maintains the execution graph. It implements
+// vm.Hooks; install it with VM.SetHooks. All methods are safe for
+// concurrent use.
+type Monitor struct {
+	mu        sync.Mutex
+	g         *graph.Graph
+	meta      ClassMetaFunc
+	listeners []GCListener
+	rec       *Recorder
+
+	invocations int64
+	accesses    int64
+	creates     int64
+	deletes     int64
+	gcs         int64
+}
+
+var _ vm.Hooks = (*Monitor)(nil)
+
+// New returns a monitor. meta may be nil, in which case no class is
+// considered pinned (the emulator supplies metadata from the trace's class
+// table instead).
+func New(meta ClassMetaFunc) *Monitor {
+	return &Monitor{g: graph.New(), meta: meta}
+}
+
+// Graph returns a snapshot (deep copy) of the execution graph, suitable
+// for handing to the partitioning module while monitoring continues.
+func (m *Monitor) Graph() *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.g.Clone()
+}
+
+// Live returns the live execution graph without copying. Callers must not
+// mutate it and should hold no reference across further execution.
+func (m *Monitor) Live() *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.g
+}
+
+// Counts reports how many events of each kind the monitor has consumed.
+func (m *Monitor) Counts() (invocations, accesses, creates, deletes, gcs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.invocations, m.accesses, m.creates, m.deletes, m.gcs
+}
+
+// OnGCListener subscribes to garbage-collection resource reports.
+func (m *Monitor) OnGCListener(f GCListener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, f)
+}
+
+// SetRecorder attaches a trace recorder that mirrors every event (nil
+// detaches).
+func (m *Monitor) SetRecorder(r *Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = r
+}
+
+func (m *Monitor) intern(name string) *graph.Node {
+	n, ok := m.g.Lookup(name)
+	if ok {
+		return n
+	}
+	n = m.g.Intern(name)
+	if m.meta != nil {
+		info := m.meta(name)
+		n.Pinned, n.Array, n.Stateless = info.Pinned, info.Array, info.Stateless
+	}
+	return n
+}
+
+// OnInvoke implements vm.Hooks.
+func (m *Monitor) OnInvoke(caller, callee, method string, obj vm.ObjectID, argBytes, retBytes int64, selfTime time.Duration, native, stateless bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cn := m.intern(callee)
+	cn.CPUTime += selfTime
+	m.invocations++
+	if caller != "" && caller != callee {
+		from := m.intern(caller)
+		m.g.AddInvocation(from.ID, cn.ID, argBytes+retBytes)
+	}
+	if m.rec != nil {
+		m.rec.invoke(caller, callee, obj, argBytes+retBytes, selfTime, native, stateless)
+	}
+}
+
+// OnAccess implements vm.Hooks.
+func (m *Monitor) OnAccess(from, to string, obj vm.ObjectID, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accesses++
+	tn := m.intern(to)
+	if from != "" && from != to {
+		fn := m.intern(from)
+		m.g.AddAccess(fn.ID, tn.ID, bytes)
+	}
+	if m.rec != nil {
+		m.rec.access(from, to, obj, bytes)
+	}
+}
+
+// OnCreate implements vm.Hooks.
+func (m *Monitor) OnCreate(class string, obj vm.ObjectID, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.creates++
+	n := m.intern(class)
+	m.g.AddObject(n.ID, size)
+	if m.rec != nil {
+		m.rec.create(class, obj, size)
+	}
+}
+
+// OnDelete implements vm.Hooks.
+func (m *Monitor) OnDelete(class string, obj vm.ObjectID, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deletes++
+	n := m.intern(class)
+	m.g.RemoveObject(n.ID, size)
+	if m.rec != nil {
+		m.rec.delete(class, obj, size)
+	}
+}
+
+// OnGC implements vm.Hooks.
+func (m *Monitor) OnGC(free, capacity int64, freed bool) {
+	m.mu.Lock()
+	m.gcs++
+	listeners := make([]GCListener, len(m.listeners))
+	copy(listeners, m.listeners)
+	if m.rec != nil {
+		m.rec.gc(free, capacity, freed)
+	}
+	m.mu.Unlock()
+	for _, f := range listeners {
+		f(free, capacity, freed)
+	}
+}
+
+// Feed consumes one trace event, keyed against the trace's class table.
+// The emulator uses this to drive the shared monitoring module from a
+// recorded trace exactly as the prototype drives it live.
+func (m *Monitor) Feed(t *trace.Trace, e *trace.Event) {
+	switch e.Kind {
+	case trace.KindInvoke:
+		caller := ""
+		if e.Caller >= 0 && int(e.Caller) < len(t.Classes) {
+			caller = t.Classes[e.Caller].Name
+		}
+		callee := t.Classes[e.Callee].Name
+		m.ensureMeta(t, e.Callee)
+		if e.Caller >= 0 {
+			m.ensureMeta(t, e.Caller)
+		}
+		m.OnInvoke(caller, callee, "", vm.ObjectID(e.Obj), e.Bytes, 0, e.SelfTime, e.Native, e.Stateless)
+	case trace.KindAccess:
+		m.ensureMeta(t, e.Caller)
+		m.ensureMeta(t, e.Callee)
+		m.OnAccess(t.Classes[e.Caller].Name, t.Classes[e.Callee].Name, vm.ObjectID(e.Obj), e.Bytes)
+	case trace.KindCreate:
+		m.ensureMeta(t, e.Callee)
+		m.OnCreate(t.Classes[e.Callee].Name, vm.ObjectID(e.Obj), e.Bytes)
+	case trace.KindDelete:
+		m.ensureMeta(t, e.Callee)
+		m.OnDelete(t.Classes[e.Callee].Name, vm.ObjectID(e.Obj), e.Bytes)
+	case trace.KindGC:
+		m.OnGC(e.Free, e.Capacity, e.Freed)
+	}
+}
+
+// ensureMeta pins/flags the node from the trace class table before the
+// generic hook interns it without metadata.
+func (m *Monitor) ensureMeta(t *trace.Trace, id trace.ClassID) {
+	info := t.Class(id)
+	if info.Name == "" {
+		return
+	}
+	m.mu.Lock()
+	n := m.intern(info.Name)
+	n.Pinned = n.Pinned || info.Pinned
+	n.Array = n.Array || info.Array
+	n.Stateless = n.Stateless || info.Stateless
+	m.mu.Unlock()
+}
+
+// RegistryMeta adapts a VM class registry into a ClassMetaFunc: classes
+// with native methods are pinned (paper §3.3).
+func RegistryMeta(r *vm.Registry) ClassMetaFunc {
+	return func(name string) ClassMeta {
+		c := r.Class(name)
+		if c == nil {
+			return ClassMeta{}
+		}
+		return ClassMeta{
+			Pinned:    c.Pinned(),
+			Array:     c.Array,
+			Stateless: c.NativeStateless(),
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"aide/internal/trace"
+	"aide/internal/vm"
+)
+
+func meta(name string) ClassMeta {
+	switch name {
+	case "ui":
+		return ClassMeta{Pinned: true}
+	case "math":
+		return ClassMeta{Pinned: true, Stateless: true}
+	case "arr":
+		return ClassMeta{Array: true}
+	default:
+		return ClassMeta{}
+	}
+}
+
+func TestHooksBuildGraph(t *testing.T) {
+	m := New(meta)
+	m.OnCreate("doc", 1, 1000)
+	m.OnCreate("doc", 2, 500)
+	m.OnInvoke("ui", "doc", "edit", 1, 100, 8, 3*time.Millisecond, false, false)
+	m.OnAccess("doc", "arr", 3, 64)
+	m.OnDelete("doc", 2, 500)
+
+	g := m.Graph()
+	doc, ok := g.Lookup("doc")
+	if !ok {
+		t.Fatal("doc missing")
+	}
+	if doc.Memory != 1000 || doc.LiveObjects != 1 || doc.TotalObjects != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.CPUTime != 3*time.Millisecond {
+		t.Fatalf("doc CPU = %v", doc.CPUTime)
+	}
+	ui, _ := g.Lookup("ui")
+	if !ui.Pinned {
+		t.Fatal("ui must be pinned via meta")
+	}
+	arr, _ := g.Lookup("arr")
+	if !arr.Array {
+		t.Fatal("arr must be flagged via meta")
+	}
+	e := g.Edge(ui.ID, doc.ID)
+	if e == nil || e.Invocations != 1 || e.Bytes != 108 {
+		t.Fatalf("ui-doc edge = %+v", e)
+	}
+	inv, acc, cr, del, _ := m.Counts()
+	if inv != 1 || acc != 1 || cr != 2 || del != 1 {
+		t.Fatalf("counts: %d %d %d %d", inv, acc, cr, del)
+	}
+}
+
+func TestGraphSnapshotIsolated(t *testing.T) {
+	m := New(nil)
+	m.OnCreate("a", 1, 100)
+	snap := m.Graph()
+	m.OnCreate("a", 2, 900)
+	n, _ := snap.Lookup("a")
+	if n.Memory != 100 {
+		t.Fatal("snapshot mutated by later events")
+	}
+}
+
+func TestGCListeners(t *testing.T) {
+	m := New(nil)
+	var got []int64
+	m.OnGCListener(func(free, cap int64, freed bool) { got = append(got, free) })
+	m.OnGC(10, 100, true)
+	m.OnGC(5, 100, false)
+	if len(got) != 2 || got[0] != 10 || got[1] != 5 {
+		t.Fatalf("listener calls: %v", got)
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	m := New(meta)
+	rec := NewRecorder("TestApp", 1<<20, meta)
+	m.SetRecorder(rec)
+
+	m.OnCreate("doc", 1, 1000)
+	m.OnInvoke("ui", "doc", "edit", 1, 100, 8, time.Millisecond, false, false)
+	m.OnInvoke("doc", "math", "sqrt", 0, 16, 8, time.Microsecond, true, true)
+	m.OnAccess("doc", "arr", 2, 64)
+	m.OnCreate("arr", 2, 4096)
+	m.OnDelete("arr", 2, 4096)
+	m.OnGC(100, 1000, true)
+
+	tr := rec.Trace()
+	if tr.App != "TestApp" || tr.HeapCapacity != 1<<20 {
+		t.Fatalf("header: %+v", tr)
+	}
+	// Creates must precede deletes of the same object for validation;
+	// the stream above creates arr(2) after accessing it, so fix order
+	// expectations by validating kinds only.
+	kinds := []trace.EventKind{
+		trace.KindCreate, trace.KindInvoke, trace.KindInvoke,
+		trace.KindAccess, trace.KindCreate, trace.KindDelete, trace.KindGC,
+	}
+	if len(tr.Events) != len(kinds) {
+		t.Fatalf("%d events", len(tr.Events))
+	}
+	for i, k := range kinds {
+		if tr.Events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, tr.Events[i].Kind, k)
+		}
+	}
+	// Class table carries metadata.
+	var mathInfo, arrInfo trace.ClassInfo
+	for _, ci := range tr.Classes {
+		switch ci.Name {
+		case "math":
+			mathInfo = ci
+		case "arr":
+			arrInfo = ci
+		}
+	}
+	if !mathInfo.Pinned || !mathInfo.Stateless {
+		t.Fatalf("math info = %+v", mathInfo)
+	}
+	if !arrInfo.Array {
+		t.Fatalf("arr info = %+v", arrInfo)
+	}
+	// Native/stateless flags survive on events.
+	if !tr.Events[2].Native || !tr.Events[2].Stateless {
+		t.Fatalf("native event flags lost: %+v", tr.Events[2])
+	}
+}
+
+func TestFeedRebuildsSameGraph(t *testing.T) {
+	// Record from live hooks, then Feed the trace into a fresh monitor:
+	// the graphs must agree.
+	m1 := New(meta)
+	rec := NewRecorder("X", 1<<20, meta)
+	m1.SetRecorder(rec)
+	m1.OnCreate("doc", 1, 1000)
+	m1.OnInvoke("ui", "doc", "edit", 1, 100, 8, time.Millisecond, false, false)
+	m1.OnAccess("doc", "arr", 2, 64)
+
+	m2 := New(nil)
+	tr := rec.Trace()
+	for i := range tr.Events {
+		m2.Feed(tr, &tr.Events[i])
+	}
+	g1, g2 := m1.Graph(), m2.Graph()
+	if g1.Len() != g2.Len() || g1.EdgeCount() != g2.EdgeCount() {
+		t.Fatalf("graph shapes differ: %d/%d vs %d/%d", g1.Len(), g1.EdgeCount(), g2.Len(), g2.EdgeCount())
+	}
+	d1, _ := g1.Lookup("doc")
+	d2, ok := g2.Lookup("doc")
+	if !ok || d1.Memory != d2.Memory || d1.CPUTime != d2.CPUTime {
+		t.Fatalf("doc differs: %+v vs %+v", d1, d2)
+	}
+	u2, _ := g2.Lookup("ui")
+	if !u2.Pinned {
+		t.Fatal("pins must come through the trace class table")
+	}
+}
+
+func TestRegistryMeta(t *testing.T) {
+	reg := vm.NewRegistry()
+	body := func(*vm.Thread, vm.ObjectID, []vm.Value) (vm.Value, error) { return vm.Nil(), nil }
+	reg.MustRegister(vm.ClassSpec{Name: "N", Methods: []vm.MethodSpec{{Name: "m", Native: true, Body: body}}})
+	reg.MustRegister(vm.ClassSpec{Name: "A", Array: true})
+	f := RegistryMeta(reg)
+	if got := f("N"); !got.Pinned || got.Stateless {
+		t.Fatalf("N meta = %+v", got)
+	}
+	if got := f("A"); !got.Array {
+		t.Fatalf("A meta = %+v", got)
+	}
+	if got := f("unknown"); got != (ClassMeta{}) {
+		t.Fatalf("unknown meta = %+v", got)
+	}
+}
+
+func TestLiveGraphAccessor(t *testing.T) {
+	m := New(nil)
+	m.OnCreate("a", 1, 10)
+	if m.Live().Len() != 1 {
+		t.Fatal("Live graph missing node")
+	}
+}

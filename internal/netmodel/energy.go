@@ -1,0 +1,87 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// EnergyModel estimates client-device battery drain. The paper's vision
+// (§2) includes offloading to extend battery life ("a user may choose to
+// extend battery life at the cost of slower execution"), and §8 lists
+// power as a constraint to examine; this model makes that experiment
+// possible: local execution burns CPU power, remote execution idles the
+// CPU but burns radio power.
+type EnergyModel struct {
+	// CPUActiveWatts is drawn while the client executes application code.
+	CPUActiveWatts float64
+
+	// CPUIdleWatts is drawn while the client waits (remote execution,
+	// communication).
+	CPUIdleWatts float64
+
+	// RadioActiveWatts is drawn while the radio transmits or receives.
+	RadioActiveWatts float64
+
+	// RadioIdleWatts is drawn while the radio is up but quiet (the ad-hoc
+	// platform keeps the link associated).
+	RadioIdleWatts float64
+}
+
+// HandheldEnergy returns a model of a 2001-era PDA with a WaveLAN card:
+// ~1.2 W CPU active vs ~0.15 W idle, ~1.4 W radio active vs ~0.8 W
+// associated-idle (WaveLAN cards were notoriously hungry even when idle).
+func HandheldEnergy() EnergyModel {
+	return EnergyModel{
+		CPUActiveWatts:   1.2,
+		CPUIdleWatts:     0.15,
+		RadioActiveWatts: 1.4,
+		RadioIdleWatts:   0.8,
+	}
+}
+
+// HandheldEnergyPSM returns the same handheld with 802.11 power-save mode:
+// the radio dozes (~45 mW) between transfers instead of idling hot. The
+// energy study shows this is what makes compute offloading battery-
+// positive.
+func HandheldEnergyPSM() EnergyModel {
+	m := HandheldEnergy()
+	m.RadioIdleWatts = 0.045
+	return m
+}
+
+// Validate reports whether the model is usable.
+func (m EnergyModel) Validate() error {
+	for _, w := range []float64{m.CPUActiveWatts, m.CPUIdleWatts, m.RadioActiveWatts, m.RadioIdleWatts} {
+		if w < 0 {
+			return fmt.Errorf("netmodel: negative power %v W", w)
+		}
+	}
+	return nil
+}
+
+// EnergyBreakdown decomposes a run's client-side energy.
+type EnergyBreakdown struct {
+	CPUActiveJ float64
+	CPUIdleJ   float64
+	RadioJ     float64
+	TotalJ     float64
+}
+
+// Energy computes the client's energy for a run: localExec is time the
+// client CPU executes application code, waiting is time it idles (remote
+// execution, communication in flight), airtime is time the radio is
+// active, and radioUp is the total time the radio stays associated (zero
+// when no platform is attached).
+func (m EnergyModel) Energy(localExec, waiting, airtime, radioUp time.Duration) EnergyBreakdown {
+	b := EnergyBreakdown{
+		CPUActiveJ: m.CPUActiveWatts * localExec.Seconds(),
+		CPUIdleJ:   m.CPUIdleWatts * waiting.Seconds(),
+	}
+	quiet := radioUp - airtime
+	if quiet < 0 {
+		quiet = 0
+	}
+	b.RadioJ = m.RadioActiveWatts*airtime.Seconds() + m.RadioIdleWatts*quiet.Seconds()
+	b.TotalJ = b.CPUActiveJ + b.CPUIdleJ + b.RadioJ
+	return b
+}

@@ -1,0 +1,100 @@
+// Package netmodel models the communication link between a client device
+// and a surrogate server.
+//
+// The paper's emulator bases remote communication on an 11 Mbps WaveLAN
+// link with a 2.4 ms round-trip time for a null message (paper §4); the
+// model here reduces a link to exactly those two parameters plus a fixed
+// per-message header size, and charges every remote interaction a latency
+// plus a serialization cost.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link describes a client↔surrogate communication link.
+type Link struct {
+	// BandwidthBps is the usable link bandwidth in bits per second.
+	BandwidthBps float64
+
+	// RTT is the round-trip time of a null message.
+	RTT time.Duration
+
+	// HeaderBytes is the fixed protocol overhead charged per message
+	// (framing, object-reference mapping, method identifiers).
+	HeaderBytes int64
+}
+
+// WaveLAN returns the paper's emulator link: 11 Mbps with a 2.4 ms null
+// round-trip time.
+func WaveLAN() Link {
+	return Link{
+		BandwidthBps: 11e6,
+		RTT:          2400 * time.Microsecond,
+		HeaderBytes:  32,
+	}
+}
+
+// Validate reports whether the link parameters are usable.
+func (l Link) Validate() error {
+	if l.BandwidthBps <= 0 {
+		return fmt.Errorf("netmodel: bandwidth %v bps must be positive", l.BandwidthBps)
+	}
+	if l.RTT < 0 {
+		return fmt.Errorf("netmodel: negative RTT %v", l.RTT)
+	}
+	if l.HeaderBytes < 0 {
+		return fmt.Errorf("netmodel: negative header size %d", l.HeaderBytes)
+	}
+	return nil
+}
+
+// serialize returns the time to push the given payload (plus one header)
+// onto the link.
+func (l Link) serialize(payloadBytes int64) time.Duration {
+	bits := float64(payloadBytes+l.HeaderBytes) * 8
+	return time.Duration(bits / l.BandwidthBps * float64(time.Second))
+}
+
+// OneWay returns the time for a single message carrying payloadBytes to
+// reach the other side: half the null RTT plus serialization time.
+func (l Link) OneWay(payloadBytes int64) time.Duration {
+	return l.RTT/2 + l.serialize(payloadBytes)
+}
+
+// RPC returns the time for a round trip carrying a request of reqBytes and
+// a reply of respBytes: the full null RTT plus both serialization times.
+// This is the cost the emulator charges a remote method invocation or a
+// remote data access (paper §4: simulated execution time is stretched to
+// account for remote invocations and data accesses).
+func (l Link) RPC(reqBytes, respBytes int64) time.Duration {
+	return l.RTT + l.serialize(reqBytes) + l.serialize(respBytes)
+}
+
+// Transfer returns the time to bulk-transfer n bytes split into messages of
+// at most mtu payload bytes each, pipelined (one half-RTT start-up plus
+// serialization of every message). It models the one-time cost of
+// offloading selected objects to the surrogate.
+func (l Link) Transfer(n, mtu int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if mtu <= 0 {
+		mtu = 1400
+	}
+	msgs := (n + mtu - 1) / mtu
+	bits := float64(n+msgs*l.HeaderBytes) * 8
+	return l.RTT/2 + time.Duration(bits/l.BandwidthBps*float64(time.Second))
+}
+
+// Bandwidth returns the average payload bandwidth in bytes per second that
+// transferring bytes over the duration implies. It is used to report the
+// predicted interaction bandwidth of a partitioning (paper §5.1 predicts
+// ~100 KB/s for JavaNote).
+func Bandwidth(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds()
+}

@@ -1,0 +1,97 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWaveLANParameters(t *testing.T) {
+	l := WaveLAN()
+	if l.BandwidthBps != 11e6 {
+		t.Fatalf("bandwidth = %v, want 11 Mbps", l.BandwidthBps)
+	}
+	if l.RTT != 2400*time.Microsecond {
+		t.Fatalf("RTT = %v, want 2.4 ms (paper §4)", l.RTT)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadLinks(t *testing.T) {
+	bad := []Link{
+		{BandwidthBps: 0, RTT: time.Millisecond},
+		{BandwidthBps: -1, RTT: time.Millisecond},
+		{BandwidthBps: 1e6, RTT: -time.Millisecond},
+		{BandwidthBps: 1e6, RTT: time.Millisecond, HeaderBytes: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRPCNullMessageCostsRTT(t *testing.T) {
+	l := WaveLAN()
+	cost := l.RPC(0, 0)
+	headers := time.Duration(float64(2*l.HeaderBytes*8) / l.BandwidthBps * float64(time.Second))
+	want := l.RTT + headers
+	if diff := cost - want; diff < -2*time.Nanosecond || diff > 2*time.Nanosecond {
+		t.Fatalf("null RPC = %v, want ≈ RTT + header serialization = %v", cost, want)
+	}
+}
+
+func TestRPCBandwidthTerm(t *testing.T) {
+	l := Link{BandwidthBps: 8e6, RTT: 0, HeaderBytes: 0} // 1 byte = 1 µs
+	if got := l.RPC(1000, 0); got != time.Millisecond {
+		t.Fatalf("1000B over 8Mbps = %v, want 1ms", got)
+	}
+	if got := l.OneWay(500); got != 500*time.Microsecond {
+		t.Fatalf("one way = %v", got)
+	}
+}
+
+func TestTransferPipelines(t *testing.T) {
+	l := WaveLAN()
+	small := l.Transfer(1400, 1400)
+	big := l.Transfer(14000, 1400)
+	if big <= small {
+		t.Fatal("bigger transfers must take longer")
+	}
+	// Pipelined: 10 MTUs must cost much less than 10 sequential RPCs.
+	tenRPCs := 10 * l.RPC(1400, 0)
+	if big >= tenRPCs {
+		t.Fatalf("bulk transfer %v not pipelined vs %v", big, tenRPCs)
+	}
+	if l.Transfer(0, 1400) != 0 {
+		t.Fatal("empty transfer must cost nothing")
+	}
+	if l.Transfer(100, 0) <= 0 {
+		t.Fatal("zero MTU must default, not panic or freeload")
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	l := WaveLAN()
+	check := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.RPC(x, 0) <= l.RPC(y, 0) && l.OneWay(x) <= l.OneWay(y)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if got := Bandwidth(1000, time.Second); got != 1000 {
+		t.Fatalf("Bandwidth = %v", got)
+	}
+	if got := Bandwidth(1000, 0); got != 0 {
+		t.Fatal("zero duration must not divide by zero")
+	}
+}

@@ -1,0 +1,177 @@
+package remote
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/vm"
+)
+
+// failureRegistry has one offloadable class and a method that blocks until
+// released, for in-flight-failure tests.
+func failureRegistry(block chan struct{}) *vm.Registry {
+	reg := vm.NewRegistry()
+	reg.MustRegister(vm.ClassSpec{
+		Name:   "Box",
+		Fields: []string{"v"},
+		Methods: []vm.MethodSpec{
+			{Name: "get", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				return th.GetField(self, "v")
+			}},
+			{Name: "wait", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				if block != nil {
+					<-block
+				}
+				return vm.Nil(), nil
+			}},
+		},
+	})
+	return reg
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1})
+
+	th := client.NewThread()
+	id, err := th.New("Box", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetRoot("box", id)
+	if _, _, err := pc.Offload([]string{"Box"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Invoke(id, "get"); err == nil {
+		t.Fatal("invoke over a closed platform must fail")
+	}
+}
+
+func TestInFlightCallFailsOnTransportDeath(t *testing.T) {
+	block := make(chan struct{})
+	reg := failureRegistry(block)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	ct, st := NewChannelPair()
+	pc := NewPeer(client, ct, Options{Workers: 1})
+	ps := NewPeer(surrogate, st, Options{Workers: 1})
+	defer ps.Close()
+	defer close(block)
+
+	th := client.NewThread()
+	id, err := th.New("Box", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetRoot("box", id)
+	if _, _, err := pc.Offload([]string{"Box"}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := th.Invoke(id, "wait") // blocks on the surrogate
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("in-flight call returned nil after connection death")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight call never unblocked")
+	}
+}
+
+func TestPeerErrorsSurfaceAsRemoteError(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1})
+	defer pc.Close()
+	defer ps.Close()
+
+	// Ask the surrogate to invoke an object it does not host.
+	_, _, err := pc.InvokeRemote(vm.ObjectID(4242), "get", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if !strings.Contains(re.Error(), "no such object") {
+		t.Fatalf("remote error text: %v", re)
+	}
+}
+
+func TestOffloadNothingIsNoop(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1})
+	defer pc.Close()
+	defer ps.Close()
+	n, bytes, err := pc.Offload([]string{"Box"}) // no live objects
+	if err != nil || n != 0 || bytes != 0 {
+		t.Fatalf("empty offload: %d %d %v", n, bytes, err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1})
+	defer pc.Close()
+	defer ps.Close()
+
+	th := client.NewThread()
+	id, err := th.New("Box", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetRoot("box", id)
+	if _, _, err := pc.Offload([]string{"Box"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Invoke(id, "get"); err != nil {
+		t.Fatal(err)
+	}
+	cs := pc.Stats()
+	if cs.RequestsSent < 2 || cs.ObjectsMigrated != 1 || cs.MigrationBytes == 0 || cs.BytesSent == 0 {
+		t.Fatalf("client stats: %+v", cs)
+	}
+	ss := ps.Stats()
+	if ss.RequestsServed < 2 {
+		t.Fatalf("surrogate stats: %+v", ss)
+	}
+}
+
+func TestDoubleCloseAndPingAfterClose(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate})
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1})
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal("double close must be fine")
+	}
+	if err := pc.Ping(); err == nil {
+		t.Fatal("ping after close must fail")
+	}
+	_ = ps.Close()
+}

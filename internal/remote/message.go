@@ -1,0 +1,154 @@
+// Package remote implements AIDE's remote invocation module (paper §3.2,
+// §4): it converts accesses to remote objects into transparent RPCs
+// between two VMs, manages external object references, migrates offloaded
+// objects, and services the peer's requests with a pool of worker threads.
+package remote
+
+import (
+	"errors"
+	"fmt"
+
+	"aide/internal/vm"
+)
+
+// MsgKind discriminates wire messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	MsgInvoke MsgKind = iota + 1
+	MsgNativeInvoke
+	MsgGetField
+	MsgSetField
+	MsgGetStatic
+	MsgSetStatic
+	MsgMigrate
+	MsgRelease
+	MsgPing
+	MsgRecall
+	MsgInfo
+)
+
+// String returns the kind's name.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgInvoke:
+		return "invoke"
+	case MsgNativeInvoke:
+		return "native-invoke"
+	case MsgGetField:
+		return "get-field"
+	case MsgSetField:
+		return "set-field"
+	case MsgGetStatic:
+		return "get-static"
+	case MsgSetStatic:
+		return "set-static"
+	case MsgMigrate:
+		return "migrate"
+	case MsgRelease:
+		return "release"
+	case MsgPing:
+		return "ping"
+	case MsgRecall:
+		return "recall"
+	case MsgInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Message is the single wire envelope. A fat struct keeps gob encoding
+// simple and self-describing; unused fields cost nothing on the wire
+// beyond their zero markers.
+type Message struct {
+	ID    uint64 // request correlation; replies echo it
+	Reply bool
+	Kind  MsgKind
+	Err   string // non-empty on failed replies
+
+	Obj    vm.ObjectID // target object, in the receiver's namespace
+	Class  string
+	Method string
+	Field  string
+
+	// SelfIsSenderLocal marks native invocations whose receiver object is
+	// in the *sender's* namespace (diagnostic; see Peer.handleNative).
+	SelfIsSenderLocal bool
+
+	Args []vm.WireValue
+	Ret  vm.WireValue
+
+	// ElapsedNanos is the simulated execution time the serving VM spent,
+	// charged to the requester (paper §4's serial execution accounting).
+	ElapsedNanos int64
+
+	// Batch and IDs carry object migration payloads and assigned IDs.
+	Batch []vm.MigratedObject
+	IDs   []vm.ObjectID
+
+	// Classes names the classes a recall requests; Objects and MovedBytes
+	// report what a recall moved.
+	Classes    []string
+	Objects    int64
+	MovedBytes int64
+
+	// FreeBytes, CapacityBytes, and CPUSpeed describe the serving VM in
+	// info replies (surrogate selection, paper §2).
+	FreeBytes     int64
+	CapacityBytes int64
+	CPUSpeed      float64
+}
+
+// wireBytes approximates the payload size of the message for the network
+// model.
+func (m *Message) wireBytes() int64 {
+	n := int64(16 + len(m.Class) + len(m.Method) + len(m.Field))
+	for i := range m.Args {
+		n += wireValueBytes(&m.Args[i])
+	}
+	n += wireValueBytes(&m.Ret)
+	for i := range m.Batch {
+		n += m.Batch[i].Size + 16
+	}
+	n += int64(8 * len(m.IDs))
+	for _, c := range m.Classes {
+		n += int64(len(c)) + 2
+	}
+	return n
+}
+
+func wireValueBytes(w *vm.WireValue) int64 {
+	switch w.Kind {
+	case vm.KindNil:
+		return 1
+	case vm.KindInt, vm.KindFloat:
+		return 8
+	case vm.KindBool:
+		return 1
+	case vm.KindString:
+		return int64(len(w.S)) + 4
+	case vm.KindBytes:
+		return int64(len(w.Bytes)) + 4
+	case vm.KindRef:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// RemoteError is an error returned by the peer VM while servicing a
+// request.
+type RemoteError struct {
+	Kind MsgKind
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote: peer %s failed: %s", e.Kind, e.Msg)
+}
+
+// ErrClosed is returned for operations on a closed peer connection.
+var ErrClosed = errors.New("remote: connection closed")

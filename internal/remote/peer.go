@@ -1,0 +1,546 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aide/internal/netmodel"
+	"aide/internal/vm"
+)
+
+// Peer is one VM's half of the distributed platform connection. It
+// implements vm.Peer for outgoing operations and services the other VM's
+// requests with a pool of worker threads (paper §3.2: "Either JVM that
+// receives a request uses a pool of threads to perform RPCs on behalf of
+// the other JVM").
+type Peer struct {
+	local     *vm.VM
+	idx       int // this peer's index in the local VM's peer table
+	transport Transport
+
+	// link, when set, charges simulated network time to every crossing
+	// (the paper's emulator WaveLAN model); nil charges nothing, leaving
+	// wall-clock behaviour to the real transport.
+	link *netmodel.Link
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Message
+	closed  bool
+	closeE  error
+
+	requests chan *Message
+	wg       sync.WaitGroup
+
+	stats Stats
+}
+
+var _ vm.Peer = (*Peer)(nil)
+
+// Stats counts wire activity.
+type Stats struct {
+	RequestsSent     int64
+	RequestsServed   int64
+	BytesSent        int64
+	BytesReceived    int64
+	ObjectsMigrated  int64
+	MigrationBytes   int64
+	ReleasesSent     int64
+	ReleasesReceived int64
+}
+
+// Options configures a Peer.
+type Options struct {
+	// Workers sizes the RPC service pool. Zero defaults to 4.
+	Workers int
+
+	// Link enables simulated network costing.
+	Link *netmodel.Link
+}
+
+// NewPeer attaches a VM to a transport and starts the receive loop and
+// worker pool. The caller must Close the peer to stop them.
+func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	p := &Peer{
+		local:     local,
+		transport: t,
+		link:      opts.Link,
+		pending:   make(map[uint64]chan *Message),
+		requests:  make(chan *Message, workers),
+	}
+	p.idx = local.AttachPeer(p)
+	p.wg.Add(1 + workers)
+	go p.recvLoop()
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Close tears down the connection half: in-flight calls fail with
+// ErrClosed. Ad-hoc platform teardown (paper §2) is Close on both sides.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.closeE = ErrClosed
+	for id, ch := range p.pending {
+		close(ch)
+		delete(p.pending, id)
+	}
+	p.mu.Unlock()
+	err := p.transport.Close()
+	p.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of wire counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Peer) recvLoop() {
+	defer p.wg.Done()
+	defer close(p.requests)
+	for {
+		m, err := p.transport.Recv()
+		if err != nil {
+			p.mu.Lock()
+			if !p.closed {
+				p.closed = true
+				p.closeE = err
+			}
+			for id, ch := range p.pending {
+				close(ch)
+				delete(p.pending, id)
+			}
+			p.mu.Unlock()
+			return
+		}
+		if m.Reply {
+			p.mu.Lock()
+			ch, ok := p.pending[m.ID]
+			if ok {
+				delete(p.pending, m.ID)
+			}
+			p.stats.BytesReceived += m.wireBytes()
+			p.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+			continue
+		}
+		p.mu.Lock()
+		p.stats.BytesReceived += m.wireBytes()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		p.requests <- m
+	}
+}
+
+func (p *Peer) worker() {
+	defer p.wg.Done()
+	for m := range p.requests {
+		p.serve(m)
+	}
+}
+
+// call sends a request and blocks for the matching reply.
+func (p *Peer) call(m *Message) (*Message, error) {
+	ch := make(chan *Message, 1)
+	p.mu.Lock()
+	if p.closed {
+		err := p.closeE
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.nextID++
+	m.ID = p.nextID
+	p.pending[m.ID] = ch
+	p.stats.RequestsSent++
+	p.stats.BytesSent += m.wireBytes()
+	p.mu.Unlock()
+
+	if err := p.transport.Send(m); err != nil {
+		p.mu.Lock()
+		delete(p.pending, m.ID)
+		p.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	if reply.Err != "" {
+		return nil, &RemoteError{Kind: m.Kind, Msg: reply.Err}
+	}
+	return reply, nil
+}
+
+// netCost returns the simulated link time for a request/reply exchange.
+func (p *Peer) netCost(req, reply *Message) time.Duration {
+	if p.link == nil {
+		return 0
+	}
+	var replyBytes int64
+	if reply != nil {
+		replyBytes = reply.wireBytes()
+	}
+	return p.link.RPC(req.wireBytes(), replyBytes)
+}
+
+// InvokeRemote implements vm.Peer.
+func (p *Peer) InvokeRemote(peerObj vm.ObjectID, method string, args []vm.Value) (vm.Value, time.Duration, error) {
+	wargs, err := p.local.EncodeOutgoingAll(p.idx, args)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	req := &Message{Kind: MsgInvoke, Obj: peerObj, Method: method, Args: wargs}
+	reply, err := p.call(req)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	ret, err := p.local.DecodeIncoming(p.idx, reply.Ret)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	return ret, time.Duration(reply.ElapsedNanos) + p.netCost(req, reply), nil
+}
+
+// InvokeNativeRemote implements vm.Peer: a native method is directed back
+// to the client VM.
+func (p *Peer) InvokeNativeRemote(class, method string, peerSelf vm.ObjectID, selfIsCallerLocal bool, args []vm.Value) (vm.Value, time.Duration, error) {
+	if selfIsCallerLocal {
+		// Instance natives only exist on pinned classes, whose objects
+		// never migrate; a locally hosted receiver here means a policy
+		// violated that invariant.
+		return vm.Nil(), 0, fmt.Errorf("remote: native %s.%s invoked on migrated object %d", class, method, peerSelf)
+	}
+	wargs, err := p.local.EncodeOutgoingAll(p.idx, args)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	req := &Message{Kind: MsgNativeInvoke, Class: class, Method: method, Obj: peerSelf, Args: wargs}
+	reply, err := p.call(req)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	ret, err := p.local.DecodeIncoming(p.idx, reply.Ret)
+	if err != nil {
+		return vm.Nil(), 0, err
+	}
+	return ret, time.Duration(reply.ElapsedNanos) + p.netCost(req, reply), nil
+}
+
+// GetFieldRemote implements vm.Peer.
+func (p *Peer) GetFieldRemote(peerObj vm.ObjectID, field string) (vm.Value, error) {
+	req := &Message{Kind: MsgGetField, Obj: peerObj, Field: field}
+	reply, err := p.call(req)
+	if err != nil {
+		return vm.Nil(), err
+	}
+	p.local.AdvanceClock(p.netCost(req, reply))
+	return p.local.DecodeIncoming(p.idx, reply.Ret)
+}
+
+// SetFieldRemote implements vm.Peer.
+func (p *Peer) SetFieldRemote(peerObj vm.ObjectID, field string, v vm.Value) error {
+	wv, err := p.local.EncodeOutgoing(p.idx, v)
+	if err != nil {
+		return err
+	}
+	req := &Message{Kind: MsgSetField, Obj: peerObj, Field: field, Args: []vm.WireValue{wv}}
+	reply, err := p.call(req)
+	if err != nil {
+		return err
+	}
+	p.local.AdvanceClock(p.netCost(req, reply))
+	return nil
+}
+
+// GetStaticRemote implements vm.Peer.
+func (p *Peer) GetStaticRemote(class, field string) (vm.Value, error) {
+	req := &Message{Kind: MsgGetStatic, Class: class, Field: field}
+	reply, err := p.call(req)
+	if err != nil {
+		return vm.Nil(), err
+	}
+	p.local.AdvanceClock(p.netCost(req, reply))
+	return p.local.DecodeIncoming(p.idx, reply.Ret)
+}
+
+// SetStaticRemote implements vm.Peer.
+func (p *Peer) SetStaticRemote(class, field string, v vm.Value) error {
+	wv, err := p.local.EncodeOutgoing(p.idx, v)
+	if err != nil {
+		return err
+	}
+	req := &Message{Kind: MsgSetStatic, Class: class, Field: field, Args: []vm.WireValue{wv}}
+	reply, err := p.call(req)
+	if err != nil {
+		return err
+	}
+	p.local.AdvanceClock(p.netCost(req, reply))
+	return nil
+}
+
+// Release implements vm.Peer: fire-and-forget distributed-GC decrement.
+func (p *Peer) Release(peerObj vm.ObjectID) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.nextID++
+	m := &Message{ID: p.nextID, Kind: MsgRelease, Obj: peerObj}
+	p.stats.ReleasesSent++
+	p.stats.BytesSent += m.wireBytes()
+	p.mu.Unlock()
+	// Best effort: a lost release leaks one export pin, never corrupts.
+	_ = p.transport.Send(m)
+}
+
+// Offload migrates all live local objects of the named classes to the
+// peer, converting the local copies to stubs. It returns the number of
+// objects and payload bytes moved and charges the transfer to the
+// simulated clock when a link model is attached.
+func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error) {
+	batch, err := p.local.ExtractMigration(classNames)
+	if err != nil {
+		return 0, 0, fmt.Errorf("remote: offload: %w", err)
+	}
+	if len(batch) == 0 {
+		return 0, 0, nil
+	}
+	req := &Message{Kind: MsgMigrate, Batch: batch}
+	reply, err := p.call(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("remote: offload: %w", err)
+	}
+	if len(reply.IDs) != len(batch) {
+		return 0, 0, fmt.Errorf("remote: offload: peer assigned %d ids for %d objects", len(reply.IDs), len(batch))
+	}
+	ids := make([]vm.ObjectID, len(batch))
+	for i := range batch {
+		ids[i] = batch[i].SenderID
+	}
+	if err := p.local.ConvertToStubs(p.idx, ids, reply.IDs); err != nil {
+		return 0, 0, fmt.Errorf("remote: offload: %w", err)
+	}
+	moved := vm.MigrationWireBytes(batch)
+	if p.link != nil {
+		p.local.AdvanceClock(p.link.Transfer(moved, 1400))
+	}
+	p.mu.Lock()
+	p.stats.ObjectsMigrated += int64(len(batch))
+	p.stats.MigrationBytes += moved
+	p.mu.Unlock()
+	return len(batch), moved, nil
+}
+
+// Ping round-trips a null message (latency probe; the ad-hoc platform uses
+// it to rank candidate surrogates).
+func (p *Peer) Ping() error {
+	_, err := p.call(&Message{Kind: MsgPing})
+	return err
+}
+
+// PeerInfo describes the remote VM's resources (surrogate selection,
+// paper §2: clients determine which surrogates are most appropriate based
+// on latency of access and resource availability).
+type PeerInfo struct {
+	FreeBytes     int64
+	CapacityBytes int64
+	CPUSpeed      float64
+
+	// RTT is the wall-clock round trip of the info probe.
+	RTT time.Duration
+}
+
+// Info probes the peer's resources and measures the probe's round trip.
+func (p *Peer) Info() (PeerInfo, error) {
+	start := time.Now()
+	reply, err := p.call(&Message{Kind: MsgInfo})
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	return PeerInfo{
+		FreeBytes:     reply.FreeBytes,
+		CapacityBytes: reply.CapacityBytes,
+		CPUSpeed:      reply.CPUSpeed,
+		RTT:           time.Since(start),
+	}, nil
+}
+
+// Recall asks the peer to migrate its live objects of the named classes
+// back to this VM: the reverse of Offload, the paper's §8 "global
+// placement" direction ("moving objects from the surrogate to the client
+// device"). Stubs this VM already holds upgrade in place, so references
+// stay valid.
+func (p *Peer) Recall(classNames []string) (objects int, bytes int64, err error) {
+	reply, err := p.call(&Message{Kind: MsgRecall, Classes: classNames})
+	if err != nil {
+		return 0, 0, fmt.Errorf("remote: recall: %w", err)
+	}
+	if p.link != nil && reply.MovedBytes > 0 {
+		p.local.AdvanceClock(p.link.Transfer(reply.MovedBytes, 1400))
+	}
+	return int(reply.Objects), reply.MovedBytes, nil
+}
+
+// serve executes one incoming request and replies.
+func (p *Peer) serve(m *Message) {
+	p.mu.Lock()
+	p.stats.RequestsServed++
+	p.mu.Unlock()
+
+	reply := &Message{ID: m.ID, Reply: true, Kind: m.Kind}
+	switch m.Kind {
+	case MsgRelease:
+		p.mu.Lock()
+		p.stats.ReleasesReceived++
+		p.mu.Unlock()
+		p.local.ReleaseExport(m.Obj)
+		return // one-way
+	case MsgPing:
+		// empty reply
+	case MsgInfo:
+		h := p.local.Heap()
+		reply.FreeBytes = h.Free
+		reply.CapacityBytes = h.Capacity
+		reply.CPUSpeed = p.local.CPUSpeed()
+	case MsgRecall:
+		// Push our objects of the named classes back to the requester:
+		// exactly an Offload in the opposite direction. Offload blocks on
+		// the requester adopting the batch; its recv loop services that
+		// while it waits for this reply.
+		n, bytes, err := p.Offload(m.Classes)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		reply.Objects = int64(n)
+		reply.MovedBytes = bytes
+	case MsgInvoke:
+		args, err := p.local.DecodeIncomingAll(p.idx, m.Args)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		ret, elapsed, err := p.local.ServeInvoke(m.Obj, m.Method, args)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		reply.ElapsedNanos = int64(elapsed)
+		if reply.Ret, err = p.local.EncodeOutgoing(p.idx, ret); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgNativeInvoke:
+		args, err := p.local.DecodeIncomingAll(p.idx, m.Args)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		ret, elapsed, err := p.local.ServeNative(m.Class, m.Method, m.Obj, args)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		reply.ElapsedNanos = int64(elapsed)
+		if reply.Ret, err = p.local.EncodeOutgoing(p.idx, ret); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgGetField:
+		ret, err := p.local.ServeGetField(m.Obj, m.Field)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		if reply.Ret, err = p.local.EncodeOutgoing(p.idx, ret); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgSetField:
+		if len(m.Args) != 1 {
+			reply.Err = "set-field expects one value"
+			break
+		}
+		val, err := p.local.DecodeIncoming(p.idx, m.Args[0])
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		if err := p.local.ServeSetField(m.Obj, m.Field, val); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgGetStatic:
+		ret, err := p.local.ServeGetStatic(m.Class, m.Field)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		if reply.Ret, err = p.local.EncodeOutgoing(p.idx, ret); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgSetStatic:
+		if len(m.Args) != 1 {
+			reply.Err = "set-static expects one value"
+			break
+		}
+		val, err := p.local.DecodeIncoming(p.idx, m.Args[0])
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		if err := p.local.ServeSetStatic(m.Class, m.Field, val); err != nil {
+			reply.Err = err.Error()
+		}
+	case MsgMigrate:
+		ids, err := p.local.AdoptMigration(p.idx, m.Batch)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		reply.IDs = ids
+		p.mu.Lock()
+		p.stats.ObjectsMigrated += int64(len(m.Batch))
+		p.mu.Unlock()
+	default:
+		reply.Err = fmt.Sprintf("unknown request kind %d", m.Kind)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.stats.BytesSent += reply.wireBytes()
+	p.mu.Unlock()
+	if err := p.transport.Send(reply); err != nil {
+		// The connection is gone; recvLoop will observe and shut down.
+		return
+	}
+}
+
+// NewPair wires two VMs together in process: the client and surrogate
+// halves of an ad-hoc platform without a network. Close both peers to tear
+// the platform down.
+func NewPair(client, surrogate *vm.VM, opts Options) (*Peer, *Peer) {
+	ta, tb := NewChannelPair()
+	pc := NewPeer(client, ta, opts)
+	ps := NewPeer(surrogate, tb, opts)
+	return pc, ps
+}

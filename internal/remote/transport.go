@@ -1,0 +1,124 @@
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport moves Messages between the two halves of the distributed
+// platform. Implementations must allow concurrent Send calls and a single
+// Recv loop.
+type Transport interface {
+	Send(*Message) error
+	// Recv blocks for the next message; it returns an error once the
+	// transport closes.
+	Recv() (*Message, error)
+	Close() error
+}
+
+// chanTransport is an in-process transport over paired channels, used for
+// single-process experiments and tests.
+type chanTransport struct {
+	out chan<- *Message
+	in  <-chan *Message
+
+	mu     sync.Mutex
+	closed chan struct{}
+}
+
+// NewChannelPair returns two connected in-memory transports.
+func NewChannelPair() (Transport, Transport) {
+	ab := make(chan *Message, 64)
+	ba := make(chan *Message, 64)
+	closed := make(chan struct{})
+	a := &chanTransport{out: ab, in: ba, closed: closed}
+	b := &chanTransport{out: ba, in: ab, closed: closed}
+	return a, b
+}
+
+func (t *chanTransport) Send(m *Message) error {
+	// Check for closure first: with buffered channels a racing select
+	// could otherwise accept a message into a dead transport.
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-t.closed:
+		return ErrClosed
+	case t.out <- m:
+		return nil
+	}
+}
+
+func (t *chanTransport) Recv() (*Message, error) {
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	case m := <-t.in:
+		return m, nil
+	}
+}
+
+func (t *chanTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+	default:
+		close(t.closed)
+	}
+	return nil
+}
+
+// gobTransport frames Messages with gob over a single connection (the
+// ad-hoc platform's wire protocol between a client device and a surrogate
+// server).
+type gobTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	sendMu  sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewConnTransport wraps a connected net.Conn.
+func NewConnTransport(conn net.Conn) Transport {
+	return &gobTransport{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+func (t *gobTransport) Send(m *Message) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := t.enc.Encode(m); err != nil {
+		return fmt.Errorf("remote: send: %w", err)
+	}
+	return nil
+}
+
+func (t *gobTransport) Recv() (*Message, error) {
+	var m Message
+	if err := t.dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	return &m, nil
+}
+
+func (t *gobTransport) Close() error {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.conn.Close()
+}

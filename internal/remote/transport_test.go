@@ -1,0 +1,151 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/vm"
+)
+
+func TestChannelPairRoundTrip(t *testing.T) {
+	a, b := NewChannelPair()
+	defer a.Close()
+	msg := &Message{ID: 1, Kind: MsgPing}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 1 || got.Kind != MsgPing {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestChannelPairClose(t *testing.T) {
+	a, b := NewChannelPair()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+	if err := a.Send(&Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestGobTransportOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var server Transport
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = NewConnTransport(conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewConnTransport(conn)
+	wg.Wait()
+	defer client.Close()
+	defer server.Close()
+
+	// Exercise every field through gob framing.
+	want := &Message{
+		ID: 42, Kind: MsgMigrate, Class: "C", Method: "m", Field: "f",
+		Args: []vm.WireValue{{Kind: vm.KindInt, I: 7}, {Kind: vm.KindRef, Ref: vm.WireRef{ID: 3, Class: "C"}}},
+		Ret:  vm.WireValue{Kind: vm.KindString, S: "ok"},
+		Batch: []vm.MigratedObject{{
+			SenderID: 9, Class: "C", Size: 100,
+			Fields: []vm.WireValue{{Kind: vm.KindBytes, Bytes: []byte{1, 2, 3}}},
+		}},
+		IDs:          []vm.ObjectID{5, 6},
+		ElapsedNanos: 12345,
+	}
+	if err := client.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Kind != want.Kind || len(got.Args) != 2 ||
+		got.Ret.S != "ok" || len(got.Batch) != 1 || got.Batch[0].Size != 100 ||
+		len(got.IDs) != 2 || got.ElapsedNanos != 12345 {
+		t.Fatalf("gob round trip lost data: %+v", got)
+	}
+}
+
+func TestGobTransportCloseUnblocksRecv(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		tr := NewConnTransport(conn)
+		_, err = tr.Recv()
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewConnTransport(conn)
+	time.Sleep(20 * time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned nil after peer close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	for k := MsgInvoke; k <= MsgPing; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if MsgKind(99).String() == "" {
+		t.Fatal("unknown kind must still print")
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	e := &RemoteError{Kind: MsgInvoke, Msg: "nope"}
+	if e.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write serializes the trace to w in gob format.
+func Write(w io.Writer, t *Trace) error {
+	if err := gob.NewEncoder(w).Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile writes the trace to path, gzip-compressed.
+func WriteFile(path string, t *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	zw := gzip.NewWriter(bw)
+	if err := Write(zw, t); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: gzip close: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a gzip-compressed trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("trace: gzip open %s: %w", path, err)
+	}
+	defer zr.Close()
+	return Read(zr)
+}

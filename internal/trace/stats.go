@@ -1,0 +1,121 @@
+package trace
+
+import "time"
+
+// Stats summarizes a trace the way the paper's Table 2 reports JavaNote's
+// execution metrics: for classes, objects, and interactions it reports the
+// average and maximum live/link count over the execution plus the total
+// number of events.
+type Stats struct {
+	// ClassesAvg/Max track the number of classes seen so far, sampled at
+	// every event; ClassEvents is the total number of class events
+	// (loads).
+	ClassesAvg  float64
+	ClassesMax  int64
+	ClassEvents int64
+
+	// ObjectsAvg/Max track live objects; ObjectEvents counts creations and
+	// deletions.
+	ObjectsAvg   float64
+	ObjectsMax   int64
+	ObjectEvents int64
+
+	// LinksAvg/Max track the number of distinct inter-class interaction
+	// links in the execution graph; InteractionEvents counts invocation
+	// and access events (paper: "the average number of links
+	// (interactions) is much smaller than the number of interaction
+	// events").
+	LinksAvg          float64
+	LinksMax          int64
+	InteractionEvents int64
+
+	// Invocations and Accesses break down InteractionEvents.
+	Invocations int64
+	Accesses    int64
+
+	// BytesTransferred is the total information exchanged between classes.
+	BytesTransferred int64
+
+	// PeakLiveBytes is the maximum live heap occupancy implied by
+	// creates/deletes.
+	PeakLiveBytes int64
+
+	// SelfTime is the total trace-implied client execution time.
+	SelfTime time.Duration
+}
+
+type linkKey struct{ a, b ClassID }
+
+// ComputeStats scans the trace once and returns its summary.
+func ComputeStats(t *Trace) Stats {
+	var s Stats
+	classesSeen := make(map[ClassID]bool, len(t.Classes))
+	links := make(map[linkKey]bool)
+	var liveObjects, liveBytes int64
+	var sumClasses, sumObjects, sumLinks float64
+	var samples int64
+
+	note := func(c ClassID) {
+		if !classesSeen[c] {
+			classesSeen[c] = true
+			s.ClassEvents++
+		}
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch e.Kind {
+		case KindInvoke, KindAccess:
+			note(e.Caller)
+			note(e.Callee)
+			if e.Caller != e.Callee {
+				a, b := e.Caller, e.Callee
+				if a > b {
+					a, b = b, a
+				}
+				links[linkKey{a, b}] = true
+				s.InteractionEvents++
+				s.BytesTransferred += e.Bytes
+				if e.Kind == KindInvoke {
+					s.Invocations++
+				} else {
+					s.Accesses++
+				}
+			}
+			s.SelfTime += e.SelfTime
+		case KindCreate:
+			note(e.Callee)
+			liveObjects++
+			liveBytes += e.Bytes
+			s.ObjectEvents++
+			if liveObjects > s.ObjectsMax {
+				s.ObjectsMax = liveObjects
+			}
+			if liveBytes > s.PeakLiveBytes {
+				s.PeakLiveBytes = liveBytes
+			}
+		case KindDelete:
+			liveObjects--
+			liveBytes -= e.Bytes
+			s.ObjectEvents++
+		case KindGC:
+			// Resource events do not contribute to execution metrics.
+			continue
+		}
+		if int64(len(classesSeen)) > s.ClassesMax {
+			s.ClassesMax = int64(len(classesSeen))
+		}
+		if int64(len(links)) > s.LinksMax {
+			s.LinksMax = int64(len(links))
+		}
+		sumClasses += float64(len(classesSeen))
+		sumObjects += float64(liveObjects)
+		sumLinks += float64(len(links))
+		samples++
+	}
+	if samples > 0 {
+		s.ClassesAvg = sumClasses / float64(samples)
+		s.ObjectsAvg = sumObjects / float64(samples)
+		s.LinksAvg = sumLinks / float64(samples)
+	}
+	return s
+}

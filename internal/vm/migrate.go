@@ -1,0 +1,281 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// MigratedObject is one object in an offload batch: the serialized form in
+// which selected objects move from the client to the surrogate (or back).
+type MigratedObject struct {
+	// SenderID is the object's ID in the sender's namespace.
+	SenderID ObjectID
+	Class    string
+	Size     int64
+	Fields   []WireValue
+}
+
+// ExtractMigration serializes the live local objects of the named classes
+// for offloading. References between migrated objects are encoded in the
+// sender's namespace and re-linked by the receiver; references to objects
+// staying behind become exports (the receiver will hold stubs).
+//
+// The objects are not yet removed; call ConvertToStubs with the IDs the
+// receiver assigned to complete the move.
+func (v *VM) ExtractMigration(classNames []string) ([]MigratedObject, error) {
+	moving := make(map[string]bool, len(classNames))
+	for _, n := range classNames {
+		moving[n] = true
+	}
+	v.mu.Lock()
+	var ids []ObjectID
+	for id, o := range v.objects {
+		if !o.Remote && moving[o.Class.Name] {
+			ids = append(ids, id)
+		}
+	}
+	sortObjectIDs(ids)
+	inBatch := make(map[ObjectID]bool, len(ids))
+	for _, id := range ids {
+		inBatch[id] = true
+	}
+
+	batch := make([]MigratedObject, 0, len(ids))
+	for _, id := range ids {
+		o := v.objects[id]
+		m := MigratedObject{
+			SenderID: id,
+			Class:    o.Class.Name,
+			Size:     o.Size,
+			Fields:   make([]WireValue, len(o.Fields)),
+		}
+		for i, val := range o.Fields {
+			w := WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
+			if val.Kind == KindRef && val.Ref != InvalidObject {
+				ro, ok := v.objects[val.Ref]
+				if !ok {
+					v.mu.Unlock()
+					return nil, fmt.Errorf("vm: migrate %s#%d field %d: %w", o.Class.Name, id, i, ErrNoSuchObject)
+				}
+				switch {
+				case ro.Remote:
+					// The receiver must be the stub's host; forwarding a
+					// reference to a third VM is unsupported (paper §8).
+					w.Ref = WireRef{ReceiverLocal: true, ID: ro.PeerID}
+				case inBatch[val.Ref]:
+					// Re-linked by the receiver to the migrated copy.
+					w.Ref = WireRef{ReceiverLocal: false, ID: val.Ref, Class: ro.Class.Name}
+				default:
+					ro.exported++
+					w.Ref = WireRef{ReceiverLocal: false, ID: val.Ref, Class: ro.Class.Name}
+				}
+			} else if val.Kind == KindRef {
+				w.Kind = KindNil
+			}
+			m.Fields[i] = w
+		}
+		batch = append(batch, m)
+	}
+	v.mu.Unlock()
+	return batch, nil
+}
+
+// WireBytes returns the approximate on-the-wire size of the batch, used to
+// charge the offload transfer to the network model.
+func MigrationWireBytes(batch []MigratedObject) int64 {
+	var n int64
+	for i := range batch {
+		n += batch[i].Size + 16 // payload plus per-object record overhead
+	}
+	return n
+}
+
+// AdoptMigration installs a received offload batch. If this VM already
+// held a stub for an incoming object, the stub is upgraded in place to the
+// real object, so existing local references stay valid. It returns the
+// local ID assigned to each batch entry, in order.
+func (v *VM) AdoptMigration(peerIdx int, batch []MigratedObject) ([]ObjectID, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	// Pass 1: create or upgrade every object so cross-references within
+	// the batch can be re-linked.
+	assigned := make([]ObjectID, len(batch))
+	senderToLocal := make(map[ObjectID]ObjectID, len(batch))
+	for i := range batch {
+		m := &batch[i]
+		class := v.registry.Class(m.Class)
+		if class == nil {
+			return nil, fmt.Errorf("vm: adopt %s: unknown class", m.Class)
+		}
+		var o *Object
+		if stubID, ok := v.imports[importKey{peer: peerIdx, id: m.SenderID}]; ok {
+			o = v.objects[stubID]
+			o.Remote = false
+			o.PeerID = 0
+			o.RemoteSize = 0
+			delete(v.imports, importKey{peer: peerIdx, id: m.SenderID})
+		} else {
+			id := v.nextID
+			v.nextID++
+			o = &Object{ID: id, Class: class}
+			v.objects[id] = o
+		}
+		o.Size = m.Size
+		o.Fields = make([]Value, len(class.Fields))
+		v.liveBytes += m.Size
+		v.objsSinceGC++
+		v.bytesSinceGC += m.Size
+		assigned[i] = o.ID
+		senderToLocal[m.SenderID] = o.ID
+		if v.hooks != nil {
+			v.hooks.OnCreate(class.Name, o.ID, m.Size)
+		}
+	}
+
+	// Pass 2: decode fields, re-linking intra-batch references and
+	// creating stubs for references back to the sender.
+	for i := range batch {
+		m := &batch[i]
+		o := v.objects[assigned[i]]
+		for fi, w := range m.Fields {
+			if fi >= len(o.Fields) {
+				return nil, fmt.Errorf("vm: adopt %s: field %d out of range", m.Class, fi)
+			}
+			val := Value{Kind: w.Kind, I: w.I, F: w.F, B: w.B, S: w.S, Bytes: w.Bytes}
+			if w.Kind == KindRef {
+				if w.Ref.ReceiverLocal {
+					val.Ref = w.Ref.ID
+				} else if local, ok := senderToLocal[w.Ref.ID]; ok {
+					val.Ref = local
+				} else {
+					id, err := v.stubForLocked(peerIdx, w.Ref.ID, w.Ref.Class)
+					if err != nil {
+						return nil, err
+					}
+					val.Ref = id
+				}
+			}
+			o.Fields[fi] = val
+		}
+	}
+	return assigned, nil
+}
+
+func (v *VM) stubForLocked(peerIdx int, peerID ObjectID, className string) (ObjectID, error) {
+	class := v.registry.Class(className)
+	if class == nil {
+		return InvalidObject, fmt.Errorf("vm: stub for %s#%d: unknown class", className, peerID)
+	}
+	key := importKey{peer: peerIdx, id: peerID}
+	if id, ok := v.imports[key]; ok {
+		return id, nil
+	}
+	id := v.nextID
+	v.nextID++
+	v.objects[id] = &Object{ID: id, Class: class, Remote: true, PeerIdx: peerIdx, PeerID: peerID}
+	v.imports[key] = id
+	return id, nil
+}
+
+// ConvertToStubs completes a migration on the sender: each object becomes
+// a stub pointing at the peer ID the receiver assigned, and its heap
+// memory is freed. ids and peerIDs correspond positionally.
+func (v *VM) ConvertToStubs(peerIdx int, ids, peerIDs []ObjectID) error {
+	if len(ids) != len(peerIDs) {
+		return fmt.Errorf("vm: convert to stubs: %d ids but %d peer ids", len(ids), len(peerIDs))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, id := range ids {
+		o, ok := v.objects[id]
+		if !ok {
+			return fmt.Errorf("vm: convert #%d: %w", id, ErrNoSuchObject)
+		}
+		if o.Remote {
+			return fmt.Errorf("vm: convert #%d: already a stub", id)
+		}
+		v.liveBytes -= o.Size
+		o.RemoteSize = o.Size
+		o.Size = 0
+		o.Fields = nil
+		o.Remote = true
+		o.PeerIdx = peerIdx
+		o.PeerID = peerIDs[i]
+		o.exported = 0
+		v.imports[importKey{peer: peerIdx, id: peerIDs[i]}] = id
+	}
+	return nil
+}
+
+// Service entry points: the RPC worker pool calls these to execute requests
+// on behalf of the peer VM. The time spent serving is measured and rolled
+// back from this VM's clock — it is charged to the requesting VM via the
+// returned elapsed duration, so that serial execution time is counted
+// exactly once (paper §4's serial-execution assumption).
+
+// ServeInvoke executes a peer-requested method invocation on a local
+// object.
+func (v *VM) ServeInvoke(localID ObjectID, method string, args []Value) (Value, time.Duration, error) {
+	v.mu.Lock()
+	start := v.clock
+	v.mu.Unlock()
+	t := v.NewThread()
+	ret, err := t.Invoke(localID, method, args...)
+	v.mu.Lock()
+	elapsed := v.clock - start
+	v.clock = start
+	v.mu.Unlock()
+	if err != nil {
+		return Nil(), 0, err
+	}
+	return ret, elapsed, nil
+}
+
+// ServeNative executes a native method directed back to this (client) VM.
+func (v *VM) ServeNative(className, method string, self ObjectID, args []Value) (Value, time.Duration, error) {
+	v.mu.Lock()
+	start := v.clock
+	v.mu.Unlock()
+	t := v.NewThread()
+	var ret Value
+	var err error
+	if self != InvalidObject {
+		ret, err = t.Invoke(self, method, args...)
+	} else {
+		ret, err = t.InvokeStatic(className, method, args...)
+	}
+	v.mu.Lock()
+	elapsed := v.clock - start
+	v.clock = start
+	v.mu.Unlock()
+	if err != nil {
+		return Nil(), 0, err
+	}
+	return ret, elapsed, nil
+}
+
+// ServeGetField reads a local object's field for the peer.
+func (v *VM) ServeGetField(localID ObjectID, field string) (Value, error) {
+	t := v.NewThread()
+	return t.GetField(localID, field)
+}
+
+// ServeSetField writes a local object's field for the peer.
+func (v *VM) ServeSetField(localID ObjectID, field string, val Value) error {
+	t := v.NewThread()
+	return t.SetField(localID, field, val)
+}
+
+// ServeGetStatic reads static data for the peer (this VM must be the
+// client).
+func (v *VM) ServeGetStatic(className, field string) (Value, error) {
+	t := v.NewThread()
+	return t.GetStatic(className, field)
+}
+
+// ServeSetStatic writes static data for the peer.
+func (v *VM) ServeSetStatic(className, field string, val Value) error {
+	t := v.NewThread()
+	return t.SetStatic(className, field, val)
+}

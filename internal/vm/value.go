@@ -1,0 +1,158 @@
+// Package vm implements an interpreted object virtual machine: the
+// substrate standing in for the paper's modified HP Chai JVM.
+//
+// The VM exposes exactly the abstractions AIDE's mechanisms operate on:
+// classes and objects with sizes, object references that may transparently
+// point at a peer VM, native methods that are pinned to the client, static
+// data that is consistent only on the client, a bounded heap with an
+// incremental mark-and-sweep collector whose cycles report free memory, and
+// monitoring hooks on method invocation, data-field access, object creation
+// and deletion (paper §3.2, §3.4, §4).
+//
+// Method bodies are Go closures registered in a Registry shared by both
+// VMs, mirroring the paper's simplifying assumption that "both VMs have
+// access to the application's Java bytecodes".
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// ObjectID identifies an object within one VM's private reference
+// namespace. Each JVM has a private object reference namespace and does not
+// understand an object reference from another JVM (paper §3.2); the remote
+// runtime maps namespaces onto each other via stubs.
+type ObjectID int64
+
+// InvalidObject is the zero-value object reference target.
+const InvalidObject ObjectID = 0
+
+// ValueKind discriminates Value.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	KindNil ValueKind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+	KindBytes
+	KindRef
+)
+
+// Value is the VM's tagged scalar/reference union.
+type Value struct {
+	Kind  ValueKind
+	I     int64
+	F     float64
+	B     bool
+	S     string
+	Bytes []byte
+	Ref   ObjectID // local reference namespace of the holding VM
+}
+
+// Nil returns the nil value.
+func Nil() Value { return Value{} }
+
+// Int boxes an integer.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float boxes a float.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Bool boxes a boolean.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Str boxes a string.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Blob boxes a byte payload. The payload is not copied.
+func Blob(b []byte) Value { return Value{Kind: KindBytes, Bytes: b} }
+
+// RefOf boxes an object reference in the local namespace.
+func RefOf(id ObjectID) Value { return Value{Kind: KindRef, Ref: id} }
+
+// IsNil reports whether the value is nil (or a nil reference).
+func (v Value) IsNil() bool {
+	return v.Kind == KindNil || (v.Kind == KindRef && v.Ref == InvalidObject)
+}
+
+// WireSize returns the number of bytes the value occupies as an RPC
+// parameter or return value; interaction monitoring charges this amount
+// (paper §3.4: "the amount of information exchanged between two classes as
+// represented by the parameters and return values").
+func (v Value) WireSize() int64 {
+	switch v.Kind {
+	case KindNil:
+		return 1
+	case KindInt, KindFloat:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return int64(len(v.S)) + 4
+	case KindBytes:
+		return int64(len(v.Bytes)) + 4
+	case KindRef:
+		return 12 // namespace tag + 8-byte id
+	default:
+		return 1
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindBool:
+		return fmt.Sprintf("%t", v.B)
+	case KindString:
+		return fmt.Sprintf("%q", v.S)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.Bytes))
+	case KindRef:
+		return fmt.Sprintf("ref(%d)", v.Ref)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.Kind)
+	}
+}
+
+// WireSizeAll sums the wire sizes of a parameter list.
+func WireSizeAll(vs []Value) int64 {
+	var n int64
+	for _, v := range vs {
+		n += v.WireSize()
+	}
+	return n
+}
+
+// Hooks receive monitoring callbacks from the VM. The prototype augments
+// the JVM's code for method invocations, data field accesses, object
+// creation, and object deletion, and extracts resource information from the
+// garbage collector (paper §3.4). A nil Hooks disables monitoring.
+type Hooks interface {
+	// OnInvoke fires when a method invocation returns. selfTime excludes
+	// nested calls (paper Figure 9).
+	OnInvoke(caller, callee string, method string, obj ObjectID, argBytes, retBytes int64, selfTime time.Duration, native, stateless bool)
+
+	// OnAccess fires on a data-field access from the running class to the
+	// target object's class.
+	OnAccess(from, to string, obj ObjectID, bytes int64)
+
+	// OnCreate fires when an object is allocated.
+	OnCreate(class string, obj ObjectID, size int64)
+
+	// OnDelete fires when the collector reclaims an object.
+	OnDelete(class string, obj ObjectID, size int64)
+
+	// OnGC fires after every collection cycle with the post-cycle free
+	// memory, matching the prototype's "frequent memory usage updates".
+	OnGC(free, capacity int64, freed bool)
+}

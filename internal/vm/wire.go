@@ -1,0 +1,135 @@
+package vm
+
+import "fmt"
+
+// WireRef is an object reference as it appears on the network. Each VM has
+// a private reference namespace; a reference on the wire is therefore
+// tagged: either it names an object in the *receiver's* namespace (the
+// sender was holding a stub for the receiver's object) or it names an
+// object in the *sender's* namespace, in which case the receiver maps it to
+// a local stub placeholder (paper §3.2).
+type WireRef struct {
+	// ReceiverLocal reports that ID is in the receiver's namespace.
+	ReceiverLocal bool
+	ID            ObjectID
+
+	// Class names the referent's class, set when ReceiverLocal is false so
+	// the receiver can type its stub.
+	Class string
+}
+
+// WireValue is a Value in network form: identical to Value except that
+// references are namespace-tagged.
+type WireValue struct {
+	Kind  ValueKind
+	I     int64
+	F     float64
+	B     bool
+	S     string
+	Bytes []byte
+	Ref   WireRef
+}
+
+// EncodeOutgoing converts a local value to wire form for the peer with the
+// given index. Sending a reference to a locally hosted object exports it:
+// the object is pinned against collection until the peer releases it
+// (distributed GC). Forwarding a reference to an object hosted by a
+// *different* surrogate is rejected: surrogate-to-surrogate references are
+// the paper's future work (§2, §8).
+func (v *VM) EncodeOutgoing(peerIdx int, val Value) (WireValue, error) {
+	w := WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
+	if val.Kind != KindRef {
+		return w, nil
+	}
+	if val.Ref == InvalidObject {
+		w.Kind = KindNil
+		return w, nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	o, ok := v.objects[val.Ref]
+	if !ok {
+		return WireValue{}, fmt.Errorf("vm: encode ref #%d: %w", val.Ref, ErrNoSuchObject)
+	}
+	if o.Remote {
+		if o.PeerIdx != peerIdx {
+			return WireValue{}, fmt.Errorf("vm: encode ref #%d: cross-surrogate references are unsupported", val.Ref)
+		}
+		w.Ref = WireRef{ReceiverLocal: true, ID: o.PeerID}
+		return w, nil
+	}
+	o.exported++
+	w.Ref = WireRef{ReceiverLocal: false, ID: o.ID, Class: o.Class.Name}
+	return w, nil
+}
+
+// EncodeOutgoingAll converts a parameter list to wire form.
+func (v *VM) EncodeOutgoingAll(peerIdx int, vals []Value) ([]WireValue, error) {
+	out := make([]WireValue, len(vals))
+	for i, val := range vals {
+		w, err := v.EncodeOutgoing(peerIdx, val)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// DecodeIncoming converts a wire value received from the peer into a local
+// value, creating stub placeholders for foreign references as needed.
+func (v *VM) DecodeIncoming(peerIdx int, w WireValue) (Value, error) {
+	val := Value{Kind: w.Kind, I: w.I, F: w.F, B: w.B, S: w.S, Bytes: w.Bytes}
+	if w.Kind != KindRef {
+		return val, nil
+	}
+	if w.Ref.ReceiverLocal {
+		v.mu.Lock()
+		_, ok := v.objects[w.Ref.ID]
+		v.mu.Unlock()
+		if !ok {
+			return Nil(), fmt.Errorf("vm: incoming ref #%d: %w", w.Ref.ID, ErrNoSuchObject)
+		}
+		val.Ref = w.Ref.ID
+		return val, nil
+	}
+	id, err := v.StubFor(peerIdx, w.Ref.ID, w.Ref.Class)
+	if err != nil {
+		return Nil(), err
+	}
+	val.Ref = id
+	return val, nil
+}
+
+// DecodeIncomingAll converts a received parameter list.
+func (v *VM) DecodeIncomingAll(peerIdx int, ws []WireValue) ([]Value, error) {
+	out := make([]Value, len(ws))
+	for i, w := range ws {
+		val, err := v.DecodeIncoming(peerIdx, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// StubFor returns the local stub for the peer's object, creating one if
+// this VM has not seen the reference before. The two VMs thereby maintain
+// object reference mappings as objects and references move between them
+// (paper §3.2).
+func (v *VM) StubFor(peerIdx int, peerID ObjectID, className string) (ObjectID, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stubForLocked(peerIdx, peerID, className)
+}
+
+// ReleaseExport decrements the export pin on a local object after the peer
+// collected its stub.
+func (v *VM) ReleaseExport(id ObjectID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if o, ok := v.objects[id]; ok && o.exported > 0 {
+		o.exported--
+	}
+}

@@ -1,0 +1,90 @@
+package aide
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// SurrogateProbe is the result of probing one candidate surrogate.
+type SurrogateProbe struct {
+	Addr string
+	Info remote.PeerInfo
+	Err  error
+}
+
+// ProbeSurrogates dials each candidate surrogate and measures its
+// round-trip latency and available resources. The paper's vision (§2) has
+// clients "determine which surrogate(s) are the most appropriate to be
+// used based on factors such as latency of access and resource
+// availability"; this is that probe. Unreachable candidates carry a
+// non-nil Err.
+func ProbeSurrogates(addrs []string) []SurrogateProbe {
+	probes := make([]SurrogateProbe, len(addrs))
+	// Probes are resource queries only; any registry works.
+	reg := vm.NewRegistry()
+	for i, addr := range addrs {
+		probes[i].Addr = addr
+		conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			probes[i].Err = fmt.Errorf("aide: probe %s: %w", addr, err)
+			continue
+		}
+		v := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
+		peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
+		info, err := peer.Info()
+		_ = peer.Close()
+		if err != nil {
+			probes[i].Err = fmt.Errorf("aide: probe %s: %w", addr, err)
+			continue
+		}
+		probes[i].Info = info
+	}
+	return probes
+}
+
+// RankSurrogates orders reachable probes best-first: lowest latency
+// (bucketed at 500 µs so LAN jitter does not dominate), then most free
+// memory, then fastest CPU. Failed probes sort last.
+func RankSurrogates(probes []SurrogateProbe) []SurrogateProbe {
+	out := append([]SurrogateProbe(nil), probes...)
+	bucket := func(d time.Duration) int64 { return int64(d / (500 * time.Microsecond)) }
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.Err == nil) != (b.Err == nil) {
+			return a.Err == nil
+		}
+		if a.Err != nil {
+			return false
+		}
+		if ba, bb := bucket(a.Info.RTT), bucket(b.Info.RTT); ba != bb {
+			return ba < bb
+		}
+		if a.Info.FreeBytes != b.Info.FreeBytes {
+			return a.Info.FreeBytes > b.Info.FreeBytes
+		}
+		return a.Info.CPUSpeed > b.Info.CPUSpeed
+	})
+	return out
+}
+
+// AttachBestTCP probes every candidate surrogate, ranks them, and attaches
+// the client to the best reachable one, returning its address.
+func (c *Client) AttachBestTCP(addrs []string) (string, error) {
+	if len(addrs) == 0 {
+		return "", fmt.Errorf("aide: no surrogate candidates")
+	}
+	ranked := RankSurrogates(ProbeSurrogates(addrs))
+	best := ranked[0]
+	if best.Err != nil {
+		return "", fmt.Errorf("aide: no reachable surrogate: %w", best.Err)
+	}
+	if err := c.AttachTCP(best.Addr); err != nil {
+		return "", err
+	}
+	return best.Addr, nil
+}

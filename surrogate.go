@@ -1,0 +1,132 @@
+package aide
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// Surrogate is the platform on a nearby server that lends its resources to
+// clients. A device can perform the role of a surrogate with respect to a
+// client even though it may be used independently for other purposes
+// (paper §2).
+type Surrogate struct {
+	opts options
+	vm   *vm.VM
+
+	mu    sync.Mutex
+	peers []*remote.Peer
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// NewSurrogate builds a surrogate platform over the shared class registry.
+// Surrogates generally have more computing power and memory than clients;
+// configure with WithHeap and WithCPUSpeed.
+func NewSurrogate(reg *Registry, opts ...Option) *Surrogate {
+	o := defaultOptions()
+	o.heap = 256 << 20
+	o.monitor = false
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Surrogate{opts: o}
+	s.vm = vm.New(reg, vm.Config{
+		Role:         vm.RoleSurrogate,
+		HeapCapacity: o.heap,
+		CPUSpeed:     o.cpuSpeed,
+	})
+	s.vm.SetStatelessNativeLocal(o.stateless)
+	return s
+}
+
+// VM exposes the surrogate's VM (heap statistics, clock).
+func (s *Surrogate) VM() *vm.VM { return s.vm }
+
+// Heap returns surrogate heap statistics.
+func (s *Surrogate) Heap() vm.HeapStats { return s.vm.Heap() }
+
+// Clock returns the surrogate's simulated clock.
+func (s *Surrogate) Clock() time.Duration { return s.vm.Clock() }
+
+// Serve attaches one client over the given transport. It returns
+// immediately; the connection is serviced by the peer's worker pool.
+func (s *Surrogate) Serve(t remote.Transport) {
+	p := remote.NewPeer(s.vm, t, remote.Options{Workers: s.opts.workers, Link: s.opts.link})
+	s.mu.Lock()
+	s.peers = append(s.peers, p)
+	s.mu.Unlock()
+}
+
+// ListenAndServe accepts client connections on addr until Close. It
+// returns the bound address (useful with ":0") once listening.
+func (s *Surrogate) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("aide: surrogate listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("aide: surrogate already listening")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.Serve(remote.NewConnTransport(conn))
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops listening and closes every client connection.
+func (s *Surrogate) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	peers := s.peers
+	s.peers = nil
+	s.mu.Unlock()
+	var firstErr error
+	if ln != nil {
+		if err := ln.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.wg.Wait()
+	for _, p := range peers {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// NewLocalPair wires a client and a surrogate together in process over an
+// in-memory transport: the quickest way to stand up a complete platform.
+// Close the client (and the surrogate) when done.
+func NewLocalPair(reg *Registry, clientOpts, surrogateOpts []Option) (*Client, *Surrogate, error) {
+	c := NewClient(reg, clientOpts...)
+	s := NewSurrogate(reg, surrogateOpts...)
+	ct, st := remote.NewChannelPair()
+	s.Serve(st)
+	if err := c.Attach(ct); err != nil {
+		_ = s.Close()
+		return nil, nil, err
+	}
+	return c, s, nil
+}

@@ -1,0 +1,91 @@
+package aide
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSurrogateListenLifecycle(t *testing.T) {
+	reg := demoRegistry(t)
+	s := NewSurrogate(reg)
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Fatal("double listen accepted")
+	}
+	// Two clients can share one surrogate.
+	c1 := NewClient(reg, WithHeap(1<<20))
+	defer c1.Close()
+	c2 := NewClient(reg, WithHeap(1<<20))
+	defer c2.Close()
+	if err := c1.AttachTCP(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AttachTCP(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close must be fine")
+	}
+	// After close, pings eventually fail.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c1.Ping() != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("ping kept succeeding after surrogate close")
+}
+
+func TestOptionsApply(t *testing.T) {
+	reg := demoRegistry(t)
+	c := NewClient(reg,
+		WithHeap(2<<20),
+		WithCPUSpeed(0.5),
+		WithWorkers(2),
+		WithPolicy(PolicyParams{TriggerFreeFraction: 0.1, Tolerance: 2, MinFreeFraction: 0.3}),
+		WithMonitorCost(time.Microsecond),
+		WithStatelessNativeLocal(),
+		WithPeriodicRebalance(4),
+	)
+	defer c.Close()
+	if c.Heap().Capacity != 2<<20 {
+		t.Fatalf("heap = %d", c.Heap().Capacity)
+	}
+	if c.VM().CPUSpeed() != 0.5 {
+		t.Fatalf("speed = %v", c.VM().CPUSpeed())
+	}
+	// Monitoring on by default: a graph is available.
+	if _, err := c.Graph(); err != nil {
+		t.Fatal(err)
+	}
+
+	noMon := NewClient(reg, WithoutMonitoring())
+	defer noMon.Close()
+	if _, err := noMon.Graph(); err == nil {
+		t.Fatal("graph without monitoring")
+	}
+}
+
+func TestInitialPolicyConstant(t *testing.T) {
+	p := InitialPolicy()
+	if p.TriggerFreeFraction != 0.05 || p.Tolerance != 3 || p.MinFreeFraction != 0.20 {
+		t.Fatalf("initial policy = %+v", p)
+	}
+	l := WaveLAN()
+	if l.BandwidthBps != 11e6 {
+		t.Fatalf("WaveLAN = %+v", l)
+	}
+}
