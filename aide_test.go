@@ -51,7 +51,7 @@ func demoRegistry(t *testing.T) *Registry {
 	return reg
 }
 
-func mustRegister(t *testing.T, reg *Registry, spec ClassSpec) {
+func mustRegister(t testing.TB, reg *Registry, spec ClassSpec) {
 	t.Helper()
 	if _, err := reg.Register(spec); err != nil {
 		t.Fatalf("register %s: %v", spec.Name, err)

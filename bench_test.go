@@ -43,6 +43,7 @@ func suite(b *testing.B) *experiments.Suite {
 
 // BenchmarkTable1Apps regenerates the application catalog (paper Table 1).
 func BenchmarkTable1Apps(b *testing.B) {
+	skipBench(b)
 	for i := 0; i < b.N; i++ {
 		if rows := experiments.Table1(); len(rows) != 5 {
 			b.Fatal("catalog broken")
@@ -54,6 +55,7 @@ func BenchmarkTable1Apps(b *testing.B) {
 // Table 2: classes 134/138/138, objects 1230/2810/6808, interactions
 // 1126/1190/1186532).
 func BenchmarkTable2Metrics(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var last *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
@@ -71,6 +73,7 @@ func BenchmarkTable2Metrics(b *testing.B) {
 // (paper Figure 5: ~90% of the heap offloaded, ~100 KB/s predicted
 // bandwidth, ~0.1 s heuristic).
 func BenchmarkFigure5Partition(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var last *experiments.Figure5Result
 	for i := 0; i < b.N; i++ {
@@ -87,6 +90,7 @@ func BenchmarkFigure5Partition(b *testing.B) {
 // BenchmarkFigure6Overhead reruns the initial-policy overhead study
 // (paper Figure 6: JavaNote 4.8%, Dia 8.5%, Biomer 27.5%).
 func BenchmarkFigure6Overhead(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.Figure6Row
 	for i := 0; i < b.N; i++ {
@@ -106,6 +110,7 @@ func BenchmarkFigure6Overhead(b *testing.B) {
 // coarse grid keeps per-iteration cost manageable; `go run ./cmd/aide-bench
 // -only figure7 -full` runs the complete 168-point grid.
 func BenchmarkFigure7PolicySweep(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.Figure7Row
 	for i := 0; i < b.N; i++ {
@@ -123,6 +128,7 @@ func BenchmarkFigure7PolicySweep(b *testing.B) {
 // BenchmarkFigure8Native reruns the remote-native-invocation counts (paper
 // Figure 8: large native share for JavaNote/Dia, small for Biomer).
 func BenchmarkFigure8Native(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.Figure8Row
 	for i := 0; i < b.N; i++ {
@@ -140,6 +146,7 @@ func BenchmarkFigure8Native(b *testing.B) {
 // BenchmarkMonitoringOverhead reruns the §5.1 monitoring-overhead
 // measurement (paper: 31.59 s → 35.04 s, ≈11%).
 func BenchmarkMonitoringOverhead(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var last *experiments.MonitoringResult
 	for i := 0; i < b.N; i++ {
@@ -155,6 +162,7 @@ func BenchmarkMonitoringOverhead(b *testing.B) {
 // BenchmarkFigure9Attribution reruns the nested-call time-attribution
 // example (paper Figure 9: a::f 0.12 s total → a 0.02 s, b 0.10 s).
 func BenchmarkFigure9Attribution(b *testing.B) {
+	skipBench(b)
 	for i := 0; i < b.N; i++ {
 		d, err := experiments.Figure9()
 		if err != nil {
@@ -170,6 +178,7 @@ func BenchmarkFigure9Attribution(b *testing.B) {
 // Figure 10: Voxel/Tracer improve up to ~15% with both enhancements;
 // Biomer correctly declines).
 func BenchmarkFigure10CPU(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.Figure10Row
 	for i := 0; i < b.N; i++ {
@@ -190,6 +199,7 @@ func BenchmarkFigure10CPU(b *testing.B) {
 // JavaNote-scale execution graph (the paper reports ~0.1 s on a 600 MHz
 // Pentium).
 func BenchmarkMinCutCandidates(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("JavaNote")
 	if err != nil {
@@ -212,6 +222,7 @@ func BenchmarkMinCutCandidates(b *testing.B) {
 // BenchmarkStoerWagnerExact measures the exact global minimum cut on the
 // same graph (the ablation baseline for the modified heuristic).
 func BenchmarkStoerWagnerExact(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("JavaNote")
 	if err != nil {
@@ -233,6 +244,7 @@ func BenchmarkStoerWagnerExact(b *testing.B) {
 // BenchmarkMonitorFeed measures execution-monitoring throughput: events
 // consumed per second while building the execution graph.
 func BenchmarkMonitorFeed(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("Dia")
 	if err != nil {
@@ -251,6 +263,7 @@ func BenchmarkMonitorFeed(b *testing.B) {
 // BenchmarkEmulatorReplay measures full trace-replay throughput with
 // partitioning enabled.
 func BenchmarkEmulatorReplay(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("Dia")
 	if err != nil {
@@ -275,8 +288,9 @@ func BenchmarkEmulatorReplay(b *testing.B) {
 // BenchmarkVMInvokeLocal measures local method dispatch with monitoring
 // attached.
 func BenchmarkVMInvokeLocal(b *testing.B) {
+	skipBench(b)
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{
+	mustRegister(b, reg, vm.ClassSpec{
 		Name:   "C",
 		Fields: []string{"n"},
 		Methods: []vm.MethodSpec{{
@@ -309,8 +323,9 @@ func BenchmarkVMInvokeLocal(b *testing.B) {
 // BenchmarkRemoteInvoke measures a full remote invocation round trip over
 // the in-memory transport (the RPC fast path of the prototype).
 func BenchmarkRemoteInvoke(b *testing.B) {
+	skipBench(b)
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{
+	mustRegister(b, reg, vm.ClassSpec{
 		Name: "Svc",
 		Methods: []vm.MethodSpec{{
 			Name: "echo",
@@ -345,8 +360,9 @@ func BenchmarkRemoteInvoke(b *testing.B) {
 
 // BenchmarkOffloadMigration measures object-batch migration throughput.
 func BenchmarkOffloadMigration(b *testing.B) {
+	skipBench(b)
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{Name: "Data", Fields: []string{"next"}})
+	mustRegister(b, reg, vm.ClassSpec{Name: "Data", Fields: []string{"next"}})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -384,6 +400,7 @@ func BenchmarkOffloadMigration(b *testing.B) {
 // BenchmarkTraceRecordJavaNote measures full-scenario trace extraction
 // through the live VM (the paper's trace-acquisition step).
 func BenchmarkTraceRecordJavaNote(b *testing.B) {
+	skipBench(b)
 	spec, err := apps.ByName("JavaNote")
 	if err != nil {
 		b.Fatal(err)
@@ -401,6 +418,7 @@ func BenchmarkTraceRecordJavaNote(b *testing.B) {
 
 // BenchmarkTraceStats measures Table 2 statistics computation.
 func BenchmarkTraceStats(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("JavaNote")
 	if err != nil {
@@ -417,6 +435,7 @@ func BenchmarkTraceStats(b *testing.B) {
 
 // BenchmarkLinkModel measures network-cost computation.
 func BenchmarkLinkModel(b *testing.B) {
+	skipBench(b)
 	l := netmodel.WaveLAN()
 	var sink time.Duration
 	for i := 0; i < b.N; i++ {
@@ -428,6 +447,7 @@ func BenchmarkLinkModel(b *testing.B) {
 // BenchmarkPolicyChoose measures memory-policy evaluation over a
 // JavaNote-scale candidate family.
 func BenchmarkPolicyChoose(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	tr, err := s.Trace("JavaNote")
 	if err != nil {
@@ -455,6 +475,7 @@ func BenchmarkPolicyChoose(b *testing.B) {
 // (extension of the paper's §8: modified MINCUT vs KL-refined vs greedy
 // memory-density) under the Figure 6 setup.
 func BenchmarkAblationHeuristics(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
@@ -475,6 +496,7 @@ func BenchmarkAblationHeuristics(b *testing.B) {
 // §2/§8): client energy local vs offloaded, always-on radio vs 802.11
 // power-save.
 func BenchmarkEnergyStudy(b *testing.B) {
+	skipBench(b)
 	s := suite(b)
 	var rows []experiments.EnergyRow
 	for i := 0; i < b.N; i++ {
@@ -492,8 +514,9 @@ func BenchmarkEnergyStudy(b *testing.B) {
 // BenchmarkRecallRoundTrip measures offload + recall of a 1,000-object
 // working set: the §8 "global placement" reverse path.
 func BenchmarkRecallRoundTrip(b *testing.B) {
+	skipBench(b)
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{Name: "Data", Fields: []string{"next"}})
+	mustRegister(b, reg, vm.ClassSpec{Name: "Data", Fields: []string{"next"}})
 	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 64 << 20})
 	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 64 << 20})
 	pc, ps := remote.NewPair(client, surrogate, remote.Options{Workers: 2})
@@ -525,4 +548,17 @@ func BenchmarkRecallRoundTrip(b *testing.B) {
 		}
 	}
 	b.ReportMetric(2000, "migrations/op")
+}
+
+// skipBench skips heavyweight benchmarks when the binary runs with the
+// race detector (5-20x slowdown makes `go test -race ./...` crawl) or in
+// -short mode. Correctness under -race is covered by the regular tests.
+func skipBench(b *testing.B) {
+	b.Helper()
+	if raceEnabled {
+		b.Skip("skipping benchmark under the race detector")
+	}
+	if testing.Short() {
+		b.Skip("skipping benchmark in short mode")
+	}
 }

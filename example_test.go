@@ -12,7 +12,7 @@ import (
 // an offloadable Model.
 func exampleRegistry() *aide.Registry {
 	reg := aide.NewRegistry()
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name: "Display",
 		Methods: []aide.MethodSpec{{
 			Name:   "paint",
@@ -23,7 +23,7 @@ func exampleRegistry() *aide.Registry {
 			},
 		}},
 	})
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name:   "Model",
 		Fields: []string{"sum"},
 		Methods: []aide.MethodSpec{{
@@ -111,4 +111,12 @@ func ExampleClient_Recall() {
 	// Output:
 	// recalled objects: 1
 	// sum: 2
+}
+
+// mustRegister registers a class during example setup, panicking on the
+// spec errors that Register reports (setup bugs, not example behavior).
+func mustRegister(reg *aide.Registry, spec aide.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		panic(err)
+	}
 }

@@ -14,7 +14,7 @@ import (
 
 func registry() *aide.Registry {
 	reg := aide.NewRegistry()
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name: "Sensor",
 		Methods: []aide.MethodSpec{{
 			Name:   "read",
@@ -25,7 +25,7 @@ func registry() *aide.Registry {
 			},
 		}},
 	})
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name:   "History",
 		Fields: []string{"n"},
 		Methods: []aide.MethodSpec{{
@@ -40,7 +40,7 @@ func registry() *aide.Registry {
 			},
 		}},
 	})
-	reg.MustRegister(aide.ClassSpec{Name: "Archive", Fields: []string{"next"}})
+	mustRegister(reg, aide.ClassSpec{Name: "Archive", Fields: []string{"next"}})
 	return reg
 }
 
@@ -106,4 +106,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("platform torn down")
+}
+
+// mustRegister registers a class or aborts the example; class-spec errors
+// here are programming mistakes, not runtime conditions.
+func mustRegister(reg *aide.Registry, spec aide.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		log.Fatalf("register class: %v", err)
+	}
 }

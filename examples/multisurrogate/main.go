@@ -16,7 +16,7 @@ import (
 
 func registry() *aide.Registry {
 	reg := aide.NewRegistry()
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name: "Input",
 		Methods: []aide.MethodSpec{{
 			Name:   "poll",
@@ -29,7 +29,7 @@ func registry() *aide.Registry {
 	})
 	for _, name := range []string{"Index", "Blob"} {
 		name := name
-		reg.MustRegister(aide.ClassSpec{
+		mustRegister(reg, aide.ClassSpec{
 			Name:   name,
 			Fields: []string{"next", "n"},
 			Methods: []aide.MethodSpec{{
@@ -110,4 +110,12 @@ func main() {
 	}
 	fmt.Printf("recalled %d objects; client live again: %.0f KB\n",
 		n, float64(client.Heap().Live)/1024)
+}
+
+// mustRegister registers a class or aborts the example; class-spec errors
+// here are programming mistakes, not runtime conditions.
+func mustRegister(reg *aide.Registry, spec aide.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		log.Fatalf("register class: %v", err)
+	}
 }

@@ -16,7 +16,7 @@ func main() {
 	//    bytecode, shared by both VMs. The GUI class has a native method,
 	//    so it is pinned to the client device.
 	reg := aide.NewRegistry()
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name: "Screen",
 		Methods: []aide.MethodSpec{{
 			Name:   "draw",
@@ -27,7 +27,7 @@ func main() {
 			},
 		}},
 	})
-	reg.MustRegister(aide.ClassSpec{
+	mustRegister(reg, aide.ClassSpec{
 		Name:   "Document",
 		Fields: []string{"words"},
 		Methods: []aide.MethodSpec{{
@@ -84,4 +84,12 @@ func main() {
 	fmt.Printf("document now has %d words (state survived migration)\n", v.I)
 	fmt.Printf("surrogate hosts %.1f KB\n", float64(surrogate.Heap().Live)/1024)
 	fmt.Printf("client simulated clock: %v (includes WaveLAN costs)\n", client.Clock().Round(time.Microsecond))
+}
+
+// mustRegister registers a class or aborts the example; class-spec errors
+// here are programming mistakes, not runtime conditions.
+func mustRegister(reg *aide.Registry, spec aide.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		log.Fatalf("register class: %v", err)
+	}
 }

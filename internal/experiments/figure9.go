@@ -14,7 +14,7 @@ import (
 // 0.10 s to class b.
 func figure9Graph() (*graph.Graph, error) {
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{
+	if _, err := reg.Register(vm.ClassSpec{
 		Name: "b",
 		Methods: []vm.MethodSpec{
 			{Name: "g", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
@@ -22,8 +22,10 @@ func figure9Graph() (*graph.Graph, error) {
 				return vm.Nil(), nil
 			}},
 		},
-	})
-	reg.MustRegister(vm.ClassSpec{
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := reg.Register(vm.ClassSpec{
 		Name:   "a",
 		Fields: []string{"b"},
 		Methods: []vm.MethodSpec{
@@ -36,7 +38,9 @@ func figure9Graph() (*graph.Graph, error) {
 				return th.Invoke(bref.Ref, "g")
 			}},
 		},
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	v := vm.New(reg, vm.Config{HeapCapacity: 1 << 20})
 	mon := monitor.New(monitor.RegistryMeta(reg))

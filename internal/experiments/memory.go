@@ -140,14 +140,14 @@ func (s *Suite) Figure5() (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := s.now()
 	cands, err := mincut.Candidates(mincut.FromGraph(g, graph.BytesWeight))
 	if err != nil {
 		return nil, err
 	}
 	mp := policy.MemoryPolicy{MinFreeFraction: policy.InitialParams().MinFreeFraction}
 	dec, err := mp.Choose(g, spec.EmuHeap, cands)
-	heuristic := time.Since(start)
+	heuristic := s.now().Sub(start)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure 5 repartition: %w", err)
 	}

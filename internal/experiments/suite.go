@@ -29,12 +29,16 @@ const MonitorCostPerEvent = 2900 * time.Nanosecond
 type Suite struct {
 	cache *apps.Cache
 	link  netmodel.Link
+
+	// now is the wall-clock source for the heuristic-cost measurement
+	// (Figure 5); injectable so tests can use a fake clock.
+	now func() time.Time
 }
 
 // NewSuite returns a suite with an empty trace cache and the paper's
 // WaveLAN link model.
 func NewSuite() *Suite {
-	return &Suite{cache: apps.NewCache(), link: netmodel.WaveLAN()}
+	return &Suite{cache: apps.NewCache(), link: netmodel.WaveLAN(), now: time.Now}
 }
 
 // Trace returns the (cached) recorded trace of the named application.

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetCheck guards AIDE's deterministic replay paths: the emulator,
+// partitioner, policy, and trace modules must reproduce Figures 6-9
+// bit-for-bit from a recorded trace, and the remote module's timing
+// must be measurable with a fake clock.
+//
+// It forbids three nondeterminism sources:
+//
+//  1. wall-clock reads — time.Now / time.Since / time.Until; inject a
+//     clock (a `func() time.Time` field defaulting to time.Now),
+//  2. the process-global math/rand functions — use a seeded
+//     *rand.Rand,
+//  3. map iteration that feeds results — a `range` over a map that
+//     appends to a slice declared outside the loop, unless the slice
+//     is sorted afterwards in the same function.
+var DetCheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "forbid wall-clock reads, global math/rand, and map-order-dependent results in deterministic replay paths",
+	Run:  runDetCheck,
+}
+
+func runDetCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"call to time.%s in a deterministic path; inject a clock (func() time.Time field defaulting to time.Now) instead",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors for explicitly seeded generators.
+		default:
+			pass.Reportf(call.Pos(),
+				"call to the process-global %s.%s; use a seeded *rand.Rand so replays reproduce",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// checkMapRanges flags `for ... range m` over a map whose body appends
+// to a slice declared outside the loop, with no later sort of that
+// slice in the same function: the classic way map iteration order
+// leaks into results.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, target := range outerAppendTargets(pass, rng) {
+			if !sortedAfter(pass, body, rng, target) {
+				pass.Reportf(rng.Pos(),
+					"map iteration feeds %s in nondeterministic order; sort %s afterwards or iterate sorted keys",
+					target.Name(), target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// outerAppendTargets returns slice variables declared outside the range
+// statement that its body appends to.
+func outerAppendTargets(pass *Pass, rng *ast.RangeStmt) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		} else if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.ObjectOf(id).(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		// Declared inside the loop: order cannot escape one iteration.
+		if v.Pos() >= rng.Pos() && v.Pos() < rng.End() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes the variable to a call that looks like a sort
+// (sort.*, slices.Sort*, or any function whose name contains "sort").
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if x, ok := fun.X.(*ast.Ident); ok {
+				name = x.Name + "." + name // sort.Strings, slices.SortFunc, ...
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.ObjectOf(id) == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

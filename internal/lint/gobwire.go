@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GobWire audits every type that crosses the wire codec. AIDE frames
+// its RPC envelope and its recorded traces with encoding/gob; a field
+// gob cannot encode fails at runtime on the first real deployment, and
+// an unexported field is silently dropped — the object arrives at the
+// surrogate missing state.
+//
+// For each type passed to (*gob.Encoder).Encode or
+// (*gob.Decoder).Decode it walks the reachable type graph and reports:
+//
+//   - func-, chan-, complex- and unsafe.Pointer-typed fields (gob
+//     cannot encode them),
+//   - unexported fields (silently dropped),
+//   - reachable structs with fields but none exported (encode fails at
+//     runtime),
+//   - interface-typed fields when the package performs no gob.Register
+//     (the concrete types could never decode).
+var GobWire = &Analyzer{
+	Name: "gobwire",
+	Doc:  "types crossing the gob wire codec must be registered and hold only encodable exported fields",
+	Run:  runGobWire,
+}
+
+func runGobWire(pass *Pass) error {
+	var roots []gobRoot
+	registers := 0
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			switch fn.Name() {
+			case "Register", "RegisterName":
+				registers++
+			case "Encode", "Decode":
+				if len(call.Args) == 1 {
+					if t := pass.Info.TypeOf(call.Args[0]); t != nil {
+						roots = append(roots, gobRoot{typ: t, pos: call.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	w := &gobWalker{
+		pass:       pass,
+		registered: registers > 0,
+		seen:       map[types.Type]bool{},
+		reported:   map[string]bool{},
+	}
+	for _, r := range roots {
+		w.rootPos = r.pos
+		w.walk(r.typ)
+	}
+	return nil
+}
+
+type gobRoot struct {
+	typ types.Type
+	pos token.Pos
+}
+
+type gobWalker struct {
+	pass       *Pass
+	registered bool
+	rootPos    token.Pos
+	seen       map[types.Type]bool
+	reported   map[string]bool
+}
+
+// report emits once per (type, field) pair, anchored at the field's
+// declaration when it lives in the analyzed package, else at the
+// Encode/Decode call that reaches it.
+func (w *gobWalker) report(f *types.Var, format string, args ...any) {
+	key := fmt.Sprintf("%v:%s", f.Pos(), format)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	pos := w.rootPos
+	if f.Pkg() == w.pass.Pkg {
+		pos = f.Pos()
+	}
+	w.pass.Reportf(pos, format, args...)
+}
+
+func (w *gobWalker) walk(t types.Type) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		w.walk(u.Elem())
+	case *types.Slice:
+		w.walk(u.Elem())
+	case *types.Array:
+		w.walk(u.Elem())
+	case *types.Map:
+		w.walk(u.Key())
+		w.walk(u.Elem())
+	case *types.Struct:
+		w.walkStruct(t, u)
+	}
+}
+
+func (w *gobWalker) walkStruct(t types.Type, st *types.Struct) {
+	name := typeName(t)
+	exported := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			w.report(f, "unexported field %s of wire type %s is silently dropped by gob", f.Name(), name)
+			continue
+		}
+		exported++
+		w.checkField(name, f)
+	}
+	if exported == 0 && st.NumFields() > 0 {
+		w.pass.Reportf(w.rootPos, "wire type %s has no exported fields; gob encoding fails at runtime", name)
+	}
+}
+
+func (w *gobWalker) checkField(owner string, f *types.Var) {
+	switch u := f.Type().Underlying().(type) {
+	case *types.Signature:
+		w.report(f, "field %s of wire type %s is a func; gob cannot encode it", f.Name(), owner)
+	case *types.Chan:
+		w.report(f, "field %s of wire type %s is a channel; gob cannot encode it", f.Name(), owner)
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Complex64, types.Complex128, types.UnsafePointer:
+			w.report(f, "field %s of wire type %s has type %s; gob cannot encode it", f.Name(), owner, u)
+		}
+	case *types.Interface:
+		if !w.registered {
+			w.report(f,
+				"interface-typed field %s of wire type %s crosses the wire without any gob.Register in this package; concrete values cannot decode",
+				f.Name(), owner)
+		}
+	default:
+		w.walk(f.Type())
+	}
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,634 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces AIDE's mutex discipline in the packages that run
+// under concurrent method-dispatch hooks (vm, monitor) and under the
+// peer's RPC worker pool (remote).
+//
+// For every struct type holding a sync.Mutex or sync.RWMutex it infers
+// the guarded field set — fields written at least once while the mutex
+// is held — and then requires:
+//
+//  1. exported methods touch guarded fields only while holding the
+//     mutex that guards them, and
+//  2. no method calls another method of the same receiver that
+//     acquires a mutex the caller already holds (the self-deadlock
+//     shape; Go mutexes are not reentrant).
+//
+// Unexported methods are exempt from rule 1: by convention they state
+// "caller holds mu" (the repo's *Locked helpers). Rule 2 applies to
+// every method.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "exported methods of mutex-holding types must hold the mutex around guarded fields and must not re-acquire it through same-receiver calls",
+	Run:  runLockCheck,
+}
+
+// lockAccess is one touch of a receiver field inside a method body.
+type lockAccess struct {
+	field *types.Var
+	write bool
+	held  []*types.Var // mutex fields held at the access
+	pos   token.Pos
+}
+
+// lockCall is a call to a same-receiver method while analyzing a body.
+type lockCall struct {
+	callee *types.Func
+	held   []*types.Var
+	pos    token.Pos
+}
+
+// methodFacts is what one walk of a method body produces.
+type methodFacts struct {
+	fn       *types.Func
+	decl     *ast.FuncDecl
+	accesses []lockAccess
+	calls    []lockCall
+
+	// acquires holds the mutexes this method locks from an unheld
+	// entry state. A body whose first operation on a mutex is an
+	// Unlock is a caller-holds-lock helper doing a temporary release
+	// (the VM's pressure-handler shape); its re-Lock is not an
+	// acquisition.
+	acquires map[*types.Var]bool
+	firstOp  map[*types.Var]string
+}
+
+// applyMutexOp updates the held set and acquisition facts for one
+// Lock/Unlock-family call on mutex field mu.
+func (w *lockWalker) applyMutexOp(mu *types.Var, op string) {
+	switch op {
+	case "Lock", "RLock":
+		w.held[mu] = true
+		if _, seen := w.facts.firstOp[mu]; !seen {
+			w.facts.firstOp[mu] = op
+			w.facts.acquires[mu] = true
+		}
+	case "Unlock", "RUnlock":
+		delete(w.held, mu)
+		if _, seen := w.facts.firstOp[mu]; !seen {
+			w.facts.firstOp[mu] = op
+		}
+	case "TryLock", "TryRLock":
+		// Result-dependent; treat as not held to stay conservative.
+	}
+}
+
+func runLockCheck(pass *Pass) error {
+	for _, typ := range mutexStructs(pass) {
+		facts := make(map[*types.Func]*methodFacts)
+		for fn, decl := range methodsOf(pass, typ.named) {
+			w := newLockWalker(pass, typ, decl)
+			if w == nil {
+				continue
+			}
+			w.walkBody(decl.Body)
+			w.facts.fn = fn
+			w.facts.decl = decl
+			facts[fn] = w.facts
+		}
+
+		// Infer the guarded set: fields written under a mutex anywhere
+		// in the type's methods, mapped to the mutexes seen guarding
+		// them.
+		guardians := make(map[*types.Var][]*types.Var)
+		for _, f := range facts {
+			for _, a := range f.accesses {
+				if a.write && len(a.held) > 0 {
+					guardians[a.field] = appendMissing(guardians[a.field], a.held)
+				}
+			}
+		}
+
+		for _, f := range facts {
+			exported := f.fn.Exported()
+			for _, a := range f.accesses {
+				mus, guarded := guardians[a.field]
+				if !guarded || !exported {
+					continue
+				}
+				if !holdsAny(a.held, mus) {
+					pass.Reportf(a.pos,
+						"%s.%s accesses %s.%s without holding %s (guarded field)",
+						typ.named.Obj().Name(), f.fn.Name(),
+						typ.named.Obj().Name(), a.field.Name(), mus[0].Name())
+				}
+			}
+			for _, c := range f.calls {
+				callee, ok := facts[c.callee]
+				if !ok || len(c.held) == 0 {
+					continue
+				}
+				for mu := range callee.acquires {
+					if holdsAny(c.held, []*types.Var{mu}) {
+						pass.Reportf(c.pos,
+							"%s.%s calls %s.%s while holding %s, which %s re-acquires (deadlock)",
+							typ.named.Obj().Name(), f.fn.Name(),
+							typ.named.Obj().Name(), c.callee.Name(),
+							mu.Name(), c.callee.Name())
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func appendMissing(dst []*types.Var, add []*types.Var) []*types.Var {
+	for _, v := range add {
+		found := false
+		for _, d := range dst {
+			if d == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func holdsAny(held, want []*types.Var) bool {
+	for _, h := range held {
+		for _, w := range want {
+			if h == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mutexStruct is a named struct type with at least one mutex field.
+type mutexStruct struct {
+	named   *types.Named
+	st      *types.Struct
+	mutexes map[*types.Var]bool
+}
+
+func mutexStructs(pass *Pass) []*mutexStruct {
+	var out []*mutexStruct
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mus := map[*types.Var]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				mus[st.Field(i)] = true
+			}
+		}
+		if len(mus) > 0 {
+			out = append(out, &mutexStruct{named: named, st: st, mutexes: mus})
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// methodsOf returns the package's method declarations on the named type.
+func methodsOf(pass *Pass, named *types.Named) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if t == named.Obj().Type() || types.Identical(t, named.Obj().Type()) {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// lockWalker tracks the held-mutex set through one method body.
+type lockWalker struct {
+	pass  *Pass
+	typ   *mutexStruct
+	recv  types.Object
+	held  map[*types.Var]bool
+	facts *methodFacts
+}
+
+func newLockWalker(pass *Pass, typ *mutexStruct, decl *ast.FuncDecl) *lockWalker {
+	if len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil // unnamed receiver: cannot touch fields
+	}
+	recv := pass.Info.Defs[decl.Recv.List[0].Names[0]]
+	if recv == nil {
+		return nil
+	}
+	return &lockWalker{
+		pass: pass,
+		typ:  typ,
+		recv: recv,
+		held: map[*types.Var]bool{},
+		facts: &methodFacts{
+			acquires: map[*types.Var]bool{},
+			firstOp:  map[*types.Var]string{},
+		},
+	}
+}
+
+func (w *lockWalker) heldSnapshot() []*types.Var {
+	var out []*types.Var
+	for mu, on := range w.held {
+		if on {
+			out = append(out, mu)
+		}
+	}
+	return out
+}
+
+// walkBody processes statements in order and reports whether the block
+// definitely terminates (return / panic / branch).
+func (w *lockWalker) walkBody(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if w.walkStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if isPanicCall(w.pass, s.X) {
+			w.walkExpr(s.X, false)
+			return true
+		}
+		w.walkExpr(s.X, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.walkExpr(r, false)
+		}
+		for _, l := range s.Lhs {
+			w.walkExpr(l, true)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, true)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, false)
+		w.walkExpr(s.Value, false)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to the end of the
+		// method; it is the idiomatic Lock();defer Unlock() pairing.
+		if mu, op, ok := w.mutexOp(s.Call); ok {
+			if op == "Lock" || op == "RLock" {
+				w.applyMutexOp(mu, op)
+			}
+			return false
+		}
+		w.walkCall(s.Call)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's lock.
+		saved := w.copyHeld()
+		w.held = map[*types.Var]bool{}
+		w.walkCall(s.Call)
+		w.held = saved
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkBody(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkExpr(s.Cond, false)
+		pre := w.copyHeld()
+		thenTerm := w.walkBody(s.Body)
+		thenHeld := w.held
+		w.held = w.copyFrom(pre)
+		elseTerm := false
+		elseHeld := w.held
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else)
+			elseHeld = w.held
+		}
+		switch {
+		case thenTerm && elseTerm:
+			w.held = pre
+			return true
+		case thenTerm:
+			w.held = elseHeld
+		case elseTerm:
+			w.held = thenHeld
+		default:
+			w.held = intersectHeld(thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, false)
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+		w.walkIsolated(func() { w.walkBody(s.Body) })
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, false)
+		w.walkIsolated(func() { w.walkBody(s.Body) })
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, false)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.SelectStmt:
+		w.walkCaseBodies(s.Body)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, false)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkCaseBodies analyzes each case clause from the current state and
+// conservatively restores the pre-switch state afterwards.
+func (w *lockWalker) walkCaseBodies(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.walkExpr(e, false)
+			}
+			w.walkIsolated(func() {
+				for _, s := range c.Body {
+					if w.walkStmt(s) {
+						break
+					}
+				}
+			})
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			w.walkIsolated(func() {
+				for _, s := range c.Body {
+					if w.walkStmt(s) {
+						break
+					}
+				}
+			})
+		}
+	}
+}
+
+// walkIsolated runs fn and restores the held set afterwards (used for
+// loop and case bodies, whose net lock effect is assumed balanced).
+func (w *lockWalker) walkIsolated(fn func()) {
+	saved := w.copyHeld()
+	fn()
+	w.held = saved
+}
+
+func (w *lockWalker) copyHeld() map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(w.held))
+	for k, v := range w.held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) copyFrom(m map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectHeld(a, b map[*types.Var]bool) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for k, v := range a {
+		if v && b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (w *lockWalker) walkExpr(e ast.Expr, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.walkCall(e)
+	case *ast.SelectorExpr:
+		if f, ok := w.recvField(e); ok {
+			if !w.typ.mutexes[f] {
+				w.facts.accesses = append(w.facts.accesses, lockAccess{
+					field: f, write: write, held: w.heldSnapshot(), pos: e.Pos(),
+				})
+			}
+			return
+		}
+		w.walkExpr(e.X, false)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, write)
+		w.walkExpr(e.Index, false)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, write)
+		w.walkExpr(e.Low, false)
+		w.walkExpr(e.High, false)
+		w.walkExpr(e.Max, false)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, write)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, write)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X, false)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, false)
+		w.walkExpr(e.Y, false)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value, false)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.walkExpr(elt, false)
+		}
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, false)
+	case *ast.FuncLit:
+		// A literal may run later (callback, goroutine): analyze it
+		// with no lock held so unguarded touches inside still surface.
+		saved := w.copyHeld()
+		w.held = map[*types.Var]bool{}
+		w.walkBody(e.Body)
+		w.held = saved
+	}
+}
+
+func (w *lockWalker) walkCall(call *ast.CallExpr) {
+	if mu, op, ok := w.mutexOp(call); ok {
+		w.applyMutexOp(mu, op)
+		return
+	}
+	if fn, ok := w.recvMethodCall(call); ok {
+		w.facts.calls = append(w.facts.calls, lockCall{
+			callee: fn, held: w.heldSnapshot(), pos: call.Pos(),
+		})
+		for _, a := range call.Args {
+			w.walkExpr(a, false)
+		}
+		return
+	}
+	w.walkExpr(call.Fun, false)
+	for _, a := range call.Args {
+		w.walkExpr(a, false)
+	}
+}
+
+// mutexOp matches recv.mu.Lock() (named mutex field) and recv.Lock()
+// (embedded mutex) call shapes against the receiver's mutex fields.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	// recv.mu.Lock()
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+		if f, ok := w.recvField(inner); ok && w.typ.mutexes[f] {
+			return f, op, true
+		}
+		return nil, "", false
+	}
+	// recv.Lock() through an embedded mutex.
+	if id, ok := sel.X.(*ast.Ident); ok && w.pass.Info.ObjectOf(id) == w.recv {
+		if s := w.pass.Info.Selections[sel]; s != nil && len(s.Index()) == 2 {
+			if f, ok := w.typ.fieldAt(s.Index()[0]); ok && w.typ.mutexes[f] {
+				return f, op, true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+func (t *mutexStruct) fieldAt(i int) (*types.Var, bool) {
+	if i < 0 || i >= t.st.NumFields() {
+		return nil, false
+	}
+	return t.st.Field(i), true
+}
+
+// recvField matches `recv.f` where f is a field of the receiver's
+// struct type.
+func (w *lockWalker) recvField(sel *ast.SelectorExpr) (*types.Var, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || w.pass.Info.ObjectOf(id) != w.recv {
+		return nil, false
+	}
+	s := w.pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok || len(s.Index()) != 1 {
+		return nil, false
+	}
+	return f, true
+}
+
+// recvMethodCall matches `recv.M(...)` where M is a method of the
+// receiver's type.
+func (w *lockWalker) recvMethodCall(call *ast.CallExpr) (*types.Func, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || w.pass.Info.ObjectOf(id) != w.recv {
+		return nil, false
+	}
+	s := w.pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return fn, ok
+}
+
+func isPanicCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}

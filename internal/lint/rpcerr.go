@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RPCErr enforces the paper's graceful-degradation contract at the
+// remote-invocation boundary: when the surrogate disappears, every
+// caller must see the transport failure as an error, never lose it and
+// never crash.
+//
+// Two rules:
+//
+//  1. any call into the remote package (path suffix "internal/remote")
+//     whose signature returns an error must not discard it — neither
+//     as a bare expression statement nor by assigning the error
+//     position to the blank identifier;
+//  2. panic is banned outside package main and test files — library
+//     code returns errors.
+var RPCErr = &Analyzer{
+	Name: "rpcerr",
+	Doc:  "errors returned by the remote-invocation module must be checked; panic is banned outside main packages and tests",
+	Run:  runRPCErr,
+}
+
+// remotePathSuffix identifies the remote-invocation module.
+const remotePathSuffix = "internal/remote"
+
+func runRPCErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedRemoteError(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedRemoteError(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedRemoteError(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankRemoteError(pass, n)
+			case *ast.CallExpr:
+				if !isTest && pass.Pkg.Name() != "main" && isPanicCall(pass, n) {
+					pass.Reportf(n.Pos(),
+						"panic in library code; return an error with context instead (graceful degradation, paper §2)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// remoteErrorCall reports whether the call's static callee belongs to
+// the remote module and returns an error.
+func remoteErrorCall(pass *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), remotePathSuffix) {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func checkDroppedRemoteError(pass *Pass, e ast.Expr, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := remoteErrorCall(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"%scall to %s discards its error; a vanished surrogate must surface as a transport failure",
+			how, fn.Name())
+	}
+}
+
+// checkBlankRemoteError flags `_`-discards of error results from
+// remote-module calls, in both `v, _ := f()` and `_ = f()` forms.
+func checkBlankRemoteError(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := remoteErrorCall(pass, call)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if i < sig.Results().Len() && isErrorType(sig.Results().At(i).Type()) {
+			pass.Reportf(id.Pos(),
+				"error result of %s assigned to _; check it or suppress with %srpcerr <reason>",
+				fn.Name(), AllowDirective)
+		}
+	}
+}

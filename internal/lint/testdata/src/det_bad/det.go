@@ -1,0 +1,29 @@
+// Package det_bad holds every nondeterminism source detcheck forbids in
+// replay paths: wall-clock reads, the process-global math/rand, and map
+// iteration order leaking into a result slice.
+package det_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `call to time\.Now in a deterministic path`
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time\.Since in a deterministic path`
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want `process-global rand\.Intn`
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds out in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}

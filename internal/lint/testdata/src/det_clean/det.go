@@ -1,0 +1,44 @@
+// Package det_clean holds the deterministic replacements detcheck must
+// accept: an injected clock field, seeded *rand.Rand generators, and
+// map iteration whose output is sorted afterwards.
+package det_clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Clocked struct {
+	now func() time.Time
+}
+
+// New stores time.Now as a value, not a call: allowed.
+func New() *Clocked { return &Clocked{now: time.Now} }
+
+func (c *Clocked) Stamp() time.Time { return c.now() }
+
+// Seeded uses the explicit constructors, which are allowed.
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// Pick calls a method on a seeded generator, not the global one.
+func Pick(r *rand.Rand, n int) int { return r.Intn(n) }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Pairs(m map[string]int) []string {
+	// Appending to a slice declared inside the loop cannot leak order.
+	for range m {
+		var local []string
+		local = append(local, "x")
+		_ = local
+	}
+	return nil
+}

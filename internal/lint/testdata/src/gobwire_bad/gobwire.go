@@ -1,0 +1,33 @@
+// Package gobwire_bad sends types through gob that violate every
+// gobwire rule: unencodable fields, silently-dropped unexported fields,
+// a reachable struct with no exported fields, and an interface field
+// with no gob.Register anywhere in the package.
+package gobwire_bad
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Payload struct {
+	Name   string
+	Fn     func()     // want `field Fn of wire type gobwire_bad\.Payload is a func`
+	Ch     chan int   // want `field Ch of wire type gobwire_bad\.Payload is a channel`
+	Z      complex128 // want `field Z of wire type gobwire_bad\.Payload has type complex128`
+	hidden int        // want `unexported field hidden of wire type gobwire_bad\.Payload is silently dropped`
+	Data   Inner
+	Meta   meta
+}
+
+type Inner struct {
+	Val any // want `interface-typed field Val of wire type gobwire_bad\.Inner crosses the wire without any gob\.Register`
+}
+
+type meta struct {
+	n int // want `unexported field n of wire type gobwire_bad\.meta is silently dropped`
+}
+
+func Send(p Payload) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(p) // want `wire type gobwire_bad\.meta has no exported fields`
+}

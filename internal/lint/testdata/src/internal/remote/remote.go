@@ -1,0 +1,11 @@
+// Package remote is a test stand-in for the real remote-invocation
+// module: its import path ends in internal/remote, so rpcerr treats
+// calls into it as remote-module calls.
+package remote
+
+type Peer struct{}
+
+func (p *Peer) Ping() error  { return nil }
+func (p *Peer) Close() error { return nil }
+
+func Dial(addr string) (*Peer, error) { return &Peer{}, nil }

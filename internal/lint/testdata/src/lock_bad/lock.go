@@ -1,0 +1,44 @@
+// Package lock_bad exercises both lockcheck rules: an exported method
+// touching a guarded field without the mutex, and a same-receiver call
+// that re-acquires a held mutex.
+package lock_bad
+
+import "sync"
+
+type Table struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Add writes count under mu, which marks count as guarded.
+func (t *Table) Add() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+}
+
+func (t *Table) Peek() int {
+	return t.count // want `Table.Peek accesses Table.count without holding mu`
+}
+
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Add() // want `calls Table.Add while holding mu, which Add re-acquires \(deadlock\)`
+}
+
+// Embedded holds its mutex anonymously; recv.Lock() must still count.
+type Embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *Embedded) Inc() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}
+
+func (e *Embedded) Get() int {
+	return e.n // want `Embedded.Get accesses Embedded.n without holding Mutex`
+}

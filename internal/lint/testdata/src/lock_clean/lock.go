@@ -1,0 +1,45 @@
+// Package lock_clean holds the mutex shapes lockcheck must accept:
+// lock/defer-unlock pairing, unexported caller-holds-mu helpers, the
+// temporary-release helper whose first mutex operation is an Unlock,
+// and goroutines that do their own locking.
+package lock_clean
+
+import "sync"
+
+type Table struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (t *Table) Add() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addLocked()
+}
+
+// addLocked requires mu held by the caller (the *Locked convention).
+func (t *Table) addLocked() { t.count++ }
+
+func (t *Table) Drain() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	return t.count
+}
+
+// flushLocked temporarily releases mu for slow work and re-acquires it
+// before returning: not an acquisition, so Drain's call is no deadlock.
+func (t *Table) flushLocked() {
+	t.mu.Unlock()
+	// slow work outside the lock
+	t.mu.Lock()
+	t.count = 0
+}
+
+func (t *Table) Spawn() {
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.count++
+	}()
+}

@@ -1,0 +1,32 @@
+// Package rpcerr_bad discards remote-module errors in every way rpcerr
+// forbids, and panics in library code.
+package rpcerr_bad
+
+import (
+	remote "aide/internal/lint/testdata/src/internal/remote"
+)
+
+func Drop(p *remote.Peer) {
+	p.Ping() // want `call to Ping discards its error`
+}
+
+func Blank(p *remote.Peer) {
+	_ = p.Close() // want `error result of Close assigned to _`
+}
+
+func Deferred(p *remote.Peer) {
+	defer p.Close() // want `deferred call to Close discards its error`
+}
+
+func Spawned(p *remote.Peer) {
+	go p.Ping() // want `spawned call to Ping discards its error`
+}
+
+func Pair() {
+	p, _ := remote.Dial("surrogate:7707") // want `error result of Dial assigned to _`
+	_ = p
+}
+
+func Boom() {
+	panic("unreachable") // want `panic in library code`
+}

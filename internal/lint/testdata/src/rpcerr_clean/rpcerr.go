@@ -1,0 +1,34 @@
+// Package rpcerr_clean handles remote-module errors the ways rpcerr
+// must accept: checked, propagated, or explicitly suppressed with a
+// reasoned //lint:allow directive.
+package rpcerr_clean
+
+import (
+	"fmt"
+
+	remote "aide/internal/lint/testdata/src/internal/remote"
+)
+
+func Checked(p *remote.Peer) error {
+	if err := p.Ping(); err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+	return nil
+}
+
+func Propagated(addr string) (*remote.Peer, error) {
+	return remote.Dial(addr)
+}
+
+func Folded(p *remote.Peer) (err error) {
+	err = p.Ping()
+	if cerr := p.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func Suppressed(p *remote.Peer) {
+	//lint:allow rpcerr best-effort notification on teardown
+	_ = p.Close()
+}

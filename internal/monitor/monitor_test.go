@@ -167,8 +167,8 @@ func TestFeedRebuildsSameGraph(t *testing.T) {
 func TestRegistryMeta(t *testing.T) {
 	reg := vm.NewRegistry()
 	body := func(*vm.Thread, vm.ObjectID, []vm.Value) (vm.Value, error) { return vm.Nil(), nil }
-	reg.MustRegister(vm.ClassSpec{Name: "N", Methods: []vm.MethodSpec{{Name: "m", Native: true, Body: body}}})
-	reg.MustRegister(vm.ClassSpec{Name: "A", Array: true})
+	mustRegister(reg, vm.ClassSpec{Name: "N", Methods: []vm.MethodSpec{{Name: "m", Native: true, Body: body}}})
+	mustRegister(reg, vm.ClassSpec{Name: "A", Array: true})
 	f := RegistryMeta(reg)
 	if got := f("N"); !got.Pinned || got.Stateless {
 		t.Fatalf("N meta = %+v", got)
@@ -186,5 +186,13 @@ func TestLiveGraphAccessor(t *testing.T) {
 	m.OnCreate("a", 1, 10)
 	if m.Live().Len() != 1 {
 		t.Fatal("Live graph missing node")
+	}
+}
+
+// mustRegister registers a class during test setup, panicking on the spec
+// errors that Register reports (setup bugs, not monitored behavior).
+func mustRegister(reg *vm.Registry, spec vm.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		panic(err)
 	}
 }

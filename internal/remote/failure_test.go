@@ -13,7 +13,7 @@ import (
 // released, for in-flight-failure tests.
 func failureRegistry(block chan struct{}) *vm.Registry {
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{
+	mustRegister(reg, vm.ClassSpec{
 		Name:   "Box",
 		Fields: []string{"v"},
 		Methods: []vm.MethodSpec{

@@ -33,6 +33,10 @@ type Peer struct {
 	requests chan *Message
 	wg       sync.WaitGroup
 
+	// now is the wall-clock source for RTT measurement, injectable so
+	// tests can measure probe latency with a fake clock.
+	now func() time.Time
+
 	stats Stats
 }
 
@@ -57,6 +61,10 @@ type Options struct {
 
 	// Link enables simulated network costing.
 	Link *netmodel.Link
+
+	// Now overrides the peer's wall-clock source (RTT probes). Nil
+	// defaults to time.Now; tests inject a fake clock.
+	Now func() time.Time
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -72,6 +80,10 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		link:      opts.Link,
 		pending:   make(map[uint64]chan *Message),
 		requests:  make(chan *Message, workers),
+		now:       opts.Now,
+	}
+	if p.now == nil {
+		p.now = time.Now
 	}
 	p.idx = local.AttachPeer(p)
 	p.wg.Add(1 + workers)
@@ -310,6 +322,7 @@ func (p *Peer) Release(peerObj vm.ObjectID) {
 	p.stats.BytesSent += m.wireBytes()
 	p.mu.Unlock()
 	// Best effort: a lost release leaks one export pin, never corrupts.
+	//lint:allow rpcerr fire-and-forget release; recvLoop owns transport failure
 	_ = p.transport.Send(m)
 }
 
@@ -372,7 +385,7 @@ type PeerInfo struct {
 
 // Info probes the peer's resources and measures the probe's round trip.
 func (p *Peer) Info() (PeerInfo, error) {
-	start := time.Now()
+	start := p.now()
 	reply, err := p.call(&Message{Kind: MsgInfo})
 	if err != nil {
 		return PeerInfo{}, err
@@ -381,7 +394,7 @@ func (p *Peer) Info() (PeerInfo, error) {
 		FreeBytes:     reply.FreeBytes,
 		CapacityBytes: reply.CapacityBytes,
 		CPUSpeed:      reply.CPUSpeed,
-		RTT:           time.Since(start),
+		RTT:           p.now().Sub(start),
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 func testRegistry(t *testing.T) *vm.Registry {
 	t.Helper()
 	reg := vm.NewRegistry()
-	reg.MustRegister(vm.ClassSpec{
+	mustRegister(reg, vm.ClassSpec{
 		Name:   "UI",
 		Fields: []string{"doc"},
 		Methods: []vm.MethodSpec{
@@ -32,7 +33,7 @@ func testRegistry(t *testing.T) *vm.Registry {
 			}},
 		},
 	})
-	reg.MustRegister(vm.ClassSpec{
+	mustRegister(reg, vm.ClassSpec{
 		Name:         "Doc",
 		Fields:       []string{"len", "title"},
 		StaticFields: []string{"count"},
@@ -278,5 +279,49 @@ func TestPingAndClose(t *testing.T) {
 	}
 	if err := ps.Ping(); err != nil {
 		t.Fatalf("reverse ping: %v", err)
+	}
+}
+
+// mustRegister registers a class during test setup, panicking on the spec
+// errors that Register reports (setup bugs, not remote behavior).
+func mustRegister(reg *vm.Registry, spec vm.ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// TestInfoRTTFakeClock verifies the probe's round-trip measurement uses
+// the injectable clock: with a deterministic clock that advances 5 ms per
+// reading, the measured RTT is exactly 5 ms (one reading before the call,
+// one after).
+func TestInfoRTTFakeClock(t *testing.T) {
+	reg := testRegistry(t)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 1 << 20})
+
+	base := time.Unix(1_000_000, 0)
+	var readings atomic.Int64
+	fake := func() time.Time {
+		return base.Add(time.Duration(readings.Add(1)) * 5 * time.Millisecond)
+	}
+	pc, ps := NewPair(client, surrogate, Options{Workers: 1, Now: fake})
+	defer func() {
+		if err := pc.Close(); err != nil {
+			t.Errorf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("close surrogate peer: %v", err)
+		}
+	}()
+
+	info, err := pc.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.RTT != 5*time.Millisecond {
+		t.Fatalf("RTT = %v with fake clock, want exactly 5ms", info.RTT)
+	}
+	if got := readings.Load(); got != 2 {
+		t.Fatalf("clock read %d times during Info, want 2", got)
 	}
 }

@@ -1,0 +1,115 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aide/internal/vm"
+)
+
+// TestConcurrentInvokeReleaseStress hammers one client/surrogate pair
+// from 8 goroutines — remote invocations, field reads, latency probes,
+// and distributed-GC releases — so the race detector sees the peer
+// tables, worker pool, and transport under real contention:
+//
+//	go test -race ./internal/remote/...
+func TestConcurrentInvokeReleaseStress(t *testing.T) {
+	client, _, pc, _ := newPlatform(t)
+
+	const (
+		invokers = 4
+		iters    = 50
+	)
+
+	setup := client.NewThread()
+	docs := make([]vm.ObjectID, invokers)
+	for i := range docs {
+		doc, err := setup.New("Doc", 512)
+		if err != nil {
+			t.Fatalf("new Doc: %v", err)
+		}
+		client.SetRoot(fmt.Sprintf("doc%d", i), doc)
+		docs[i] = doc
+	}
+	if _, _, err := pc.Offload([]string{"Doc"}); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	for i, doc := range docs {
+		if o := client.Object(doc); o == nil || !o.Remote {
+			t.Fatalf("doc %d is not a stub after offload", i)
+		}
+	}
+
+	errc := make(chan error, 8*iters)
+	var wg sync.WaitGroup
+
+	// Four invokers: remote method calls and field reads, each on its
+	// own doc so the expected final state is exact.
+	for i := 0; i < invokers; i++ {
+		wg.Add(1)
+		go func(doc vm.ObjectID) {
+			defer wg.Done()
+			th := client.NewThread()
+			for n := 0; n < iters; n++ {
+				if _, err := th.Invoke(doc, "append", vm.Int(1)); err != nil {
+					errc <- fmt.Errorf("append: %w", err)
+					return
+				}
+				if _, err := th.GetField(doc, "len"); err != nil {
+					errc <- fmt.Errorf("get len: %w", err)
+					return
+				}
+			}
+		}(docs[i])
+	}
+
+	// Two probers: Ping and Info share the RPC call path and the stats
+	// counters with the invokers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				if err := pc.Ping(); err != nil {
+					errc <- fmt.Errorf("ping: %w", err)
+					return
+				}
+				if _, err := pc.Info(); err != nil {
+					errc <- fmt.Errorf("info: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Two releasers: fire-and-forget distributed-GC decrements racing
+	// the invocations. The IDs are unknown on the serving side, where
+	// releasing an unknown export is a no-op.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				pc.Release(vm.ObjectID(1_000_000 + seed*iters + n))
+			}
+		}(i)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("stress op: %v", err)
+	}
+
+	th := client.NewThread()
+	for i, doc := range docs {
+		v, err := th.GetField(doc, "len")
+		if err != nil {
+			t.Fatalf("final read of doc %d: %v", i, err)
+		}
+		if v.I != iters {
+			t.Errorf("doc %d len = %d after %d concurrent appends, want %d", i, v.I, iters, iters)
+		}
+	}
+}

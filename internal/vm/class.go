@@ -191,15 +191,6 @@ func (r *Registry) Register(spec ClassSpec) (*Class, error) {
 	return c, nil
 }
 
-// MustRegister is Register for program initialization; it panics on error.
-func (r *Registry) MustRegister(spec ClassSpec) *Class {
-	c, err := r.Register(spec)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Class returns the named class, or nil.
 func (r *Registry) Class(name string) *Class { return r.classes[name] }
 

@@ -1,0 +1,53 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustRegister registers a class during test setup, panicking on the spec
+// errors that Register reports (setup bugs, not VM behavior).
+func mustRegister(reg *Registry, spec ClassSpec) {
+	if _, err := reg.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Registration failures must be reported as errors, never as panics: the
+// registry is library code and the platform degrades gracefully.
+func TestRegisterErrorsDoNotPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ClassSpec
+		want string
+	}{
+		{"empty name", ClassSpec{}, "name must not be empty"},
+		{"duplicate class", ClassSpec{Name: "Dup"}, "already registered"},
+		{"duplicate field", ClassSpec{Name: "F", Fields: []string{"x", "x"}}, "duplicate field"},
+		{"unnamed method", ClassSpec{Name: "M", Methods: []MethodSpec{{}}}, "unnamed method"},
+		{"nil body", ClassSpec{Name: "B", Methods: []MethodSpec{{Name: "m"}}}, "no body"},
+	}
+	reg := NewRegistry()
+	if _, err := reg.Register(ClassSpec{Name: "Dup"}); err != nil {
+		t.Fatalf("seed class: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Register panicked: %v", r)
+				}
+			}()
+			c, err := reg.Register(tc.spec)
+			if err == nil {
+				t.Fatalf("Register(%+v) succeeded, want error", tc.spec)
+			}
+			if c != nil {
+				t.Fatalf("Register returned non-nil class alongside error %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

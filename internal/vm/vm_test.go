@@ -76,10 +76,10 @@ func TestRegistryRejectsBadSpecs(t *testing.T) {
 func TestClassPinnedAndStateless(t *testing.T) {
 	reg := NewRegistry()
 	body := func(*Thread, ObjectID, []Value) (Value, error) { return Nil(), nil }
-	reg.MustRegister(ClassSpec{Name: "Plain", Methods: []MethodSpec{{Name: "m", Body: body}}})
-	reg.MustRegister(ClassSpec{Name: "Nat", Methods: []MethodSpec{{Name: "m", Native: true, Body: body}}})
-	reg.MustRegister(ClassSpec{Name: "Math", Methods: []MethodSpec{{Name: "m", Native: true, Stateless: true, Body: body}}})
-	reg.MustRegister(ClassSpec{Name: "Mixed", Methods: []MethodSpec{
+	mustRegister(reg, ClassSpec{Name: "Plain", Methods: []MethodSpec{{Name: "m", Body: body}}})
+	mustRegister(reg, ClassSpec{Name: "Nat", Methods: []MethodSpec{{Name: "m", Native: true, Body: body}}})
+	mustRegister(reg, ClassSpec{Name: "Math", Methods: []MethodSpec{{Name: "m", Native: true, Stateless: true, Body: body}}})
+	mustRegister(reg, ClassSpec{Name: "Mixed", Methods: []MethodSpec{
 		{Name: "a", Native: true, Stateless: true, Body: body},
 		{Name: "b", Native: true, Body: body},
 	}})
@@ -372,13 +372,13 @@ func TestNestedSelfTimeAttribution(t *testing.T) {
 	// Figure 9: outer works 20ms, nested works 100ms; outer's self time
 	// must be 20ms.
 	reg := NewRegistry()
-	reg.MustRegister(ClassSpec{Name: "B", Methods: []MethodSpec{
+	mustRegister(reg, ClassSpec{Name: "B", Methods: []MethodSpec{
 		{Name: "g", Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
 			th.Work(100 * time.Millisecond)
 			return Nil(), nil
 		}},
 	}})
-	reg.MustRegister(ClassSpec{Name: "A", Fields: []string{"b"}, Methods: []MethodSpec{
+	mustRegister(reg, ClassSpec{Name: "A", Fields: []string{"b"}, Methods: []MethodSpec{
 		{Name: "f", Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
 			th.Work(20 * time.Millisecond)
 			b, err := th.GetField(self, "b")

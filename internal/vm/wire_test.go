@@ -8,8 +8,8 @@ import (
 func wireRegistry(t *testing.T) *Registry {
 	t.Helper()
 	reg := NewRegistry()
-	reg.MustRegister(ClassSpec{Name: "Node", Fields: []string{"next", "label"}})
-	reg.MustRegister(ClassSpec{Name: "Leaf", Fields: []string{"v"}})
+	mustRegister(reg, ClassSpec{Name: "Node", Fields: []string{"next", "label"}})
+	mustRegister(reg, ClassSpec{Name: "Leaf", Fields: []string{"v"}})
 	return reg
 }
 

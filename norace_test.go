@@ -1,0 +1,5 @@
+//go:build !race
+
+package aide
+
+const raceEnabled = false

@@ -37,7 +37,9 @@ func ProbeSurrogates(addrs []string) []SurrogateProbe {
 		v := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
 		peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
 		info, err := peer.Info()
-		_ = peer.Close()
+		if cerr := peer.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			probes[i].Err = fmt.Errorf("aide: probe %s: %w", addr, err)
 			continue

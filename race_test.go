@@ -1,0 +1,7 @@
+//go:build race
+
+package aide
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the heavyweight experiment benchmarks skip under it.
+const raceEnabled = true
