@@ -125,6 +125,29 @@ func BenchmarkFigure7PolicySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7PolicySweepParallel is the same sweep with an 8-wide
+// worker pool: the speedup over BenchmarkFigure7PolicySweep is the
+// experiment engine's parallel efficiency (the output is bit-identical;
+// TestGoldenParallelDeterminism checks that).
+func BenchmarkFigure7PolicySweepParallel(b *testing.B) {
+	skipBench(b)
+	s := suite(b)
+	old := s.Parallelism
+	s.Parallelism = 8
+	defer func() { s.Parallelism = old }()
+	var rows []experiments.Figure7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Figure7(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ReductionFrac*100, "%reduction-"+r.App)
+	}
+}
+
 // BenchmarkFigure8Native reruns the remote-native-invocation counts (paper
 // Figure 8: large native share for JavaNote/Dia, small for Biomer).
 func BenchmarkFigure8Native(b *testing.B) {
@@ -219,6 +242,55 @@ func BenchmarkMinCutCandidates(b *testing.B) {
 	}
 }
 
+// BenchmarkRepartitionFresh measures one repartitioning step — dense input
+// construction plus the MINCUT heuristic — allocating fresh buffers every
+// call, as the emulator did before buffer reuse.
+func BenchmarkRepartitionFresh(b *testing.B) {
+	skipBench(b)
+	g := repartitionGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := mincut.FromGraph(g, graph.BytesWeight)
+		if _, err := mincut.Candidates(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepartitionScratch is the same step through a mincut.Scratch,
+// the emulator's current hot path: the N×N weight matrix, pinned slice,
+// and connectivity array are amortized across calls.
+func BenchmarkRepartitionScratch(b *testing.B) {
+	skipBench(b)
+	g := repartitionGraph(b)
+	var sc mincut.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := sc.FromGraph(g, graph.BytesWeight)
+		if _, err := sc.Candidates(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// repartitionGraph builds the JavaNote-scale execution graph both
+// repartition benchmarks run against.
+func repartitionGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	s := suite(b)
+	tr, err := s.Trace("JavaNote")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := monitor.New(nil)
+	for i := range tr.Events {
+		m.Feed(tr, &tr.Events[i])
+	}
+	return m.Graph()
+}
+
 // BenchmarkStoerWagnerExact measures the exact global minimum cut on the
 // same graph (the ablation baseline for the modified heuristic).
 func BenchmarkStoerWagnerExact(b *testing.B) {
@@ -276,6 +348,7 @@ func BenchmarkEmulatorReplay(b *testing.B) {
 		ClientSlowdown: 10,
 		GCBytesTrigger: 96 << 10,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := emulator.Run(tr, cfg); err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,16 +18,18 @@ func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
 	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep)")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
+	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
+	jsonPath := flag.String("json", "BENCH_sweeps.json", "file to write per-artifact wall-clock seconds into (empty disables)")
 	flag.Parse()
-	if err := run(*full, *only, *dot); err != nil {
+	if err := run(*full, *only, *dot, *parallel, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, only, dotDir string) error {
+func run(full bool, only, dotDir string, parallel int, jsonPath string) error {
 	s := experiments.NewSuite()
-	want := func(name string) bool { return only == "" || only == name }
+	s.Parallelism = parallel
 	section := func(title, paper string) {
 		fmt.Printf("\n== %s ==\n   paper: %s\n", title, paper)
 	}
@@ -35,140 +38,202 @@ func run(full bool, only, dotDir string) error {
 	if only == "diag" {
 		return diag(s)
 	}
-	if want("table1") {
-		section("Table 1: study applications", "five Java applications with varied resource demands")
-		for _, r := range experiments.Table1() {
-			fmt.Printf("%-9s %-32s %s\n", r.Name, r.Description, r.Profile)
+
+	// timings collects per-artifact wall-clock seconds for the
+	// machine-readable perf trajectory (BENCH_sweeps.json).
+	timings := make(map[string]float64)
+	artifact := func(name string, f func() error) error {
+		if only != "" && only != name {
+			return nil
 		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		secs := time.Since(t0).Seconds()
+		timings[name] = secs
+		fmt.Printf("   [%s: %.2fs wall]\n", name, secs)
+		return nil
 	}
-	if want("table2") {
-		section("Table 2: JavaNote execution metrics",
-			"classes 134/138/138, objects 1230/2810/6808, interactions 1126/1190/1186532")
-		r, err := s.Table2()
-		if err != nil {
+
+	// Warming the trace cache up front parallelizes the recording of all
+	// five applications, the most expensive serial stretch of a fresh
+	// suite; every later artifact then replays warm traces.
+	if only == "" {
+		if err := artifact("warmup", func() error { return s.Warm() }); err != nil {
 			return err
 		}
-		fmt.Print(r)
 	}
-	if want("figure5") {
-		section("Figure 5: JavaNote OOM rescue", "~90% of heap offloaded, ~100KB/s predicted, heuristic ~0.1s")
-		r, err := s.Figure5()
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		if dotDir != "" {
-			before := filepath.Join(dotDir, "figure5a.dot")
-			after := filepath.Join(dotDir, "figure5b.dot")
-			if err := os.WriteFile(before, []byte(r.DOTBefore), 0o644); err != nil {
+
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"table1", func() error {
+			section("Table 1: study applications", "five Java applications with varied resource demands")
+			for _, r := range experiments.Table1() {
+				fmt.Printf("%-9s %-32s %s\n", r.Name, r.Description, r.Profile)
+			}
+			return nil
+		}},
+		{"table2", func() error {
+			section("Table 2: JavaNote execution metrics",
+				"classes 134/138/138, objects 1230/2810/6808, interactions 1126/1190/1186532")
+			r, err := s.Table2()
+			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(after, []byte(r.DOTAfter), 0o644); err != nil {
+			fmt.Print(r)
+			return nil
+		}},
+		{"figure5", func() error {
+			section("Figure 5: JavaNote OOM rescue", "~90% of heap offloaded, ~100KB/s predicted, heuristic ~0.1s")
+			r, err := s.Figure5()
+			if err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s and %s (render with graphviz: neato -Tpng)\n", before, after)
-		}
-	}
-	if want("figure6") {
-		section("Figure 6: remote execution overhead (initial policy)", "JavaNote 4.8%, Dia 8.5%, Biomer 27.5%")
-		rows, err := s.Figure6()
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
 			fmt.Println(r)
-		}
-	}
-	if want("figure7") {
-		section("Figure 7: policy sweep", "Biomer/Dia overhead reduced 30-43%, JavaNote unchanged")
-		rows, err := s.Figure7(!full)
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
+			if dotDir != "" {
+				before := filepath.Join(dotDir, "figure5a.dot")
+				after := filepath.Join(dotDir, "figure5b.dot")
+				if err := os.WriteFile(before, []byte(r.DOTBefore), 0o644); err != nil {
+					return err
+				}
+				if err := os.WriteFile(after, []byte(r.DOTAfter), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s and %s (render with graphviz: neato -Tpng)\n", before, after)
+			}
+			return nil
+		}},
+		{"figure6", func() error {
+			section("Figure 6: remote execution overhead (initial policy)", "JavaNote 4.8%, Dia 8.5%, Biomer 27.5%")
+			rows, err := s.Figure6()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+		{"figure7", func() error {
+			section("Figure 7: policy sweep", "Biomer/Dia overhead reduced 30-43%, JavaNote unchanged")
+			rows, err := s.Figure7(!full)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+		{"figure8", func() error {
+			section("Figure 8: remote native invocations", "large native share for JavaNote/Dia, smaller for Biomer")
+			rows, err := s.Figure8()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+		{"monitoring", func() error {
+			section("Monitoring overhead", "31.59s -> 35.04s (~11%)")
+			r, err := s.MonitoringOverhead()
+			if err != nil {
+				return err
+			}
 			fmt.Println(r)
+			return nil
+		}},
+		{"figure9", func() error {
+			section("Figure 9: execution time attribution", "a::f 0.12s total -> a 0.02s, b 0.10s")
+			d, err := experiments.Figure9()
+			if err != nil {
+				return err
+			}
+			fmt.Println(d)
+			return nil
+		}},
+		{"figure10", func() error {
+			section("Figure 10: offloading under processing constraints",
+				"Voxel/Tracer improve up to ~15% combined; Biomer declined (790s predicted vs 750s, manual 711s)")
+			rows, err := s.Figure10()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+		{"ablation", func() error {
+			section("Extension: partitioning-heuristic ablation (paper §8)",
+				"modified MINCUT vs KL-refined vs greedy memory-density")
+			rows, err := s.AblationHeuristics()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+		{"heapsweep", func() error {
+			section("Extension: client heap sweep", "below the floor even offloading cannot help; with enough memory the platform never offloads")
+			points, err := s.HeapSweep()
+			if err != nil {
+				return err
+			}
+			for _, p := range points {
+				fmt.Println(p)
+			}
+			return nil
+		}},
+		{"linksweep", func() error {
+			section("Extension: link-technology sweep", "offloading viability tracks RTT more than bandwidth")
+			points, err := s.LinkSweep()
+			if err != nil {
+				return err
+			}
+			for _, p := range points {
+				fmt.Println(p)
+			}
+			return nil
+		}},
+		{"energy", func() error {
+			section("Extension: client battery drain (paper §2/§8)",
+				"offloading trades CPU-seconds for radio-seconds")
+			rows, err := s.EnergyStudy()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		}},
+	}
+	for _, step := range steps {
+		if err := artifact(step.name, step.f); err != nil {
+			return err
 		}
 	}
-	if want("figure8") {
-		section("Figure 8: remote native invocations", "large native share for JavaNote/Dia, smaller for Biomer")
-		rows, err := s.Figure8()
+	fmt.Printf("\n(total %v, parallelism %d)\n", time.Since(start).Round(time.Millisecond), parallel)
+	if jsonPath != "" && len(timings) > 0 {
+		// encoding/json emits map keys sorted, so the file is stable
+		// across runs of the same artifact set.
+		buf, err := json.MarshalIndent(timings, "", "  ")
 		if err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Println(r)
-		}
-	}
-	if want("monitoring") {
-		section("Monitoring overhead", "31.59s -> 35.04s (~11%)")
-		r, err := s.MonitoringOverhead()
-		if err != nil {
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Println(r)
+		fmt.Printf("wrote per-artifact wall-clock seconds to %s\n", jsonPath)
 	}
-	if want("figure9") {
-		section("Figure 9: execution time attribution", "a::f 0.12s total -> a 0.02s, b 0.10s")
-		d, err := experiments.Figure9()
-		if err != nil {
-			return err
-		}
-		fmt.Println(d)
-	}
-	if want("figure10") {
-		section("Figure 10: offloading under processing constraints",
-			"Voxel/Tracer improve up to ~15% combined; Biomer declined (790s predicted vs 750s, manual 711s)")
-		rows, err := s.Figure10()
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Println(r)
-		}
-	}
-	if want("ablation") {
-		section("Extension: partitioning-heuristic ablation (paper §8)",
-			"modified MINCUT vs KL-refined vs greedy memory-density")
-		rows, err := s.AblationHeuristics()
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Println(r)
-		}
-	}
-	if want("heapsweep") {
-		section("Extension: client heap sweep", "below the floor even offloading cannot help; with enough memory the platform never offloads")
-		points, err := s.HeapSweep()
-		if err != nil {
-			return err
-		}
-		for _, p := range points {
-			fmt.Println(p)
-		}
-	}
-	if want("linksweep") {
-		section("Extension: link-technology sweep", "offloading viability tracks RTT more than bandwidth")
-		points, err := s.LinkSweep()
-		if err != nil {
-			return err
-		}
-		for _, p := range points {
-			fmt.Println(p)
-		}
-	}
-	if want("energy") {
-		section("Extension: client battery drain (paper §2/§8)",
-			"offloading trades CPU-seconds for radio-seconds")
-		rows, err := s.EnergyStudy()
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Println(r)
-		}
-	}
-	fmt.Printf("\n(total %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

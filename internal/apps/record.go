@@ -46,29 +46,49 @@ func Record(spec *Spec) (*trace.Trace, error) {
 
 // Cache memoizes recorded traces by application name: trace extraction
 // runs a full scenario through the VM, so experiments share one recording.
+//
+// Recording is per-entry singleflight: the cache's mutex guards only the
+// entry map, never a Record call, so recordings of different applications
+// proceed concurrently, concurrent Gets of the same application record
+// exactly once, and Gets of an already-warm trace never contend.
 type Cache struct {
-	mu     sync.Mutex
-	traces map[string]*trace.Trace
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one application's recording flight.
+type cacheEntry struct {
+	once sync.Once
+	t    *trace.Trace
+	err  error
 }
 
 // NewCache returns an empty trace cache.
 func NewCache() *Cache {
-	return &Cache{traces: make(map[string]*trace.Trace)}
+	return &Cache{entries: make(map[string]*cacheEntry)}
 }
 
 // Get returns the cached trace for the spec, recording it on first use.
+// Concurrent callers for the same spec share a single Record call; a
+// failed recording is reported to every waiter of that flight and then
+// forgotten, so a later Get retries.
 func (c *Cache) Get(spec *Spec) (*trace.Trace, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t, ok := c.traces[spec.Name]; ok {
-		return t, nil
+	e, ok := c.entries[spec.Name]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[spec.Name] = e
 	}
-	t, err := Record(spec)
-	if err != nil {
-		return nil, err
+	c.mu.Unlock()
+	e.once.Do(func() { e.t, e.err = Record(spec) })
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[spec.Name] == e {
+			delete(c.entries, spec.Name)
+		}
+		c.mu.Unlock()
 	}
-	c.traces[spec.Name] = t
-	return t, nil
+	return e.t, e.err
 }
 
 // All returns the five study applications of Table 1.

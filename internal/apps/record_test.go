@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aide/internal/trace"
+	"aide/internal/vm"
+)
+
+// tinySpec is a minimal recordable application whose Build invocations are
+// counted, with an optional one-shot transient failure.
+func tinySpec(builds *atomic.Int32, failFirst *atomic.Bool) *Spec {
+	return &Spec{
+		Name:       "tiny",
+		RecordHeap: 1 << 20,
+		Build: func() (*vm.Registry, Driver, error) {
+			builds.Add(1)
+			if failFirst != nil && failFirst.CompareAndSwap(true, false) {
+				return nil, nil, errors.New("transient build failure")
+			}
+			b := newBench()
+			b.worker("Tiny", time.Microsecond, 8)
+			reg, err := b.build()
+			if err != nil {
+				return nil, nil, err
+			}
+			driver := func(th *vm.Thread) error {
+				id, err := th.New("Tiny", 256)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 16; i++ {
+					if _, err := th.Invoke(id, "ping", vm.Int(0)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return reg, driver, nil
+		},
+	}
+}
+
+// TestCacheConcurrentGetRecordsOnce checks the singleflight contract:
+// concurrent Gets of the same spec share one Record call and one trace.
+func TestCacheConcurrentGetRecordsOnce(t *testing.T) {
+	var builds atomic.Int32
+	spec := tinySpec(&builds, nil)
+	c := NewCache()
+
+	const callers = 16
+	traces := make([]*trace.Trace, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			traces[i], errs[i] = c.Get(spec)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("Build ran %d times, want exactly 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if traces[i] == nil || traces[i] != traces[0] {
+			t.Fatalf("caller %d got a different trace pointer", i)
+		}
+	}
+}
+
+// TestCacheRetriesAfterFailure checks that a failed flight reports its error
+// to that flight's waiters but is then forgotten, so a later Get re-records.
+func TestCacheRetriesAfterFailure(t *testing.T) {
+	var builds atomic.Int32
+	var failFirst atomic.Bool
+	failFirst.Store(true)
+	spec := tinySpec(&builds, &failFirst)
+	c := NewCache()
+
+	if _, err := c.Get(spec); err == nil {
+		t.Fatal("first Get should surface the transient build failure")
+	}
+	tr, err := c.Get(spec)
+	if err != nil {
+		t.Fatalf("second Get: %v", err)
+	}
+	if tr == nil {
+		t.Fatal("second Get returned a nil trace")
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("Build ran %d times, want 2 (fail, then retry)", n)
+	}
+
+	// A third Get must hit the cache.
+	tr2, err := c.Get(spec)
+	if err != nil || tr2 != tr {
+		t.Fatalf("third Get: trace=%p err=%v, want cached %p", tr2, err, tr)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("Build ran %d times after warm Get, want 2", n)
+	}
+}

@@ -322,6 +322,12 @@ type emulation struct {
 
 	classByName map[string]int
 
+	// mc and memScratch amortize the dense partitioning input (the N×N
+	// weight matrix dominates repartition allocations) and the greedy
+	// heuristic's memory vector across repartitions of this run.
+	mc         mincut.Scratch
+	memScratch []int64
+
 	inForced   bool
 	partitions int
 	now        time.Duration
@@ -569,18 +575,21 @@ func (e *emulation) partition(idx int, forced bool) {
 	}
 	g := e.mon.Graph()
 	e.syncPins(g)
-	in := mincut.FromGraph(g, graph.BytesWeight)
+	in := e.mc.FromGraph(g, graph.BytesWeight)
 	var cands []mincut.Candidate
 	var err error
 	switch e.cfg.Heuristic {
 	case HeuristicGreedyDensity:
-		mem := make([]int64, g.Len())
+		if cap(e.memScratch) < g.Len() {
+			e.memScratch = make([]int64, g.Len())
+		}
+		mem := e.memScratch[:g.Len()]
 		for _, n := range g.Nodes() {
 			mem[n.ID] = n.Memory
 		}
-		cands, err = mincut.GreedyDensityCandidates(in, mem)
+		cands, err = e.mc.GreedyDensityCandidates(in, mem)
 	default:
-		cands, err = mincut.Candidates(in)
+		cands, err = e.mc.Candidates(in)
 	}
 	if err != nil {
 		e.res.Partitions = append(e.res.Partitions, PartitionRecord{
@@ -626,7 +635,7 @@ func (e *emulation) partition(idx int, forced bool) {
 		return
 	}
 	if e.cfg.KLRefine {
-		refined, cutW, rerr := mincut.RefineKL(in, dec.InClient)
+		refined, cutW, rerr := e.mc.RefineKL(in, dec.InClient)
 		if rerr == nil {
 			dec.InClient = refined
 			dec.CutWeight = cutW

@@ -68,15 +68,14 @@ func (r Figure10Row) Speedup() float64 {
 // and offloading is evaluated without enhancements, with each enhancement
 // alone, and with both combined.
 func (s *Suite) Figure10() ([]Figure10Row, error) {
-	rows := make([]Figure10Row, 0, 3)
-	for _, name := range []string{"Voxel", "Tracer", "Biomer"} {
-		row, err := s.figure10One(name)
+	names := []string{"Voxel", "Tracer", "Biomer"}
+	return runAll(s.parallelism(), len(names), func(i int) (Figure10Row, error) {
+		row, err := s.figure10One(names[i])
 		if err != nil {
-			return nil, err
+			return Figure10Row{}, err
 		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+		return *row, nil
+	})
 }
 
 func (s *Suite) figure10One(name string) (*Figure10Row, error) {
@@ -116,22 +115,21 @@ func (s *Suite) figure10One(name string) (*Figure10Row, error) {
 		return s.run(spec, cfg)
 	}
 
-	initial, err := runVariant(variant{forced: true})
+	// The four study variants depend only on the original run (through
+	// ReevalEvery), so they replay concurrently.
+	variants := []variant{
+		{forced: true},
+		{stateless: true, forced: true},
+		{array: true, forced: true},
+		{stateless: true, array: true},
+	}
+	res, err := runAll(s.parallelism(), len(variants), func(i int) (*emulator.Result, error) {
+		return runVariant(variants[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	native, err := runVariant(variant{stateless: true, forced: true})
-	if err != nil {
-		return nil, err
-	}
-	array, err := runVariant(variant{array: true, forced: true})
-	if err != nil {
-		return nil, err
-	}
-	combined, err := runVariant(variant{stateless: true, array: true})
-	if err != nil {
-		return nil, err
-	}
+	initial, native, array, combined := res[0], res[1], res[2], res[3]
 
 	row := &Figure10Row{
 		App:      name,
@@ -174,23 +172,24 @@ type BeneficialCheck struct {
 // achieved — the platform should offload exactly when it helps (paper §2,
 // §5.2).
 func (s *Suite) Beneficial() ([]BeneficialCheck, error) {
-	var out []BeneficialCheck
+	var names []string
 	for _, spec := range apps.All() {
-		if !spec.CPUBound {
-			continue
+		if spec.CPUBound {
+			names = append(names, spec.Name)
 		}
-		row, err := s.figure10One(spec.Name)
+	}
+	return runAll(s.parallelism(), len(names), func(i int) (BeneficialCheck, error) {
+		row, err := s.figure10One(names[i])
 		if err != nil {
-			return nil, err
+			return BeneficialCheck{}, err
 		}
-		out = append(out, BeneficialCheck{
-			App:       spec.Name,
+		return BeneficialCheck{
+			App:       names[i],
 			Offloaded: !row.Declined,
 			Original:  row.Original,
 			Achieved:  row.Combined,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Figure9Demo reproduces the paper's Figure 9 worked example: a method

@@ -46,40 +46,52 @@ func (r AblationRow) String() string {
 // memory-study applications (paper §8: "study additional partitioning
 // heuristics besides the modified MINCUT approach").
 func (s *Suite) AblationHeuristics() ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, 3)
-	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
-		spec, err := apps.ByName(name)
+	names := []string{"JavaNote", "Dia", "Biomer"}
+	return runAll(s.parallelism(), len(names), func(i int) (AblationRow, error) {
+		row, err := s.ablationOne(names[i])
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		orig, err := s.run(spec, s.originalConfig(spec))
-		if err != nil {
-			return nil, err
-		}
-		row := AblationRow{App: name, Original: orig.Time}
+		return *row, nil
+	})
+}
 
-		variant := func(h emulator.Heuristic, kl bool) (float64, bool, error) {
-			cfg := s.memoryConfig(spec, policy.InitialParams())
-			cfg.Heuristic = h
-			cfg.KLRefine = kl
-			res, err := s.run(spec, cfg)
-			if err != nil {
-				return 0, false, err
-			}
-			return res.Overhead(orig.Time), res.OOM, nil
-		}
-		if row.MinCut, row.MinCutOOM, err = variant(emulator.HeuristicModifiedMinCut, false); err != nil {
-			return nil, err
-		}
-		if row.MinCutKL, row.MinCutKLOOM, err = variant(emulator.HeuristicModifiedMinCut, true); err != nil {
-			return nil, err
-		}
-		if row.Greedy, row.GreedyOOM, err = variant(emulator.HeuristicGreedyDensity, false); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+// ablationOne runs the original replay and all three heuristic variants
+// for one application concurrently; overheads are derived from the
+// original's time only after every replay has finished.
+func (s *Suite) ablationOne(name string) (*AblationRow, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	type vcfg struct {
+		h  emulator.Heuristic
+		kl bool
+	}
+	variants := []vcfg{
+		{emulator.HeuristicModifiedMinCut, false},
+		{emulator.HeuristicModifiedMinCut, true},
+		{emulator.HeuristicGreedyDensity, false},
+	}
+	// Jobs: 0 = original, 1+k = heuristic variant k.
+	res, err := runAll(s.parallelism(), 1+len(variants), func(i int) (*emulator.Result, error) {
+		if i == 0 {
+			return s.run(spec, s.originalConfig(spec))
+		}
+		cfg := s.memoryConfig(spec, policy.InitialParams())
+		cfg.Heuristic = variants[i-1].h
+		cfg.KLRefine = variants[i-1].kl
+		return s.run(spec, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	orig := res[0]
+	row := &AblationRow{App: name, Original: orig.Time}
+	row.MinCut, row.MinCutOOM = res[1].Overhead(orig.Time), res[1].OOM
+	row.MinCutKL, row.MinCutKLOOM = res[2].Overhead(orig.Time), res[2].OOM
+	row.Greedy, row.GreedyOOM = res[3].Overhead(orig.Time), res[3].OOM
+	return row, nil
 }
 
 // EnergyRow compares the client's battery drain with and without
@@ -117,11 +129,18 @@ func (r EnergyRow) String() string {
 // workloads pay more in radio than they save.
 func (s *Suite) EnergyStudy() ([]EnergyRow, error) {
 	model := netmodel.HandheldEnergy()
-	rows := make([]EnergyRow, 0, 3)
-
 	psm := netmodel.HandheldEnergyPSM()
-	add := func(name string, orig, off *emulator.Result) {
-		row := EnergyRow{App: name}
+
+	// Memory-bound JavaNote (offloading is about survival, energy is the
+	// price paid), then the CPU-bound pair under the combined §5.2
+	// configuration; the three applications replay concurrently.
+	names := []string{"JavaNote", "Voxel", "Tracer"}
+	return runAll(s.parallelism(), len(names), func(i int) (EnergyRow, error) {
+		orig, off, err := s.energyPair(names[i])
+		if err != nil {
+			return EnergyRow{}, err
+		}
+		row := EnergyRow{App: names[i]}
 		row.LocalBreakdown = orig.ClientEnergy(model)
 		row.OffloadedBreakdown = off.ClientEnergy(model)
 		row.LocalJ = row.LocalBreakdown.TotalJ
@@ -131,54 +150,49 @@ func (s *Suite) EnergyStudy() ([]EnergyRow, error) {
 			row.SavingFrac = 1 - row.OffloadedJ/row.LocalJ
 			row.PSMSavingFrac = 1 - row.PSMOffloadedJ/row.LocalJ
 		}
-		rows = append(rows, row)
-	}
+		return row, nil
+	})
+}
 
-	// Memory-bound: JavaNote (offloading is about survival, energy is the
-	// price paid).
-	jn, err := apps.ByName("JavaNote")
+// energyPair returns the local and offloaded replays for one application
+// of the energy study. The memory-bound pair is independent and replays
+// concurrently; the CPU-bound offloaded run derives its re-evaluation
+// interval from the original's time, so that pair stays sequential.
+func (s *Suite) energyPair(name string) (orig, off *emulator.Result, err error) {
+	spec, err := apps.ByName(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	jnOrig, err := s.run(jn, s.originalConfig(jn))
-	if err != nil {
-		return nil, err
-	}
-	jnOff, err := s.run(jn, s.memoryConfig(jn, policy.InitialParams()))
-	if err != nil {
-		return nil, err
-	}
-	add("JavaNote", jnOrig, jnOff)
-
-	// CPU-bound: Voxel and Tracer under the combined §5.2 configuration.
-	for _, name := range []string{"Voxel", "Tracer"} {
-		spec, err := apps.ByName(name)
+	if name == "JavaNote" {
+		res, err := runAll(s.parallelism(), 2, func(i int) (*emulator.Result, error) {
+			if i == 0 {
+				return s.run(spec, s.originalConfig(spec))
+			}
+			return s.run(spec, s.memoryConfig(spec, policy.InitialParams()))
+		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		slow := cpuSlowdown(name)
-		base := emulator.Config{
-			Mode:             emulator.CPUMode,
-			HeapCapacity:     spec.RecordHeap,
-			Link:             s.link,
-			SurrogateSpeedup: 3.5,
-			ClientSlowdown:   slow,
-		}
-		origCfg := base
-		origCfg.DisableOffload = true
-		orig, err := s.run(spec, origCfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg := base
-		cfg.ReevalEvery = orig.Time / 8
-		cfg.StatelessNativeLocal = true
-		cfg.ArrayGranularity = true
-		off, err := s.run(spec, cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(name, orig, off)
+		return res[0], res[1], nil
 	}
-	return rows, nil
+	base := emulator.Config{
+		Mode:             emulator.CPUMode,
+		HeapCapacity:     spec.RecordHeap,
+		Link:             s.link,
+		SurrogateSpeedup: 3.5,
+		ClientSlowdown:   cpuSlowdown(name),
+	}
+	origCfg := base
+	origCfg.DisableOffload = true
+	if orig, err = s.run(spec, origCfg); err != nil {
+		return nil, nil, err
+	}
+	cfg := base
+	cfg.ReevalEvery = orig.Time / 8
+	cfg.StatelessNativeLocal = true
+	cfg.ArrayGranularity = true
+	if off, err = s.run(spec, cfg); err != nil {
+		return nil, nil, err
+	}
+	return orig, off, nil
 }

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,74 @@ func TestGoldenMonitoring(t *testing.T) {
 		t.Fatal(err)
 	}
 	approx(t, "monitoring overhead", r.OverheadFrac, 0.119, 0.002)
+}
+
+// renderAll renders every parallelized artifact to text: the byte-identity
+// oracle for TestGoldenParallelDeterminism.
+func renderAll(t *testing.T, s *Suite) string {
+	t.Helper()
+	var b strings.Builder
+	f6, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f6 {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	f7, err := s.Figure7(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f7 {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	f10, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f10 {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	hs, err := s.HeapSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range hs {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	ls, err := s.LinkSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ls {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGoldenParallelDeterminism runs Figure 6/7/10 and both sweeps serially
+// and with an 8-wide worker pool and requires byte-identical output: the
+// engine's order-preservation contract, end to end.
+func TestGoldenParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := suite()
+	old := s.Parallelism
+	defer func() { s.Parallelism = old }()
+
+	s.Parallelism = 1
+	serial := renderAll(t, s)
+	s.Parallelism = 8
+	parallel := renderAll(t, s)
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial output:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
 }
 
 func TestGoldenFigure10(t *testing.T) {

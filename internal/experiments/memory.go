@@ -207,19 +207,20 @@ func (r Figure6Row) String() string {
 		r.App, r.Original.Seconds(), r.Offloaded.Seconds(), r.OverheadFrac*100)
 }
 
+// memoryApps are the three memory-study applications of §5.1.
+var memoryApps = []string{"JavaNote", "Dia", "Biomer"}
+
 // Figure6 measures the remote-execution overhead of the initial policy
 // (threshold 5%, three reports, free ≥20%) for the three memory-study
-// applications.
+// applications. The three applications replay concurrently.
 func (s *Suite) Figure6() ([]Figure6Row, error) {
-	rows := make([]Figure6Row, 0, 3)
-	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
-		row, _, err := s.figure6One(name, policy.InitialParams())
+	return runAll(s.parallelism(), len(memoryApps), func(i int) (Figure6Row, error) {
+		row, _, err := s.figure6One(memoryApps[i], policy.InitialParams())
 		if err != nil {
-			return nil, err
+			return Figure6Row{}, err
 		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+		return *row, nil
+	})
 }
 
 func (s *Suite) figure6One(name string, params policy.Params) (*Figure6Row, *emulator.Result, error) {
@@ -227,16 +228,19 @@ func (s *Suite) figure6One(name string, params policy.Params) (*Figure6Row, *emu
 	if err != nil {
 		return nil, nil, err
 	}
-	orig, err := s.run(spec, s.originalConfig(spec))
+	// The original and offloaded replays are independent.
+	res, err := runAll(s.parallelism(), 2, func(i int) (*emulator.Result, error) {
+		if i == 0 {
+			return s.run(spec, s.originalConfig(spec))
+		}
+		return s.run(spec, s.memoryConfig(spec, params))
+	})
 	if err != nil {
 		return nil, nil, err
 	}
+	orig, off := res[0], res[1]
 	if orig.OOM {
 		return nil, nil, fmt.Errorf("experiments: %s original run must not exhaust the record heap", name)
-	}
-	off, err := s.run(spec, s.memoryConfig(spec, params))
-	if err != nil {
-		return nil, nil, err
 	}
 	if off.OOM {
 		return nil, nil, fmt.Errorf("experiments: %s offloaded run died of OOM", name)
@@ -285,48 +289,70 @@ func (s *Suite) Figure7(coarse bool) ([]Figure7Row, error) {
 			{TriggerFreeFraction: 0.02, Tolerance: 3, MinFreeFraction: 0.40},
 		}
 	}
-	rows := make([]Figure7Row, 0, 3)
-	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
-		spec, err := apps.ByName(name)
+	return runAll(s.parallelism(), len(memoryApps), func(i int) (Figure7Row, error) {
+		row, err := s.figure7One(memoryApps[i], space)
 		if err != nil {
-			return nil, err
+			return Figure7Row{}, err
 		}
-		orig, err := s.run(spec, s.originalConfig(spec))
-		if err != nil {
-			return nil, err
-		}
-		initialRow, _, err := s.figure6One(name, policy.InitialParams())
-		if err != nil {
-			return nil, err
-		}
-		best := initialRow.OverheadFrac
-		bestParams := policy.InitialParams()
-		for _, p := range space {
-			off, err := s.run(spec, s.memoryConfig(spec, p))
-			if err != nil {
-				return nil, err
-			}
-			if off.OOM {
-				continue // an unusable policy: the application died
-			}
-			if o := off.Overhead(orig.Time); o < best {
-				best = o
-				bestParams = p
-			}
-		}
-		row := Figure7Row{
-			App:             name,
-			Original:        orig.Time,
-			InitialOverhead: initialRow.OverheadFrac,
-			BestOverhead:    best,
-			BestParams:      bestParams,
-		}
-		if row.InitialOverhead > 0 {
-			row.ReductionFrac = (row.InitialOverhead - row.BestOverhead) / row.InitialOverhead
-		}
-		rows = append(rows, row)
+		return *row, nil
+	})
+}
+
+// figure7One sweeps the policy space for one application. Every replay —
+// the original, the initial policy, and each sweep point — is independent,
+// so the whole grid fans out to the worker pool; the best-policy reduction
+// then walks the results in sweep order, which keeps the selected
+// parameters (ties break toward the earlier grid point, exactly as the
+// serial loop did) independent of completion order.
+func (s *Suite) figure7One(name string, space []policy.Params) (*Figure7Row, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	// Jobs: 0 = original, 1 = initial policy, 2+k = sweep point k.
+	res, err := runAll(s.parallelism(), 2+len(space), func(i int) (*emulator.Result, error) {
+		switch i {
+		case 0:
+			return s.run(spec, s.originalConfig(spec))
+		case 1:
+			return s.run(spec, s.memoryConfig(spec, policy.InitialParams()))
+		default:
+			return s.run(spec, s.memoryConfig(spec, space[i-2]))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	orig, initial := res[0], res[1]
+	if orig.OOM {
+		return nil, fmt.Errorf("experiments: %s original run must not exhaust the record heap", name)
+	}
+	if initial.OOM {
+		return nil, fmt.Errorf("experiments: %s offloaded run died of OOM", name)
+	}
+	best := initial.Overhead(orig.Time)
+	bestParams := policy.InitialParams()
+	for k, p := range space {
+		off := res[2+k]
+		if off.OOM {
+			continue // an unusable policy: the application died
+		}
+		if o := off.Overhead(orig.Time); o < best {
+			best = o
+			bestParams = p
+		}
+	}
+	row := &Figure7Row{
+		App:             name,
+		Original:        orig.Time,
+		InitialOverhead: initial.Overhead(orig.Time),
+		BestOverhead:    best,
+		BestParams:      bestParams,
+	}
+	if row.InitialOverhead > 0 {
+		row.ReductionFrac = (row.InitialOverhead - row.BestOverhead) / row.InitialOverhead
+	}
+	return row, nil
 }
 
 // Figure8Row counts remote invocations and the subset leading to native
@@ -346,19 +372,18 @@ func (r Figure8Row) String() string {
 
 // Figure8 measures native-call pressure under the initial policy.
 func (s *Suite) Figure8() ([]Figure8Row, error) {
-	rows := make([]Figure8Row, 0, 3)
-	for _, name := range []string{"JavaNote", "Dia", "Biomer"} {
+	return runAll(s.parallelism(), len(memoryApps), func(i int) (Figure8Row, error) {
+		name := memoryApps[i]
 		_, off, err := s.figure6One(name, policy.InitialParams())
 		if err != nil {
-			return nil, err
+			return Figure8Row{}, err
 		}
 		row := Figure8Row{App: name, TotalRemote: off.RemoteInvocations, Native: off.RemoteNative}
 		if row.TotalRemote > 0 {
 			row.NativeShare = float64(row.Native) / float64(row.TotalRemote)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // MonitoringResult reports the §5.1 monitoring-overhead measurement: the

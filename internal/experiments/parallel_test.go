@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllPreservesJobOrder(t *testing.T) {
+	out, err := runAll(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("%d results", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunAllBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := runAll(3, 64, func(i int) (struct{}, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		// Busy the slot briefly so overlap is observable.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent jobs, pool width is 3", p)
+	}
+}
+
+func TestRunAllReturnsLowestIndexError(t *testing.T) {
+	err3 := errors.New("job 3")
+	err7 := errors.New("job 7")
+	_, err := runAll(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, err3
+		case 7:
+			return 0, err7
+		}
+		return i, nil
+	})
+	// Dispatch is in-order, so job 3 always runs and always wins the
+	// lowest-failed-index selection — regardless of scheduling.
+	if !errors.Is(err, err3) {
+		t.Fatalf("err = %v, want %v", err, err3)
+	}
+}
+
+func TestRunAllSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	_, err := runAll(1, 5, func(i int) (int, error) {
+		ran = append(ran, i)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 3 || ran[0] != 0 || ran[1] != 1 || ran[2] != 2 {
+		t.Fatalf("serial engine ran %v, want [0 1 2]", ran)
+	}
+}
+
+func TestRunAllSkipsAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := runAll(2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("no jobs were skipped after the failure")
+	}
+}
+
+func TestRunAllZeroJobs(t *testing.T) {
+	out, err := runAll(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestRunAllDefaultsParallelism(t *testing.T) {
+	out, err := runAll(0, 5, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"runtime"
 	"time"
 
 	"aide/internal/apps"
@@ -27,6 +28,13 @@ const MonitorCostPerEvent = 2900 * time.Nanosecond
 
 // Suite shares recorded traces across experiment runners.
 type Suite struct {
+	// Parallelism bounds how many independent emulator replays an
+	// experiment runs concurrently. Zero (the default) uses
+	// runtime.GOMAXPROCS(0); 1 reproduces the serial engine exactly.
+	// Every replay is deterministic and results are merged in job order,
+	// so experiment output is bit-identical at any setting.
+	Parallelism int
+
 	cache *apps.Cache
 	link  netmodel.Link
 
@@ -41,6 +49,14 @@ func NewSuite() *Suite {
 	return &Suite{cache: apps.NewCache(), link: netmodel.WaveLAN(), now: time.Now}
 }
 
+// parallelism resolves the effective worker-pool width.
+func (s *Suite) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Trace returns the (cached) recorded trace of the named application.
 func (s *Suite) Trace(name string) (*trace.Trace, error) {
 	spec, err := apps.ByName(name)
@@ -48,6 +64,25 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 		return nil, err
 	}
 	return s.cache.Get(spec)
+}
+
+// Warm records the named applications' traces concurrently (all five
+// study applications when no names are given). Trace extraction runs a
+// full scenario through the live VM per application, so warming the
+// cache up front parallelizes the most expensive serial stretch of a
+// fresh suite; the cache's per-application singleflight keeps each
+// recording exactly-once even with experiments racing against Warm.
+func (s *Suite) Warm(names ...string) error {
+	if len(names) == 0 {
+		for _, spec := range apps.All() {
+			names = append(names, spec.Name)
+		}
+	}
+	_, err := runAll(s.parallelism(), len(names), func(i int) (struct{}, error) {
+		_, err := s.Trace(names[i])
+		return struct{}{}, err
+	})
+	return err
 }
 
 // memoryConfig is the shared §5.1 emulation setup for an application under

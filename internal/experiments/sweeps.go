@@ -48,22 +48,21 @@ func (s *Suite) HeapSweep() ([]HeapPoint, error) {
 		return nil, err
 	}
 	sizes := []float64{1, 2, 4, 5, 6, 7, 8, 12}
-	points := make([]HeapPoint, 0, len(sizes))
-	for _, mb := range sizes {
+	return runAll(s.parallelism(), len(sizes), func(i int) (HeapPoint, error) {
+		mb := sizes[i]
 		cfg := s.memoryConfig(spec, policy.InitialParams())
 		cfg.HeapCapacity = int64(mb * float64(1<<20))
 		res, err := s.run(spec, cfg)
 		if err != nil {
-			return nil, err
+			return HeapPoint{}, err
 		}
-		points = append(points, HeapPoint{
+		return HeapPoint{
 			HeapMB:    mb,
 			OOM:       res.OOM,
 			Offloaded: res.Offloaded,
 			Overhead:  res.Overhead(orig.Time),
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // LinkPoint is one link configuration in the sweep.
@@ -103,15 +102,16 @@ func (s *Suite) LinkSweep() ([]LinkPoint, error) {
 		{Label: "Ethernet 10 (10Mbps)", Link: netmodel.Link{BandwidthBps: 10e6, RTT: 1 * time.Millisecond, HeaderBytes: 32}},
 		{Label: "Fast Ethernet (100M)", Link: netmodel.Link{BandwidthBps: 100e6, RTT: 300 * time.Microsecond, HeaderBytes: 32}},
 	}
-	for i := range links {
+	return runAll(s.parallelism(), len(links), func(i int) (LinkPoint, error) {
+		p := links[i]
 		cfg := s.memoryConfig(spec, policy.InitialParams())
-		cfg.Link = links[i].Link
+		cfg.Link = p.Link
 		res, err := s.run(spec, cfg)
 		if err != nil {
-			return nil, err
+			return LinkPoint{}, err
 		}
-		links[i].Overhead = res.Overhead(orig.Time)
-		links[i].OOM = res.OOM
-	}
-	return links, nil
+		p.Overhead = res.Overhead(orig.Time)
+		p.OOM = res.OOM
+		return p, nil
+	})
 }

@@ -6,14 +6,36 @@ import "aide/internal/graph"
 // using the given edge-weight function. Node IDs map one-to-one onto vertex
 // indices.
 func FromGraph(g *graph.Graph, w graph.WeightFunc) Input {
+	var in Input
+	fillFromGraph(&in, g, w)
+	return in
+}
+
+// fillFromGraph populates in from the graph, reusing in's weight matrix,
+// rows, and pinned slice whenever their capacity suffices.
+func fillFromGraph(in *Input, g *graph.Graph, w graph.WeightFunc) {
 	n := g.Len()
-	in := Input{
-		N:      n,
-		Weight: make([][]float64, n),
-		Pinned: make([]bool, n),
+	in.N = n
+	if cap(in.Weight) < n {
+		in.Weight = make([][]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		in.Weight[i] = make([]float64, n)
+	in.Weight = in.Weight[:n]
+	for i := range in.Weight {
+		if cap(in.Weight[i]) < n {
+			in.Weight[i] = make([]float64, n)
+			continue
+		}
+		in.Weight[i] = in.Weight[i][:n]
+		for j := range in.Weight[i] {
+			in.Weight[i][j] = 0
+		}
+	}
+	if cap(in.Pinned) < n {
+		in.Pinned = make([]bool, n)
+	}
+	in.Pinned = in.Pinned[:n]
+	for i := range in.Pinned {
+		in.Pinned[i] = false
 	}
 	for _, node := range g.Nodes() {
 		in.Pinned[node.ID] = node.Pinned
@@ -23,5 +45,48 @@ func FromGraph(g *graph.Graph, w graph.WeightFunc) Input {
 		in.Weight[e.A][e.B] = wt
 		in.Weight[e.B][e.A] = wt
 	}
-	return in
+}
+
+// Scratch holds reusable partitioning buffers for a repartition hot loop:
+// the emulator rebuilds a dense Input from successively larger snapshots
+// of the same execution graph on every (re)partitioning, and the N×N
+// weight matrix dominates that path's allocations. A Scratch amortizes
+// the matrix, the pinned slice, and the heuristic's connectivity array
+// across calls, and — because its Inputs are built by construction
+// symmetric and non-negative — skips the O(N²) Input.Validate re-check.
+//
+// A Scratch is not safe for concurrent use, and an Input returned by
+// FromGraph aliases the scratch buffers: it is valid only until the next
+// FromGraph call on the same Scratch. Candidate slices returned by the
+// heuristics are freshly allocated and safe to retain.
+type Scratch struct {
+	in   Input
+	conn []float64
+}
+
+// FromGraph is FromGraph reusing this scratch's buffers.
+func (s *Scratch) FromGraph(g *graph.Graph, w graph.WeightFunc) Input {
+	fillFromGraph(&s.in, g, w)
+	return s.in
+}
+
+// Candidates runs the modified MINCUT heuristic on an input built by
+// this scratch's FromGraph, skipping re-validation.
+func (s *Scratch) Candidates(in Input) ([]Candidate, error) {
+	if len(s.conn) < in.N {
+		s.conn = make([]float64, in.N)
+	}
+	return candidates(in, s.conn[:in.N])
+}
+
+// GreedyDensityCandidates runs the greedy memory-density heuristic on an
+// input built by this scratch's FromGraph, skipping re-validation.
+func (s *Scratch) GreedyDensityCandidates(in Input, memory []int64) ([]Candidate, error) {
+	return greedyDensityCandidates(in, memory)
+}
+
+// RefineKL runs the Kernighan–Lin swap refinement on an input built by
+// this scratch's FromGraph, skipping re-validation.
+func (s *Scratch) RefineKL(in Input, inClient []bool) ([]bool, float64, error) {
+	return refineKL(in, inClient)
 }

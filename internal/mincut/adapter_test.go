@@ -1,0 +1,117 @@
+package mincut
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aide/internal/graph"
+)
+
+// randomExecGraph builds an execution graph with n classes, random pins,
+// and random pairwise invocations.
+func randomExecGraph(r *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	nodes := make([]*graph.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = g.Intern(fmt.Sprintf("class%d", i))
+		nodes[i].Pinned = r.Intn(4) == 0
+	}
+	if n > 0 {
+		nodes[0].Pinned = true // keep at least one client vertex
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.3 {
+				g.AddInvocation(nodes[i].ID, nodes[j].ID, int64(1+r.Intn(4096)))
+			}
+		}
+	}
+	return g
+}
+
+// TestScratchMatchesFresh drives one Scratch across graphs of growing and
+// shrinking sizes — the emulator's repartition pattern — and checks that
+// every heuristic produces results identical to the allocating public API.
+// The shrink step in particular exercises stale-buffer zeroing.
+func TestScratchMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var sc Scratch
+	for _, n := range []int{5, 12, 40, 9, 40, 3} {
+		g := randomExecGraph(r, n)
+		fresh := FromGraph(g, graph.BytesWeight)
+		reused := sc.FromGraph(g, graph.BytesWeight)
+
+		if err := reused.Validate(); err != nil {
+			t.Fatalf("n=%d: reused input invalid: %v", n, err)
+		}
+		if reused.N != fresh.N || !reflect.DeepEqual(reused.Weight, fresh.Weight) ||
+			!reflect.DeepEqual(reused.Pinned, fresh.Pinned) {
+			t.Fatalf("n=%d: scratch FromGraph differs from fresh FromGraph", n)
+		}
+
+		cf, errF := Candidates(fresh)
+		cr, errR := sc.Candidates(reused)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("n=%d: Candidates err mismatch: %v vs %v", n, errF, errR)
+		}
+		if !reflect.DeepEqual(cf, cr) {
+			t.Fatalf("n=%d: scratch Candidates differ from fresh", n)
+		}
+
+		mem := make([]int64, n)
+		for i := range mem {
+			mem[i] = int64(r.Intn(1 << 16))
+		}
+		gf, errF := GreedyDensityCandidates(fresh, mem)
+		gr, errR := sc.GreedyDensityCandidates(reused, mem)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("n=%d: greedy err mismatch: %v vs %v", n, errF, errR)
+		}
+		if !reflect.DeepEqual(gf, gr) {
+			t.Fatalf("n=%d: scratch greedy candidates differ from fresh", n)
+		}
+
+		if len(cf) > 0 {
+			seed := cf[len(cf)/2].InClient
+			kf, wf, errF := RefineKL(fresh, seed)
+			kr, wr, errR := sc.RefineKL(reused, seed)
+			if (errF == nil) != (errR == nil) {
+				t.Fatalf("n=%d: RefineKL err mismatch: %v vs %v", n, errF, errR)
+			}
+			if wf != wr || !reflect.DeepEqual(kf, kr) {
+				t.Fatalf("n=%d: scratch RefineKL differs from fresh", n)
+			}
+		}
+	}
+}
+
+// TestScratchInputAliasing documents the contract that an Input returned by
+// Scratch.FromGraph is only valid until the next FromGraph call: candidate
+// slices, by contrast, must remain stable.
+func TestScratchCandidatesSurviveReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	var sc Scratch
+	g1 := randomExecGraph(r, 20)
+	in1 := sc.FromGraph(g1, graph.BytesWeight)
+	c1, err := sc.Candidates(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Candidates(FromGraph(g1, graph.BytesWeight))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clobber the scratch with a different graph; earlier candidates must
+	// be unaffected.
+	g2 := randomExecGraph(r, 33)
+	in2 := sc.FromGraph(g2, graph.BytesWeight)
+	if _, err := sc.Candidates(in2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, want) {
+		t.Fatal("candidates from the first graph changed after scratch reuse")
+	}
+}

@@ -21,6 +21,12 @@ func GreedyDensityCandidates(in Input, memory []int64) ([]Candidate, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	return greedyDensityCandidates(in, memory)
+}
+
+// greedyDensityCandidates is the heuristic core, shared with
+// Scratch.GreedyDensityCandidates. It assumes a validated input.
+func greedyDensityCandidates(in Input, memory []int64) ([]Candidate, error) {
 	if in.N == 0 {
 		return nil, ErrNoVertices
 	}
@@ -108,6 +114,12 @@ func RefineKL(in Input, inClient []bool) ([]bool, float64, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
 	}
+	return refineKL(in, inClient)
+}
+
+// refineKL is the refinement core, shared with Scratch.RefineKL. It
+// assumes a validated input.
+func refineKL(in Input, inClient []bool) ([]bool, float64, error) {
 	out := cloneBools(inClient)
 	cut := CutWeight(in.N, in.Weight, out)
 	improved := true

@@ -88,6 +88,13 @@ func Candidates(in Input) ([]Candidate, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	return candidates(in, nil)
+}
+
+// candidates is the heuristic core, shared by Candidates and
+// Scratch.Candidates. It assumes a validated input. conn is an optional
+// length-N scratch buffer for the connectivity array; nil allocates one.
+func candidates(in Input, conn []float64) ([]Candidate, error) {
 	if in.N == 0 {
 		return nil, ErrNoVertices
 	}
@@ -134,7 +141,13 @@ func Candidates(in Input) ([]Candidate, error) {
 	}
 
 	// conn[v] = total weight between v and the current client partition.
-	conn := make([]float64, in.N)
+	if len(conn) != in.N {
+		conn = make([]float64, in.N)
+	} else {
+		for i := range conn {
+			conn[i] = 0
+		}
+	}
 	var cut float64
 	for v := 0; v < in.N; v++ {
 		if inClient[v] {
