@@ -16,7 +16,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc)")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
 	jsonPath := flag.String("json", "BENCH_sweeps.json", "file to write per-artifact wall-clock seconds into (empty disables)")
@@ -202,6 +202,10 @@ func run(full bool, only, dotDir string, parallel int, jsonPath string) error {
 				fmt.Println(p)
 			}
 			return nil
+		}},
+		{"rpc", func() error {
+			section("Extension: RPC fast path", "binary codec vs gob baseline; coalesced distributed-GC releases")
+			return rpcBench("BENCH_rpc.json")
 		}},
 		{"energy", func() error {
 			section("Extension: client battery drain (paper §2/§8)",

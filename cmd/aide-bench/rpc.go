@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"aide/internal/remote/rpcbench"
+)
+
+// rpcRow is one benchmark measurement in BENCH_rpc.json.
+type rpcRow struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// rpcReport is the machine-readable record of the RPC fast-path
+// comparison: the hand-rolled binary codec against the gob baseline at
+// the codec layer and end-to-end over each transport flavor, plus the
+// host's raw syscall floor that bounds the end-to-end rows, and the
+// distributed-GC release-coalescing win.
+type rpcReport struct {
+	// RawTCPEchoNs is a codec-free, platform-free loopback round trip:
+	// the floor under every end-to-end number below.
+	RawTCPEchoNs float64 `json:"raw_tcp_echo_floor_ns"`
+
+	Codec           map[string]rpcRow `json:"codec"`
+	CodecSpeedup    float64           `json:"codec_speedup_vs_gob"`
+	CodecAllocsShed float64           `json:"codec_allocs_shed_frac_vs_gob"`
+
+	Invoke           map[string]rpcRow `json:"invoke"`
+	TCPSpeedup       float64           `json:"invoke_tcp_speedup_vs_gob"`
+	TCPAllocsShed    float64           `json:"invoke_tcp_allocs_shed_frac_vs_gob"`
+	TCPFloorAdjusted float64           `json:"invoke_tcp_speedup_vs_gob_above_floor"`
+
+	Storm rpcStorm `json:"release_storm"`
+}
+
+// rpcStorm records the release-coalescing comparison for one
+// 1,000-decref storm.
+type rpcStorm struct {
+	Releases          int64   `json:"releases"`
+	BatchedMessages   int64   `json:"batched_wire_messages"`
+	UnbatchedMessages int64   `json:"unbatched_wire_messages"`
+	MessageReduction  float64 `json:"wire_message_reduction_x"`
+	BatchedNs         float64 `json:"batched_ns_per_storm"`
+	UnbatchedNs       float64 `json:"unbatched_ns_per_storm"`
+}
+
+func row(r testing.BenchmarkResult) rpcRow {
+	return rpcRow{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchStep measures one serial step function.
+func benchStep(step func() error) (testing.BenchmarkResult, error) {
+	var stepErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := step(); err != nil {
+				stepErr = err
+				return
+			}
+		}
+	})
+	return r, stepErr
+}
+
+// benchInvoke measures end-to-end echo invocations over one transport
+// flavor with eight pipelined callers (the workload the sharded call
+// table exists for).
+func benchInvoke(mode rpcbench.Mode) (testing.BenchmarkResult, error) {
+	env, err := rpcbench.New(rpcbench.Config{Mode: mode, Workers: 8})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			invoke := env.Caller()
+			for pb.Next() {
+				if err := invoke(); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+	})
+	if err := env.Close(); benchErr == nil {
+		benchErr = err
+	}
+	return r, benchErr
+}
+
+// benchStorm measures one 1,000-decref release storm and returns the
+// wire-message count it produced.
+func benchStorm(batch int) (testing.BenchmarkResult, int64, error) {
+	env, err := rpcbench.New(rpcbench.Config{Mode: rpcbench.ModeChan, ReleaseBatchSize: batch})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := env.ReleaseStorm(1000); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	st := env.PC.Stats()
+	var perStorm int64
+	if st.ReleasesSent > 0 {
+		perStorm = st.ReleaseBatchesSent * 1000 / st.ReleasesSent
+	}
+	if err := env.Close(); benchErr == nil {
+		benchErr = err
+	}
+	return r, perStorm, benchErr
+}
+
+// rpcBench runs the RPC fast-path comparison and writes BENCH_rpc.json.
+func rpcBench(jsonPath string) error {
+	rep := rpcReport{
+		Codec:  make(map[string]rpcRow),
+		Invoke: make(map[string]rpcRow),
+	}
+
+	step, closeConn, err := rpcbench.RawTCPEcho(256)
+	if err != nil {
+		return err
+	}
+	floor, err := benchStep(step)
+	if cerr := closeConn(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("raw tcp floor: %w", err)
+	}
+	rep.RawTCPEchoNs = float64(floor.NsPerOp())
+	fmt.Printf("raw TCP loopback echo floor: %d ns/op (no codec, no platform)\n", floor.NsPerOp())
+
+	binCodec, err := benchStep(rpcbench.BinaryCodec())
+	if err != nil {
+		return fmt.Errorf("binary codec: %w", err)
+	}
+	gobCodec, err := benchStep(rpcbench.GobCodec())
+	if err != nil {
+		return fmt.Errorf("gob codec: %w", err)
+	}
+	rep.Codec["binary"] = row(binCodec)
+	rep.Codec["gob"] = row(gobCodec)
+	rep.CodecSpeedup = float64(gobCodec.NsPerOp()) / float64(binCodec.NsPerOp())
+	if g := gobCodec.AllocsPerOp(); g > 0 {
+		rep.CodecAllocsShed = 1 - float64(binCodec.AllocsPerOp())/float64(g)
+	}
+	fmt.Printf("codec round trip: binary %d ns/op %d allocs, gob %d ns/op %d allocs (%.1fx faster, %.0f%% fewer allocs)\n",
+		binCodec.NsPerOp(), binCodec.AllocsPerOp(), gobCodec.NsPerOp(), gobCodec.AllocsPerOp(),
+		rep.CodecSpeedup, rep.CodecAllocsShed*100)
+
+	for _, mode := range rpcbench.Modes() {
+		r, err := benchInvoke(mode)
+		if err != nil {
+			return fmt.Errorf("invoke %s: %w", mode, err)
+		}
+		rep.Invoke[string(mode)] = row(r)
+		fmt.Printf("invoke %-8s %6d ns/op  %3d allocs/op  %5d B/op\n",
+			mode, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+	tcp, gob := rep.Invoke[string(rpcbench.ModeTCP)], rep.Invoke[string(rpcbench.ModeTCPGob)]
+	if tcp.NsPerOp > 0 {
+		rep.TCPSpeedup = gob.NsPerOp / tcp.NsPerOp
+	}
+	if gob.AllocsPerOp > 0 {
+		rep.TCPAllocsShed = 1 - float64(tcp.AllocsPerOp)/float64(gob.AllocsPerOp)
+	}
+	if above := tcp.NsPerOp - rep.RawTCPEchoNs; above > 0 {
+		rep.TCPFloorAdjusted = (gob.NsPerOp - rep.RawTCPEchoNs) / above
+	}
+	fmt.Printf("end-to-end tcp vs gob: %.2fx ns/op (%.2fx above the syscall floor), %.0f%% fewer allocs\n",
+		rep.TCPSpeedup, rep.TCPFloorAdjusted, rep.TCPAllocsShed*100)
+
+	batched, batchedMsgs, err := benchStorm(0)
+	if err != nil {
+		return fmt.Errorf("batched storm: %w", err)
+	}
+	unbatched, unbatchedMsgs, err := benchStorm(1)
+	if err != nil {
+		return fmt.Errorf("unbatched storm: %w", err)
+	}
+	rep.Storm = rpcStorm{
+		Releases:          1000,
+		BatchedMessages:   batchedMsgs,
+		UnbatchedMessages: unbatchedMsgs,
+		BatchedNs:         float64(batched.NsPerOp()),
+		UnbatchedNs:       float64(unbatched.NsPerOp()),
+	}
+	if batchedMsgs > 0 {
+		rep.Storm.MessageReduction = float64(unbatchedMsgs) / float64(batchedMsgs)
+	}
+	fmt.Printf("release storm (1000 decrefs): %d wire messages batched vs %d unbatched (%.1fx fewer), %.2fms vs %.2fms\n",
+		batchedMsgs, unbatchedMsgs, rep.Storm.MessageReduction,
+		rep.Storm.BatchedNs/1e6, rep.Storm.UnbatchedNs/1e6)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -3,8 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // GobWire audits every type that crosses the wire codec. AIDE frames
@@ -23,6 +25,19 @@ import (
 //     runtime),
 //   - interface-typed fields when the package performs no gob.Register
 //     (the concrete types could never decode).
+//
+// It additionally enforces the hand-rolled binary codec's contract via
+// field-count pins: a constant declared as
+//
+//	//lint:wire <Type>            (or <import/path>.<Type>)
+//	const somethingWireFields = N
+//
+// asserts that the named struct has exactly N fields. The binary codec
+// (internal/remote/codec.go) encodes every field explicitly, so adding a
+// field without teaching the codec about it would silently drop it on
+// the wire; the pin turns that into a vet failure until the codec and
+// the pin are updated together. Pinned types are also walked with the
+// encodability rules above.
 var GobWire = &Analyzer{
 	Name: "gobwire",
 	Doc:  "types crossing the gob wire codec must be registered and hold only encodable exported fields",
@@ -66,7 +81,108 @@ func runGobWire(pass *Pass) error {
 		w.rootPos = r.pos
 		w.walk(r.typ)
 	}
+
+	for _, pin := range collectWirePins(pass) {
+		t := resolveWireRef(pass, pin.ref)
+		if t == nil {
+			pass.Reportf(pin.pos, "lint:wire pins unknown type %s", pin.ref)
+			continue
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(pin.pos, "lint:wire target %s is not a struct", pin.ref)
+			continue
+		}
+		if int64(st.NumFields()) != pin.count {
+			pass.Reportf(pin.pos,
+				"wire type %s has %d fields but the codec pins %d; update the binary codec and the pin together",
+				typeName(t), st.NumFields(), pin.count)
+		}
+		w.rootPos = pin.pos
+		w.walk(t)
+	}
 	return nil
+}
+
+// WireDirective marks a constant as a binary-codec field-count pin.
+const WireDirective = "//lint:wire "
+
+// wirePin is one parsed //lint:wire directive: the referenced type and
+// the field count the annotated constant pins it to.
+type wirePin struct {
+	ref   string
+	count int64
+	pos   token.Pos
+}
+
+func collectWirePins(pass *Pass) []wirePin {
+	var pins []wirePin
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if doc == nil {
+					continue
+				}
+				ref := ""
+				for _, c := range doc.List {
+					if strings.HasPrefix(c.Text, WireDirective) {
+						ref = strings.TrimSpace(strings.TrimPrefix(c.Text, WireDirective))
+					}
+				}
+				if ref == "" || len(vs.Names) != 1 {
+					continue
+				}
+				cobj, ok := pass.Info.Defs[vs.Names[0]].(*types.Const)
+				if !ok {
+					continue
+				}
+				n, exact := constant.Int64Val(cobj.Val())
+				if !exact {
+					continue
+				}
+				pins = append(pins, wirePin{ref: ref, count: n, pos: vs.Pos()})
+			}
+		}
+	}
+	return pins
+}
+
+// resolveWireRef resolves a //lint:wire type reference: a bare name in
+// the package's own scope, or import/path.Name in an imported package.
+func resolveWireRef(pass *Pass, ref string) types.Type {
+	scope := pass.Pkg.Scope()
+	name := ref
+	if i := strings.LastIndex(ref, "."); i >= 0 {
+		path, n := ref[:i], ref[i+1:]
+		scope = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == path {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+		name = n
+	}
+	tn, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return tn.Type()
 }
 
 type gobRoot struct {

@@ -19,6 +19,18 @@ type Payload struct {
 	Meta   meta
 }
 
+//lint:wire Payload
+const payloadWireFields = 3 // want `wire type gobwire_bad\.Payload has 7 fields but the codec pins 3`
+
+//lint:wire Missing
+const missingWireFields = 1 // want `lint:wire pins unknown type Missing`
+
+//lint:wire NotAStruct
+const notAStructWireFields = 1 // want `lint:wire target NotAStruct is not a struct`
+
+// NotAStruct exercises the non-struct pin diagnostic.
+type NotAStruct int
+
 type Inner struct {
 	Val any // want `interface-typed field Val of wire type gobwire_bad\.Inner crosses the wire without any gob\.Register`
 }

@@ -15,6 +15,11 @@ type Payload struct {
 	Body any
 }
 
+// A correct //lint:wire pin: Payload has exactly four fields.
+//
+//lint:wire Payload
+const payloadWireFields = 4
+
 func init() {
 	gob.Register(int64(0))
 	gob.Register("")

@@ -1,0 +1,427 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"aide/internal/vm"
+)
+
+// Binary wire codec for the RPC envelope. Every remote crossing — field
+// access, invocation, migration, distributed-GC release — moves one
+// Message, so the per-message encode cost is the platform's per-call
+// overhead (the difference CloneCloud and COARA identify between
+// offloading that pays off and offloading that doesn't). The codec is a
+// hand-rolled length-prefixed frame:
+//
+//	frame   := uvarint(len(payload)) payload
+//	payload := version kind uvarint(ID) field*
+//	field   := tag tag-dependent-encoding
+//
+// Zero-valued fields are omitted entirely; the tag's presence is the
+// field's presence. Decoding an unknown tag or version fails loudly —
+// evolution happens by bumping wireVersion, never by silently skipping.
+// Encode buffers are pooled; decode copies what it keeps, so frames can
+// be reused immediately.
+//
+// wireBytes() (message.go) is derived from sizeMessage below, so Stats
+// and netmodel.Link costing charge the exact frame size; the codec tests
+// and FuzzMessageRoundTrip pin sizeMessage == len(appendMessage) for
+// every message kind.
+
+// wireVersion is the frame format version; the first payload byte.
+const wireVersion = 1
+
+// maxFrame bounds incoming frame sizes so a corrupt length prefix cannot
+// force an arbitrary allocation.
+const maxFrame = 1 << 28
+
+// Field tags, one per Message field that can appear on the wire (ID and
+// Kind live in the fixed header). Presence tags (tagReply,
+// tagSelfIsSenderLocal) carry no payload.
+const (
+	tagReply = iota + 1
+	tagErr
+	tagObj
+	tagClass
+	tagMethod
+	tagField
+	tagSelfIsSenderLocal
+	tagArgs
+	tagRet
+	tagElapsedNanos
+	tagBatch
+	tagIDs
+	tagClasses
+	tagObjects
+	tagMovedBytes
+	tagFreeBytes
+	tagCapacityBytes
+	tagCPUSpeed
+)
+
+// The binary codec encodes every field of the structs below; these pins
+// are checked by the gobwire analyzer against the struct definitions, so
+// a new field cannot be added without updating the codec (and the pin)
+// in the same change.
+//
+//lint:wire Message
+const messageWireFields = 20
+
+//lint:wire aide/internal/vm.WireValue
+const wireValueWireFields = 7
+
+//lint:wire aide/internal/vm.WireRef
+const wireRefWireFields = 3
+
+//lint:wire aide/internal/vm.MigratedObject
+const migratedObjectWireFields = 4
+
+// framePool recycles encode/receive buffers across messages.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte            { return framePool.Get().(*[]byte) }
+func putFrameBuf(p *[]byte, b []byte) { *p = b[:0]; framePool.Put(p) }
+
+func isZeroWireValue(w *vm.WireValue) bool {
+	return w.Kind == vm.KindNil
+}
+
+// appendMessage appends m's payload (no length prefix) to buf.
+func appendMessage(buf []byte, m *Message) []byte {
+	buf = append(buf, wireVersion, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, m.ID)
+	if m.Reply {
+		buf = append(buf, tagReply)
+	}
+	if m.Err != "" {
+		buf = append(buf, tagErr)
+		buf = vm.AppendString(buf, m.Err)
+	}
+	if m.Obj != 0 {
+		buf = append(buf, tagObj)
+		buf = binary.AppendVarint(buf, int64(m.Obj))
+	}
+	if m.Class != "" {
+		buf = append(buf, tagClass)
+		buf = vm.AppendString(buf, m.Class)
+	}
+	if m.Method != "" {
+		buf = append(buf, tagMethod)
+		buf = vm.AppendString(buf, m.Method)
+	}
+	if m.Field != "" {
+		buf = append(buf, tagField)
+		buf = vm.AppendString(buf, m.Field)
+	}
+	if m.SelfIsSenderLocal {
+		buf = append(buf, tagSelfIsSenderLocal)
+	}
+	if len(m.Args) > 0 {
+		buf = append(buf, tagArgs)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Args)))
+		for i := range m.Args {
+			buf = m.Args[i].AppendWire(buf)
+		}
+	}
+	if !isZeroWireValue(&m.Ret) {
+		buf = append(buf, tagRet)
+		buf = m.Ret.AppendWire(buf)
+	}
+	if m.ElapsedNanos != 0 {
+		buf = append(buf, tagElapsedNanos)
+		buf = binary.AppendVarint(buf, m.ElapsedNanos)
+	}
+	if len(m.Batch) > 0 {
+		buf = append(buf, tagBatch)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Batch)))
+		for i := range m.Batch {
+			buf = m.Batch[i].AppendWire(buf)
+		}
+	}
+	if len(m.IDs) > 0 {
+		buf = append(buf, tagIDs)
+		buf = binary.AppendUvarint(buf, uint64(len(m.IDs)))
+		for _, id := range m.IDs {
+			buf = binary.AppendVarint(buf, int64(id))
+		}
+	}
+	if len(m.Classes) > 0 {
+		buf = append(buf, tagClasses)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Classes)))
+		for _, c := range m.Classes {
+			buf = vm.AppendString(buf, c)
+		}
+	}
+	if m.Objects != 0 {
+		buf = append(buf, tagObjects)
+		buf = binary.AppendVarint(buf, m.Objects)
+	}
+	if m.MovedBytes != 0 {
+		buf = append(buf, tagMovedBytes)
+		buf = binary.AppendVarint(buf, m.MovedBytes)
+	}
+	if m.FreeBytes != 0 {
+		buf = append(buf, tagFreeBytes)
+		buf = binary.AppendVarint(buf, m.FreeBytes)
+	}
+	if m.CapacityBytes != 0 {
+		buf = append(buf, tagCapacityBytes)
+		buf = binary.AppendVarint(buf, m.CapacityBytes)
+	}
+	if m.CPUSpeed != 0 {
+		buf = append(buf, tagCPUSpeed)
+		buf = appendFloat(buf, m.CPUSpeed)
+	}
+	return buf
+}
+
+// sizeMessage returns the exact payload size appendMessage would
+// produce. It must mirror appendMessage field for field; the codec tests
+// and the fuzz round-trip enforce equality.
+func sizeMessage(m *Message) int {
+	n := 2 + vm.UvarintSize(m.ID)
+	if m.Reply {
+		n++
+	}
+	if m.Err != "" {
+		n += 1 + vm.StringSize(m.Err)
+	}
+	if m.Obj != 0 {
+		n += 1 + vm.VarintSize(int64(m.Obj))
+	}
+	if m.Class != "" {
+		n += 1 + vm.StringSize(m.Class)
+	}
+	if m.Method != "" {
+		n += 1 + vm.StringSize(m.Method)
+	}
+	if m.Field != "" {
+		n += 1 + vm.StringSize(m.Field)
+	}
+	if m.SelfIsSenderLocal {
+		n++
+	}
+	if len(m.Args) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Args)))
+		for i := range m.Args {
+			n += m.Args[i].WireLen()
+		}
+	}
+	if !isZeroWireValue(&m.Ret) {
+		n += 1 + m.Ret.WireLen()
+	}
+	if m.ElapsedNanos != 0 {
+		n += 1 + vm.VarintSize(m.ElapsedNanos)
+	}
+	if len(m.Batch) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Batch)))
+		for i := range m.Batch {
+			n += m.Batch[i].WireLen()
+		}
+	}
+	if len(m.IDs) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.IDs)))
+		for _, id := range m.IDs {
+			n += vm.VarintSize(int64(id))
+		}
+	}
+	if len(m.Classes) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Classes)))
+		for _, c := range m.Classes {
+			n += vm.StringSize(c)
+		}
+	}
+	if m.Objects != 0 {
+		n += 1 + vm.VarintSize(m.Objects)
+	}
+	if m.MovedBytes != 0 {
+		n += 1 + vm.VarintSize(m.MovedBytes)
+	}
+	if m.FreeBytes != 0 {
+		n += 1 + vm.VarintSize(m.FreeBytes)
+	}
+	if m.CapacityBytes != 0 {
+		n += 1 + vm.VarintSize(m.CapacityBytes)
+	}
+	if m.CPUSpeed != 0 {
+		n += 1 + 8
+	}
+	return n
+}
+
+// frameSize returns the exact on-the-wire frame size (length prefix plus
+// payload) for the message.
+func frameSize(m *Message) int {
+	n := sizeMessage(m)
+	return vm.UvarintSize(uint64(n)) + n
+}
+
+// appendFrame appends the length-prefixed frame to buf. It verifies the
+// size derivation against the bytes actually produced, so a codec drift
+// bug surfaces as a transport error instead of a corrupt stream.
+func appendFrame(buf []byte, m *Message) ([]byte, error) {
+	n := sizeMessage(m)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	head := len(buf)
+	buf = appendMessage(buf, m)
+	if len(buf)-head != n {
+		return nil, fmt.Errorf("remote: codec: sized %s frame at %d bytes but encoded %d", m.Kind, n, len(buf)-head)
+	}
+	return buf, nil
+}
+
+// decodeMessage decodes one payload (without length prefix) into a fresh
+// Message. The result does not alias data; callers may recycle the
+// buffer immediately.
+func decodeMessage(data []byte) (*Message, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("remote: codec: truncated header (%d bytes)", len(data))
+	}
+	if data[0] != wireVersion {
+		return nil, fmt.Errorf("remote: codec: unsupported wire version %d (have %d)", data[0], wireVersion)
+	}
+	m := &Message{Kind: MsgKind(data[1])}
+	id, rest, err := vm.ReadUvarint(data[2:])
+	if err != nil {
+		return nil, fmt.Errorf("remote: codec: message id: %w", err)
+	}
+	m.ID = id
+	for len(rest) > 0 {
+		tag := rest[0]
+		rest = rest[1:]
+		switch tag {
+		case tagReply:
+			m.Reply = true
+		case tagErr:
+			m.Err, rest, err = vm.ReadString(rest)
+		case tagObj:
+			var v int64
+			v, rest, err = vm.ReadVarint(rest)
+			m.Obj = vm.ObjectID(v)
+		case tagClass:
+			m.Class, rest, err = vm.ReadString(rest)
+		case tagMethod:
+			m.Method, rest, err = vm.ReadString(rest)
+		case tagField:
+			m.Field, rest, err = vm.ReadString(rest)
+		case tagSelfIsSenderLocal:
+			m.SelfIsSenderLocal = true
+		case tagArgs:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Args = make([]vm.WireValue, n)
+				for i := range m.Args {
+					if m.Args[i], rest, err = vm.DecodeWireValue(rest); err != nil {
+						break
+					}
+				}
+			}
+		case tagRet:
+			m.Ret, rest, err = vm.DecodeWireValue(rest)
+		case tagElapsedNanos:
+			m.ElapsedNanos, rest, err = vm.ReadVarint(rest)
+		case tagBatch:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Batch = make([]vm.MigratedObject, n)
+				for i := range m.Batch {
+					if m.Batch[i], rest, err = vm.DecodeMigratedObject(rest); err != nil {
+						break
+					}
+				}
+			}
+		case tagIDs:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.IDs = make([]vm.ObjectID, n)
+				for i := range m.IDs {
+					var v int64
+					if v, rest, err = vm.ReadVarint(rest); err != nil {
+						break
+					}
+					m.IDs[i] = vm.ObjectID(v)
+				}
+			}
+		case tagClasses:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Classes = make([]string, n)
+				for i := range m.Classes {
+					if m.Classes[i], rest, err = vm.ReadString(rest); err != nil {
+						break
+					}
+				}
+			}
+		case tagObjects:
+			m.Objects, rest, err = vm.ReadVarint(rest)
+		case tagMovedBytes:
+			m.MovedBytes, rest, err = vm.ReadVarint(rest)
+		case tagFreeBytes:
+			m.FreeBytes, rest, err = vm.ReadVarint(rest)
+		case tagCapacityBytes:
+			m.CapacityBytes, rest, err = vm.ReadVarint(rest)
+		case tagCPUSpeed:
+			m.CPUSpeed, rest, err = readFloat(rest)
+		default:
+			return nil, fmt.Errorf("remote: codec: unknown field tag %d", tag)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("remote: codec: field tag %d: %w", tag, err)
+		}
+	}
+	return m, nil
+}
+
+// readCount reads a list-length uvarint and rejects counts that exceed
+// the remaining bytes (every encoded element occupies at least one
+// byte), so a corrupt frame cannot force an arbitrary allocation.
+func readCount(data []byte) (uint64, []byte, error) {
+	n, rest, err := vm.ReadUvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("element count %d exceeds %d remaining bytes", n, len(rest))
+	}
+	return n, rest, nil
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func readFloat(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("truncated float")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), data[8:], nil
+}
+
+// AppendFrame appends m's complete wire frame — uvarint length prefix
+// plus binary-codec payload, exactly the bytes NewConnTransport puts on
+// the socket — to buf and returns the extended slice. It is the codec's
+// public face for tools and benchmarks; the transports use it
+// internally.
+func AppendFrame(buf []byte, m *Message) ([]byte, error) {
+	return appendFrame(buf, m)
+}
+
+// DecodeFrame decodes one frame produced by AppendFrame.
+func DecodeFrame(data []byte) (*Message, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("remote: codec: bad frame length prefix")
+	}
+	if n > maxFrame || n > uint64(len(data)-k) {
+		return nil, fmt.Errorf("remote: codec: frame length %d exceeds %d available bytes", n, len(data)-k)
+	}
+	return decodeMessage(data[k : k+int(n)])
+}

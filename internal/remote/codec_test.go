@@ -1,0 +1,286 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aide/internal/vm"
+)
+
+// codecMessages is one representative message per wire kind, every field
+// the kind uses populated, plus reply and error variants. The table
+// backs both the exact-size regression test and the gob-equivalence
+// test.
+func codecMessages() []*Message {
+	return []*Message{
+		{Kind: MsgInvoke, ID: 1, Obj: 42, Method: "append", Args: []vm.WireValue{
+			{Kind: vm.KindInt, I: -7},
+			{Kind: vm.KindString, S: "hello"},
+			{Kind: vm.KindBytes, Bytes: []byte{1, 2, 3}},
+			{Kind: vm.KindRef, Ref: vm.WireRef{ReceiverLocal: false, ID: 9, Class: "Doc"}},
+		}},
+		{Kind: MsgInvoke, ID: 1, Reply: true, Ret: vm.WireValue{Kind: vm.KindInt, I: 15}, ElapsedNanos: 120_000},
+		{Kind: MsgInvoke, ID: 2, Reply: true, Err: "no such method"},
+		{Kind: MsgNativeInvoke, ID: 3, Class: "UI", Method: "draw", Obj: 7, SelfIsSenderLocal: true},
+		{Kind: MsgGetField, ID: 4, Obj: 42, Field: "len"},
+		{Kind: MsgGetField, ID: 4, Reply: true, Ret: vm.WireValue{Kind: vm.KindFloat, F: 2.5}},
+		{Kind: MsgSetField, ID: 5, Obj: 42, Field: "len", Args: []vm.WireValue{{Kind: vm.KindBool, B: true}}},
+		{Kind: MsgGetStatic, ID: 6, Class: "Doc", Field: "count"},
+		{Kind: MsgSetStatic, ID: 7, Class: "Doc", Field: "count", Args: []vm.WireValue{{Kind: vm.KindNil}}},
+		{Kind: MsgMigrate, ID: 8, Batch: []vm.MigratedObject{
+			{SenderID: 11, Class: "Doc", Size: 4096, Fields: []vm.WireValue{
+				{Kind: vm.KindInt, I: 10},
+				{Kind: vm.KindRef, Ref: vm.WireRef{ReceiverLocal: true, ID: 3}},
+			}},
+			{SenderID: 12, Class: "Doc", Size: 128},
+		}},
+		{Kind: MsgMigrate, ID: 8, Reply: true, IDs: []vm.ObjectID{1001, 1002}},
+		{Kind: MsgRelease, ID: 9, Obj: 1001},
+		{Kind: MsgReleaseBatch, ID: 10, IDs: []vm.ObjectID{1001, 1002, 1002, 1003}},
+		{Kind: MsgPing, ID: 11},
+		{Kind: MsgPing, ID: 11, Reply: true},
+		{Kind: MsgRecall, ID: 12, Classes: []string{"Doc", "Filter"}},
+		{Kind: MsgRecall, ID: 12, Reply: true, Objects: 3, MovedBytes: 8192},
+		{Kind: MsgInfo, ID: 13},
+		{Kind: MsgInfo, ID: 13, Reply: true, FreeBytes: 1 << 20, CapacityBytes: 8 << 20, CPUSpeed: 3.5},
+	}
+}
+
+// TestWireBytesExact pins wireBytes() to the bytes the codec actually
+// produces, for every message kind: Stats and the netmodel costing must
+// charge real frame sizes.
+func TestWireBytesExact(t *testing.T) {
+	seenKinds := map[MsgKind]bool{}
+	for _, m := range codecMessages() {
+		seenKinds[m.Kind] = true
+		frame, err := appendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("%s: appendFrame: %v", m.Kind, err)
+		}
+		if got, want := m.wireBytes(), int64(len(frame)); got != want {
+			t.Errorf("%s (reply=%v): wireBytes() = %d, encoded frame is %d bytes", m.Kind, m.Reply, got, want)
+		}
+	}
+	for k := MsgInvoke; k <= MsgReleaseBatch; k++ {
+		if !seenKinds[k] {
+			t.Errorf("codecMessages covers no %s message", k)
+		}
+	}
+}
+
+// TestMessageRoundTrip pins decode(encode(m)) == m for the
+// representative table.
+func TestMessageRoundTrip(t *testing.T) {
+	for _, m := range codecMessages() {
+		buf := appendMessage(nil, m)
+		got, err := decodeMessage(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s (reply=%v): round trip mismatch:\n got %+v\nwant %+v", m.Kind, m.Reply, got, m)
+		}
+	}
+}
+
+// TestBinaryMatchesGobSemantics round-trips the same messages through
+// the binary codec and through gob and requires identical decoded
+// structs: the codec change alters wire mechanics, not meaning.
+func TestBinaryMatchesGobSemantics(t *testing.T) {
+	for _, m := range codecMessages() {
+		bin, err := decodeMessage(appendMessage(nil, m))
+		if err != nil {
+			t.Fatalf("%s: binary decode: %v", m.Kind, err)
+		}
+		var network bytes.Buffer
+		if err := gob.NewEncoder(&network).Encode(m); err != nil {
+			t.Fatalf("%s: gob encode: %v", m.Kind, err)
+		}
+		var viaGob Message
+		if err := gob.NewDecoder(&network).Decode(&viaGob); err != nil {
+			t.Fatalf("%s: gob decode: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(bin, &viaGob) {
+			t.Errorf("%s (reply=%v): binary and gob disagree:\n binary %+v\n gob    %+v", m.Kind, m.Reply, bin, &viaGob)
+		}
+	}
+}
+
+// randomWireValue produces a canonical WireValue: only the field the
+// kind uses is populated, empty blobs stay nil.
+func randomWireValue(rng *rand.Rand) vm.WireValue {
+	kinds := []vm.ValueKind{vm.KindNil, vm.KindInt, vm.KindFloat, vm.KindBool, vm.KindString, vm.KindBytes, vm.KindRef}
+	switch k := kinds[rng.Intn(len(kinds))]; k {
+	case vm.KindInt:
+		return vm.WireValue{Kind: k, I: rng.Int63() - rng.Int63()}
+	case vm.KindFloat:
+		return vm.WireValue{Kind: k, F: rng.NormFloat64()}
+	case vm.KindBool:
+		return vm.WireValue{Kind: k, B: rng.Intn(2) == 1}
+	case vm.KindString:
+		return vm.WireValue{Kind: k, S: randomString(rng, 1+rng.Intn(12))}
+	case vm.KindBytes:
+		b := make([]byte, 1+rng.Intn(32))
+		rng.Read(b)
+		return vm.WireValue{Kind: k, Bytes: b}
+	case vm.KindRef:
+		r := vm.WireRef{ReceiverLocal: rng.Intn(2) == 1, ID: vm.ObjectID(rng.Int63n(1 << 20))}
+		if !r.ReceiverLocal {
+			r.Class = randomString(rng, 1+rng.Intn(8))
+		}
+		return vm.WireValue{Kind: vm.KindRef, Ref: r}
+	default:
+		return vm.WireValue{Kind: vm.KindNil}
+	}
+}
+
+func randomString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	rng.Read(b)
+	return string(b)
+}
+
+func randomMessage(rng *rand.Rand) *Message {
+	m := &Message{
+		Kind: MsgKind(1 + rng.Intn(int(MsgReleaseBatch))),
+		ID:   rng.Uint64() >> uint(rng.Intn(64)),
+	}
+	if rng.Intn(2) == 1 {
+		m.Reply = true
+	}
+	if rng.Intn(4) == 0 {
+		m.Err = randomString(rng, 1+rng.Intn(20))
+	}
+	if rng.Intn(2) == 0 {
+		m.Obj = vm.ObjectID(rng.Int63n(1 << 30))
+	}
+	if rng.Intn(3) == 0 {
+		m.Class = randomString(rng, 1+rng.Intn(10))
+	}
+	if rng.Intn(3) == 0 {
+		m.Method = randomString(rng, 1+rng.Intn(10))
+	}
+	if rng.Intn(3) == 0 {
+		m.Field = randomString(rng, 1+rng.Intn(10))
+	}
+	m.SelfIsSenderLocal = rng.Intn(8) == 0
+	if n := rng.Intn(5); n > 0 {
+		m.Args = make([]vm.WireValue, n)
+		for i := range m.Args {
+			m.Args[i] = randomWireValue(rng)
+		}
+	}
+	m.Ret = randomWireValue(rng)
+	if rng.Intn(3) == 0 {
+		m.ElapsedNanos = rng.Int63()
+	}
+	if n := rng.Intn(3); n > 0 {
+		m.Batch = make([]vm.MigratedObject, n)
+		for i := range m.Batch {
+			mo := vm.MigratedObject{
+				SenderID: vm.ObjectID(rng.Int63n(1 << 20)),
+				Class:    randomString(rng, 1+rng.Intn(8)),
+				Size:     rng.Int63n(1 << 16),
+			}
+			if f := rng.Intn(4); f > 0 {
+				mo.Fields = make([]vm.WireValue, f)
+				for j := range mo.Fields {
+					mo.Fields[j] = randomWireValue(rng)
+				}
+			}
+			m.Batch[i] = mo
+		}
+	}
+	if n := rng.Intn(6); n > 0 {
+		m.IDs = make([]vm.ObjectID, n)
+		for i := range m.IDs {
+			m.IDs[i] = vm.ObjectID(rng.Int63n(1 << 24))
+		}
+	}
+	if n := rng.Intn(3); n > 0 {
+		m.Classes = make([]string, n)
+		for i := range m.Classes {
+			m.Classes[i] = randomString(rng, 1+rng.Intn(8))
+		}
+	}
+	if rng.Intn(4) == 0 {
+		m.Objects = rng.Int63n(1 << 20)
+		m.MovedBytes = rng.Int63n(1 << 30)
+	}
+	if rng.Intn(4) == 0 {
+		m.FreeBytes = rng.Int63n(1 << 30)
+		m.CapacityBytes = rng.Int63n(1 << 32)
+		m.CPUSpeed = float64(rng.Intn(100)) / 10
+	}
+	return m
+}
+
+// TestMessageRoundTripRandom drives the codec with seeded random
+// messages: decode(encode(m)) must equal m, the size derivation must be
+// exact, and re-encoding the decoded message must reproduce the bytes.
+func TestMessageRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		m := randomMessage(rng)
+		buf := appendMessage(nil, m)
+		if got, want := sizeMessage(m), len(buf); got != want {
+			t.Fatalf("iter %d: sizeMessage = %d, encoded %d bytes (%+v)", i, got, want, m)
+		}
+		dec, err := decodeMessage(buf)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v (%+v)", i, err, m)
+		}
+		if !reflect.DeepEqual(dec, m) {
+			t.Fatalf("iter %d: round trip mismatch:\n got %+v\nwant %+v", i, dec, m)
+		}
+		if again := appendMessage(nil, dec); !bytes.Equal(again, buf) {
+			t.Fatalf("iter %d: re-encode differs from original encoding", i)
+		}
+	}
+}
+
+// TestDecodeMessageRejectsCorruptFrames pins the codec's strictness:
+// truncation, bad versions, unknown tags, unknown value kinds, and
+// absurd element counts are errors, never silent misreads.
+func TestDecodeMessageRejectsCorruptFrames(t *testing.T) {
+	good := appendMessage(nil, codecMessages()[0])
+	cases := map[string][]byte{
+		"empty":            {},
+		"header only":      {wireVersion},
+		"bad version":      {99, byte(MsgPing), 1},
+		"unknown tag":      {wireVersion, byte(MsgPing), 1, 200},
+		"truncated string": {wireVersion, byte(MsgPing), 1, tagErr, 10, 'x'},
+		"huge arg count":   {wireVersion, byte(MsgPing), 1, tagArgs, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"huge id count":    {wireVersion, byte(MsgPing), 1, tagIDs, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"bad value kind":   {wireVersion, byte(MsgPing), 1, tagRet, 99},
+		"truncated float":  {wireVersion, byte(MsgPing), 1, tagCPUSpeed, 1, 2, 3},
+		"truncated frame":  good[:len(good)-1],
+	}
+	for name, data := range cases {
+		if _, err := decodeMessage(data); err == nil {
+			t.Errorf("%s: decodeMessage accepted corrupt input", name)
+		}
+	}
+}
+
+// TestCopyMessageDoesNotAlias pins the chan-transport boundary contract:
+// the copy shares no mutable memory with the original.
+func TestCopyMessageDoesNotAlias(t *testing.T) {
+	m := &Message{Kind: MsgInvoke, ID: 1, Method: "m", Args: []vm.WireValue{{Kind: vm.KindBytes, Bytes: []byte{1, 2, 3}}}, IDs: []vm.ObjectID{5}}
+	cp, err := copyMessage(m)
+	if err != nil {
+		t.Fatalf("copyMessage: %v", err)
+	}
+	if !reflect.DeepEqual(cp, m) {
+		t.Fatalf("copy differs: got %+v want %+v", cp, m)
+	}
+	m.Args[0].Bytes[0] = 99
+	m.IDs[0] = 77
+	m.Method = "other"
+	if cp.Args[0].Bytes[0] != 1 || cp.IDs[0] != 5 || cp.Method != "m" {
+		t.Fatal("copyMessage aliases the sender's memory")
+	}
+}

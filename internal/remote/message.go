@@ -27,6 +27,10 @@ const (
 	MsgPing
 	MsgRecall
 	MsgInfo
+	// MsgReleaseBatch coalesces many stub-death decrefs into one one-way
+	// message; IDs carries the released object IDs, duplicates included
+	// (one entry per decref).
+	MsgReleaseBatch
 )
 
 // String returns the kind's name.
@@ -54,6 +58,8 @@ func (k MsgKind) String() string {
 		return "recall"
 	case MsgInfo:
 		return "info"
+	case MsgReleaseBatch:
+		return "release-batch"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -101,41 +107,12 @@ type Message struct {
 	CPUSpeed      float64
 }
 
-// wireBytes approximates the payload size of the message for the network
-// model.
+// wireBytes returns the exact on-the-wire frame size of the message
+// under the binary codec (length prefix included), so Stats and the
+// netmodel.Link costing charge real transfer sizes. TestWireBytesExact
+// pins this against the bytes the codec actually emits for every kind.
 func (m *Message) wireBytes() int64 {
-	n := int64(16 + len(m.Class) + len(m.Method) + len(m.Field))
-	for i := range m.Args {
-		n += wireValueBytes(&m.Args[i])
-	}
-	n += wireValueBytes(&m.Ret)
-	for i := range m.Batch {
-		n += m.Batch[i].Size + 16
-	}
-	n += int64(8 * len(m.IDs))
-	for _, c := range m.Classes {
-		n += int64(len(c)) + 2
-	}
-	return n
-}
-
-func wireValueBytes(w *vm.WireValue) int64 {
-	switch w.Kind {
-	case vm.KindNil:
-		return 1
-	case vm.KindInt, vm.KindFloat:
-		return 8
-	case vm.KindBool:
-		return 1
-	case vm.KindString:
-		return int64(len(w.S)) + 4
-	case vm.KindBytes:
-		return int64(len(w.Bytes)) + 4
-	case vm.KindRef:
-		return 12
-	default:
-		return 1
-	}
+	return int64(frameSize(m))
 }
 
 // RemoteError is an error returned by the peer VM while servicing a

@@ -3,17 +3,79 @@ package remote
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aide/internal/netmodel"
 	"aide/internal/vm"
 )
 
+// pendingShards sizes the pending-reply table. Power of two, so the
+// shard index is a mask of the request ID; IDs are sequential, so
+// consecutive in-flight calls land on distinct shards.
+const pendingShards = 16
+
+// pendingShard is one lock-striped slice of the pending-reply table.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan *Message
+}
+
+func (s *pendingShard) put(id uint64, ch chan *Message) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]chan *Message)
+	}
+	s.m[id] = ch
+	s.mu.Unlock()
+}
+
+// take removes and returns the waiter for id, if any.
+func (s *pendingShard) take(id uint64) (chan *Message, bool) {
+	s.mu.Lock()
+	ch, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	return ch, ok
+}
+
+// sweep closes and removes every waiter (connection teardown).
+func (s *pendingShard) sweep() {
+	s.mu.Lock()
+	for id, ch := range s.m {
+		close(ch)
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+}
+
+// counters is the peer's wire accounting, all atomic so the RPC fast
+// path never serializes on a stats lock.
+type counters struct {
+	requestsSent       atomic.Int64
+	requestsServed     atomic.Int64
+	bytesSent          atomic.Int64
+	bytesReceived      atomic.Int64
+	objectsMigrated    atomic.Int64
+	migrationBytes     atomic.Int64
+	releasesSent       atomic.Int64
+	releasesReceived   atomic.Int64
+	releaseBatchesSent atomic.Int64
+	orphanReplies      atomic.Int64
+}
+
 // Peer is one VM's half of the distributed platform connection. It
 // implements vm.Peer for outgoing operations and services the other VM's
 // requests with a pool of worker threads (paper §3.2: "Either JVM that
 // receives a request uses a pool of threads to perform RPCs on behalf of
 // the other JVM").
+//
+// Concurrency: the call fast path is lock-free up to the pending-table
+// shard — an atomic ID allocation, one sharded map insert, atomic
+// counters — so concurrent calls from VM threads and the worker pool do
+// not serialize on a single peer lock.
 type Peer struct {
 	local     *vm.VM
 	idx       int // this peer's index in the local VM's peer table
@@ -24,20 +86,37 @@ type Peer struct {
 	// wall-clock behaviour to the real transport.
 	link *netmodel.Link
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *Message
-	closed  bool
+	nextID atomic.Uint64
+	shards [pendingShards]pendingShard
+
+	// closed flips exactly once; closeE (guarded by closeMu) records why.
+	closed  atomic.Bool
+	closeMu sync.Mutex
 	closeE  error
 
 	requests chan *Message
 	wg       sync.WaitGroup
 
-	// now is the wall-clock source for RTT measurement, injectable so
-	// tests can measure probe latency with a fake clock.
+	// now is the wall-clock source for RTT measurement and release-batch
+	// aging, injectable so tests can drive both with a fake clock.
 	now func() time.Time
 
-	stats Stats
+	// Release coalescing: decrefs buffer in relBuf and flush as one
+	// MsgReleaseBatch when the buffer reaches relBatch entries, when a
+	// Release arrives relInterval after the buffer's first entry, before
+	// any blocking call (ordering relative to re-export), and on Close.
+	relMu       sync.Mutex
+	relBuf      []vm.ObjectID
+	relFirst    time.Time
+	relBatch    int
+	relInterval time.Duration
+
+	// orphanE records (once) the first reply that arrived with no
+	// pending waiter; OrphanReplies counts them all.
+	orphanOnce sync.Once
+	orphanE    atomic.Value // error
+
+	c counters
 }
 
 var _ vm.Peer = (*Peer)(nil)
@@ -52,6 +131,14 @@ type Stats struct {
 	MigrationBytes   int64
 	ReleasesSent     int64
 	ReleasesReceived int64
+
+	// ReleaseBatchesSent counts MsgReleaseBatch wire messages; the
+	// coalescing win is ReleasesSent / ReleaseBatchesSent.
+	ReleaseBatchesSent int64
+
+	// OrphanReplies counts replies that arrived with no pending waiter
+	// (late reply after a failed send, or a peer protocol bug).
+	OrphanReplies int64
 }
 
 // Options configures a Peer.
@@ -62,9 +149,18 @@ type Options struct {
 	// Link enables simulated network costing.
 	Link *netmodel.Link
 
-	// Now overrides the peer's wall-clock source (RTT probes). Nil
-	// defaults to time.Now; tests inject a fake clock.
+	// Now overrides the peer's wall-clock source (RTT probes, release
+	// batch aging). Nil defaults to time.Now; tests inject a fake clock.
 	Now func() time.Time
+
+	// ReleaseBatchSize caps the release buffer; reaching it flushes a
+	// MsgReleaseBatch. Zero defaults to 32; 1 disables coalescing.
+	ReleaseBatchSize int
+
+	// ReleaseFlushInterval bounds how long a buffered release may wait
+	// for the batch to fill before the next Release flushes it. Zero
+	// defaults to 1ms.
+	ReleaseFlushInterval time.Duration
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -75,15 +171,22 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		workers = 4
 	}
 	p := &Peer{
-		local:     local,
-		transport: t,
-		link:      opts.Link,
-		pending:   make(map[uint64]chan *Message),
-		requests:  make(chan *Message, workers),
-		now:       opts.Now,
+		local:       local,
+		transport:   t,
+		link:        opts.Link,
+		requests:    make(chan *Message, workers),
+		now:         opts.Now,
+		relBatch:    opts.ReleaseBatchSize,
+		relInterval: opts.ReleaseFlushInterval,
 	}
 	if p.now == nil {
 		p.now = time.Now
+	}
+	if p.relBatch <= 0 {
+		p.relBatch = 32
+	}
+	if p.relInterval <= 0 {
+		p.relInterval = time.Millisecond
 	}
 	p.idx = local.AttachPeer(p)
 	p.wg.Add(1 + workers)
@@ -94,31 +197,79 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 	return p
 }
 
+// shardFor returns the pending-table shard owning a request ID.
+func (p *Peer) shardFor(id uint64) *pendingShard {
+	return &p.shards[id&(pendingShards-1)]
+}
+
+// fail marks the peer closed with the given cause (first cause wins) and
+// wakes every pending caller. It reports whether this call won the race.
+func (p *Peer) fail(cause error) bool {
+	p.closeMu.Lock()
+	if p.closed.Load() {
+		p.closeMu.Unlock()
+		return false
+	}
+	p.closeE = cause
+	p.closed.Store(true)
+	p.closeMu.Unlock()
+	for i := range p.shards {
+		p.shards[i].sweep()
+	}
+	return true
+}
+
+// failErr returns the recorded close cause.
+func (p *Peer) failErr() error {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closeE != nil {
+		return p.closeE
+	}
+	return ErrClosed
+}
+
 // Close tears down the connection half: in-flight calls fail with
 // ErrClosed. Ad-hoc platform teardown (paper §2) is Close on both sides.
+// Buffered releases flush first, so the peer drops its export pins
+// before the transport dies.
 func (p *Peer) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil
-	}
-	p.closed = true
-	p.closeE = ErrClosed
-	for id, ch := range p.pending {
-		close(ch)
-		delete(p.pending, id)
-	}
-	p.mu.Unlock()
+	p.flushReleases()
+	first := p.fail(ErrClosed)
 	err := p.transport.Close()
 	p.wg.Wait()
+	if !first {
+		// Already torn down (earlier Close, or a transport failure);
+		// waiting above still guarantees the workers have drained.
+		return nil
+	}
 	return err
 }
 
 // Stats returns a snapshot of wire counters.
 func (p *Peer) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		RequestsSent:       p.c.requestsSent.Load(),
+		RequestsServed:     p.c.requestsServed.Load(),
+		BytesSent:          p.c.bytesSent.Load(),
+		BytesReceived:      p.c.bytesReceived.Load(),
+		ObjectsMigrated:    p.c.objectsMigrated.Load(),
+		MigrationBytes:     p.c.migrationBytes.Load(),
+		ReleasesSent:       p.c.releasesSent.Load(),
+		ReleasesReceived:   p.c.releasesReceived.Load(),
+		ReleaseBatchesSent: p.c.releaseBatchesSent.Load(),
+		OrphanReplies:      p.c.orphanReplies.Load(),
+	}
+}
+
+// Warn returns the first anomaly the receive loop observed (currently:
+// a reply with no pending waiter), or nil. The condition is recorded
+// once; OrphanReplies in Stats counts every occurrence.
+func (p *Peer) Warn() error {
+	if e, ok := p.orphanE.Load().(error); ok {
+		return e
+	}
+	return nil
 }
 
 func (p *Peer) recvLoop() {
@@ -127,38 +278,27 @@ func (p *Peer) recvLoop() {
 	for {
 		m, err := p.transport.Recv()
 		if err != nil {
-			p.mu.Lock()
-			if !p.closed {
-				p.closed = true
-				p.closeE = err
-			}
-			for id, ch := range p.pending {
-				close(ch)
-				delete(p.pending, id)
-			}
-			p.mu.Unlock()
+			p.fail(err)
 			return
 		}
+		p.c.bytesReceived.Add(m.wireBytes())
 		if m.Reply {
-			p.mu.Lock()
-			ch, ok := p.pending[m.ID]
-			if ok {
-				delete(p.pending, m.ID)
-			}
-			p.stats.BytesReceived += m.wireBytes()
-			p.mu.Unlock()
-			if ok {
+			if ch, ok := p.shardFor(m.ID).take(m.ID); ok {
 				ch <- m
+			} else {
+				// No waiter: a late reply after a failed send, or a
+				// peer protocol bug. Count every one, record the first.
+				p.c.orphanReplies.Add(1)
+				p.orphanOnce.Do(func() {
+					p.orphanE.Store(fmt.Errorf("remote: orphan %s reply id=%d (no pending waiter)", m.Kind, m.ID))
+				})
 			}
 			continue
 		}
-		p.mu.Lock()
-		p.stats.BytesReceived += m.wireBytes()
-		closed := p.closed
-		p.mu.Unlock()
-		if closed {
-			return
-		}
+		// Forward even when the peer is closing: Close waits for the
+		// workers, so requests already on the wire (Close-time release
+		// flushes in particular) drain instead of silently dropping. The
+		// loop exits when Recv reports the transport closed and empty.
 		p.requests <- m
 	}
 }
@@ -170,26 +310,30 @@ func (p *Peer) worker() {
 	}
 }
 
-// call sends a request and blocks for the matching reply.
+// call sends a request and blocks for the matching reply. Buffered
+// releases flush first so a release never reorders after a call that
+// could re-export the same object.
 func (p *Peer) call(m *Message) (*Message, error) {
-	ch := make(chan *Message, 1)
-	p.mu.Lock()
-	if p.closed {
-		err := p.closeE
-		p.mu.Unlock()
-		return nil, err
+	p.flushReleases()
+	if p.closed.Load() {
+		return nil, p.failErr()
 	}
-	p.nextID++
-	m.ID = p.nextID
-	p.pending[m.ID] = ch
-	p.stats.RequestsSent++
-	p.stats.BytesSent += m.wireBytes()
-	p.mu.Unlock()
+	id := p.nextID.Add(1)
+	m.ID = id
+	ch := make(chan *Message, 1)
+	sh := p.shardFor(id)
+	sh.put(id, ch)
+	// Re-check after publishing the waiter: a concurrent fail() that
+	// swept before our insert would otherwise strand this call forever.
+	if p.closed.Load() {
+		sh.take(id)
+		return nil, p.failErr()
+	}
+	p.c.requestsSent.Add(1)
+	p.c.bytesSent.Add(m.wireBytes())
 
 	if err := p.transport.Send(m); err != nil {
-		p.mu.Lock()
-		delete(p.pending, m.ID)
-		p.mu.Unlock()
+		sh.take(id)
 		return nil, err
 	}
 	reply, ok := <-ch
@@ -310,19 +454,43 @@ func (p *Peer) SetStaticRemote(class, field string, v vm.Value) error {
 }
 
 // Release implements vm.Peer: fire-and-forget distributed-GC decrement.
+// Decrefs coalesce into a per-peer buffer and ship as one
+// MsgReleaseBatch (paper §3.2's reference releases, batched so a stub
+// collection storm costs O(storm/batch) wire messages, not O(storm)).
 func (p *Peer) Release(peerObj vm.ObjectID) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return
 	}
-	p.nextID++
-	m := &Message{ID: p.nextID, Kind: MsgRelease, Obj: peerObj}
-	p.stats.ReleasesSent++
-	p.stats.BytesSent += m.wireBytes()
-	p.mu.Unlock()
-	// Best effort: a lost release leaks one export pin, never corrupts.
-	//lint:allow rpcerr fire-and-forget release; recvLoop owns transport failure
+	p.c.releasesSent.Add(1)
+	t := p.now()
+	p.relMu.Lock()
+	if len(p.relBuf) == 0 {
+		p.relFirst = t
+	}
+	p.relBuf = append(p.relBuf, peerObj)
+	flush := len(p.relBuf) >= p.relBatch || t.Sub(p.relFirst) >= p.relInterval
+	p.relMu.Unlock()
+	if flush {
+		p.flushReleases()
+	}
+}
+
+// flushReleases ships the buffered release decrefs as one batch message.
+// It deliberately does not read the clock: callers on the blocking-call
+// path (call, Info) must not consume fake-clock readings.
+func (p *Peer) flushReleases() {
+	p.relMu.Lock()
+	ids := p.relBuf
+	p.relBuf = nil
+	p.relMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	m := &Message{ID: p.nextID.Add(1), Kind: MsgReleaseBatch, IDs: ids}
+	p.c.releaseBatchesSent.Add(1)
+	p.c.bytesSent.Add(m.wireBytes())
+	// Best effort: a lost batch leaks export pins, never corrupts.
+	//lint:allow rpcerr fire-and-forget release batch; recvLoop owns transport failure
 	_ = p.transport.Send(m)
 }
 
@@ -357,10 +525,8 @@ func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error
 	if p.link != nil {
 		p.local.AdvanceClock(p.link.Transfer(moved, 1400))
 	}
-	p.mu.Lock()
-	p.stats.ObjectsMigrated += int64(len(batch))
-	p.stats.MigrationBytes += moved
-	p.mu.Unlock()
+	p.c.objectsMigrated.Add(int64(len(batch)))
+	p.c.migrationBytes.Add(moved)
 	return len(batch), moved, nil
 }
 
@@ -416,17 +582,19 @@ func (p *Peer) Recall(classNames []string) (objects int, bytes int64, err error)
 
 // serve executes one incoming request and replies.
 func (p *Peer) serve(m *Message) {
-	p.mu.Lock()
-	p.stats.RequestsServed++
-	p.mu.Unlock()
+	p.c.requestsServed.Add(1)
 
 	reply := &Message{ID: m.ID, Reply: true, Kind: m.Kind}
 	switch m.Kind {
 	case MsgRelease:
-		p.mu.Lock()
-		p.stats.ReleasesReceived++
-		p.mu.Unlock()
+		p.c.releasesReceived.Add(1)
 		p.local.ReleaseExport(m.Obj)
+		return // one-way
+	case MsgReleaseBatch:
+		p.c.releasesReceived.Add(int64(len(m.IDs)))
+		for _, id := range m.IDs {
+			p.local.ReleaseExport(id)
+		}
 		return // one-way
 	case MsgPing:
 		// empty reply
@@ -528,20 +696,15 @@ func (p *Peer) serve(m *Message) {
 			break
 		}
 		reply.IDs = ids
-		p.mu.Lock()
-		p.stats.ObjectsMigrated += int64(len(m.Batch))
-		p.mu.Unlock()
+		p.c.objectsMigrated.Add(int64(len(m.Batch)))
 	default:
 		reply.Err = fmt.Sprintf("unknown request kind %d", m.Kind)
 	}
 
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return
 	}
-	p.stats.BytesSent += reply.wireBytes()
-	p.mu.Unlock()
+	p.c.bytesSent.Add(reply.wireBytes())
 	if err := p.transport.Send(reply); err != nil {
 		// The connection is gone; recvLoop will observe and shut down.
 		return

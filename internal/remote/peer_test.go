@@ -50,6 +50,9 @@ func testRegistry(t *testing.T) *vm.Registry {
 				}
 				return vm.Int(n), nil
 			}},
+			{Name: "me", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				return vm.RefOf(self), nil
+			}},
 			{Name: "sqrt", Native: true, Stateless: true, Static: true, Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
 				th.Work(10 * time.Microsecond)
 				return vm.Float(1.41), nil

@@ -1,0 +1,108 @@
+package rpcbench
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// sampleMessage returns the echo request the invoke benchmarks carry:
+// the same representative payload (short string, 96-byte blob, int), as
+// one MsgInvoke envelope.
+func sampleMessage() *remote.Message {
+	blob := make([]byte, 96)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	return &remote.Message{
+		ID: 7, Kind: remote.MsgInvoke, Obj: 12, Method: "echo",
+		Args: []vm.WireValue{
+			{Kind: vm.KindString, S: "edit-buffer"},
+			{Kind: vm.KindBytes, Bytes: blob},
+			{Kind: vm.KindInt, I: 42},
+		},
+	}
+}
+
+// BinaryCodec returns a driver that performs one binary-codec round
+// trip of the sample message — encode into a reused buffer, decode the
+// frame back — isolating the codec from sockets and scheduling.
+func BinaryCodec() func() error {
+	m := sampleMessage()
+	var buf []byte
+	return func() error {
+		var err error
+		buf, err = remote.AppendFrame(buf[:0], m)
+		if err != nil {
+			return err
+		}
+		_, err = remote.DecodeFrame(buf)
+		return err
+	}
+}
+
+// GobCodec returns the same round trip through a persistent gob stream
+// (encoder and decoder live across calls, so gob's one-time type
+// transmission is amortized away — the framing NewGobConnTransport
+// uses, at its best).
+func GobCodec() func() error {
+	m := sampleMessage()
+	var network bytes.Buffer
+	enc := gob.NewEncoder(&network)
+	dec := gob.NewDecoder(&network)
+	return func() error {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+		var out remote.Message
+		return dec.Decode(&out)
+	}
+}
+
+// RawTCPEcho returns a driver that round-trips one frame-sized buffer
+// over a fresh TCP loopback connection with no codec and no platform on
+// either end: the host's syscall-and-scheduling floor that bounds every
+// end-to-end RPC number, and the context for reading the invoke
+// benchmarks. close tears the connection down.
+func RawTCPEcho(size int) (step func() error, close func() error, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, size)
+		for {
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, size)
+	step = func() error {
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return fmt.Errorf("rpcbench: raw echo read: %w", err)
+		}
+		return nil
+	}
+	return step, conn.Close, nil
+}

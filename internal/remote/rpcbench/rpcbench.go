@@ -1,0 +1,211 @@
+// Package rpcbench builds miniature client/surrogate platforms for
+// benchmarking the RPC fast path. An Env wires two VMs through one of
+// three transport flavors — the in-process channel pair, the binary
+// codec over a TCP loopback, and the legacy gob framing over the same
+// loopback (the baseline the binary codec is measured against) — and
+// offloads a small echo service whose payload is representative of real
+// platform traffic: a short method string, a ~96-byte blob, and an
+// integer.
+//
+// The package lives outside the deterministic-replay lint scope on
+// purpose: benchmarks need real sockets and the wall clock.
+package rpcbench
+
+import (
+	"fmt"
+	"net"
+
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// Mode selects the transport flavor under test.
+type Mode string
+
+// Transport flavors.
+const (
+	// ModeChan crosses the in-process channel transport (no kernel
+	// round trip; isolates codec + peer table overhead).
+	ModeChan Mode = "chan"
+	// ModeTCP crosses the binary codec over a TCP loopback socket.
+	ModeTCP Mode = "tcp"
+	// ModeTCPGob crosses the legacy gob framing over the same loopback:
+	// the pre-codec wire protocol, kept as the benchmark baseline.
+	ModeTCPGob Mode = "tcp-gob"
+)
+
+// Modes lists every transport flavor, in display order.
+func Modes() []Mode { return []Mode{ModeChan, ModeTCP, ModeTCPGob} }
+
+// Config parameterizes an Env.
+type Config struct {
+	Mode Mode
+
+	// Workers sizes each peer's service pool. Zero defaults to 2.
+	Workers int
+
+	// ReleaseBatchSize is passed through to the client peer; 1 disables
+	// release coalescing (the one-message-per-decref baseline), 0 keeps
+	// the peer default.
+	ReleaseBatchSize int
+}
+
+// Env is a connected pair of VMs with an offloaded echo service.
+type Env struct {
+	Client    *vm.VM
+	Surrogate *vm.VM
+	PC        *remote.Peer // client-side peer
+	PS        *remote.Peer // surrogate-side peer
+
+	th   *vm.Thread
+	svc  vm.ObjectID
+	args []vm.Value
+}
+
+// New builds a platform for the given configuration: two VMs joined by
+// the selected transport, with one Echo object created on the client
+// and offloaded to the surrogate so Invoke crosses the wire.
+func New(cfg Config) (*Env, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	reg := vm.NewRegistry()
+	if _, err := reg.Register(vm.ClassSpec{
+		Name: "Echo",
+		Methods: []vm.MethodSpec{{
+			Name: "echo",
+			Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				if len(args) != 3 {
+					return vm.Nil(), fmt.Errorf("echo: got %d args, want 3", len(args))
+				}
+				return args[1], nil // the blob rides both directions
+			},
+		}},
+	}); err != nil {
+		return nil, err
+	}
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20})
+
+	opts := remote.Options{Workers: workers, ReleaseBatchSize: cfg.ReleaseBatchSize}
+	var pc, ps *remote.Peer
+	switch cfg.Mode {
+	case ModeChan, "":
+		pc, ps = remote.NewPair(client, surrogate, opts)
+	case ModeTCP:
+		tc, ts, err := tcpPair(remote.NewConnTransport)
+		if err != nil {
+			return nil, err
+		}
+		pc = remote.NewPeer(client, tc, opts)
+		ps = remote.NewPeer(surrogate, ts, opts)
+	case ModeTCPGob:
+		tc, ts, err := tcpPair(remote.NewGobConnTransport)
+		if err != nil {
+			return nil, err
+		}
+		pc = remote.NewPeer(client, tc, opts)
+		ps = remote.NewPeer(surrogate, ts, opts)
+	default:
+		return nil, fmt.Errorf("rpcbench: unknown mode %q", cfg.Mode)
+	}
+	e := &Env{Client: client, Surrogate: surrogate, PC: pc, PS: ps}
+
+	e.th = client.NewThread()
+	svc, err := e.th.New("Echo", 64)
+	if err != nil {
+		return nil, combine(err, e.Close())
+	}
+	client.SetRoot("svc", svc)
+	e.svc = svc
+	if n, _, err := pc.Offload([]string{"Echo"}); err != nil || n != 1 {
+		return nil, combine(fmt.Errorf("rpcbench: offload moved %d objects: %w", n, err), e.Close())
+	}
+	blob := make([]byte, 96)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	e.args = []vm.Value{vm.Str("edit-buffer"), vm.Blob(blob), vm.Int(42)}
+	return e, nil
+}
+
+// tcpPair returns two connected transports over a fresh TCP loopback
+// socket, both wrapped by the given framing constructor.
+func tcpPair(wrap func(net.Conn) remote.Transport) (remote.Transport, remote.Transport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- accepted{conn, err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	a := <-ch
+	if a.err != nil {
+		dialed.Close()
+		return nil, nil, a.err
+	}
+	return wrap(dialed), wrap(a.conn), nil
+}
+
+// Invoke performs one remote echo round trip: the request carries the
+// representative payload, the reply carries the blob back.
+func (e *Env) Invoke() error {
+	return invoke(e.th, e.svc, e.args)
+}
+
+// Caller returns an independent invoker bound to its own VM thread.
+// Concurrent callers model the platform's real load — the paper's apps
+// issue crossings from many threads at once — and exercise the sharded
+// call table and lock-free send path under contention.
+func (e *Env) Caller() func() error {
+	th := e.Client.NewThread()
+	return func() error { return invoke(th, e.svc, e.args) }
+}
+
+func invoke(th *vm.Thread, svc vm.ObjectID, args []vm.Value) error {
+	ret, err := th.Invoke(svc, "echo", args...)
+	if err != nil {
+		return err
+	}
+	if ret.Kind != vm.KindBytes || len(ret.Bytes) != 96 {
+		return fmt.Errorf("rpcbench: echo returned %v kind, %d bytes", ret.Kind, len(ret.Bytes))
+	}
+	return nil
+}
+
+// ReleaseStorm sends n distributed-GC decrefs for synthetic object IDs
+// and round-trips a ping so the tail batch is flushed and the wire
+// drained before the caller reads Stats. The surrogate ignores decrefs
+// for IDs it never exported, so the storm is purely wire traffic.
+func (e *Env) ReleaseStorm(n int) error {
+	for i := 0; i < n; i++ {
+		e.PC.Release(vm.ObjectID(1_000_000 + i))
+	}
+	return e.PC.Ping()
+}
+
+// Close tears the platform down, returning the first close error.
+func (e *Env) Close() error {
+	err := e.PC.Close()
+	return combine(err, e.PS.Close())
+}
+
+// combine returns the first non-nil error.
+func combine(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package rpcbench
+
+import "testing"
+
+// TestEnvModes sanity-checks every transport flavor the benchmarks
+// drive: the echo round trip works, and a release storm coalesces.
+func TestEnvModes(t *testing.T) {
+	for _, m := range Modes() {
+		t.Run(string(m), func(t *testing.T) {
+			e, err := New(Config{Mode: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := e.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			for i := 0; i < 3; i++ {
+				if err := e.Invoke(); err != nil {
+					t.Fatalf("invoke %d: %v", i, err)
+				}
+			}
+			if err := e.ReleaseStorm(100); err != nil {
+				t.Fatalf("release storm: %v", err)
+			}
+			st := e.PC.Stats()
+			if st.ReleasesSent != 100 {
+				t.Errorf("ReleasesSent = %d, want 100", st.ReleasesSent)
+			}
+			if st.ReleaseBatchesSent == 0 || st.ReleaseBatchesSent >= 100 {
+				t.Errorf("ReleaseBatchesSent = %d, want coalesced (0 < batches < 100)", st.ReleaseBatchesSent)
+			}
+		})
+	}
+}
+
+// TestEnvUnbatched pins the ReleaseBatchSize=1 baseline the storm
+// benchmark compares against: one wire message per decref.
+func TestEnvUnbatched(t *testing.T) {
+	e, err := New(Config{Mode: ModeChan, ReleaseBatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if err := e.ReleaseStorm(50); err != nil {
+		t.Fatal(err)
+	}
+	st := e.PC.Stats()
+	if st.ReleaseBatchesSent != 50 {
+		t.Errorf("ReleaseBatchesSent = %d with batch size 1, want 50", st.ReleaseBatchesSent)
+	}
+}

@@ -1,15 +1,20 @@
 package remote
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
 
 // Transport moves Messages between the two halves of the distributed
 // platform. Implementations must allow concurrent Send calls and a single
-// Recv loop.
+// Recv loop. Senders retain ownership of the message they pass to Send
+// and may reuse it once Send returns; received messages are owned by the
+// receiver.
 type Transport interface {
 	Send(*Message) error
 	// Recv blocks for the next message; it returns an error once the
@@ -19,7 +24,10 @@ type Transport interface {
 }
 
 // chanTransport is an in-process transport over paired channels, used for
-// single-process experiments and tests.
+// single-process experiments and tests. Messages cross the channel as a
+// fresh copy produced by an encode/decode round trip through the binary
+// codec, so the two peers never alias mutable state (and the in-process
+// path exercises exactly the bytes the TCP path would carry).
 type chanTransport struct {
 	out chan<- *Message
 	in  <-chan *Message
@@ -46,17 +54,47 @@ func (t *chanTransport) Send(m *Message) error {
 		return ErrClosed
 	default:
 	}
+	cp, err := copyMessage(m)
+	if err != nil {
+		return err
+	}
 	select {
 	case <-t.closed:
 		return ErrClosed
-	case t.out <- m:
+	case t.out <- cp:
 		return nil
 	}
 }
 
+// copyMessage deep-copies m via the binary codec so the receiver shares
+// no memory with the sender.
+func copyMessage(m *Message) (*Message, error) {
+	bp := getFrameBuf()
+	buf := appendMessage((*bp)[:0], m)
+	cp, err := decodeMessage(buf)
+	putFrameBuf(bp, buf)
+	if err != nil {
+		return nil, fmt.Errorf("remote: chan send: %w", err)
+	}
+	return cp, nil
+}
+
 func (t *chanTransport) Recv() (*Message, error) {
+	// Drain queued messages before honoring closure: Close-time release
+	// flushes are sent just before the transport closes, and the select
+	// below chooses randomly when both cases are ready.
+	select {
+	case m := <-t.in:
+		return m, nil
+	default:
+	}
 	select {
 	case <-t.closed:
+		select {
+		case m := <-t.in:
+			return m, nil
+		default:
+		}
 		return nil, ErrClosed
 	case m := <-t.in:
 		return m, nil
@@ -74,9 +112,90 @@ func (t *chanTransport) Close() error {
 	return nil
 }
 
-// gobTransport frames Messages with gob over a single connection (the
-// ad-hoc platform's wire protocol between a client device and a surrogate
-// server).
+// binTransport frames Messages with the hand-rolled binary codec over a
+// single connection — the ad-hoc platform's wire protocol between a
+// client device and a surrogate server. Each frame is a uvarint length
+// prefix followed by the payload (codec.go); encode buffers are pooled
+// and the read side reuses one buffer across frames.
+type binTransport struct {
+	conn net.Conn
+	w    *bufio.Writer
+	r    *bufio.Reader
+
+	readBuf []byte
+
+	sendMu  sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewConnTransport wraps a connected net.Conn in the binary-codec
+// transport. Both endpoints must use the same constructor; the gob
+// framing remains available via NewGobConnTransport for wire-compat
+// tests.
+func NewConnTransport(conn net.Conn) Transport {
+	return &binTransport{
+		conn: conn,
+		w:    bufio.NewWriter(conn),
+		r:    bufio.NewReader(conn),
+	}
+}
+
+func (t *binTransport) Send(m *Message) error {
+	bp := getFrameBuf()
+	buf, err := appendFrame((*bp)[:0], m)
+	if err != nil {
+		putFrameBuf(bp, *bp)
+		return fmt.Errorf("remote: send: %w", err)
+	}
+	t.sendMu.Lock()
+	_, werr := t.w.Write(buf)
+	if werr == nil {
+		werr = t.w.Flush()
+	}
+	t.sendMu.Unlock()
+	putFrameBuf(bp, buf)
+	if werr != nil {
+		return fmt.Errorf("remote: send: %w", werr)
+	}
+	return nil
+}
+
+func (t *binTransport) Recv() (*Message, error) {
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: recv: frame of %d bytes exceeds limit", n)
+	}
+	if uint64(cap(t.readBuf)) < n {
+		t.readBuf = make([]byte, n)
+	}
+	buf := t.readBuf[:n]
+	if _, err := io.ReadFull(t.r, buf); err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	m, err := decodeMessage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	return m, nil
+}
+
+func (t *binTransport) Close() error {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.conn.Close()
+}
+
+// gobTransport frames Messages with gob over a single connection. It is
+// the pre-codec wire protocol, kept runnable for wire-compat tests and
+// as the benchmark baseline the binary codec is measured against.
 type gobTransport struct {
 	conn net.Conn
 	enc  *gob.Encoder
@@ -87,8 +206,9 @@ type gobTransport struct {
 	closed  bool
 }
 
-// NewConnTransport wraps a connected net.Conn.
-func NewConnTransport(conn net.Conn) Transport {
+// NewGobConnTransport wraps a connected net.Conn in the legacy
+// gob-framed transport.
+func NewGobConnTransport(conn net.Conn) Transport {
 	return &gobTransport{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -42,14 +43,16 @@ func TestChannelPairClose(t *testing.T) {
 	}
 }
 
-func TestGobTransportOverTCP(t *testing.T) {
+// tcpTransportPair connects a client and server transport over a fresh
+// TCP loopback socket using the given framing constructor.
+func tcpTransportPair(t *testing.T, wrap func(net.Conn) Transport) (client, server Transport) {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ln.Close()
 
-	var server Transport
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -59,19 +62,28 @@ func TestGobTransportOverTCP(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		server = NewConnTransport(conn)
+		server = wrap(conn)
 	}()
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewConnTransport(conn)
+	client = wrap(conn)
 	wg.Wait()
-	defer client.Close()
-	defer server.Close()
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+	})
+	return client, server
+}
 
-	// Exercise every field through gob framing.
-	want := &Message{
+// fullMessage exercises every field group: scalars, args with nested
+// refs, a return value, a migration batch, and an ID list.
+func fullMessage() *Message {
+	return &Message{
 		ID: 42, Kind: MsgMigrate, Class: "C", Method: "m", Field: "f",
 		Args: []vm.WireValue{{Kind: vm.KindInt, I: 7}, {Kind: vm.KindRef, Ref: vm.WireRef{ID: 3, Class: "C"}}},
 		Ret:  vm.WireValue{Kind: vm.KindString, S: "ok"},
@@ -82,17 +94,88 @@ func TestGobTransportOverTCP(t *testing.T) {
 		IDs:          []vm.ObjectID{5, 6},
 		ElapsedNanos: 12345,
 	}
-	if err := client.Send(want); err != nil {
+}
+
+func checkFullMessage(t *testing.T, got *Message, framing string) {
+	t.Helper()
+	want := fullMessage()
+	if got.ID != want.ID || got.Kind != want.Kind || len(got.Args) != 2 ||
+		got.Ret.S != "ok" || len(got.Batch) != 1 || got.Batch[0].Size != 100 ||
+		len(got.IDs) != 2 || got.ElapsedNanos != 12345 {
+		t.Fatalf("%s round trip lost data: %+v", framing, got)
+	}
+}
+
+// TestBinaryTransportOverTCP round-trips a fully populated message
+// through the default (binary codec) TCP framing.
+func TestBinaryTransportOverTCP(t *testing.T) {
+	client, server := tcpTransportPair(t, NewConnTransport)
+	if err := client.Send(fullMessage()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := server.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.ID != want.ID || got.Kind != want.Kind || len(got.Args) != 2 ||
-		got.Ret.S != "ok" || len(got.Batch) != 1 || got.Batch[0].Size != 100 ||
-		len(got.IDs) != 2 || got.ElapsedNanos != 12345 {
-		t.Fatalf("gob round trip lost data: %+v", got)
+	checkFullMessage(t, got, "binary")
+}
+
+// TestGobTransportOverTCP round-trips the same message through the
+// legacy gob framing, which stays wire-runnable as the codec baseline.
+func TestGobTransportOverTCP(t *testing.T) {
+	client, server := tcpTransportPair(t, NewGobConnTransport)
+	if err := client.Send(fullMessage()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFullMessage(t, got, "gob")
+}
+
+// TestChannelSenderMayReuseMessage pins the Transport ownership
+// contract: the sender retains the message it passed to Send and may
+// mutate and resend it immediately, because the channel transport hands
+// the receiver a deep copy. Run under -race this fails loudly if the
+// copy ever aliases the sender's slices.
+func TestChannelSenderMayReuseMessage(t *testing.T) {
+	a, b := NewChannelPair()
+	defer a.Close()
+
+	const rounds = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			got, err := b.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			// Touch every mutable field the sender scribbles on.
+			if len(got.Args) != 1 || len(got.IDs) != 2 || len(got.Args[0].Bytes) != 4 {
+				done <- fmt.Errorf("round %d: message shape lost: %+v", i, got)
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	m := &Message{
+		Kind: MsgInvoke, Method: "m",
+		Args: []vm.WireValue{{Kind: vm.KindBytes, Bytes: []byte{0, 0, 0, 0}}},
+		IDs:  []vm.ObjectID{1, 2},
+	}
+	for i := 0; i < rounds; i++ {
+		m.ID = uint64(i)
+		m.Args[0].Bytes[i%4] = byte(i) // reuse the same backing array every round
+		m.IDs[i%2] = vm.ObjectID(i)
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -133,7 +216,7 @@ func TestGobTransportCloseUnblocksRecv(t *testing.T) {
 }
 
 func TestMsgKindStrings(t *testing.T) {
-	for k := MsgInvoke; k <= MsgPing; k++ {
+	for k := MsgInvoke; k <= MsgReleaseBatch; k++ {
 		if k.String() == "" {
 			t.Fatalf("kind %d has no name", k)
 		}

@@ -1,0 +1,295 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary wire-codec hooks: the hand-rolled encoding of the VM's wire
+// types (WireValue, WireRef, MigratedObject), shared by the remote
+// module's message codec. Keeping the per-type encoders next to the type
+// definitions keeps the codec and the structs in one review unit; the
+// gobwire analyzer additionally pins each struct's field count against
+// the codec's contract (see internal/remote/codec.go).
+//
+// Encoding rules (DESIGN.md "Wire protocol"):
+//
+//   - unsigned counts and lengths are LEB128 uvarints,
+//   - signed integers are zigzag varints (encoding/binary.AppendVarint),
+//   - floats are 8-byte little-endian IEEE-754 bit patterns,
+//   - strings and byte blobs are uvarint length + raw bytes,
+//   - a decoded zero-length blob or list is canonicalized to nil, so
+//     encode(decode(encode(x))) is byte-identical to encode(x).
+
+// ReadUvarint decodes a uvarint from data, returning the value and the
+// remaining bytes.
+func ReadUvarint(data []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("vm: wire: truncated or oversized uvarint")
+	}
+	return x, data[n:], nil
+}
+
+// ReadVarint decodes a zigzag varint from data, returning the value and
+// the remaining bytes.
+func ReadVarint(data []byte) (int64, []byte, error) {
+	x, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("vm: wire: truncated or oversized varint")
+	}
+	return x, data[n:], nil
+}
+
+// UvarintSize returns the encoded size of x as a uvarint.
+func UvarintSize(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintSize returns the encoded size of x as a zigzag varint.
+func VarintSize(x int64) int {
+	return UvarintSize(uint64(x)<<1 ^ uint64(x>>63))
+}
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// StringSize returns the encoded size of s.
+func StringSize(s string) int {
+	return UvarintSize(uint64(len(s))) + len(s)
+}
+
+// ReadString decodes a length-prefixed string. The returned string is a
+// copy; it does not alias data.
+func ReadString(data []byte) (string, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("vm: wire: string length %d exceeds %d remaining bytes", n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// AppendWire appends the reference's binary wire form: a locality byte,
+// the zigzag-varint ID, and — for sender-namespace references only — the
+// class name the receiver needs to type its stub.
+func (r *WireRef) AppendWire(buf []byte) []byte {
+	if r.ReceiverLocal {
+		buf = append(buf, 1)
+		return binary.AppendVarint(buf, int64(r.ID))
+	}
+	buf = append(buf, 0)
+	buf = binary.AppendVarint(buf, int64(r.ID))
+	return AppendString(buf, r.Class)
+}
+
+// WireLen returns the exact encoded size of the reference.
+func (r *WireRef) WireLen() int {
+	n := 1 + VarintSize(int64(r.ID))
+	if !r.ReceiverLocal {
+		n += StringSize(r.Class)
+	}
+	return n
+}
+
+// DecodeWireRef decodes one WireRef, returning the remaining bytes.
+func DecodeWireRef(data []byte) (WireRef, []byte, error) {
+	if len(data) == 0 {
+		return WireRef{}, nil, fmt.Errorf("vm: wire: truncated ref")
+	}
+	var r WireRef
+	r.ReceiverLocal = data[0] != 0
+	id, rest, err := ReadVarint(data[1:])
+	if err != nil {
+		return WireRef{}, nil, err
+	}
+	r.ID = ObjectID(id)
+	if !r.ReceiverLocal {
+		r.Class, rest, err = ReadString(rest)
+		if err != nil {
+			return WireRef{}, nil, err
+		}
+	}
+	return r, rest, nil
+}
+
+// AppendWire appends the value's binary wire form: a kind byte followed
+// by the kind-dependent payload. Fields irrelevant to the kind are not
+// encoded, so decoding always yields the canonical representation.
+func (w *WireValue) AppendWire(buf []byte) []byte {
+	buf = append(buf, byte(w.Kind))
+	switch w.Kind {
+	case KindInt:
+		buf = binary.AppendVarint(buf, w.I)
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.F))
+	case KindBool:
+		if w.B {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindString:
+		buf = AppendString(buf, w.S)
+	case KindBytes:
+		buf = binary.AppendUvarint(buf, uint64(len(w.Bytes)))
+		buf = append(buf, w.Bytes...)
+	case KindRef:
+		buf = w.Ref.AppendWire(buf)
+	}
+	return buf
+}
+
+// WireLen returns the exact encoded size of the value.
+func (w *WireValue) WireLen() int {
+	switch w.Kind {
+	case KindInt:
+		return 1 + VarintSize(w.I)
+	case KindFloat:
+		return 1 + 8
+	case KindBool:
+		return 1 + 1
+	case KindString:
+		return 1 + StringSize(w.S)
+	case KindBytes:
+		return 1 + UvarintSize(uint64(len(w.Bytes))) + len(w.Bytes)
+	case KindRef:
+		return 1 + w.Ref.WireLen()
+	default:
+		return 1
+	}
+}
+
+// DecodeWireValue decodes one WireValue, returning the remaining bytes.
+// Byte payloads are copied; the result does not alias data.
+func DecodeWireValue(data []byte) (WireValue, []byte, error) {
+	if len(data) == 0 {
+		return WireValue{}, nil, fmt.Errorf("vm: wire: truncated value")
+	}
+	var w WireValue
+	w.Kind = ValueKind(data[0])
+	rest := data[1:]
+	var err error
+	switch w.Kind {
+	case KindNil:
+	case KindInt:
+		w.I, rest, err = ReadVarint(rest)
+	case KindFloat:
+		if len(rest) < 8 {
+			return WireValue{}, nil, fmt.Errorf("vm: wire: truncated float")
+		}
+		w.F = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	case KindBool:
+		if len(rest) < 1 {
+			return WireValue{}, nil, fmt.Errorf("vm: wire: truncated bool")
+		}
+		w.B = rest[0] != 0
+		rest = rest[1:]
+	case KindString:
+		w.S, rest, err = ReadString(rest)
+	case KindBytes:
+		var n uint64
+		n, rest, err = ReadUvarint(rest)
+		if err == nil {
+			if n > uint64(len(rest)) {
+				return WireValue{}, nil, fmt.Errorf("vm: wire: blob length %d exceeds %d remaining bytes", n, len(rest))
+			}
+			if n > 0 {
+				w.Bytes = append([]byte(nil), rest[:n]...)
+			}
+			rest = rest[n:]
+		}
+	case KindRef:
+		w.Ref, rest, err = DecodeWireRef(rest)
+	default:
+		return WireValue{}, nil, fmt.Errorf("vm: wire: unknown value kind %d", w.Kind)
+	}
+	if err != nil {
+		return WireValue{}, nil, err
+	}
+	return w, rest, nil
+}
+
+// AppendWire appends the migrated object's binary wire form.
+func (m *MigratedObject) AppendWire(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(m.SenderID))
+	buf = AppendString(buf, m.Class)
+	buf = binary.AppendVarint(buf, m.Size)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Fields)))
+	for i := range m.Fields {
+		buf = m.Fields[i].AppendWire(buf)
+	}
+	return buf
+}
+
+// WireLen returns the exact encoded size of the migrated object.
+func (m *MigratedObject) WireLen() int {
+	n := VarintSize(int64(m.SenderID)) + StringSize(m.Class) + VarintSize(m.Size)
+	n += UvarintSize(uint64(len(m.Fields)))
+	for i := range m.Fields {
+		n += m.Fields[i].WireLen()
+	}
+	return n
+}
+
+// DecodeMigratedObject decodes one MigratedObject, returning the
+// remaining bytes.
+func DecodeMigratedObject(data []byte) (MigratedObject, []byte, error) {
+	var m MigratedObject
+	id, rest, err := ReadVarint(data)
+	if err != nil {
+		return MigratedObject{}, nil, err
+	}
+	m.SenderID = ObjectID(id)
+	m.Class, rest, err = ReadString(rest)
+	if err != nil {
+		return MigratedObject{}, nil, err
+	}
+	m.Size, rest, err = ReadVarint(rest)
+	if err != nil {
+		return MigratedObject{}, nil, err
+	}
+	n, rest, err := ReadUvarint(rest)
+	if err != nil {
+		return MigratedObject{}, nil, err
+	}
+	// Every encoded field occupies at least one byte, so a count beyond
+	// the remaining bytes is corrupt — reject it before allocating.
+	if n > uint64(len(rest)) {
+		return MigratedObject{}, nil, fmt.Errorf("vm: wire: field count %d exceeds %d remaining bytes", n, len(rest))
+	}
+	if n > 0 {
+		m.Fields = make([]WireValue, n)
+		for i := range m.Fields {
+			m.Fields[i], rest, err = DecodeWireValue(rest)
+			if err != nil {
+				return MigratedObject{}, nil, err
+			}
+		}
+	}
+	return m, rest, nil
+}
+
+// ExportCount reports how many export pins the peers currently hold on a
+// local object (distributed-GC diagnostics; the remote module's release
+// tests assert pins are dropped exactly once).
+func (v *VM) ExportCount(id ObjectID) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if o, ok := v.objects[id]; ok {
+		return o.exported
+	}
+	return 0
+}
