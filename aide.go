@@ -29,6 +29,7 @@ import (
 
 	"aide/internal/netmodel"
 	"aide/internal/policy"
+	"aide/internal/remote"
 	"aide/internal/vm"
 )
 
@@ -106,6 +107,30 @@ type options struct {
 	monCost     time.Duration
 	stateless   bool
 	rebalanceGC int
+
+	// Connection-robustness knobs, passed through to remote.Options.
+	callTimeout     time.Duration
+	retryMax        int
+	retryBase       time.Duration
+	disconnectAfter int
+	probeInterval   time.Duration
+	disconnectCool  int
+	logf            func(format string, args ...any)
+}
+
+// remoteOptions maps the platform options onto the remote module's
+// connection options.
+func (o *options) remoteOptions() remote.Options {
+	return remote.Options{
+		Workers:         o.workers,
+		Link:            o.link,
+		CallTimeout:     o.callTimeout,
+		RetryMax:        o.retryMax,
+		RetryBase:       o.retryBase,
+		DisconnectAfter: o.disconnectAfter,
+		ProbeInterval:   o.probeInterval,
+		Logf:            o.logf,
+	}
 }
 
 func defaultOptions() options {
@@ -147,6 +172,48 @@ func WithMonitorCost(d time.Duration) Option { return func(o *options) { o.monCo
 // WithStatelessNativeLocal executes stateless native methods on the device
 // where they are invoked (the paper's §5.2 enhancement).
 func WithStatelessNativeLocal() Option { return func(o *options) { o.stateless = true } }
+
+// WithCallTimeout bounds every remote call: a reply that has not arrived
+// after d fails the call with remote.ErrCallTimeout and marks the
+// connection degraded. Zero (the default) waits indefinitely.
+func WithCallTimeout(d time.Duration) Option {
+	return func(o *options) { o.callTimeout = d }
+}
+
+// WithRetryPolicy configures the remote module's bounded retry: up to max
+// re-sends after transient transport failures, with exponential backoff
+// starting at base. max < 0 disables retries; max == 0 keeps the default
+// budget.
+func WithRetryPolicy(max int, base time.Duration) Option {
+	return func(o *options) { o.retryMax = max; o.retryBase = base }
+}
+
+// WithDisconnectAfter escalates a connection to disconnected — triggering
+// local fallback — after n consecutive call timeouts. n < 0 disables the
+// escalation; n == 0 keeps the default of 3.
+func WithDisconnectAfter(n int) Option {
+	return func(o *options) { o.disconnectAfter = n }
+}
+
+// WithHealthProbe pings each connection at the given period so that a
+// silent link failure is detected even while the application is idle.
+// Zero disables probing.
+func WithHealthProbe(interval time.Duration) Option {
+	return func(o *options) { o.probeInterval = interval }
+}
+
+// WithDisconnectCooldown sets how many garbage-collection cycles the
+// client stays pinned local after losing a surrogate before adaptive
+// offloading may resume. Zero keeps the default of 3.
+func WithDisconnectCooldown(cycles int) Option {
+	return func(o *options) { o.disconnectCool = cycles }
+}
+
+// WithLogf receives the platform's rare diagnostic lines (disconnections,
+// orphan replies, dropped release batches). Nil discards them.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(o *options) { o.logf = f }
+}
 
 // WithPeriodicRebalance re-evaluates the whole placement every n
 // garbage-collection cycles while a surrogate is attached, moving classes

@@ -24,6 +24,11 @@ var ErrNoSurrogate = errors.New("aide: no surrogate attached")
 // beneficial offloading; the application stays local.
 var ErrNotBeneficial = policy.ErrNotBeneficial
 
+// ErrPinnedLocal is returned by Offload while the client is in the
+// post-disconnection cooldown: after losing a surrogate the application
+// runs locally for a few GC cycles before offloading may resume.
+var ErrPinnedLocal = errors.New("aide: offloading pinned local after disconnection")
+
 // OffloadReport summarizes one offloading operation.
 type OffloadReport struct {
 	// Classes lists the classes whose objects moved to the surrogate.
@@ -50,15 +55,26 @@ type Client struct {
 	vm  *vm.VM
 	mon *monitor.Monitor
 
-	mu         sync.Mutex
-	peers      []*remote.Peer
-	trigger    policy.MemoryTrigger
-	adaptive   bool
-	reports    []OffloadReport
-	rejected   int
-	offloaded  map[string]int // class → index of the surrogate hosting it
-	gcCount    int
-	rebalances int
+	mu sync.Mutex
+	// peers is positional: a slot keeps its index for the life of the
+	// client because offloaded and the VM's stubs address surrogates by
+	// index. A disconnected surrogate's slot is nil, never removed.
+	peers       []*remote.Peer
+	trigger     policy.MemoryTrigger
+	disc        policy.DisconnectTrigger
+	adaptive    bool
+	reports     []OffloadReport
+	rejected    int
+	offloaded   map[string]int // class → index of the surrogate hosting it
+	gcCount     int
+	rebalances  int
+	disconnects int
+
+	// discMu serializes disconnect handling so that concurrent failure
+	// observers (the receive loop's OnDown, failed calls entering the
+	// VM's failover hook) each return only after the peer's stubs have
+	// been reclaimed locally.
+	discMu sync.Mutex
 }
 
 // NewClient builds a client platform over the shared class registry.
@@ -83,7 +99,9 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 		FreeFraction: o.params.TriggerFreeFraction,
 		Tolerance:    o.params.Tolerance,
 	}
+	c.disc = policy.DisconnectTrigger{CooldownCycles: o.disconnectCool}
 	c.offloaded = make(map[string]int)
+	c.vm.SetFailoverHandler(c.failoverPeer)
 	return c
 }
 
@@ -116,8 +134,11 @@ func (c *Client) Graph() (*graph.Graph, error) {
 func (c *Client) Attach(t remote.Transport) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := remote.NewPeer(c.vm, t, remote.Options{Workers: c.opts.workers, Link: c.opts.link})
+	ro := c.opts.remoteOptions()
+	ro.OnDown = c.onPeerDown
+	p := remote.NewPeer(c.vm, t, ro)
 	c.peers = append(c.peers, p)
+	c.disc.Reset() // a fresh surrogate ends any post-disconnect cooldown
 	if c.mon != nil && !c.adaptive {
 		c.adaptive = true
 		c.mon.OnGCListener(c.onGC)
@@ -126,11 +147,94 @@ func (c *Client) Attach(t remote.Transport) error {
 	return nil
 }
 
-// Surrogates returns the number of attached surrogates.
+// Surrogates returns the number of connected surrogates.
 func (c *Client) Surrogates() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.peers)
+	n := 0
+	for _, p := range c.peers {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Disconnects reports how many surrogate connections the client has lost
+// involuntarily (transport failure or timeout escalation).
+func (c *Client) Disconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disconnects
+}
+
+// PinnedLocal reports whether the post-disconnection cooldown currently
+// suppresses offloading.
+func (c *Client) PinnedLocal() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disc.Active()
+}
+
+// onPeerDown is the remote module's OnDown hook: it runs on the goroutine
+// that observed the connection failure, so the actual teardown must not
+// block on that goroutine (Close joins it) — handleDisconnect closes the
+// peer asynchronously.
+func (c *Client) onPeerDown(p *remote.Peer, cause error) {
+	_ = cause // the peer already logged it via Logf
+	c.discMu.Lock()
+	defer c.discMu.Unlock()
+	c.disconnectLocked(p.VMIndex())
+}
+
+// failoverPeer is the VM's disconnect-failover hook: a remote call failed
+// because its hosting peer vanished. Re-home the peer's objects locally
+// and tell the VM to retry the call against the reclaimed copies.
+func (c *Client) failoverPeer(idx int) bool {
+	c.discMu.Lock()
+	defer c.discMu.Unlock()
+	c.disconnectLocked(idx)
+	return true
+}
+
+// disconnectLocked tears down one surrogate connection and fails its
+// objects over to local execution. Idempotent: the first caller does the
+// work; later callers find the slot empty and return at once (discMu
+// guarantees they return only after the reclaim completed). Requires
+// discMu; takes c.mu itself.
+func (c *Client) disconnectLocked(idx int) {
+	c.mu.Lock()
+	if idx < 0 || idx >= len(c.peers) || c.peers[idx] == nil {
+		c.mu.Unlock()
+		return
+	}
+	p := c.peers[idx]
+	c.peers[idx] = nil
+	for cls, i := range c.offloaded {
+		if i == idx {
+			delete(c.offloaded, cls)
+		}
+	}
+	c.disconnects++
+	c.disc.Fire()
+	logf := c.opts.logf
+	c.mu.Unlock()
+
+	// Detach before reclaiming so the export-pin check inside
+	// ReclaimStubs sees the slot empty, then re-home every stub that
+	// pointed at the lost surrogate.
+	c.vm.DetachPeer(idx)
+	n := c.vm.ReclaimStubs(idx)
+	if logf != nil {
+		logf("aide: surrogate %d disconnected; reclaimed %d stubs, pinned local", idx, n)
+	}
+	// Close asynchronously: this may run on the peer's own receive loop
+	// (via OnDown), which Close joins.
+	go func() {
+		if err := p.Close(); err != nil && logf != nil {
+			logf("aide: close disconnected surrogate %d: %v", idx, err)
+		}
+	}()
 }
 
 // AttachTCP dials a surrogate's listener and attaches to it.
@@ -154,6 +258,9 @@ func (c *Client) Detach() error {
 	c.vm.SetPressureHandler(nil)
 	var firstErr error
 	for _, p := range peers {
+		if p == nil {
+			continue // lost earlier; already closed by disconnect handling
+		}
 		if err := p.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -169,13 +276,18 @@ func (c *Client) Ping() error {
 	c.mu.Lock()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	c.mu.Unlock()
-	if len(peers) == 0 {
-		return ErrNoSurrogate
-	}
+	live := 0
 	for _, p := range peers {
+		if p == nil {
+			continue
+		}
 		if err := p.Ping(); err != nil {
 			return err
 		}
+		live++
+	}
+	if live == 0 {
+		return ErrNoSurrogate
 	}
 	return nil
 }
@@ -184,9 +296,11 @@ func (c *Client) Ping() error {
 // periodic re-evaluation.
 func (c *Client) onGC(free, capacity int64, freed bool) {
 	c.mu.Lock()
-	fire := c.adaptive && c.trigger.Report(free, capacity, freed)
+	pinned := c.disc.Active()
+	c.disc.Report() // each GC cycle ages the post-disconnect cooldown
+	fire := c.adaptive && !pinned && c.trigger.Report(free, capacity, freed)
 	c.gcCount++
-	rebalance := c.adaptive && !fire && c.opts.rebalanceGC > 0 &&
+	rebalance := c.adaptive && !pinned && !fire && c.opts.rebalanceGC > 0 &&
 		len(c.offloaded) > 0 && c.gcCount%c.opts.rebalanceGC == 0
 	c.mu.Unlock()
 	if fire {
@@ -231,9 +345,13 @@ func (c *Client) onPressure(needed int64) bool {
 // surrogates could be used").
 func (c *Client) Offload() (*OffloadReport, error) {
 	c.mu.Lock()
+	pinned := c.disc.Active()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	c.mu.Unlock()
-	if len(peers) == 0 {
+	if pinned {
+		return nil, ErrPinnedLocal
+	}
+	if countLive(peers) == 0 {
 		return nil, ErrNoSurrogate
 	}
 	if c.mon == nil {
@@ -323,24 +441,33 @@ type classInfo struct {
 }
 
 func (c *Client) placeAcross(peers []*remote.Peer, chosen []classInfo) (map[int][]string, error) {
-	placement := make(map[int][]string, len(peers))
-	if len(peers) == 1 {
+	live := make([]int, 0, len(peers))
+	for i, p := range peers {
+		if p != nil {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrNoSurrogate
+	}
+	placement := make(map[int][]string, len(live))
+	if len(live) == 1 {
 		for _, ci := range chosen {
-			placement[0] = append(placement[0], ci.name)
+			placement[live[0]] = append(placement[live[0]], ci.name)
 		}
 		return placement, nil
 	}
-	free := make([]int64, len(peers))
-	for i, p := range peers {
-		info, err := p.Info()
+	free := make(map[int]int64, len(live))
+	for _, i := range live {
+		info, err := peers[i].Info()
 		if err != nil {
 			return nil, fmt.Errorf("aide: probe surrogate %d: %w", i, err)
 		}
 		free[i] = info.FreeBytes
 	}
 	for _, ci := range chosen {
-		best := 0
-		for i := range free {
+		best := live[0]
+		for _, i := range live {
 			if free[i] > free[best] {
 				best = i
 			}
@@ -349,6 +476,18 @@ func (c *Client) placeAcross(peers []*remote.Peer, chosen []classInfo) (map[int]
 		free[best] -= ci.size
 	}
 	return placement, nil
+}
+
+// countLive counts the non-nil (still connected) entries of a peer
+// snapshot.
+func countLive(peers []*remote.Peer) int {
+	n := 0
+	for _, p := range peers {
+		if p != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // OffloadedClasses returns the classes currently placed on the surrogate,
@@ -387,11 +526,11 @@ func (c *Client) Recall(classes []string) (objects int, bytes int64, err error) 
 		byPeer[idx] = append(byPeer[idx], cls)
 	}
 	c.mu.Unlock()
-	if len(peers) == 0 {
+	if countLive(peers) == 0 {
 		return 0, 0, ErrNoSurrogate
 	}
 	for idx, group := range byPeer {
-		if idx >= len(peers) {
+		if idx >= len(peers) || peers[idx] == nil {
 			continue
 		}
 		n, b, rerr := peers[idx].Recall(group)
@@ -430,7 +569,7 @@ func (r *RebalanceReport) Moved() bool { return len(r.Offloaded)+len(r.Recalled)
 // more, everything comes home.
 func (c *Client) Rebalance() (*RebalanceReport, error) {
 	c.mu.Lock()
-	nPeers := len(c.peers)
+	nPeers := countLive(c.peers)
 	current := make(map[string]bool, len(c.offloaded))
 	for cls := range c.offloaded {
 		current[cls] = true
@@ -535,16 +674,19 @@ func (c *Client) SurrogateInfos() ([]remote.PeerInfo, error) {
 	c.mu.Lock()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	c.mu.Unlock()
-	if len(peers) == 0 {
+	if countLive(peers) == 0 {
 		return nil, ErrNoSurrogate
 	}
-	infos := make([]remote.PeerInfo, len(peers))
+	infos := make([]remote.PeerInfo, 0, len(peers))
 	for i, p := range peers {
+		if p == nil {
+			continue
+		}
 		info, err := p.Info()
 		if err != nil {
 			return nil, fmt.Errorf("aide: surrogate %d: %w", i, err)
 		}
-		infos[i] = info
+		infos = append(infos, info)
 	}
 	return infos, nil
 }

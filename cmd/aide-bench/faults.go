@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"aide/internal/experiments"
+)
+
+// faultsReport is the machine-readable record of the disconnection
+// study (BENCH_faults.json): the retry cost of staying exactly-once on
+// lossy links, and the latency of failing over to local execution after
+// a hard sever.
+type faultsReport struct {
+	Tolerance []experiments.FaultPoint  `json:"tolerance"`
+	Recovery  experiments.RecoveryStats `json:"recovery"`
+}
+
+// faultsBench runs the disconnection study on the live platform and
+// writes BENCH_faults.json.
+func faultsBench(jsonPath string) error {
+	points, err := experiments.FaultToleranceSweep()
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Println(p)
+	}
+	rec, err := experiments.RecoveryStudy(time.Now, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rec)
+
+	buf, err := json.MarshalIndent(&faultsReport{Tolerance: points, Recovery: rec}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -2,6 +2,7 @@ package aide
 
 import (
 	"testing"
+	"time"
 )
 
 func TestRecallBringsObjectsHome(t *testing.T) {
@@ -99,33 +100,61 @@ func TestSurrogateSelection(t *testing.T) {
 	}
 	defer big.Close()
 
-	probes := ProbeSurrogates([]string{smallAddr, bigAddr, "127.0.0.1:1"})
-	if probes[0].Err != nil || probes[1].Err != nil {
-		t.Fatalf("live surrogates unreachable: %+v", probes)
+	// The ranking asserted here is the resource tiebreak, which only
+	// applies when the two loopback RTTs land in the same 500 µs latency
+	// bucket. On a loaded host (the full suite under -race) a probe can
+	// jitter across a bucket boundary, so re-probe until the buckets tie
+	// rather than asserting on a run that measured a stalled scheduler.
+	sameBucket := func(a, b SurrogateProbe) bool {
+		const bucket = 500 * time.Microsecond
+		return a.Info.RTT/bucket == b.Info.RTT/bucket
 	}
-	if probes[2].Err == nil {
-		t.Fatal("dead address must fail")
+	var probes []SurrogateProbe
+	for attempt := 0; ; attempt++ {
+		probes = ProbeSurrogates([]string{smallAddr, bigAddr, "127.0.0.1:1"})
+		if probes[0].Err != nil || probes[1].Err != nil {
+			t.Fatalf("live surrogates unreachable: %+v", probes)
+		}
+		if probes[2].Err == nil {
+			t.Fatal("dead address must fail")
+		}
+		if sameBucket(probes[0], probes[1]) {
+			break
+		}
+		if attempt == 10 {
+			t.Skipf("loopback RTTs never tied in 10 probes (loaded host): %v vs %v",
+				probes[0].Info.RTT, probes[1].Info.RTT)
+		}
 	}
 	ranked := RankSurrogates(probes)
 	if ranked[len(ranked)-1].Err == nil {
 		t.Fatal("failed probe must rank last")
 	}
-	// On loopback the latency bucket ties; the roomier surrogate wins.
+	// The latency bucket ties (ensured above); the roomier surrogate wins.
 	if ranked[0].Addr != bigAddr {
 		t.Fatalf("ranked[0] = %s, want the roomy surrogate %s (probes: %+v)", ranked[0].Addr, bigAddr, ranked)
 	}
 
-	client := NewClient(reg, WithHeap(1<<20))
-	defer client.Close()
-	chosen, err := client.AttachBestTCP([]string{smallAddr, bigAddr})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if chosen != bigAddr {
-		t.Fatalf("attached to %s, want %s", chosen, bigAddr)
-	}
-	if err := client.Ping(); err != nil {
-		t.Fatal(err)
+	// AttachBestTCP re-probes internally, so it can hit the same jitter;
+	// give it the same benefit of the doubt with fresh clients.
+	for attempt := 0; ; attempt++ {
+		client := NewClient(reg, WithHeap(1<<20))
+		chosen, err := client.AttachBestTCP([]string{smallAddr, bigAddr})
+		if err != nil {
+			client.Close()
+			t.Fatal(err)
+		}
+		if chosen == bigAddr {
+			defer client.Close()
+			if err := client.Ping(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		client.Close()
+		if attempt == 10 {
+			t.Fatalf("attached to %s in 11 attempts, want %s", chosen, bigAddr)
+		}
 	}
 }
 

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultToleranceSweepCompletes(t *testing.T) {
+	points, err := FaultToleranceSweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(points) != 15 {
+		t.Fatalf("sweep produced %d points, want 15 (5 profiles x 3 rates)", len(points))
+	}
+	injected := int64(0)
+	for _, p := range points {
+		if p.Calls != 120 {
+			t.Fatalf("point %s@%.2f completed %d calls, want 120", p.Profile, p.Rate, p.Calls)
+		}
+		injected += p.Injected
+	}
+	if injected == 0 {
+		t.Fatal("the sweep injected no faults at all; the study measures nothing")
+	}
+}
+
+func TestRecoveryStudyMeasuresSevers(t *testing.T) {
+	st, err := RecoveryStudy(time.Now, 12)
+	if err != nil {
+		t.Fatalf("recovery study: %v", err)
+	}
+	if st.Runs != 12 {
+		t.Fatalf("Runs = %d, want 12", st.Runs)
+	}
+	if st.Recovered == 0 {
+		t.Fatal("no run recovered from a sever; the sever points never landed")
+	}
+	if st.MinNs <= 0 || st.MaxNs < st.MedianNs || st.MedianNs < st.MinNs {
+		t.Fatalf("latency ordering broken: min %v median %v max %v", st.MinNs, st.MedianNs, st.MaxNs)
+	}
+}

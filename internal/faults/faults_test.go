@@ -1,0 +1,250 @@
+package faults_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/faults"
+	"aide/internal/remote"
+)
+
+// sink is a trivial inner transport: Send records the message, Recv
+// blocks until Close. It keeps the injector unit tests free of the
+// channel transport's pairing semantics.
+type sink struct {
+	mu     sync.Mutex
+	msgs   []*remote.Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newSink() *sink { return &sink{closed: make(chan struct{})} }
+
+func (s *sink) Send(m *remote.Message) error {
+	select {
+	case <-s.closed:
+		return remote.ErrClosed
+	default:
+	}
+	s.mu.Lock()
+	cp := *m
+	s.msgs = append(s.msgs, &cp)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *sink) Recv() (*remote.Message, error) {
+	<-s.closed
+	return nil, remote.ErrClosed
+}
+
+func (s *sink) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	return nil
+}
+
+func (s *sink) delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+func TestScriptedFaultSchedule(t *testing.T) {
+	inner := newSink()
+	inj := faults.Wrap(inner, faults.Profile{
+		Script: []faults.Action{
+			{OnSend: 1, Fault: faults.Drop},
+			{OnSend: 2, Fault: faults.Corrupt},
+			{OnSend: 4, Fault: faults.Dup},
+		},
+	})
+	defer func() {
+		if err := inj.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	m := &remote.Message{Kind: remote.MsgPing, ID: 7}
+	if err := inj.Send(m); !errors.Is(err, faults.ErrInjectedDrop) {
+		t.Fatalf("send 1: err = %v, want ErrInjectedDrop", err)
+	}
+	if err := inj.Send(m); !errors.Is(err, faults.ErrInjectedCorrupt) {
+		t.Fatalf("send 2: err = %v, want ErrInjectedCorrupt", err)
+	}
+	if err := inj.Send(m); err != nil {
+		t.Fatalf("send 3: %v", err)
+	}
+	if err := inj.Send(m); err != nil {
+		t.Fatalf("send 4 (dup): %v", err)
+	}
+
+	// Sends 1 and 2 never reached the wire; send 3 arrived once, send 4
+	// twice.
+	if got := inner.delivered(); got != 3 {
+		t.Fatalf("inner deliveries = %d, want 3 (one normal + one duplicated)", got)
+	}
+	st := inj.Stats()
+	if st.Sends != 4 || st.Dropped != 1 || st.Corrupted != 1 || st.Duplicated != 1 {
+		t.Fatalf("stats = %+v, want 4 sends, 1 dropped, 1 corrupted, 1 duplicated", st)
+	}
+}
+
+func TestDelayDeliversACopy(t *testing.T) {
+	inner := newSink()
+	inj := faults.Wrap(inner, faults.Profile{
+		DelayMin: time.Millisecond,
+		DelayMax: 2 * time.Millisecond,
+		Script:   []faults.Action{{OnSend: 1, Fault: faults.Delay}},
+	})
+
+	m := &remote.Message{Kind: remote.MsgInfo, ID: 42, Class: "Doc"}
+	if err := inj.Send(m); err != nil {
+		t.Fatalf("delayed send: %v", err)
+	}
+	// The sender may reuse the message as soon as Send returns; the
+	// injector must have deep-copied it.
+	m.Class = "CLOBBERED"
+	m.ID = 0
+
+	deadline := time.Now().Add(2 * time.Second)
+	for inner.delivered() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	inner.mu.Lock()
+	defer inner.mu.Unlock()
+	if len(inner.msgs) != 1 {
+		t.Fatalf("delayed message never delivered")
+	}
+	if got := inner.msgs[0]; got.ID != 42 || got.Class != "Doc" {
+		t.Fatalf("delivered message = id %d class %q, want the pre-clobber copy (42, Doc)", got.ID, got.Class)
+	}
+	if st := inj.Stats(); st.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", st.Delayed)
+	}
+	if err := inj.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	run := func() faults.Stats {
+		inner := newSink()
+		inj := faults.Wrap(inner, faults.Profile{
+			Seed:        99,
+			DropRate:    0.2,
+			CorruptRate: 0.1,
+			DupRate:     0.1,
+			DelayRate:   0.1,
+			DelayMax:    time.Microsecond,
+		})
+		m := &remote.Message{Kind: remote.MsgPing}
+		for i := 0; i < 500; i++ {
+			_ = inj.Send(m) // injected errors are the point
+		}
+		if err := inj.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		return inj.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n  a = %+v\n  b = %+v", a, b)
+	}
+	if a.Dropped == 0 || a.Corrupted == 0 || a.Duplicated == 0 || a.Delayed == 0 {
+		t.Fatalf("500 sends at these rates should exercise every fault: %+v", a)
+	}
+}
+
+func TestSeverFailsLaterSends(t *testing.T) {
+	ct, st := remote.NewChannelPair()
+	inj := faults.Wrap(ct, faults.Profile{SeverAfter: 3})
+
+	m := &remote.Message{Kind: remote.MsgPing}
+	for i := 0; i < 2; i++ {
+		if err := inj.Send(m); err != nil {
+			t.Fatalf("send %d before sever: %v", i+1, err)
+		}
+	}
+	err := inj.Send(m)
+	if !errors.Is(err, faults.ErrSevered) {
+		t.Fatalf("send at sever point: err = %v, want ErrSevered", err)
+	}
+	if !errors.Is(err, remote.ErrClosed) {
+		t.Fatalf("sever error must wrap remote.ErrClosed for the peer's closed-detection: %v", err)
+	}
+	// The underlying transport is hard-closed: the other side fails too.
+	if err := st.Send(m); err == nil {
+		t.Fatal("peer side send succeeded after sever")
+	}
+	if err := inj.Send(m); !errors.Is(err, faults.ErrSevered) {
+		t.Fatalf("send after sever: err = %v, want ErrSevered", err)
+	}
+	if err := inj.Close(); err != nil {
+		t.Logf("close after sever: %v", err) // inner already closed; either way is fine
+	}
+}
+
+func TestBlackholeSwallowsSilently(t *testing.T) {
+	inner := newSink()
+	inj := faults.Wrap(inner, faults.Profile{BlackholeAfter: 2})
+
+	m := &remote.Message{Kind: remote.MsgPing}
+	if err := inj.Send(m); err != nil {
+		t.Fatalf("send before blackhole: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := inj.Send(m); err != nil {
+			t.Fatalf("blackholed send %d must report success, got %v", i, err)
+		}
+	}
+	if got := inner.delivered(); got != 1 {
+		t.Fatalf("inner deliveries = %d, want 1 (the pre-blackhole send)", got)
+	}
+	if st := inj.Stats(); st.SwallowedByBlackhole != 3 {
+		t.Fatalf("SwallowedByBlackhole = %d, want 3", st.SwallowedByBlackhole)
+	}
+
+	// Recv blocks silently — the hang only deadlines can detect — until
+	// the injector closes.
+	recvDone := make(chan struct{})
+	go func() {
+		_, _ = inj.Recv()
+		close(recvDone)
+	}()
+	select {
+	case <-recvDone:
+		t.Fatal("blackholed Recv returned; it must block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := inj.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	select {
+	case <-recvDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed Recv did not unblock on Close")
+	}
+}
+
+func TestMutateFrameAlwaysChangesOrBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	frame, err := remote.AppendFrame(nil, &remote.Message{Kind: remote.MsgInvoke, ID: 5, Method: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		out := faults.MutateFrame(rng, frame)
+		if len(out) > len(frame)+16 {
+			t.Fatalf("mutation grew frame from %d to %d bytes (cap is +16)", len(frame), len(out))
+		}
+		// The decoder must survive every mutation; errors are fine,
+		// panics are not (DecodeFrame panicking fails the test).
+		_, _ = remote.DecodeFrame(out)
+	}
+	if faults.MutateFrame(rng, nil) == nil {
+		t.Fatal("mutating an empty frame must still produce bytes")
+	}
+}

@@ -1,0 +1,39 @@
+package faults
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzInjectorCorrupt drives MutateFrame — the mutation engine behind
+// the corrupt fault — with arbitrary frames and seeds. Invariants: it
+// never panics, never aliases or modifies the caller's frame, stays
+// within its documented growth bound (at most 16 appended bytes), never
+// returns nil, and is deterministic for a given seed.
+func FuzzInjectorCorrupt(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{0x01, 0x09, 0x0B}, int64(0xFA17))         // an encoded ping frame
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0xFF}, int64(-7)) // zero run + high byte
+	f.Add(bytes.Repeat([]byte{0xAB}, 256), int64(1<<40))   // long frame
+	f.Fuzz(func(t *testing.T, frame []byte, seed int64) {
+		orig := append([]byte(nil), frame...)
+		out := MutateFrame(rand.New(rand.NewSource(seed)), frame)
+		if out == nil {
+			t.Fatal("MutateFrame returned nil")
+		}
+		if len(out) > len(frame)+16 {
+			t.Fatalf("mutated frame grew %d -> %d, bound is +16", len(frame), len(out))
+		}
+		if !bytes.Equal(frame, orig) {
+			t.Fatal("MutateFrame modified the caller's frame in place")
+		}
+		again := MutateFrame(rand.New(rand.NewSource(seed)), frame)
+		if !bytes.Equal(out, again) {
+			t.Fatalf("MutateFrame is not deterministic for seed %d: %x vs %x", seed, out, again)
+		}
+		if len(frame) == 0 && len(out) != 1 {
+			t.Fatalf("empty frame must mutate to exactly one byte, got %d", len(out))
+		}
+	})
+}

@@ -11,17 +11,21 @@ import (
 // caller must see the transport failure as an error, never lose it and
 // never crash.
 //
-// Two rules:
+// Three rules:
 //
 //  1. any call into the remote package (path suffix "internal/remote")
 //     whose signature returns an error must not discard it — neither
 //     as a bare expression statement nor by assigning the error
 //     position to the blank identifier;
 //  2. panic is banned outside package main and test files — library
-//     code returns errors.
+//     code returns errors;
+//  3. a retry wrapper — a non-test function whose name contains "retry"
+//     and whose body loops — must consult its context (context.Canceled,
+//     ctx.Err, or ctx.Done), so cancellation propagates unretried
+//     instead of holding a canceled caller hostage to backoff sleeps.
 var RPCErr = &Analyzer{
 	Name: "rpcerr",
-	Doc:  "errors returned by the remote-invocation module must be checked; panic is banned outside main packages and tests",
+	Doc:  "errors returned by the remote-invocation module must be checked; panic is banned outside main packages and tests; retry loops must propagate context cancellation unretried",
 	Run:  runRPCErr,
 }
 
@@ -31,6 +35,13 @@ const remotePathSuffix = "internal/remote"
 func runRPCErr(pass *Pass) error {
 	for _, file := range pass.Files {
 		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		if !isTest {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkRetryWrapper(pass, fd)
+				}
+			}
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
@@ -89,6 +100,49 @@ func checkDroppedRemoteError(pass *Pass, e ast.Expr, how string) {
 			"%scall to %s discards its error; a vanished surrogate must surface as a transport failure",
 			how, fn.Name())
 	}
+}
+
+// checkRetryWrapper enforces rule 3: a looping function named *retry*
+// must reference context.Canceled or call ctx.Err()/ctx.Done() somewhere
+// in its body. Name matching is deliberate — the retry contract is part
+// of the wrapper's interface, and an uncancelable loop behind a "retry"
+// name is exactly the bug the disconnection tests keep catching.
+func checkRetryWrapper(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !strings.Contains(strings.ToLower(fd.Name.Name), "retry") {
+		return
+	}
+	loops, consults := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = true
+		case *ast.SelectorExpr:
+			if usesContextCancellation(pass, n.Sel) {
+				consults = true
+			}
+		}
+		return true
+	})
+	if loops && !consults {
+		pass.Reportf(fd.Pos(),
+			"retry wrapper %s never consults its context; context.Canceled must propagate unretried (check ctx.Err in the loop)",
+			fd.Name.Name)
+	}
+}
+
+// usesContextCancellation reports whether the selected identifier
+// resolves to package context's Canceled variable or its Err/Done
+// methods (including their use through the context.Context interface).
+func usesContextCancellation(pass *Pass, sel *ast.Ident) bool {
+	obj := pass.Info.Uses[sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	switch obj.Name() {
+	case "Canceled", "Err", "Done":
+		return true
+	}
+	return false
 }
 
 // checkBlankRemoteError flags `_`-discards of error results from

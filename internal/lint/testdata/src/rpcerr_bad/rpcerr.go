@@ -3,6 +3,8 @@
 package rpcerr_bad
 
 import (
+	"context"
+
 	remote "aide/internal/lint/testdata/src/internal/remote"
 )
 
@@ -29,4 +31,26 @@ func Pair() {
 
 func Boom() {
 	panic("unreachable") // want `panic in library code`
+}
+
+// A retry loop that ignores its context holds a canceled caller hostage
+// to backoff sleeps.
+func PingRetry(ctx context.Context, p *remote.Peer) error { // want `retry wrapper PingRetry never consults its context`
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = p.Ping(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// The name alone is enough: a retrying helper without even a context
+// parameter cannot propagate cancellation at all.
+func retryForever(p *remote.Peer) { // want `retry wrapper retryForever never consults its context`
+	for {
+		if err := p.Ping(); err == nil {
+			return
+		}
+	}
 }

@@ -4,6 +4,8 @@
 package rpcerr_clean
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	remote "aide/internal/lint/testdata/src/internal/remote"
@@ -32,3 +34,46 @@ func Suppressed(p *remote.Peer) {
 	//lint:allow rpcerr best-effort notification on teardown
 	_ = p.Close()
 }
+
+// A compliant retry wrapper: ctx.Err() aborts the loop before every
+// backoff, so cancellation propagates unretried.
+func PingRetry(ctx context.Context, p *remote.Peer) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = p.Ping(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Matching on the sentinel error is equally acceptable.
+func retryUntilCanceled(ctx context.Context, p *remote.Peer) error {
+	for {
+		err := p.Ping()
+		if err == nil || errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+}
+
+// Select on ctx.Done() counts too.
+func retryWithDone(ctx context.Context, p *remote.Peer) error {
+	for {
+		if err := p.Ping(); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+}
+
+// A loopless function is configuration, not a retry wrapper — the rule
+// must not fire on it.
+func WithRetryBudget(n int) int { return n }

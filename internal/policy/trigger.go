@@ -90,6 +90,50 @@ func (t *PeriodicTrigger) Tick(now time.Duration) bool {
 	return false
 }
 
+// DisconnectTrigger pins the application local after a surrogate
+// disconnection. Losing a surrogate mid-run is evidence the environment is
+// unstable (the paper's §2 ad-hoc platforms form over transient wireless
+// links), so immediately re-offloading to another — or a reconnected —
+// surrogate risks thrashing. The trigger suppresses offloading for a
+// cooldown measured in garbage-collection cycles, the same clock the
+// memory trigger runs on.
+type DisconnectTrigger struct {
+	// CooldownCycles is how many GC cycles offloading stays suppressed
+	// after a disconnection. Zero means the default of 3 (mirroring the
+	// paper's three-cycle memory-trigger tolerance).
+	CooldownCycles int
+
+	remaining int
+	fired     int
+}
+
+// Fire records a disconnection and (re)starts the cooldown.
+func (t *DisconnectTrigger) Fire() {
+	n := t.CooldownCycles
+	if n <= 0 {
+		n = 3
+	}
+	t.remaining = n
+	t.fired++
+}
+
+// Report feeds one garbage-collection cycle into the trigger, aging the
+// cooldown toward expiry.
+func (t *DisconnectTrigger) Report() {
+	if t.remaining > 0 {
+		t.remaining--
+	}
+}
+
+// Active reports whether offloading is currently suppressed.
+func (t *DisconnectTrigger) Active() bool { return t.remaining > 0 }
+
+// Fired returns how many disconnections the trigger has recorded.
+func (t *DisconnectTrigger) Fired() int { return t.fired }
+
+// Reset clears the cooldown, e.g. when a fresh surrogate attaches.
+func (t *DisconnectTrigger) Reset() { t.remaining = 0 }
+
 // Params bundles the three policy parameters the Figure 7 sweep varies.
 type Params struct {
 	// TriggerFreeFraction is the low-memory threshold (0.02–0.50).

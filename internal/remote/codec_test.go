@@ -42,6 +42,7 @@ func codecMessages() []*Message {
 		{Kind: MsgReleaseBatch, ID: 10, IDs: []vm.ObjectID{1001, 1002, 1002, 1003}},
 		{Kind: MsgPing, ID: 11},
 		{Kind: MsgPing, ID: 11, Reply: true},
+		{Kind: MsgPong, ID: 11, Reply: true},
 		{Kind: MsgRecall, ID: 12, Classes: []string{"Doc", "Filter"}},
 		{Kind: MsgRecall, ID: 12, Reply: true, Objects: 3, MovedBytes: 8192},
 		{Kind: MsgInfo, ID: 13},
@@ -64,7 +65,7 @@ func TestWireBytesExact(t *testing.T) {
 			t.Errorf("%s (reply=%v): wireBytes() = %d, encoded frame is %d bytes", m.Kind, m.Reply, got, want)
 		}
 	}
-	for k := MsgInvoke; k <= MsgReleaseBatch; k++ {
+	for k := MsgInvoke; k <= MsgPong; k++ {
 		if !seenKinds[k] {
 			t.Errorf("codecMessages covers no %s message", k)
 		}
@@ -145,7 +146,7 @@ func randomString(rng *rand.Rand, n int) string {
 
 func randomMessage(rng *rand.Rand) *Message {
 	m := &Message{
-		Kind: MsgKind(1 + rng.Intn(int(MsgReleaseBatch))),
+		Kind: MsgKind(1 + rng.Intn(int(MsgPong))),
 		ID:   rng.Uint64() >> uint(rng.Intn(64)),
 	}
 	if rng.Intn(2) == 1 {

@@ -2,7 +2,9 @@ package remote
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -174,4 +176,52 @@ func TestDoubleCloseAndPingAfterClose(t *testing.T) {
 		t.Fatal("ping after close must fail")
 	}
 	_ = ps.Close()
+}
+
+// TestOrphanReplyLogsOncePerPeer pins the orphan-reply diagnostics: every
+// orphan is counted, but the log line fires once per peer — not once per
+// pending-table shard — no matter which shards the orphan IDs land in.
+func TestOrphanReplyLogsOncePerPeer(t *testing.T) {
+	reg := failureRegistry(nil)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient})
+	ct, st := NewChannelPair()
+	var mu sync.Mutex
+	var lines []string
+	pc := NewPeer(client, ct, Options{Workers: 1, Logf: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	defer func() { _ = pc.Close() }()
+
+	// Replies nobody is waiting for; the IDs land in four different
+	// shards of the 16-way pending-call table (id & 15).
+	ids := []uint64{3, 4, 17, 18, 33}
+	for _, id := range ids {
+		if err := st.Send(&Message{ID: id, Reply: true, Kind: MsgPong}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for pc.Stats().OrphanReplies < int64(len(ids)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := pc.Stats().OrphanReplies; got != int64(len(ids)) {
+		t.Fatalf("OrphanReplies = %d, want %d (every orphan counted)", got, len(ids))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	logged := 0
+	for _, l := range lines {
+		if strings.Contains(l, "orphan") {
+			logged++
+		}
+	}
+	if logged != 1 {
+		t.Fatalf("orphan log fired %d times, want exactly once per peer:\n%s",
+			logged, strings.Join(lines, "\n"))
+	}
+	if pc.Warn() == nil {
+		t.Fatal("Warn() must report the recorded orphan anomaly")
+	}
 }

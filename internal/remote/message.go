@@ -31,6 +31,10 @@ const (
 	// message; IDs carries the released object IDs, duplicates included
 	// (one entry per decref).
 	MsgReleaseBatch
+	// MsgPong answers a MsgPing health probe. A distinct reply kind lets a
+	// receiver tell a probe answer from an echoed request without
+	// consulting the pending-call table.
+	MsgPong
 )
 
 // String returns the kind's name.
@@ -60,6 +64,8 @@ func (k MsgKind) String() string {
 		return "info"
 	case MsgReleaseBatch:
 		return "release-batch"
+	case MsgPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -129,3 +135,16 @@ func (e *RemoteError) Error() string {
 
 // ErrClosed is returned for operations on a closed peer connection.
 var ErrClosed = errors.New("remote: connection closed")
+
+// ErrCallTimeout is returned when a call's deadline (Options.CallTimeout)
+// expires before the reply arrives. The peer is marked degraded; enough
+// consecutive timeouts (Options.DisconnectAfter) escalate to a full
+// disconnect.
+var ErrCallTimeout = errors.New("remote: call timed out")
+
+// ErrDisconnected marks an involuntary connection loss — a transport
+// failure or a timeout storm, as opposed to a deliberate Close. It wraps
+// both ErrClosed (existing callers matching on "connection closed" keep
+// working) and vm.ErrPeerGone (the VM layer recognizes the condition and
+// fails calls over to local execution).
+var ErrDisconnected error = fmt.Errorf("%w: connection lost: %w", ErrClosed, vm.ErrPeerGone)

@@ -1,6 +1,8 @@
 package remote
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -64,6 +66,68 @@ type counters struct {
 	releasesReceived   atomic.Int64
 	releaseBatchesSent atomic.Int64
 	orphanReplies      atomic.Int64
+	sendRetries        atomic.Int64
+	callTimeouts       atomic.Int64
+	duplicatesDropped  atomic.Int64
+	releasesDropped    atomic.Int64
+}
+
+// State is the connection-health state machine: healthy until a send
+// needs retrying or a call times out (degraded), healthy again on the
+// next clean reply, disconnected — terminally — when the transport dies
+// or enough consecutive timeouts accumulate (Options.DisconnectAfter).
+type State int32
+
+// Connection states.
+const (
+	StateHealthy State = iota
+	StateDegraded
+	StateDisconnected
+)
+
+// String returns the state's name.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDisconnected:
+		return "disconnected"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// dedupeWindow remembers the last N request IDs seen from the peer so a
+// duplicated frame (retried send that did arrive, duplication fault) is
+// executed at most once. Entries evict FIFO.
+type dedupeWindow struct {
+	mu   sync.Mutex
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+func newDedupeWindow(n int) *dedupeWindow {
+	return &dedupeWindow{seen: make(map[uint64]struct{}, n), ring: make([]uint64, n)}
+}
+
+// firstTime records id and reports whether this is its first appearance
+// within the window.
+func (d *dedupeWindow) firstTime(id uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.seen[id]; dup {
+		return false
+	}
+	if old := d.ring[d.next]; old != 0 {
+		delete(d.seen, old)
+	}
+	d.ring[d.next] = id
+	d.next = (d.next + 1) % len(d.ring)
+	d.seen[id] = struct{}{}
+	return true
 }
 
 // Peer is one VM's half of the distributed platform connection. It
@@ -111,10 +175,33 @@ type Peer struct {
 	relBatch    int
 	relInterval time.Duration
 
-	// orphanE records (once) the first reply that arrived with no
-	// pending waiter; OrphanReplies counts them all.
+	// orphanE records (once per peer) the first reply that arrived with
+	// no pending waiter; OrphanReplies counts them all. The once guard is
+	// peer-wide — orphans landing on different pending-table shards still
+	// produce a single record and a single log line.
 	orphanOnce sync.Once
 	orphanE    atomic.Value // error
+
+	// Robustness knobs (fixed at construction, read lock-free).
+	callTimeout     time.Duration
+	retryMax        int
+	retryBase       time.Duration
+	disconnectAfter int32
+	logf            func(format string, args ...any)
+	onDown          func(p *Peer, cause error)
+
+	// state is the health state machine; consecTimeouts feeds the
+	// degraded→disconnected escalation; jitterSeq drives deterministic
+	// backoff jitter; stop wakes the health prober on teardown.
+	state          atomic.Int32
+	consecTimeouts atomic.Int32
+	jitterSeq      atomic.Uint64
+	stop           chan struct{}
+
+	// dedupe drops duplicate incoming requests (dup faults, send retries
+	// that did arrive) so server-side execution stays at-most-once and
+	// release decrefs apply exactly once.
+	dedupe *dedupeWindow
 
 	c counters
 }
@@ -139,6 +226,17 @@ type Stats struct {
 	// OrphanReplies counts replies that arrived with no pending waiter
 	// (late reply after a failed send, or a peer protocol bug).
 	OrphanReplies int64
+
+	// SendRetries counts re-sends after transient transport errors;
+	// CallTimeouts counts calls abandoned at their deadline.
+	SendRetries  int64
+	CallTimeouts int64
+
+	// DuplicatesDropped counts incoming requests suppressed by the
+	// dedupe window; ReleasesDropped counts decrefs lost when a release
+	// batch exhausted its retry budget (export pins leak, never corrupt).
+	DuplicatesDropped int64
+	ReleasesDropped   int64
 }
 
 // Options configures a Peer.
@@ -161,6 +259,50 @@ type Options struct {
 	// for the batch to fill before the next Release flushes it. Zero
 	// defaults to 1ms.
 	ReleaseFlushInterval time.Duration
+
+	// CallTimeout bounds how long a call waits for its reply. Zero
+	// disables the deadline (a half-closed transport then hangs the
+	// call, the pre-fault-tolerance behavior). Expired calls return
+	// ErrCallTimeout and mark the connection degraded.
+	CallTimeout time.Duration
+
+	// RetryMax bounds re-send attempts after a transient transport
+	// error, and reply-retries for idempotent requests (ping, info).
+	// Zero defaults to 3; negative disables retries.
+	RetryMax int
+
+	// RetryBase is the first backoff step; attempt n waits in
+	// [base<<n/2, base<<n] with deterministic jitter. Zero defaults
+	// to 2ms.
+	RetryBase time.Duration
+
+	// DisconnectAfter escalates the peer to disconnected after this many
+	// consecutive call timeouts. Zero defaults to 3; negative disables
+	// the escalation.
+	DisconnectAfter int
+
+	// ProbeInterval starts a background health prober pinging the peer
+	// at this period. Zero disables it. The prober relies on CallTimeout
+	// to bound each probe; its failures feed the same DisconnectAfter
+	// escalation as ordinary calls.
+	ProbeInterval time.Duration
+
+	// DedupeWindow sizes the incoming-request dedupe ring (duplicate
+	// suppression across send retries and duplication faults). Zero
+	// defaults to 1024; negative disables deduplication.
+	DedupeWindow int
+
+	// Logf, when set, receives the peer's rare diagnostic lines (orphan
+	// replies, disconnect escalations). Nil discards them.
+	Logf func(format string, args ...any)
+
+	// OnDown, when set, is called exactly once if the connection is lost
+	// involuntarily (transport failure or timeout escalation — never a
+	// plain Close). It runs synchronously on the goroutine that observed
+	// the failure, after every pending call has been failed; it must not
+	// call p.Close directly (Close waits for that same goroutine —
+	// spawn it).
+	OnDown func(p *Peer, cause error)
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -171,13 +313,20 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		workers = 4
 	}
 	p := &Peer{
-		local:       local,
-		transport:   t,
-		link:        opts.Link,
-		requests:    make(chan *Message, workers),
-		now:         opts.Now,
-		relBatch:    opts.ReleaseBatchSize,
-		relInterval: opts.ReleaseFlushInterval,
+		local:           local,
+		transport:       t,
+		link:            opts.Link,
+		requests:        make(chan *Message, workers),
+		now:             opts.Now,
+		relBatch:        opts.ReleaseBatchSize,
+		relInterval:     opts.ReleaseFlushInterval,
+		callTimeout:     opts.CallTimeout,
+		retryMax:        opts.RetryMax,
+		retryBase:       opts.RetryBase,
+		disconnectAfter: int32(opts.DisconnectAfter),
+		logf:            opts.Logf,
+		onDown:          opts.OnDown,
+		stop:            make(chan struct{}),
 	}
 	if p.now == nil {
 		p.now = time.Now
@@ -188,11 +337,38 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 	if p.relInterval <= 0 {
 		p.relInterval = time.Millisecond
 	}
+	if p.retryMax == 0 {
+		p.retryMax = 3
+	} else if p.retryMax < 0 {
+		p.retryMax = 0
+	}
+	if p.retryBase <= 0 {
+		p.retryBase = 2 * time.Millisecond
+	}
+	if p.disconnectAfter == 0 {
+		p.disconnectAfter = 3
+	} else if p.disconnectAfter < 0 {
+		p.disconnectAfter = 0
+	}
+	window := opts.DedupeWindow
+	if window == 0 {
+		window = 1024
+	}
+	if window > 0 {
+		p.dedupe = newDedupeWindow(window)
+	}
 	p.idx = local.AttachPeer(p)
-	p.wg.Add(1 + workers)
+	workersPlus := 1 + workers
+	if opts.ProbeInterval > 0 {
+		workersPlus++
+	}
+	p.wg.Add(workersPlus)
 	go p.recvLoop()
 	for i := 0; i < workers; i++ {
 		go p.worker()
+	}
+	if opts.ProbeInterval > 0 {
+		go p.prober(opts.ProbeInterval)
 	}
 	return p
 }
@@ -204,6 +380,8 @@ func (p *Peer) shardFor(id uint64) *pendingShard {
 
 // fail marks the peer closed with the given cause (first cause wins) and
 // wakes every pending caller. It reports whether this call won the race.
+// An involuntary cause (one wrapping ErrDisconnected) flips the state
+// machine to disconnected and fires the OnDown hook exactly once.
 func (p *Peer) fail(cause error) bool {
 	p.closeMu.Lock()
 	if p.closed.Load() {
@@ -213,10 +391,49 @@ func (p *Peer) fail(cause error) bool {
 	p.closeE = cause
 	p.closed.Store(true)
 	p.closeMu.Unlock()
+	p.state.Store(int32(StateDisconnected))
+	close(p.stop)
 	for i := range p.shards {
 		p.shards[i].sweep()
 	}
+	if errors.Is(cause, ErrDisconnected) {
+		p.logfSafe("remote: peer disconnected: %v", cause)
+		if p.onDown != nil {
+			p.onDown(p, cause)
+		}
+	}
 	return true
+}
+
+// logfSafe forwards to the configured logger, if any.
+func (p *Peer) logfSafe(format string, args ...any) {
+	if p.logf != nil {
+		p.logf(format, args...)
+	}
+}
+
+// VMIndex returns this peer's slot in the local VM's peer table — the
+// index DetachPeer and ReclaimStubs address it by.
+func (p *Peer) VMIndex() int { return p.idx }
+
+// State returns the connection-health state.
+func (p *Peer) State() State {
+	if p.closed.Load() {
+		return StateDisconnected
+	}
+	return State(p.state.Load())
+}
+
+// markDegraded downgrades a healthy connection (send retry, timeout).
+func (p *Peer) markDegraded() {
+	p.state.CompareAndSwap(int32(StateHealthy), int32(StateDegraded))
+}
+
+// noteReplyOK records a clean round trip: the timeout streak resets and
+// a degraded connection heals.
+func (p *Peer) noteReplyOK() {
+	p.consecTimeouts.Store(0)
+	p.state.CompareAndSwap(int32(StateDegraded), int32(StateHealthy))
 }
 
 // failErr returns the recorded close cause.
@@ -259,6 +476,10 @@ func (p *Peer) Stats() Stats {
 		ReleasesReceived:   p.c.releasesReceived.Load(),
 		ReleaseBatchesSent: p.c.releaseBatchesSent.Load(),
 		OrphanReplies:      p.c.orphanReplies.Load(),
+		SendRetries:        p.c.sendRetries.Load(),
+		CallTimeouts:       p.c.callTimeouts.Load(),
+		DuplicatesDropped:  p.c.duplicatesDropped.Load(),
+		ReleasesDropped:    p.c.releasesDropped.Load(),
 	}
 }
 
@@ -278,7 +499,12 @@ func (p *Peer) recvLoop() {
 	for {
 		m, err := p.transport.Recv()
 		if err != nil {
-			p.fail(err)
+			// A Recv error with the peer not yet closed is an involuntary
+			// loss: wrap it so failErr callers (and the VM's failover
+			// path) can recognize the disconnect. Our own Close fails the
+			// peer with plain ErrClosed before closing the transport, so
+			// graceful teardown never takes this branch first.
+			p.fail(fmt.Errorf("%w: %v", ErrDisconnected, err))
 			return
 		}
 		p.c.bytesReceived.Add(m.wireBytes())
@@ -287,12 +513,23 @@ func (p *Peer) recvLoop() {
 				ch <- m
 			} else {
 				// No waiter: a late reply after a failed send, or a
-				// peer protocol bug. Count every one, record the first.
+				// peer protocol bug. Count every one; record and log the
+				// first only — the guard is per peer, not per shard, so
+				// orphans spread across shards still log once.
 				p.c.orphanReplies.Add(1)
 				p.orphanOnce.Do(func() {
-					p.orphanE.Store(fmt.Errorf("remote: orphan %s reply id=%d (no pending waiter)", m.Kind, m.ID))
+					e := fmt.Errorf("remote: orphan %s reply id=%d (no pending waiter)", m.Kind, m.ID)
+					p.orphanE.Store(e)
+					p.logfSafe("%v (suppressing further orphan-reply logs for this peer)", e)
 				})
 			}
+			continue
+		}
+		// At-most-once execution: a request ID seen before (duplication
+		// fault, or a send retry whose first copy did arrive) is dropped
+		// before it reaches the worker pool.
+		if p.dedupe != nil && m.ID != 0 && !p.dedupe.firstTime(m.ID) {
+			p.c.duplicatesDropped.Add(1)
 			continue
 		}
 		// Forward even when the peer is closing: Close waits for the
@@ -310,10 +547,21 @@ func (p *Peer) worker() {
 	}
 }
 
-// call sends a request and blocks for the matching reply. Buffered
-// releases flush first so a release never reorders after a call that
-// could re-export the same object.
+// call sends a request and blocks for the matching reply, under the
+// peer's configured deadline.
 func (p *Peer) call(m *Message) (*Message, error) {
+	return p.Call(context.Background(), m)
+}
+
+// Call sends a request and blocks for the matching reply. Buffered
+// releases flush first so a release never reorders after a call that
+// could re-export the same object. The wait honors ctx (cancellation and
+// deadline) plus the peer's configured CallTimeout; a transient send
+// failure is retried with backoff — safe for every request kind, since a
+// failed send never reached the peer. A call abandoned at its deadline
+// marks the connection degraded; Options.DisconnectAfter consecutive
+// timeouts escalate to a full disconnect.
+func (p *Peer) Call(ctx context.Context, m *Message) (*Message, error) {
 	p.flushReleases()
 	if p.closed.Load() {
 		return nil, p.failErr()
@@ -332,18 +580,114 @@ func (p *Peer) call(m *Message) (*Message, error) {
 	p.c.requestsSent.Add(1)
 	p.c.bytesSent.Add(m.wireBytes())
 
-	if err := p.transport.Send(m); err != nil {
+	if err := p.sendRetry(ctx, m); err != nil {
 		sh.take(id)
 		return nil, err
 	}
-	reply, ok := <-ch
-	if !ok {
-		return nil, ErrClosed
+
+	var timeoutC <-chan time.Time
+	if p.callTimeout > 0 {
+		timer := time.NewTimer(p.callTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
+	select {
+	case reply, ok := <-ch:
+		return p.finishCall(m, reply, ok)
+	case <-timeoutC:
+		if reply, ok, raced := p.raceReply(id, sh, ch); raced {
+			return p.finishCall(m, reply, ok)
+		}
+		p.c.callTimeouts.Add(1)
+		p.markDegraded()
+		n := p.consecTimeouts.Add(1)
+		if p.disconnectAfter > 0 && n >= p.disconnectAfter {
+			cause := fmt.Errorf("%w: %d consecutive call timeouts", ErrDisconnected, n)
+			p.fail(cause)
+			return nil, fmt.Errorf("remote: %s call id=%d: %w after %v: %w", m.Kind, id, ErrCallTimeout, p.callTimeout, cause)
+		}
+		return nil, fmt.Errorf("remote: %s call id=%d: %w after %v", m.Kind, id, ErrCallTimeout, p.callTimeout)
+	case <-ctx.Done():
+		if reply, ok, raced := p.raceReply(id, sh, ch); raced {
+			return p.finishCall(m, reply, ok)
+		}
+		return nil, fmt.Errorf("remote: %s call id=%d: %w", m.Kind, id, ctx.Err())
+	}
+}
+
+// raceReply resolves the race between an expiring deadline and an
+// arriving reply: if the receive loop already claimed the waiter, the
+// reply is imminent (or buffered) and wins over the timeout.
+func (p *Peer) raceReply(id uint64, sh *pendingShard, ch chan *Message) (*Message, bool, bool) {
+	if _, ok := sh.take(id); ok {
+		// We won: no reply will ever be delivered to ch.
+		return nil, false, false
+	}
+	// The receive loop took the waiter first; its buffered send cannot
+	// block, so the reply is either here or arrives momentarily.
+	reply, ok := <-ch
+	return reply, ok, true
+}
+
+// finishCall turns a delivered reply (or a swept waiter) into the call's
+// result.
+func (p *Peer) finishCall(m *Message, reply *Message, ok bool) (*Message, error) {
+	if !ok {
+		return nil, p.failErr()
+	}
+	p.noteReplyOK()
 	if reply.Err != "" {
 		return nil, &RemoteError{Kind: m.Kind, Msg: reply.Err}
 	}
 	return reply, nil
+}
+
+// sendRetry sends m, retrying transient transport errors with
+// exponential backoff and deterministic jitter. A send failure means the
+// message never reached the wire, so a retry of any kind is safe —
+// exactly-once is only at risk after a successful send, and the
+// receiver's dedupe window covers even that (an "errored" send that was
+// in fact delivered). context.Canceled propagates immediately, never
+// retried.
+func (p *Peer) sendRetry(ctx context.Context, m *Message) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if p.closed.Load() {
+			return p.failErr()
+		}
+		if err = p.transport.Send(m); err == nil {
+			return nil
+		}
+		if attempt >= p.retryMax {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// context.Canceled (and an expired deadline) aborts the
+			// retry loop unretried: a canceled caller must never be held
+			// hostage by backoff sleeps.
+			return cerr
+		}
+		p.markDegraded()
+		p.c.sendRetries.Add(1)
+		time.Sleep(p.backoff(attempt))
+	}
+}
+
+// backoff returns the wait before retry attempt n: exponential from
+// RetryBase with deterministic decorrelated jitter in [step/2, step].
+// The jitter source is a splitmix64 hash of a per-peer sequence — no
+// global randomness, so runs with a fixed schedule stay reproducible.
+func (p *Peer) backoff(attempt int) time.Duration {
+	if attempt > 10 {
+		attempt = 10
+	}
+	step := p.retryBase << uint(attempt)
+	x := p.jitterSeq.Add(1) * 0x9E3779B97F4A7C15
+	x ^= x >> 31
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	half := uint64(step / 2)
+	return time.Duration(half + x%(half+1))
 }
 
 // netCost returns the simulated link time for a request/reply exchange.
@@ -489,9 +833,13 @@ func (p *Peer) flushReleases() {
 	m := &Message{ID: p.nextID.Add(1), Kind: MsgReleaseBatch, IDs: ids}
 	p.c.releaseBatchesSent.Add(1)
 	p.c.bytesSent.Add(m.wireBytes())
-	// Best effort: a lost batch leaks export pins, never corrupts.
-	//lint:allow rpcerr fire-and-forget release batch; recvLoop owns transport failure
-	_ = p.transport.Send(m)
+	// Retried with the same message ID on transient failure, so the
+	// receiver's dedupe window makes an "errored but delivered" send
+	// harmless: every decref applies exactly once. A batch that exhausts
+	// the retry budget is dropped — export pins leak, never corrupt.
+	if err := p.sendRetry(context.Background(), m); err != nil {
+		p.c.releasesDropped.Add(int64(len(ids)))
+	}
 }
 
 // Offload migrates all live local objects of the named classes to the
@@ -530,11 +878,72 @@ func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error
 	return len(batch), moved, nil
 }
 
-// Ping round-trips a null message (latency probe; the ad-hoc platform uses
-// it to rank candidate surrogates).
+// Ping round-trips a health probe (MsgPing → MsgPong; latency probe; the
+// ad-hoc platform uses it to rank candidate surrogates). Pings are
+// idempotent, so a failed round trip is retried up to the peer's retry
+// budget.
 func (p *Peer) Ping() error {
-	_, err := p.call(&Message{Kind: MsgPing})
+	return p.Probe(context.Background())
+}
+
+// Probe sends one health-check ping under ctx with idempotent retries.
+// Probe timeouts feed the same consecutive-timeout escalation as
+// ordinary calls, so repeated probing of a silently dead transport
+// eventually declares the peer disconnected.
+func (p *Peer) Probe(ctx context.Context) error {
+	_, err := p.retryIdempotent(ctx, func() *Message { return &Message{Kind: MsgPing} })
 	return err
+}
+
+// retryIdempotent reissues an idempotent request (ping, info) until it
+// succeeds or the retry budget runs out. Only safe for requests whose
+// re-execution is harmless — the reply may have been lost after the peer
+// executed an earlier copy. context.Canceled propagates unretried;
+// remote application errors and a closed peer end the loop immediately.
+func (p *Peer) retryIdempotent(ctx context.Context, mk func() *Message) (*Message, error) {
+	var reply *Message
+	var err error
+	for attempt := 0; attempt <= p.retryMax; attempt++ {
+		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				// context.Canceled is never retried.
+				return nil, cerr
+			}
+			time.Sleep(p.backoff(attempt - 1))
+		}
+		reply, err = p.Call(ctx, mk())
+		if err == nil {
+			return reply, nil
+		}
+		var rerr *RemoteError
+		if errors.Is(err, context.Canceled) || errors.As(err, &rerr) || p.closed.Load() {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// prober is the background health probe: one ping every interval,
+// bounded by the peer's CallTimeout. It keeps the state machine honest
+// while the application is idle — a silently dead transport accumulates
+// probe timeouts until DisconnectAfter escalates it.
+func (p *Peer) prober(interval time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if p.closed.Load() {
+				return
+			}
+			if _, err := p.Call(context.Background(), &Message{Kind: MsgPing}); err != nil {
+				p.logfSafe("remote: health probe failed: %v", err)
+			}
+		}
+	}
 }
 
 // PeerInfo describes the remote VM's resources (surrogate selection,
@@ -550,9 +959,12 @@ type PeerInfo struct {
 }
 
 // Info probes the peer's resources and measures the probe's round trip.
+// Info requests are read-only, hence idempotent and retried like pings;
+// the measured RTT includes any retry latency (a degraded link honestly
+// ranks worse).
 func (p *Peer) Info() (PeerInfo, error) {
 	start := p.now()
-	reply, err := p.call(&Message{Kind: MsgInfo})
+	reply, err := p.retryIdempotent(context.Background(), func() *Message { return &Message{Kind: MsgInfo} })
 	if err != nil {
 		return PeerInfo{}, err
 	}
@@ -597,7 +1009,9 @@ func (p *Peer) serve(m *Message) {
 		}
 		return // one-way
 	case MsgPing:
-		// empty reply
+		// A pong reply carries no payload; the distinct kind lets the
+		// prober (and wire traces) tell probe answers apart.
+		reply.Kind = MsgPong
 	case MsgInfo:
 		h := p.local.Heap()
 		reply.FreeBytes = h.Free

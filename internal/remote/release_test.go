@@ -219,47 +219,69 @@ func (f *flakyTransport) Send(m *Message) error {
 }
 
 // TestReleaseBatchTransportFailure pins the failure contract: a batch
-// lost to the transport leaks exactly its own pins — the decrefs it
-// carried are neither retried (no duplicate release) nor do they corrupt
-// neighbouring batches.
+// that hits a transient transport error is retried with the same message
+// ID, so the decrefs it carried apply exactly once — nothing leaks and
+// nothing double-releases. With retries disabled the pre-retry contract
+// still holds: the lost batch leaks exactly its own pins and the decrefs
+// it carried never corrupt neighbouring batches.
 func TestReleaseBatchTransportFailure(t *testing.T) {
 	const n, batch = 12, 4
-	reg := testRegistry(t)
-	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
-	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20, CPUSpeed: 3.5})
-	ta, tb := NewChannelPair()
-	flaky := &flakyTransport{Transport: ta, failKind: MsgReleaseBatch, failOn: 2}
-	pc := NewPeer(client, flaky, Options{Workers: 2, ReleaseBatchSize: batch, Now: fixedClock()})
-	ps := NewPeer(surrogate, tb, Options{Workers: 2})
-	t.Cleanup(func() { _ = pc.Close(); _ = ps.Close() })
+	run := func(t *testing.T, retryMax int) (*vm.VM, []vm.ObjectID, Stats) {
+		t.Helper()
+		reg := testRegistry(t)
+		client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+		surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20, CPUSpeed: 3.5})
+		ta, tb := NewChannelPair()
+		flaky := &flakyTransport{Transport: ta, failKind: MsgReleaseBatch, failOn: 2}
+		pc := NewPeer(client, flaky, Options{Workers: 2, ReleaseBatchSize: batch, Now: fixedClock(), RetryMax: retryMax})
+		ps := NewPeer(surrogate, tb, Options{Workers: 2})
+		t.Cleanup(func() { _ = pc.Close(); _ = ps.Close() })
 
-	objs, stubs := pinnedObjects(t, client, surrogate, pc, n)
-	for i := range stubs {
-		if err := client.FreeObject(stubs[i]); err != nil {
-			t.Fatalf("free stub %d: %v", i, err)
+		objs, stubs := pinnedObjects(t, client, surrogate, pc, n)
+		for i := range stubs {
+			if err := client.FreeObject(stubs[i]); err != nil {
+				t.Fatalf("free stub %d: %v", i, err)
+			}
 		}
-	}
-	if err := pc.Close(); err != nil {
-		t.Fatalf("close client peer: %v", err)
-	}
-	if err := ps.Close(); err != nil {
-		t.Fatalf("close surrogate peer: %v", err)
+		if err := pc.Close(); err != nil {
+			t.Fatalf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Fatalf("close surrogate peer: %v", err)
+		}
+		return surrogate, objs, ps.Stats()
 	}
 
-	// Frees run in order with a fixed clock, so batch boundaries are
-	// deterministic: [0..3] delivered, [4..7] dropped, [8..11] delivered.
-	if got := ps.Stats().ReleasesReceived; got != n-batch {
-		t.Errorf("surrogate ReleasesReceived = %d, want %d (one lost batch of %d)", got, n-batch, batch)
-	}
-	for i, obj := range objs {
-		want := int64(0)
-		if i >= 4 && i < 8 {
-			want = 1 // leaked by the dropped batch, never double-released
+	t.Run("retried", func(t *testing.T) {
+		surrogate, objs, st := run(t, 0) // default retry budget
+		if st.ReleasesReceived != n {
+			t.Errorf("surrogate ReleasesReceived = %d, want %d (retried batch redelivered)", st.ReleasesReceived, n)
 		}
-		if got := surrogate.ExportCount(obj); got != want {
-			t.Errorf("object %d export count = %d, want %d", i, got, want)
+		for i, obj := range objs {
+			if got := surrogate.ExportCount(obj); got != 0 {
+				t.Errorf("object %d export count = %d, want 0", i, got)
+			}
 		}
-	}
+	})
+
+	t.Run("retry-disabled", func(t *testing.T) {
+		// Frees run in order with a fixed clock, so batch boundaries are
+		// deterministic: [0..3] delivered, [4..7] dropped, [8..11]
+		// delivered.
+		surrogate, objs, st := run(t, -1)
+		if st.ReleasesReceived != n-batch {
+			t.Errorf("surrogate ReleasesReceived = %d, want %d (one lost batch of %d)", st.ReleasesReceived, n-batch, batch)
+		}
+		for i, obj := range objs {
+			want := int64(0)
+			if i >= 4 && i < 8 {
+				want = 1 // leaked by the dropped batch, never double-released
+			}
+			if got := surrogate.ExportCount(obj); got != want {
+				t.Errorf("object %d export count = %d, want %d", i, got, want)
+			}
+		}
+	})
 }
 
 // TestOrphanReplyCounted pins the recvLoop fix: a reply with no pending

@@ -1,0 +1,45 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFuzzSeeds rewrites the checked-in corpus seeds that are
+// derived from codecMessages(): one file per late-added message kind
+// plus a truncated frame. Guarded so a normal test run never touches
+// testdata; regenerate after a codec change with
+//
+//	AIDE_REGEN_SEEDS=1 go test -run TestRegenerateFuzzSeeds ./internal/remote
+func TestRegenerateFuzzSeeds(t *testing.T) {
+	if os.Getenv("AIDE_REGEN_SEEDS") == "" {
+		t.Skip("set AIDE_REGEN_SEEDS=1 to rewrite the fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzMessageRoundTrip")
+	write := func(name string, data []byte) {
+		t.Helper()
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var invoke []byte
+	for _, m := range codecMessages() {
+		buf := appendMessage(nil, m)
+		switch {
+		case m.Kind == MsgInvoke && !m.Reply && invoke == nil:
+			invoke = buf
+		case m.Kind == MsgPong:
+			write("seed-19-pong", buf)
+		case m.Kind == MsgReleaseBatch:
+			write("seed-20-release-batch", buf)
+		case m.Kind == MsgPing && !m.Reply:
+			write("seed-22-ping-request", buf)
+		}
+	}
+	// A mid-payload truncation: the decoder must reject it, and the
+	// fuzzer mutates outward from the cut point.
+	write("seed-21-truncated-invoke", invoke[:len(invoke)/2])
+}

@@ -7,6 +7,8 @@ import "fmt"
 // objects are intercepted and converted into RPCs).
 func (t *Thread) GetField(target ObjectID, field string) (Value, error) {
 	v := t.vm
+	retried := false
+retry:
 	v.mu.Lock()
 	o, ok := v.objects[target]
 	if !ok {
@@ -18,14 +20,25 @@ func (t *Thread) GetField(target ObjectID, field string) (Value, error) {
 	if o.Remote {
 		peer := v.peerAt(o.PeerIdx)
 		if peer == nil {
+			idx := o.PeerIdx
 			v.mu.Unlock()
-			return Nil(), fmt.Errorf("vm: get %s.%s: %w", to, field, ErrNotAttached)
+			err := v.peerSlotErr(idx)
+			if !retried && v.failoverIfGone(idx, err) {
+				retried = true
+				goto retry
+			}
+			return Nil(), fmt.Errorf("vm: get %s.%s: %w", to, field, err)
 		}
+		peerIdx := o.PeerIdx
 		peerID := o.PeerID
 		hooks := v.hooks
 		v.mu.Unlock()
 		val, err := peer.GetFieldRemote(peerID, field)
 		if err != nil {
+			if !retried && v.failoverIfGone(peerIdx, err) {
+				retried = true
+				goto retry
+			}
 			return Nil(), fmt.Errorf("vm: remote get %s.%s: %w", to, field, err)
 		}
 		v.mu.Lock()
@@ -59,6 +72,8 @@ func (t *Thread) GetField(target ObjectID, field string) (Value, error) {
 // is remote.
 func (t *Thread) SetField(target ObjectID, field string, val Value) error {
 	v := t.vm
+	retried := false
+retry:
 	v.mu.Lock()
 	o, ok := v.objects[target]
 	if !ok {
@@ -70,13 +85,24 @@ func (t *Thread) SetField(target ObjectID, field string, val Value) error {
 	if o.Remote {
 		peer := v.peerAt(o.PeerIdx)
 		if peer == nil {
+			idx := o.PeerIdx
 			v.mu.Unlock()
-			return fmt.Errorf("vm: set %s.%s: %w", to, field, ErrNotAttached)
+			err := v.peerSlotErr(idx)
+			if !retried && v.failoverIfGone(idx, err) {
+				retried = true
+				goto retry
+			}
+			return fmt.Errorf("vm: set %s.%s: %w", to, field, err)
 		}
+		peerIdx := o.PeerIdx
 		peerID := o.PeerID
 		hooks := v.hooks
 		v.mu.Unlock()
 		if err := peer.SetFieldRemote(peerID, field, val); err != nil {
+			if !retried && v.failoverIfGone(peerIdx, err) {
+				retried = true
+				goto retry
+			}
 			return fmt.Errorf("vm: remote set %s.%s: %w", to, field, err)
 		}
 		v.mu.Lock()

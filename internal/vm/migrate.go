@@ -208,6 +208,50 @@ func (v *VM) ConvertToStubs(peerIdx int, ids, peerIDs []ObjectID) error {
 	return nil
 }
 
+// ReclaimStubs re-materializes every stub hosted by the given peer as a
+// fresh local object: the fallback half of the migrate path, run when a
+// surrogate vanishes (paper §2: the client must keep running without the
+// surrogate). The remote copies are unrecoverable, so each object
+// restarts from zeroed fields with its remembered size; existing local
+// references stay valid because the stub upgrades in place, exactly like
+// AdoptMigration's stub upgrade. Pins the vanished peer held on local
+// objects are dropped when it was the only attached peer (they could
+// never be released now); with other peers still attached the pins are
+// left in place — a leak, never a corruption. Returns the number of
+// objects reclaimed.
+func (v *VM) ReclaimStubs(peerIdx int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, o := range v.objects {
+		if !o.Remote || o.PeerIdx != peerIdx {
+			continue
+		}
+		delete(v.imports, importKey{peer: peerIdx, id: o.PeerID})
+		o.Remote = false
+		o.Size = o.RemoteSize
+		o.PeerID = 0
+		o.PeerIdx = 0
+		o.RemoteSize = 0
+		o.Fields = make([]Value, len(o.Class.Fields))
+		v.liveBytes += o.Size
+		n++
+	}
+	sole := true
+	for i, p := range v.peers {
+		if i != peerIdx && p != nil {
+			sole = false
+			break
+		}
+	}
+	if sole {
+		for _, o := range v.objects {
+			o.exported = 0
+		}
+	}
+	return n
+}
+
 // Service entry points: the RPC worker pool calls these to execute requests
 // on behalf of the peer VM. The time spent serving is measured and rolled
 // back from this VM's clock — it is charged to the requesting VM via the

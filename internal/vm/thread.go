@@ -105,16 +105,25 @@ func (t *Thread) Free(id ObjectID) error { return t.vm.FreeObject(id) }
 // §3.2).
 func (t *Thread) Invoke(target ObjectID, method string, args ...Value) (Value, error) {
 	v := t.vm
-	v.mu.Lock()
-	o, ok := v.objects[target]
-	if !ok {
-		v.mu.Unlock()
-		return Nil(), fmt.Errorf("vm: invoke %s on #%d: %w", method, target, ErrNoSuchObject)
+	for retried := false; ; retried = true {
+		v.mu.Lock()
+		o, ok := v.objects[target]
+		if !ok {
+			v.mu.Unlock()
+			return Nil(), fmt.Errorf("vm: invoke %s on #%d: %w", method, target, ErrNoSuchObject)
+		}
+		if !o.Remote {
+			return v.invokeLocalLocked(o, method, args)
+		}
+		peerIdx := o.PeerIdx
+		ret, err := v.invokeRemoteLocked(o, method, args)
+		if err != nil && !retried && v.failoverIfGone(peerIdx, err) {
+			// The handler re-homed the peer's objects locally; the retry
+			// re-reads the object and executes on the reclaimed copy.
+			continue
+		}
+		return ret, err
 	}
-	if o.Remote {
-		return v.invokeRemoteLocked(o, method, args)
-	}
-	return v.invokeLocalLocked(o, method, args)
 }
 
 // invokeRemoteLocked forwards an invocation to the peer VM, releasing the
@@ -123,8 +132,10 @@ func (t *Thread) Invoke(target ObjectID, method string, args ...Value) (Value, e
 func (v *VM) invokeRemoteLocked(o *Object, method string, args []Value) (Value, error) {
 	peer := v.peerAt(o.PeerIdx)
 	if peer == nil {
+		idx := o.PeerIdx
+		callee := o.Class.Name
 		v.mu.Unlock()
-		return Nil(), fmt.Errorf("vm: invoke %s.%s: %w", o.Class.Name, method, ErrNotAttached)
+		return Nil(), fmt.Errorf("vm: invoke %s.%s: %w", callee, method, v.peerSlotErr(idx))
 	}
 	caller := v.currentClassLocked()
 	argBytes := WireSizeAll(args)

@@ -28,6 +28,12 @@ var (
 	// ErrNotAttached is returned when remote execution is required but no
 	// peer is attached.
 	ErrNotAttached = errors.New("vm: no remote peer attached")
+
+	// ErrPeerGone marks operations that failed because the hosting peer
+	// disconnected involuntarily (transport death, timeout storm). The
+	// remote module wraps its disconnect errors around this sentinel so
+	// the VM can fail the operation over to local execution.
+	ErrPeerGone = errors.New("vm: peer disconnected")
 )
 
 // Role distinguishes the client device VM from the surrogate server VM.
@@ -196,6 +202,11 @@ type VM struct {
 	// true retries the allocation (the AIDE platform offloads here).
 	pressure func(needed int64) bool
 
+	// failover is consulted when a remote operation fails with
+	// ErrPeerGone; returning true means the handler re-homed the peer's
+	// objects locally (ReclaimStubs) and the operation should be retried.
+	failover func(peerIdx int) bool
+
 	// statelessLocal enables the §5.2 enhancement: stateless native
 	// methods execute on the VM where they are invoked.
 	statelessLocal bool
@@ -261,6 +272,60 @@ func (v *VM) peerAt(idx int) Peer {
 		return nil
 	}
 	return v.peers[idx]
+}
+
+// DetachPeer removes the peer at idx from the peer table. The slot is
+// kept (nil) so later peers retain their indices; stubs still pointing
+// at the slot fail with ErrNotAttached until ReclaimStubs re-homes them.
+func (v *VM) DetachPeer(idx int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if idx >= 0 && idx < len(v.peers) {
+		v.peers[idx] = nil
+	}
+}
+
+// SetFailoverHandler installs the disconnect-failover hook: when a remote
+// operation fails because its hosting peer is gone (ErrPeerGone), the VM
+// invokes the handler with the peer's index and, if it reports success,
+// retries the operation — by then the handler must have re-homed the
+// affected objects locally (DetachPeer + ReclaimStubs). The handler runs
+// without the VM lock held and must be idempotent: concurrent failed
+// calls may each invoke it for the same peer.
+func (v *VM) SetFailoverHandler(f func(peerIdx int) bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.failover = f
+}
+
+// failoverIfGone reports whether the caller should retry an operation
+// that failed with err: true when err shows the hosting peer vanished
+// and the installed failover handler re-homed its objects. Called
+// without v.mu held.
+func (v *VM) failoverIfGone(peerIdx int, err error) bool {
+	if err == nil || !errors.Is(err, ErrPeerGone) {
+		return false
+	}
+	v.mu.Lock()
+	f := v.failover
+	v.mu.Unlock()
+	if f == nil {
+		return false
+	}
+	return f(peerIdx)
+}
+
+// peerSlotErr classifies a missing peer for a remote stub: a slot inside
+// the table that once held a peer (DetachPeer nils it in place) means the
+// peer disconnected — ErrPeerGone, eligible for disconnect failover —
+// while an index beyond the table means no peer was ever attached.
+func (v *VM) peerSlotErr(idx int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if idx >= 0 && idx < len(v.peers) {
+		return ErrPeerGone
+	}
+	return ErrNotAttached
 }
 
 // SetPressureHandler installs the memory-pressure handler consulted after a

@@ -1,0 +1,183 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// wireValues is one of each encodable kind, including both WireRef
+// localities and the nil-canonical blob form.
+func wireValues() []WireValue {
+	return []WireValue{
+		{Kind: KindNil},
+		{Kind: KindInt, I: 0},
+		{Kind: KindInt, I: -1},
+		{Kind: KindInt, I: 1 << 40},
+		{Kind: KindFloat, F: 3.25},
+		{Kind: KindFloat, F: -0.0},
+		{Kind: KindBool, B: true},
+		{Kind: KindBool, B: false},
+		{Kind: KindString, S: ""},
+		{Kind: KindString, S: "hello, wire"},
+		{Kind: KindBytes},
+		{Kind: KindBytes, Bytes: []byte{0, 1, 2, 0xFF}},
+		{Kind: KindRef, Ref: WireRef{ID: 7, Class: "Node"}},
+		{Kind: KindRef, Ref: WireRef{ID: -3, ReceiverLocal: true}},
+	}
+}
+
+func wireEq(a, b WireValue) bool {
+	if a.Kind != b.Kind || a.I != b.I || a.F != b.F || a.B != b.B || a.S != b.S {
+		return false
+	}
+	if len(a.Bytes) != len(b.Bytes) {
+		return false
+	}
+	for i := range a.Bytes {
+		if a.Bytes[i] != b.Bytes[i] {
+			return false
+		}
+	}
+	return a.Ref == b.Ref
+}
+
+func TestWireValueRoundTrip(t *testing.T) {
+	for _, w := range wireValues() {
+		buf := w.AppendWire(nil)
+		if len(buf) != w.WireLen() {
+			t.Errorf("%+v: encoded %d bytes, WireLen says %d", w, len(buf), w.WireLen())
+		}
+		// Trailing bytes must be left untouched for the next decoder.
+		got, rest, err := DecodeWireValue(append(buf, 0xAA))
+		if err != nil {
+			t.Errorf("%+v: decode: %v", w, err)
+			continue
+		}
+		if len(rest) != 1 || rest[0] != 0xAA {
+			t.Errorf("%+v: decoder consumed the wrong span, rest=%v", w, rest)
+		}
+		if !wireEq(got, w) {
+			t.Errorf("round trip changed %+v -> %+v", w, got)
+		}
+		// Re-encoding the decoded value is byte-identical (canonical form).
+		if again := got.AppendWire(nil); string(again) != string(buf) {
+			t.Errorf("%+v: re-encode differs: %v vs %v", w, again, buf)
+		}
+	}
+}
+
+func TestWireRefRoundTrip(t *testing.T) {
+	for _, r := range []WireRef{
+		{ID: 1, Class: "Doc"},
+		{ID: 123456, Class: ""},
+		{ID: 42, ReceiverLocal: true},
+		{ID: -9, ReceiverLocal: true},
+	} {
+		buf := r.AppendWire(nil)
+		if len(buf) != r.WireLen() {
+			t.Errorf("%+v: encoded %d bytes, WireLen says %d", r, len(buf), r.WireLen())
+		}
+		got, rest, err := DecodeWireRef(buf)
+		if err != nil || len(rest) != 0 {
+			t.Errorf("%+v: decode err=%v rest=%v", r, err, rest)
+			continue
+		}
+		if got != r {
+			t.Errorf("round trip changed %+v -> %+v", r, got)
+		}
+	}
+}
+
+func TestMigratedObjectRoundTrip(t *testing.T) {
+	m := MigratedObject{
+		SenderID: 17,
+		Class:    "Node",
+		Size:     4096,
+		Fields:   wireValues(),
+	}
+	buf := m.AppendWire(nil)
+	if len(buf) != m.WireLen() {
+		t.Fatalf("encoded %d bytes, WireLen says %d", len(buf), m.WireLen())
+	}
+	got, rest, err := DecodeMigratedObject(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode err=%v rest=%v", err, rest)
+	}
+	if got.SenderID != m.SenderID || got.Class != m.Class || got.Size != m.Size || len(got.Fields) != len(m.Fields) {
+		t.Fatalf("round trip changed header: %+v", got)
+	}
+	for i := range m.Fields {
+		if !wireEq(got.Fields[i], m.Fields[i]) {
+			t.Fatalf("field %d changed: %+v -> %+v", i, m.Fields[i], got.Fields[i])
+		}
+	}
+
+	// Fieldless objects canonicalize to a nil slice.
+	empty := MigratedObject{SenderID: 1, Class: "Keep", Size: 8}
+	got, _, err = DecodeMigratedObject(empty.AppendWire(nil))
+	if err != nil || got.Fields != nil {
+		t.Fatalf("empty object: err=%v fields=%v", err, got.Fields)
+	}
+}
+
+// TestWireDecodeTruncation feeds every decoder every strict prefix of a
+// valid encoding: all must error, none may panic or succeed.
+func TestWireDecodeTruncation(t *testing.T) {
+	m := MigratedObject{SenderID: 300, Class: "Node", Size: 1024, Fields: wireValues()}
+	full := m.AppendWire(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeMigratedObject(full[:cut]); err == nil {
+			t.Fatalf("DecodeMigratedObject accepted a %d/%d-byte prefix", cut, len(full))
+		}
+	}
+	for _, w := range wireValues() {
+		buf := w.AppendWire(nil)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeWireValue(buf[:cut]); err == nil {
+				t.Fatalf("DecodeWireValue accepted a %d/%d-byte prefix of %+v", cut, len(buf), w)
+			}
+		}
+	}
+	r := WireRef{ID: 99, Class: "Doc"}
+	buf := r.AppendWire(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeWireRef(buf[:cut]); err == nil {
+			t.Fatalf("DecodeWireRef accepted a %d/%d-byte prefix", cut, len(buf))
+		}
+	}
+}
+
+func TestWireDecodeMalformed(t *testing.T) {
+	// Unknown value kind.
+	if _, _, err := DecodeWireValue([]byte{0x7F}); err == nil || !strings.Contains(err.Error(), "unknown value kind") {
+		t.Fatalf("unknown kind: err = %v", err)
+	}
+	// Oversized uvarint (11 continuation bytes).
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+	if _, _, err := ReadUvarint(over); err == nil {
+		t.Fatal("oversized uvarint must error")
+	}
+	if _, _, err := ReadVarint(over); err == nil {
+		t.Fatal("oversized varint must error")
+	}
+	// String length past the end of the buffer.
+	if _, _, err := ReadString([]byte{0x05, 'a'}); err == nil {
+		t.Fatal("string length beyond buffer must error")
+	}
+	// Blob length past the end of the buffer.
+	if _, _, err := DecodeWireValue([]byte{byte(KindBytes), 0x05, 1}); err == nil {
+		t.Fatal("blob length beyond buffer must error")
+	}
+	// Field count past the end of the buffer: SenderID 0, empty class,
+	// size 0, then a huge count with no payload.
+	if _, _, err := DecodeMigratedObject([]byte{0x00, 0x00, 0x00, 0x40}); err == nil || !strings.Contains(err.Error(), "field count") {
+		t.Fatalf("oversized field count: err = %v", err)
+	}
+	// Varint sizes agree with the encoder for boundary values.
+	for _, x := range []int64{0, -1, 63, 64, -65, 1 << 20, -(1 << 40)} {
+		buf := (&WireValue{Kind: KindInt, I: x}).AppendWire(nil)
+		if len(buf) != 1+VarintSize(x) {
+			t.Fatalf("VarintSize(%d) = %d, encoder used %d", x, VarintSize(x), len(buf)-1)
+		}
+	}
+}

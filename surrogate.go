@@ -55,12 +55,41 @@ func (s *Surrogate) Heap() vm.HeapStats { return s.vm.Heap() }
 func (s *Surrogate) Clock() time.Duration { return s.vm.Clock() }
 
 // Serve attaches one client over the given transport. It returns
-// immediately; the connection is serviced by the peer's worker pool.
+// immediately; the connection is serviced by the peer's worker pool. A
+// client connection that fails (transport error, timeout escalation) is
+// reaped: dropped from the peer list, detached from the VM, and closed.
 func (s *Surrogate) Serve(t remote.Transport) {
-	p := remote.NewPeer(s.vm, t, remote.Options{Workers: s.opts.workers, Link: s.opts.link})
+	ro := s.opts.remoteOptions()
+	ro.OnDown = func(p *remote.Peer, cause error) {
+		_ = cause // the peer already logged it via Logf
+		// Reap asynchronously: OnDown runs on the peer's own receive
+		// loop, which Close joins.
+		go s.reap(p)
+	}
+	p := remote.NewPeer(s.vm, t, ro)
 	s.mu.Lock()
 	s.peers = append(s.peers, p)
 	s.mu.Unlock()
+}
+
+// reap removes a failed client connection. The client's objects adopted
+// by this surrogate stay in the heap (their owner may reattach; a real
+// deployment would lease them), but the stubs importing *client* objects
+// are orphaned, so the peer slot is detached to make them fail fast.
+func (s *Surrogate) reap(p *remote.Peer) {
+	s.mu.Lock()
+	for i, q := range s.peers {
+		if q == p {
+			s.peers = append(s.peers[:i], s.peers[i+1:]...)
+			break
+		}
+	}
+	logf := s.opts.logf
+	s.mu.Unlock()
+	s.vm.DetachPeer(p.VMIndex())
+	if err := p.Close(); err != nil && logf != nil {
+		logf("aide: surrogate reap client: %v", err)
+	}
 }
 
 // ListenAndServe accepts client connections on addr until Close. It
