@@ -116,6 +116,11 @@ type options struct {
 	probeInterval   time.Duration
 	disconnectCool  int
 	logf            func(format string, args ...any)
+
+	// Observability, from WithTelemetry. Both nil by default: every
+	// instrument the platform holds is then a nil-safe no-op.
+	telemetry *TelemetryRegistry
+	tracer    *Tracer
 }
 
 // remoteOptions maps the platform options onto the remote module's
@@ -130,6 +135,8 @@ func (o *options) remoteOptions() remote.Options {
 		DisconnectAfter: o.disconnectAfter,
 		ProbeInterval:   o.probeInterval,
 		Logf:            o.logf,
+		Telemetry:       o.telemetry,
+		Tracer:          o.tracer,
 	}
 }
 

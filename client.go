@@ -13,6 +13,7 @@ import (
 	"aide/internal/monitor"
 	"aide/internal/policy"
 	"aide/internal/remote"
+	"aide/internal/telemetry"
 	"aide/internal/vm"
 )
 
@@ -55,6 +56,11 @@ type Client struct {
 	vm  *vm.VM
 	mon *monitor.Monitor
 
+	// pm and tracer instrument the partitioning pipeline; both are
+	// nil-safe no-ops without WithTelemetry.
+	pm     platformMetrics
+	tracer *telemetry.Tracer
+
 	mu sync.Mutex
 	// peers is positional: a slot keeps its index for the life of the
 	// client because offloaded and the VM's stubs address surrogates by
@@ -84,11 +90,15 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 		opt(&o)
 	}
 	c := &Client{opts: o}
+	c.pm = newPlatformMetrics(o.telemetry)
+	c.tracer = o.tracer
 	c.vm = vm.New(reg, vm.Config{
 		Role:                vm.RoleClient,
 		HeapCapacity:        o.heap,
 		CPUSpeed:            o.cpuSpeed,
 		MonitorCostPerEvent: o.monCost,
+		Telemetry:           o.telemetry,
+		Tracer:              o.tracer,
 	})
 	c.vm.SetStatelessNativeLocal(o.stateless)
 	if o.monitor {
@@ -138,6 +148,10 @@ func (c *Client) Attach(t remote.Transport) error {
 	ro.OnDown = c.onPeerDown
 	p := remote.NewPeer(c.vm, t, ro)
 	c.peers = append(c.peers, p)
+	c.pm.attaches.Inc()
+	if c.tracer.Enabled() {
+		c.tracer.Emit(telemetry.Span{Kind: telemetry.SpanReattach, Peer: p.VMIndex()})
+	}
 	c.disc.Reset() // a fresh surrogate ends any post-disconnect cooldown
 	if c.mon != nil && !c.adaptive {
 		c.adaptive = true
@@ -216,6 +230,7 @@ func (c *Client) disconnectLocked(idx int) {
 		}
 	}
 	c.disconnects++
+	c.pm.disconnects.Inc()
 	c.disc.Fire()
 	logf := c.opts.logf
 	c.mu.Unlock()
@@ -330,6 +345,30 @@ func (c *Client) Rebalances() int {
 	return c.rebalances
 }
 
+// partition runs the modified MINCUT heuristic over a graph snapshot,
+// timing the run into the partition-runtime histogram when telemetry is
+// attached. A fresh Scratch per call keeps concurrent pipeline runs (GC
+// trigger vs. pressure handler) independent.
+func (c *Client) partition(g *graph.Graph) ([]mincut.Candidate, error) {
+	c.pm.partitions.Inc()
+	sc := &mincut.Scratch{}
+	if c.pm.partitionRuntime != nil {
+		sc.Clock = time.Now
+		sc.Runtime = c.pm.partitionRuntime
+	}
+	return sc.Candidates(sc.FromGraph(g, graph.BytesWeight))
+}
+
+// memoryPolicy builds the configured memory policy with decision-outcome
+// counters attached.
+func (c *Client) memoryPolicy() policy.MemoryPolicy {
+	return policy.MemoryPolicy{
+		MinFreeFraction: c.opts.params.MinFreeFraction,
+		Chosen:          c.pm.chosen,
+		Rejected:        c.pm.rejected,
+	}
+}
+
 // onPressure handles a failed post-GC allocation: offload or die.
 func (c *Client) onPressure(needed int64) bool {
 	_, err := c.Offload()
@@ -358,12 +397,17 @@ func (c *Client) Offload() (*OffloadReport, error) {
 		return nil, errors.New("aide: monitoring disabled; nothing to partition")
 	}
 
+	traced := c.tracer.Enabled()
+	var tStart time.Time
+	if traced {
+		tStart = time.Now()
+	}
 	g := c.mon.Graph()
-	cands, err := mincut.Candidates(mincut.FromGraph(g, graph.BytesWeight))
+	cands, err := c.partition(g)
 	if err != nil {
 		return nil, fmt.Errorf("aide: partition: %w", err)
 	}
-	mp := policy.MemoryPolicy{MinFreeFraction: c.opts.params.MinFreeFraction}
+	mp := c.memoryPolicy()
 	dec, err := mp.Choose(g, c.opts.heap, cands)
 	if err != nil {
 		// Hard fallback: when the heap is critically full, free whatever
@@ -428,6 +472,18 @@ func (c *Client) Offload() (*OffloadReport, error) {
 		c.offloaded[cls] = idx
 	}
 	c.mu.Unlock()
+	c.pm.offloads.Inc()
+	c.pm.offloadedBytes.Add(rep.Bytes)
+	if traced {
+		c.tracer.Emit(telemetry.Span{
+			Kind:  telemetry.SpanRepartition,
+			Note:  "offload",
+			N:     int64(rep.Objects),
+			Bytes: rep.Bytes,
+			Start: tStart,
+			Dur:   time.Since(tStart),
+		})
+	}
 	return &rep, nil
 }
 
@@ -582,14 +638,21 @@ func (c *Client) Rebalance() (*RebalanceReport, error) {
 		return nil, errors.New("aide: monitoring disabled; nothing to partition")
 	}
 
+	traced := c.tracer.Enabled()
+	var tStart time.Time
+	if traced {
+		tStart = time.Now()
+	}
+	c.pm.rebalances.Inc()
+
 	// Desired placement from a fresh snapshot. Memory annotations for
 	// offloaded classes live on the surrogate, so weigh the decision by
 	// the recorded (historical) graph, which still carries their totals.
 	g := c.mon.Graph()
 	desired := make(map[string]bool)
-	cands, err := mincut.Candidates(mincut.FromGraph(g, graph.BytesWeight))
+	cands, err := c.partition(g)
 	if err == nil {
-		mp := policy.MemoryPolicy{MinFreeFraction: c.opts.params.MinFreeFraction}
+		mp := c.memoryPolicy()
 		if dec, derr := mp.Choose(g, c.opts.heap, cands); derr == nil {
 			for _, n := range g.Nodes() {
 				if !dec.InClient[n.ID] {
@@ -655,6 +718,16 @@ func (c *Client) Rebalance() (*RebalanceReport, error) {
 			c.mu.Unlock()
 		}
 		c.vm.Collect()
+	}
+	if traced {
+		c.tracer.Emit(telemetry.Span{
+			Kind:  telemetry.SpanRepartition,
+			Note:  "rebalance",
+			N:     int64(len(rep.Offloaded) + len(rep.Recalled)),
+			Bytes: rep.BytesOut + rep.BytesIn,
+			Start: tStart,
+			Dur:   time.Since(tStart),
+		})
 	}
 	return rep, nil
 }

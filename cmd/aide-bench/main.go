@@ -16,7 +16,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry)")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
 	jsonPath := flag.String("json", "BENCH_sweeps.json", "file to write per-artifact wall-clock seconds into (empty disables)")
@@ -210,6 +210,10 @@ func run(full bool, only, dotDir string, parallel int, jsonPath string) error {
 		{"faults", func() error {
 			section("Extension: disconnection study", "graceful degradation to local execution when the surrogate vanishes (paper §2, §7)")
 			return faultsBench("BENCH_faults.json")
+		}},
+		{"telemetry", func() error {
+			section("Extension: telemetry overhead", "disabled instrumentation must cost ≤10 ns and 0 allocs per site")
+			return telemetryBench("BENCH_telemetry.json")
 		}},
 		{"energy", func() error {
 			section("Extension: client battery drain (paper §2/§8)",

@@ -11,23 +11,25 @@ import (
 
 	"aide"
 	"aide/internal/apps"
+	"aide/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7707", "surrogate address")
-		app    = flag.String("app", "JavaNote", "application to run")
-		heapMB = flag.Int("heap", 6, "client heap in MiB (JavaNote needs ~6.5 alone)")
-		local  = flag.Bool("local", false, "run without a surrogate (demonstrates the OOM failure)")
+		addr    = flag.String("addr", "127.0.0.1:7707", "surrogate address")
+		app     = flag.String("app", "JavaNote", "application to run")
+		heapMB  = flag.Int("heap", 6, "client heap in MiB (JavaNote needs ~6.5 alone)")
+		local   = flag.Bool("local", false, "run without a surrogate (demonstrates the OOM failure)")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /events, /healthz, /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *app, *heapMB, *local); err != nil {
+	if err := run(*addr, *app, *heapMB, *local, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, app string, heapMB int, local bool) error {
+func run(addr, app string, heapMB int, local bool, telAddr string) error {
 	spec, err := apps.ByName(app)
 	if err != nil {
 		return err
@@ -36,11 +38,28 @@ func run(addr, app string, heapMB int, local bool) error {
 	if err != nil {
 		return err
 	}
-	client := aide.NewClient(reg,
-		aide.WithHeap(int64(heapMB)<<20),
+	opts := []aide.Option{
+		aide.WithHeap(int64(heapMB) << 20),
 		aide.WithLink(aide.WaveLAN()),
-	)
+	}
+	var treg *aide.TelemetryRegistry
+	var tr *aide.Tracer
+	if telAddr != "" {
+		treg = aide.NewTelemetry()
+		tr = aide.NewTracer(1024)
+		tr.SetEnabled(true)
+		opts = append(opts, aide.WithTelemetry(treg, tr))
+	}
+	client := aide.NewClient(reg, opts...)
 	defer client.Close()
+	if telAddr != "" {
+		srv, err := telemetry.Serve(telAddr, telemetry.Handler(treg, tr, nil))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	if !local {
 		if err := client.AttachTCP(addr); err != nil {

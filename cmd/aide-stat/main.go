@@ -1,0 +1,189 @@
+// Command aide-stat scrapes a running AIDE process's telemetry endpoint
+// (see telemetry.Serve and the -telemetry flag of aide-surrogate /
+// aide-client) and pretty-prints the platform's health, metrics, and
+// recent offload events.
+//
+//	aide-stat -addr 127.0.0.1:7780            # health + metric families
+//	aide-stat -addr 127.0.0.1:7780 -events 20 # plus the last 20 spans
+//	aide-stat -addr 127.0.0.1:7780 -json      # raw snapshot JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"aide/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7780", "telemetry address to scrape")
+		events = flag.Int("events", 0, "also show the newest N offload events")
+		asJSON = flag.Bool("json", false, "dump the raw snapshot JSON instead of formatting")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *events, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-stat:", err)
+		os.Exit(1)
+	}
+}
+
+// run scrapes one endpoint and writes the report to w.
+func run(w io.Writer, addr string, events int, asJSON bool) error {
+	base := "http://" + addr
+	health := "ok"
+	if body, err := get(base + "/healthz"); err != nil {
+		health = err.Error()
+	} else {
+		health = strings.TrimSpace(body)
+	}
+
+	body, err := get(base + "/metrics.json")
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", addr, err)
+	}
+	if asJSON {
+		_, err := io.WriteString(w, body)
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		return fmt.Errorf("decode snapshot: %w", err)
+	}
+
+	fmt.Fprintf(w, "aide %s  health=%s  taken=%s\n\n", addr, health,
+		snap.TakenAt.Format(time.RFC3339))
+	printFamilies(w, snap.Families)
+
+	if events > 0 {
+		body, err := get(fmt.Sprintf("%s/events?limit=%d", base, events))
+		if err != nil {
+			return fmt.Errorf("scrape events: %w", err)
+		}
+		var spans []telemetry.Span
+		if err := json.Unmarshal([]byte(body), &spans); err != nil {
+			return fmt.Errorf("decode events: %w", err)
+		}
+		fmt.Fprintf(w, "\nevents (%d newest first):\n", len(spans))
+		for i := len(spans) - 1; i >= 0; i-- {
+			printSpan(w, spans[i])
+		}
+	}
+	return nil
+}
+
+func get(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+func printFamilies(w io.Writer, families []telemetry.FamilySnapshot) {
+	width := 0
+	for _, f := range families {
+		if len(f.Name) > width {
+			width = len(f.Name)
+		}
+	}
+	for _, f := range families {
+		switch f.Kind {
+		case telemetry.KindHistogram.String():
+			h := f.Histogram
+			if h == nil || h.Count == 0 {
+				fmt.Fprintf(w, "%-*s  (no observations)\n", width, f.Name)
+				continue
+			}
+			fmt.Fprintf(w, "%-*s  count=%d avg=%s p50=%s p99=%s\n", width, f.Name,
+				h.Count, formatUnit(h, avg(h)), formatUnit(h, quantile(h, 0.50)),
+				formatUnit(h, quantile(h, 0.99)))
+		default:
+			fmt.Fprintf(w, "%-*s  %d\n", width, f.Name, f.Value)
+		}
+	}
+}
+
+// avg returns the mean observation.
+func avg(h *telemetry.HistSnapshot) float64 {
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// quantile estimates the q-quantile from bucket counts, interpolating
+// linearly within the winning bucket (the standard Prometheus
+// histogram_quantile estimate). The overflow bucket reports its lower
+// bound.
+func quantile(h *telemetry.HistSnapshot, q float64) float64 {
+	rank := q * float64(h.Count)
+	var seen int64
+	for i, c := range h.Buckets {
+		if float64(seen+c) < rank {
+			seen += c
+			continue
+		}
+		if i >= len(h.Bounds) { // overflow bucket: unbounded above
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return float64(h.Bounds[len(h.Bounds)-1])
+		}
+		upper := float64(h.Bounds[i])
+		lower := 0.0
+		if i > 0 {
+			lower = float64(h.Bounds[i-1])
+		}
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(seen))/float64(c)
+	}
+	return 0
+}
+
+// formatUnit renders a bucket-space value in the histogram's unit.
+func formatUnit(h *telemetry.HistSnapshot, v float64) string {
+	if h.Unit == telemetry.UnitNanoseconds.String() {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func printSpan(w io.Writer, s telemetry.Span) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-11s", s.Kind)
+	if s.Note != "" {
+		fmt.Fprintf(&b, " %s", s.Note)
+	}
+	fmt.Fprintf(&b, " peer=%d", s.Peer)
+	if s.N != 0 {
+		fmt.Fprintf(&b, " n=%d", s.N)
+	}
+	if s.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", s.Bytes)
+	}
+	if s.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%s", s.Dur.Round(time.Microsecond))
+	}
+	if s.Err {
+		b.WriteString(" ERR")
+	}
+	if s.Parent != 0 {
+		fmt.Fprintf(&b, " parent=%d", s.Parent)
+	}
+	fmt.Fprintf(w, "%s\n", b.String())
+}

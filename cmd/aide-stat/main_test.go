@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/telemetry"
+)
+
+// statFixture builds a registry and tracer with known contents and
+// serves them the way a platform process would.
+func statFixture(t *testing.T) string {
+	t.Helper()
+	clock := func() time.Time { return time.Unix(1754000000, 0).UTC() }
+	reg := telemetry.NewWithClock(clock)
+	reg.Counter("aide_calls_total", "calls").Add(42)
+	reg.Gauge("aide_live_bytes", "live").Set(1 << 20)
+	h := reg.Histogram("aide_call_latency_seconds", "latency",
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+
+	tr := telemetry.NewTracerWithClock(8, clock)
+	tr.SetEnabled(true)
+	tr.Emit(telemetry.Span{Kind: telemetry.SpanRPC, Note: "invoke", Peer: 0, Dur: 3 * time.Millisecond})
+	tr.Emit(telemetry.Span{Kind: telemetry.SpanMigration, Note: "offload", Peer: 1, N: 7, Bytes: 4096})
+	tr.Emit(telemetry.Span{Kind: telemetry.SpanDisconnect, Note: "timeout", Peer: 1, Err: true})
+
+	srv := httptest.NewServer(telemetry.Handler(reg, tr, nil))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestRunFormatsMetricsAndEvents(t *testing.T) {
+	addr := statFixture(t)
+	var out strings.Builder
+	if err := run(&out, addr, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"health=ok",
+		"aide_calls_total",
+		"42",
+		"aide_live_bytes",
+		"aide_call_latency_seconds",
+		"count=4",
+		"p50=",
+		"events (2 newest first):",
+		"migration",
+		"disconnect",
+		"ERR",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// -events 2 must drop the oldest (rpc) span.
+	if strings.Contains(got, "rpc") {
+		t.Errorf("events limit not honored, oldest span present:\n%s", got)
+	}
+}
+
+func TestRunJSONDump(t *testing.T) {
+	addr := statFixture(t)
+	var out strings.Builder
+	if err := run(&out, addr, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("-json output is not a snapshot: %v", err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("got %d families, want 3", len(snap.Families))
+	}
+}
+
+func TestRunUnreachable(t *testing.T) {
+	var out strings.Builder
+	// Port 1 refuses: the scrape must fail loudly, not print garbage.
+	if err := run(&out, "127.0.0.1:1", 0, false); err == nil {
+		t.Fatal("scraping a dead endpoint must fail")
+	}
+}
+
+func TestQuantileEstimates(t *testing.T) {
+	h := &telemetry.HistSnapshot{
+		Unit:    telemetry.UnitCount.String(),
+		Bounds:  []int64{10, 20, 40},
+		Buckets: []int64{2, 2, 0, 0}, // 2 in (0,10], 2 in (10,20]
+		Count:   4,
+		Sum:     50,
+	}
+	if q := quantile(h, 0.5); q != 10 {
+		t.Errorf("p50 = %v, want the first bucket's upper bound 10", q)
+	}
+	if q := quantile(h, 1.0); q != 20 {
+		t.Errorf("p100 = %v, want 20", q)
+	}
+	over := &telemetry.HistSnapshot{
+		Unit:    telemetry.UnitCount.String(),
+		Bounds:  []int64{10},
+		Buckets: []int64{0, 5}, // everything overflowed
+		Count:   5,
+	}
+	if q := quantile(over, 0.5); q != 10 {
+		t.Errorf("overflow p50 = %v, want the last bound 10", q)
+	}
+}

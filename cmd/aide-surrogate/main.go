@@ -13,23 +13,25 @@ import (
 
 	"aide"
 	"aide/internal/apps"
+	"aide/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7707", "listen address")
-		app    = flag.String("app", "JavaNote", "application whose classes to serve (must match the client)")
-		heapMB = flag.Int("heap", 256, "surrogate heap in MiB")
-		speed  = flag.Float64("speed", 3.5, "surrogate CPU speed relative to the client")
+		addr    = flag.String("addr", "127.0.0.1:7707", "listen address")
+		app     = flag.String("app", "JavaNote", "application whose classes to serve (must match the client)")
+		heapMB  = flag.Int("heap", 256, "surrogate heap in MiB")
+		speed   = flag.Float64("speed", 3.5, "surrogate CPU speed relative to the client")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /events, /healthz, /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *app, *heapMB, *speed); err != nil {
+	if err := run(*addr, *app, *heapMB, *speed, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-surrogate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, app string, heapMB int, speed float64) error {
+func run(addr, app string, heapMB int, speed float64, telAddr string) error {
 	spec, err := apps.ByName(app)
 	if err != nil {
 		return err
@@ -39,10 +41,27 @@ func run(addr, app string, heapMB int, speed float64) error {
 	if err != nil {
 		return err
 	}
-	s := aide.NewSurrogate(reg,
-		aide.WithHeap(int64(heapMB)<<20),
+	opts := []aide.Option{
+		aide.WithHeap(int64(heapMB) << 20),
 		aide.WithCPUSpeed(speed),
-	)
+	}
+	var treg *aide.TelemetryRegistry
+	var tr *aide.Tracer
+	if telAddr != "" {
+		treg = aide.NewTelemetry()
+		tr = aide.NewTracer(1024)
+		tr.SetEnabled(true)
+		opts = append(opts, aide.WithTelemetry(treg, tr))
+	}
+	s := aide.NewSurrogate(reg, opts...)
+	if telAddr != "" {
+		srv, err := telemetry.Serve(telAddr, telemetry.Handler(treg, tr, nil))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	}
 	bound, err := s.ListenAndServe(addr)
 	if err != nil {
 		return err

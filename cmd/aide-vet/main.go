@@ -1,5 +1,5 @@
 // Command aide-vet runs AIDE's custom static-analysis suite: lockcheck,
-// detcheck, rpcerr, and gobwire (see internal/lint).
+// detcheck, rpcerr, gobwire, and telemetrycheck (see internal/lint).
 //
 // Standalone:
 //

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aide/internal/remote"
+	"aide/internal/telemetry"
 )
 
 // Kind enumerates the injectable faults.
@@ -103,6 +104,46 @@ type Profile struct {
 
 	// Script lists exact-send faults that override the random schedule.
 	Script []Action
+
+	// Telemetry, when non-nil, registers aide_faults_* counters mirroring
+	// Stats on the registry, so scraped metrics show which faults the
+	// injector actually delivered. Nil keeps the injector registry-free.
+	Telemetry *telemetry.Registry
+}
+
+// Injected-fault metric names.
+const (
+	metricFaultSends      = "aide_faults_sends_total"
+	metricFaultDropped    = "aide_faults_dropped_total"
+	metricFaultDelayed    = "aide_faults_delayed_total"
+	metricFaultDuplicated = "aide_faults_duplicated_total"
+	metricFaultCorrupted  = "aide_faults_corrupted_total"
+	metricFaultSwallowed  = "aide_faults_blackholed_total"
+)
+
+// faultMetrics mirrors Stats onto a telemetry registry. All fields are
+// nil-safe no-ops when no registry was configured.
+type faultMetrics struct {
+	sends      *telemetry.Counter
+	dropped    *telemetry.Counter
+	delayed    *telemetry.Counter
+	duplicated *telemetry.Counter
+	corrupted  *telemetry.Counter
+	swallowed  *telemetry.Counter
+}
+
+func newFaultMetrics(reg *telemetry.Registry) faultMetrics {
+	if reg == nil {
+		return faultMetrics{}
+	}
+	return faultMetrics{
+		sends:      reg.Counter(metricFaultSends, "Messages offered to the fault injector."),
+		dropped:    reg.Counter(metricFaultDropped, "Messages dropped by fault injection."),
+		delayed:    reg.Counter(metricFaultDelayed, "Messages delayed by fault injection."),
+		duplicated: reg.Counter(metricFaultDuplicated, "Messages duplicated by fault injection."),
+		corrupted:  reg.Counter(metricFaultCorrupted, "Messages corrupted by fault injection."),
+		swallowed:  reg.Counter(metricFaultSwallowed, "Messages silently swallowed by an injected blackhole."),
+	}
 }
 
 // Stats counts the faults an injector actually delivered.
@@ -147,6 +188,10 @@ type Transport struct {
 	closed    chan struct{}
 	delays    sync.WaitGroup
 
+	// tm mirrors the atomic counters below onto a telemetry registry when
+	// the profile carries one; every field is a nil-safe no-op otherwise.
+	tm faultMetrics
+
 	dropped    atomic.Int64
 	delayed    atomic.Int64
 	duplicated atomic.Int64
@@ -169,6 +214,7 @@ func Wrap(inner remote.Transport, prof Profile) *Transport {
 		prof:   prof,
 		rng:    rand.New(rand.NewSource(prof.Seed)),
 		closed: make(chan struct{}),
+		tm:     newFaultMetrics(prof.Telemetry),
 	}
 	if len(prof.Script) > 0 {
 		t.script = make(map[int64]Kind, len(prof.Script))
@@ -244,15 +290,18 @@ func (t *Transport) decide(n int64) Kind {
 func (t *Transport) Send(m *remote.Message) error {
 	if t.blackholed.Load() {
 		t.swallowed.Add(1)
+		t.tm.swallowed.Inc()
 		return nil
 	}
 	if t.severed.Load() {
 		return fmt.Errorf("%w: %w", remote.ErrClosed, ErrSevered)
 	}
 	n := t.sends.Add(1)
+	t.tm.sends.Inc()
 	switch t.decide(n) {
 	case Drop:
 		t.dropped.Add(1)
+		t.tm.dropped.Inc()
 		return fmt.Errorf("%w: send %d", ErrInjectedDrop, n)
 	case Corrupt:
 		return t.corrupt(m, n)
@@ -261,6 +310,7 @@ func (t *Transport) Send(m *remote.Message) error {
 			return err
 		}
 		t.duplicated.Add(1)
+		t.tm.duplicated.Inc()
 		return t.inner.Send(m)
 	case Delay:
 		return t.delay(m)
@@ -272,6 +322,7 @@ func (t *Transport) Send(m *remote.Message) error {
 	case Blackhole:
 		t.Blackhole()
 		t.swallowed.Add(1)
+		t.tm.swallowed.Inc()
 		return nil
 	}
 	return t.inner.Send(m)
@@ -295,6 +346,7 @@ func (t *Transport) corrupt(m *remote.Message, n int64) error {
 		_ = dm
 	}
 	t.corrupted.Add(1)
+	t.tm.corrupted.Inc()
 	return fmt.Errorf("%w: send %d", ErrInjectedCorrupt, n)
 }
 
@@ -313,6 +365,7 @@ func (t *Transport) delay(m *remote.Message) error {
 	}
 	t.mu.Unlock()
 	t.delayed.Add(1)
+	t.tm.delayed.Inc()
 	t.delays.Add(1)
 	go func() {
 		defer t.delays.Done()
@@ -330,6 +383,7 @@ func (t *Transport) delay(m *remote.Message) error {
 			// The transport died while the message was in flight; a real
 			// network loses it the same way.
 			t.dropped.Add(1)
+			t.tm.dropped.Inc()
 		}
 	}()
 	return nil
@@ -359,6 +413,7 @@ func (t *Transport) Recv() (*remote.Message, error) {
 		}
 		if t.blackholed.Load() {
 			t.swallowed.Add(1)
+			t.tm.swallowed.Inc()
 			continue
 		}
 		return m, nil

@@ -121,6 +121,14 @@ func TestGobWire(t *testing.T) {
 	runTestdata(t, GobWire, "gobwire_clean")
 }
 
+func TestTelemetryCheck(t *testing.T) {
+	runTestdata(t, TelemetryCheck, "telemetry_bad")
+	runTestdata(t, TelemetryCheck, "telemetry_clean")
+	// The stub telemetry package itself carries the no-wall-clock cases:
+	// its import path ends in internal/telemetry, so rule one applies.
+	runTestdata(t, TelemetryCheck, "internal/telemetry")
+}
+
 // TestAllowDirective pins the suppression contract: a directive covers
 // its own line and the next, only for the named analyzer, and a
 // directive without a reason is itself reported.
@@ -170,10 +178,11 @@ func TestForScoping(t *testing.T) {
 		pkg  string
 		want string
 	}{
-		{"aide/internal/remote", "lockcheck detcheck rpcerr gobwire"},
-		{"aide/internal/vm", "lockcheck rpcerr gobwire"},
-		{"aide/internal/emulator", "detcheck rpcerr gobwire"},
-		{"aide/internal/apps", "rpcerr gobwire"},
+		{"aide/internal/remote", "lockcheck detcheck rpcerr gobwire telemetrycheck"},
+		{"aide/internal/vm", "lockcheck rpcerr gobwire telemetrycheck"},
+		{"aide/internal/emulator", "detcheck rpcerr gobwire telemetrycheck"},
+		{"aide/internal/apps", "rpcerr gobwire telemetrycheck"},
+		{"aide/internal/telemetry", "lockcheck detcheck rpcerr gobwire telemetrycheck"},
 	}
 	for _, tc := range cases {
 		if got := strings.Join(names(tc.pkg), " "); got != tc.want {

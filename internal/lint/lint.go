@@ -164,20 +164,27 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{LockCheck, DetCheck, RPCErr, GobWire}
+	return []*Analyzer{LockCheck, DetCheck, RPCErr, GobWire, TelemetryCheck}
 }
 
 // scopes lists, per analyzer, the package-path suffixes it is scoped to
 // repo-wide. Analyzers absent from the map run everywhere.
 var scopes = map[string][]string{
 	// The monitor/partitioner and the remote module run under the VM's
-	// method-dispatch hooks, concurrently with the peer's worker pool.
-	LockCheck.Name: {"internal/remote", "internal/vm", "internal/monitor"},
+	// method-dispatch hooks, concurrently with the peer's worker pool;
+	// the telemetry instruments are read by scrapes concurrent with all
+	// of them.
+	LockCheck.Name: {
+		"internal/remote", "internal/vm", "internal/monitor",
+		"internal/telemetry",
+	},
 	// The deterministic replay paths: Figures 6-9 must reproduce
-	// bit-for-bit from a recorded trace.
+	// bit-for-bit from a recorded trace. The telemetry package rides
+	// along because snapshots and exposition must be stable run to run.
 	DetCheck.Name: {
 		"internal/emulator", "internal/mincut", "internal/policy",
 		"internal/trace", "internal/experiments", "internal/remote",
+		"internal/telemetry",
 	},
 }
 

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TelemetryCheck guards the observability subsystem's two contracts.
+//
+// First, the telemetry package itself must never read the wall clock:
+// every instrument and the tracer take an injectable `func() time.Time`,
+// which is what keeps fake-clock tests and deterministic replays exact.
+// A direct time.Now / time.Since / time.Until inside a package whose
+// import path ends in internal/telemetry is flagged.
+//
+// Second, repo-wide, every metric registered on a telemetry registry
+// must be named by a constant lowercase_snake string: constant so the
+// full metric inventory is greppable, lowercase_snake because that is
+// the Prometheus exposition convention the /metrics endpoint serves.
+// The first argument of Counter / Gauge / GaugeFunc / Histogram /
+// SizeHistogram calls on a telemetry-package receiver must therefore be
+// a string constant matching ^[a-z][a-z0-9_]*$.
+var TelemetryCheck = &Analyzer{
+	Name: "telemetrycheck",
+	Doc:  "forbid wall-clock reads inside internal/telemetry and non-constant or non-snake_case metric names at registration sites",
+	Run:  runTelemetryCheck,
+}
+
+// registerMethods are the Registry methods whose first argument is a
+// metric name.
+var registerMethods = map[string]bool{
+	"Counter":       true,
+	"Gauge":         true,
+	"GaugeFunc":     true,
+	"Histogram":     true,
+	"SizeHistogram": true,
+}
+
+func runTelemetryCheck(pass *Pass) error {
+	inTelemetry := strings.HasSuffix(pass.Pkg.Path(), "internal/telemetry")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if inTelemetry {
+				checkTelemetryClock(pass, call)
+			}
+			checkMetricName(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTelemetryClock flags direct wall-clock reads inside the telemetry
+// package itself.
+func checkTelemetryClock(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on time values are fine
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		pass.Reportf(call.Pos(),
+			"call to time.%s in the telemetry hot path; use the injected clock (the `now func() time.Time` field)",
+			fn.Name())
+	}
+}
+
+// checkMetricName enforces constant lowercase_snake metric names on
+// registry registration calls.
+func checkMetricName(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || !registerMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return // only Registry methods register named metrics
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to %s must be a constant string so the metric inventory is greppable",
+			fn.Name())
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !snakeMetricName(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q must be lowercase_snake (^[a-z][a-z0-9_]*$) for Prometheus exposition",
+			name)
+	}
+}
+
+// snakeMetricName reports whether name matches ^[a-z][a-z0-9_]*$.
+func snakeMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case i > 0 && (r == '_' || (r >= '0' && r <= '9')):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,24 @@
+// Package telemetry_bad registers metrics in every way telemetrycheck
+// forbids: non-constant names and names that are not lowercase_snake.
+package telemetry_bad
+
+import (
+	"time"
+
+	telemetry "aide/internal/lint/testdata/src/internal/telemetry"
+)
+
+const okName = "aide_ok_total"
+
+var runtimeName = "aide_runtime_total"
+
+func register(reg *telemetry.Registry, suffix string) {
+	reg.Counter(okName, "a constant snake_case name is fine")
+	reg.Counter(runtimeName, "h")                             // want `metric name passed to Counter must be a constant string`
+	reg.Counter("aide_"+suffix, "h")                          // want `metric name passed to Counter must be a constant string`
+	reg.Gauge("UpperCase", "h")                               // want `metric name "UpperCase" must be lowercase_snake`
+	reg.Gauge("aide-dashed-name", "h")                        // want `metric name "aide-dashed-name" must be lowercase_snake`
+	reg.GaugeFunc("9starts_with_digit", "h", nil)             // want `metric name "9starts_with_digit" must be lowercase_snake`
+	reg.Histogram("", "h", []time.Duration{time.Millisecond}) // want `metric name "" must be lowercase_snake`
+	reg.SizeHistogram("aide.dotted", "h", []int64{1})         // want `metric name "aide\.dotted" must be lowercase_snake`
+}

@@ -1,0 +1,31 @@
+// Package telemetry_clean registers metrics the sanctioned way: constant
+// lowercase_snake names, clocks injected as values. No diagnostics.
+package telemetry_clean
+
+import (
+	"time"
+
+	telemetry "aide/internal/lint/testdata/src/internal/telemetry"
+)
+
+const (
+	metricCalls   = "aide_calls_total"
+	metricLatency = "aide_call_latency_seconds"
+	metricLive    = "aide_live_bytes"
+	metricBatch   = "aide_batch_size"
+)
+
+func register(reg *telemetry.Registry) {
+	reg.Counter(metricCalls, "h")
+	reg.Gauge(metricLive, "h")
+	reg.GaugeFunc("aide_live_objects", "h", func() int64 { return 0 })
+	reg.Histogram(metricLatency, "h", []time.Duration{time.Millisecond})
+	reg.SizeHistogram(metricBatch, "h", []int64{1, 8})
+}
+
+// Outside internal/telemetry, wall-clock reads are this analyzer's
+// business only inside the telemetry package; this must stay clean.
+func stamp() time.Time { return time.Now() }
+
+// Same-named package-level function: no receiver, no name rule.
+func use() { telemetry.GaugeFunc("Whatever Goes Here") }

@@ -1,6 +1,11 @@
 package mincut
 
-import "aide/internal/graph"
+import (
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/telemetry"
+)
 
 // FromGraph converts an execution graph into a dense partitioning input
 // using the given edge-weight function. Node IDs map one-to-one onto vertex
@@ -62,6 +67,13 @@ func fillFromGraph(in *Input, g *graph.Graph, w graph.WeightFunc) {
 type Scratch struct {
 	in   Input
 	conn []float64
+
+	// Clock and Runtime, both set, time each Candidates run into the
+	// histogram (partition-runtime telemetry). Clock is injectable —
+	// never time.Now directly — so deterministic replays stay exact;
+	// leaving either nil keeps the heuristic free of clock reads.
+	Clock   func() time.Time
+	Runtime *telemetry.Histogram
 }
 
 // FromGraph is FromGraph reusing this scratch's buffers.
@@ -75,6 +87,12 @@ func (s *Scratch) FromGraph(g *graph.Graph, w graph.WeightFunc) Input {
 func (s *Scratch) Candidates(in Input) ([]Candidate, error) {
 	if len(s.conn) < in.N {
 		s.conn = make([]float64, in.N)
+	}
+	if s.Clock != nil && s.Runtime != nil {
+		start := s.Clock()
+		cands, err := candidates(in, s.conn[:in.N])
+		s.Runtime.Observe(s.Clock().Sub(start))
+		return cands, err
 	}
 	return candidates(in, s.conn[:in.N])
 }

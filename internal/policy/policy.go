@@ -19,6 +19,7 @@ import (
 	"aide/internal/graph"
 	"aide/internal/mincut"
 	"aide/internal/netmodel"
+	"aide/internal/telemetry"
 )
 
 // ErrNotBeneficial is returned when no candidate partitioning satisfies the
@@ -99,6 +100,12 @@ type MemoryPolicy struct {
 	// Weight is the cost function over edges. Nil defaults to
 	// graph.BytesWeight, the paper's cost function.
 	Weight graph.WeightFunc
+
+	// Chosen and Rejected, when non-nil, count decision outcomes: Chosen
+	// increments when a candidate is accepted, Rejected when every
+	// candidate fails the policy (ErrNotBeneficial). Nil-safe no-ops
+	// otherwise, so the deterministic replay paths are unaffected.
+	Chosen, Rejected *telemetry.Counter
 }
 
 // Choose evaluates the candidates against the policy. heapCapacity is the
@@ -121,8 +128,10 @@ func (p MemoryPolicy) Choose(g *graph.Graph, heapCapacity int64, cands []mincut.
 		}
 	}
 	if !found {
+		p.Rejected.Inc()
 		return Decision{}, ErrNotBeneficial
 	}
+	p.Chosen.Inc()
 	return best, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aide/internal/netmodel"
+	"aide/internal/telemetry"
 	"aide/internal/vm"
 )
 
@@ -51,25 +52,6 @@ func (s *pendingShard) sweep() {
 		delete(s.m, id)
 	}
 	s.mu.Unlock()
-}
-
-// counters is the peer's wire accounting, all atomic so the RPC fast
-// path never serializes on a stats lock.
-type counters struct {
-	requestsSent       atomic.Int64
-	requestsServed     atomic.Int64
-	bytesSent          atomic.Int64
-	bytesReceived      atomic.Int64
-	objectsMigrated    atomic.Int64
-	migrationBytes     atomic.Int64
-	releasesSent       atomic.Int64
-	releasesReceived   atomic.Int64
-	releaseBatchesSent atomic.Int64
-	orphanReplies      atomic.Int64
-	sendRetries        atomic.Int64
-	callTimeouts       atomic.Int64
-	duplicatesDropped  atomic.Int64
-	releasesDropped    atomic.Int64
 }
 
 // State is the connection-health state machine: healthy until a send
@@ -203,7 +185,16 @@ type Peer struct {
 	// release decrefs apply exactly once.
 	dedupe *dedupeWindow
 
-	c counters
+	// m holds the wire accounting as telemetry instruments (atomic on
+	// the fast path, like the counters struct it replaced); tracer
+	// records offload-event spans when enabled. mnow is the metrics
+	// clock — always the wall clock, deliberately separate from the
+	// injectable now so latency measurement never consumes fake-clock
+	// readings, and only consulted when the latency histogram exists
+	// or the tracer is on.
+	m      *peerMetrics
+	tracer *telemetry.Tracer
+	mnow   func() time.Time
 }
 
 var _ vm.Peer = (*Peer)(nil)
@@ -303,6 +294,17 @@ type Options struct {
 	// call p.Close directly (Close waits for that same goroutine —
 	// spawn it).
 	OnDown func(p *Peer, cause error)
+
+	// Telemetry, when set, registers this peer's wire counters plus a
+	// call-latency and release-batch-size histogram in the registry
+	// (each peer a child; exposition sums them). Nil keeps the counters
+	// standalone — Stats() works either way — and skips the histograms,
+	// leaving the call path free of wall-clock reads.
+	Telemetry *telemetry.Registry
+
+	// Tracer, when set and enabled, receives structured offload-event
+	// spans (RPC calls, migrations, disconnects, orphan replies).
+	Tracer *telemetry.Tracer
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -327,6 +329,9 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		logf:            opts.Logf,
 		onDown:          opts.OnDown,
 		stop:            make(chan struct{}),
+		m:               newPeerMetrics(opts.Telemetry),
+		tracer:          opts.Tracer,
+		mnow:            time.Now,
 	}
 	if p.now == nil {
 		p.now = time.Now
@@ -397,6 +402,10 @@ func (p *Peer) fail(cause error) bool {
 		p.shards[i].sweep()
 	}
 	if errors.Is(cause, ErrDisconnected) {
+		p.m.disconnected.Inc()
+		if p.tracer.Enabled() {
+			p.tracer.Emit(telemetry.Span{Kind: telemetry.SpanDisconnect, Peer: p.idx, Note: cause.Error(), Err: true})
+		}
 		p.logfSafe("remote: peer disconnected: %v", cause)
 		if p.onDown != nil {
 			p.onDown(p, cause)
@@ -426,14 +435,18 @@ func (p *Peer) State() State {
 
 // markDegraded downgrades a healthy connection (send retry, timeout).
 func (p *Peer) markDegraded() {
-	p.state.CompareAndSwap(int32(StateHealthy), int32(StateDegraded))
+	if p.state.CompareAndSwap(int32(StateHealthy), int32(StateDegraded)) {
+		p.m.degraded.Inc()
+	}
 }
 
 // noteReplyOK records a clean round trip: the timeout streak resets and
 // a degraded connection heals.
 func (p *Peer) noteReplyOK() {
 	p.consecTimeouts.Store(0)
-	p.state.CompareAndSwap(int32(StateDegraded), int32(StateHealthy))
+	if p.state.CompareAndSwap(int32(StateDegraded), int32(StateHealthy)) {
+		p.m.healed.Inc()
+	}
 }
 
 // failErr returns the recorded close cause.
@@ -463,23 +476,25 @@ func (p *Peer) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of wire counters.
+// Stats returns a snapshot of wire counters. It is a shim over this
+// peer's telemetry instruments: the same atomics feed the process-wide
+// registry (when one is wired) and this per-peer read-back.
 func (p *Peer) Stats() Stats {
 	return Stats{
-		RequestsSent:       p.c.requestsSent.Load(),
-		RequestsServed:     p.c.requestsServed.Load(),
-		BytesSent:          p.c.bytesSent.Load(),
-		BytesReceived:      p.c.bytesReceived.Load(),
-		ObjectsMigrated:    p.c.objectsMigrated.Load(),
-		MigrationBytes:     p.c.migrationBytes.Load(),
-		ReleasesSent:       p.c.releasesSent.Load(),
-		ReleasesReceived:   p.c.releasesReceived.Load(),
-		ReleaseBatchesSent: p.c.releaseBatchesSent.Load(),
-		OrphanReplies:      p.c.orphanReplies.Load(),
-		SendRetries:        p.c.sendRetries.Load(),
-		CallTimeouts:       p.c.callTimeouts.Load(),
-		DuplicatesDropped:  p.c.duplicatesDropped.Load(),
-		ReleasesDropped:    p.c.releasesDropped.Load(),
+		RequestsSent:       p.m.requestsSent.Value(),
+		RequestsServed:     p.m.requestsServed.Value(),
+		BytesSent:          p.m.bytesSent.Value(),
+		BytesReceived:      p.m.bytesReceived.Value(),
+		ObjectsMigrated:    p.m.objectsMigrated.Value(),
+		MigrationBytes:     p.m.migrationBytes.Value(),
+		ReleasesSent:       p.m.releasesSent.Value(),
+		ReleasesReceived:   p.m.releasesReceived.Value(),
+		ReleaseBatchesSent: p.m.releaseBatchesSent.Value(),
+		OrphanReplies:      p.m.orphanReplies.Value(),
+		SendRetries:        p.m.sendRetries.Value(),
+		CallTimeouts:       p.m.callTimeouts.Value(),
+		DuplicatesDropped:  p.m.duplicatesDropped.Value(),
+		ReleasesDropped:    p.m.releasesDropped.Value(),
 	}
 }
 
@@ -507,7 +522,7 @@ func (p *Peer) recvLoop() {
 			p.fail(fmt.Errorf("%w: %v", ErrDisconnected, err))
 			return
 		}
-		p.c.bytesReceived.Add(m.wireBytes())
+		p.m.bytesReceived.Add(m.wireBytes())
 		if m.Reply {
 			if ch, ok := p.shardFor(m.ID).take(m.ID); ok {
 				ch <- m
@@ -516,7 +531,10 @@ func (p *Peer) recvLoop() {
 				// peer protocol bug. Count every one; record and log the
 				// first only — the guard is per peer, not per shard, so
 				// orphans spread across shards still log once.
-				p.c.orphanReplies.Add(1)
+				p.m.orphanReplies.Inc()
+				if p.tracer.Enabled() {
+					p.tracer.Emit(telemetry.Span{Kind: telemetry.SpanOrphan, Peer: p.idx, Note: m.Kind.String(), N: int64(m.ID)})
+				}
 				p.orphanOnce.Do(func() {
 					e := fmt.Errorf("remote: orphan %s reply id=%d (no pending waiter)", m.Kind, m.ID)
 					p.orphanE.Store(e)
@@ -529,7 +547,7 @@ func (p *Peer) recvLoop() {
 		// fault, or a send retry whose first copy did arrive) is dropped
 		// before it reaches the worker pool.
 		if p.dedupe != nil && m.ID != 0 && !p.dedupe.firstTime(m.ID) {
-			p.c.duplicatesDropped.Add(1)
+			p.m.duplicatesDropped.Inc()
 			continue
 		}
 		// Forward even when the peer is closing: Close waits for the
@@ -561,7 +579,38 @@ func (p *Peer) call(m *Message) (*Message, error) {
 // failed send never reached the peer. A call abandoned at its deadline
 // marks the connection degraded; Options.DisconnectAfter consecutive
 // timeouts escalate to a full disconnect.
+//
+// With telemetry wired the round trip lands in the call-latency
+// histogram and, when the tracer is on, an rpc span (parent-linked via
+// telemetry.WithSpan on ctx). Without it, this wrapper adds one nil
+// check and no clock reads.
 func (p *Peer) Call(ctx context.Context, m *Message) (*Message, error) {
+	lat := p.m.callLatency
+	traced := p.tracer.Enabled()
+	if lat == nil && !traced {
+		return p.doCall(ctx, m)
+	}
+	start := p.mnow()
+	reply, err := p.doCall(ctx, m)
+	d := p.mnow().Sub(start)
+	lat.Observe(d)
+	if traced {
+		p.tracer.Emit(telemetry.Span{
+			Parent: telemetry.SpanFrom(ctx),
+			Kind:   telemetry.SpanRPC,
+			Note:   m.Kind.String(),
+			Peer:   p.idx,
+			Bytes:  m.wireBytes(),
+			Err:    err != nil,
+			Start:  start,
+			Dur:    d,
+		})
+	}
+	return reply, err
+}
+
+// doCall is Call without the instrumentation wrapper.
+func (p *Peer) doCall(ctx context.Context, m *Message) (*Message, error) {
 	p.flushReleases()
 	if p.closed.Load() {
 		return nil, p.failErr()
@@ -577,8 +626,8 @@ func (p *Peer) Call(ctx context.Context, m *Message) (*Message, error) {
 		sh.take(id)
 		return nil, p.failErr()
 	}
-	p.c.requestsSent.Add(1)
-	p.c.bytesSent.Add(m.wireBytes())
+	p.m.requestsSent.Inc()
+	p.m.bytesSent.Add(m.wireBytes())
 
 	if err := p.sendRetry(ctx, m); err != nil {
 		sh.take(id)
@@ -598,7 +647,7 @@ func (p *Peer) Call(ctx context.Context, m *Message) (*Message, error) {
 		if reply, ok, raced := p.raceReply(id, sh, ch); raced {
 			return p.finishCall(m, reply, ok)
 		}
-		p.c.callTimeouts.Add(1)
+		p.m.callTimeouts.Inc()
 		p.markDegraded()
 		n := p.consecTimeouts.Add(1)
 		if p.disconnectAfter > 0 && n >= p.disconnectAfter {
@@ -668,7 +717,7 @@ func (p *Peer) sendRetry(ctx context.Context, m *Message) error {
 			return cerr
 		}
 		p.markDegraded()
-		p.c.sendRetries.Add(1)
+		p.m.sendRetries.Inc()
 		time.Sleep(p.backoff(attempt))
 	}
 }
@@ -805,7 +854,7 @@ func (p *Peer) Release(peerObj vm.ObjectID) {
 	if p.closed.Load() {
 		return
 	}
-	p.c.releasesSent.Add(1)
+	p.m.releasesSent.Inc()
 	t := p.now()
 	p.relMu.Lock()
 	if len(p.relBuf) == 0 {
@@ -831,22 +880,38 @@ func (p *Peer) flushReleases() {
 		return
 	}
 	m := &Message{ID: p.nextID.Add(1), Kind: MsgReleaseBatch, IDs: ids}
-	p.c.releaseBatchesSent.Add(1)
-	p.c.bytesSent.Add(m.wireBytes())
+	p.m.releaseBatchesSent.Inc()
+	p.m.releaseBatch.ObserveInt(int64(len(ids)))
+	p.m.bytesSent.Add(m.wireBytes())
 	// Retried with the same message ID on transient failure, so the
 	// receiver's dedupe window makes an "errored but delivered" send
 	// harmless: every decref applies exactly once. A batch that exhausts
 	// the retry budget is dropped — export pins leak, never corrupt.
 	if err := p.sendRetry(context.Background(), m); err != nil {
-		p.c.releasesDropped.Add(int64(len(ids)))
+		p.m.releasesDropped.Add(int64(len(ids)))
 	}
 }
 
 // Offload migrates all live local objects of the named classes to the
 // peer, converting the local copies to stubs. It returns the number of
 // objects and payload bytes moved and charges the transfer to the
-// simulated clock when a link model is attached.
+// simulated clock when a link model is attached. With the tracer on it
+// emits a migration span whose ID parents the underlying RPC span.
 func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error) {
+	if !p.tracer.Enabled() {
+		return p.offload(context.Background(), classNames)
+	}
+	sid := p.tracer.NextID()
+	start := p.mnow()
+	objects, bytes, err = p.offload(telemetry.WithSpan(context.Background(), sid), classNames)
+	p.tracer.Emit(telemetry.Span{
+		ID: sid, Kind: telemetry.SpanMigration, Note: "offload", Peer: p.idx,
+		N: int64(objects), Bytes: bytes, Err: err != nil, Start: start, Dur: p.mnow().Sub(start),
+	})
+	return objects, bytes, err
+}
+
+func (p *Peer) offload(ctx context.Context, classNames []string) (objects int, bytes int64, err error) {
 	batch, err := p.local.ExtractMigration(classNames)
 	if err != nil {
 		return 0, 0, fmt.Errorf("remote: offload: %w", err)
@@ -855,7 +920,7 @@ func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error
 		return 0, 0, nil
 	}
 	req := &Message{Kind: MsgMigrate, Batch: batch}
-	reply, err := p.call(req)
+	reply, err := p.Call(ctx, req)
 	if err != nil {
 		return 0, 0, fmt.Errorf("remote: offload: %w", err)
 	}
@@ -873,8 +938,8 @@ func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error
 	if p.link != nil {
 		p.local.AdvanceClock(p.link.Transfer(moved, 1400))
 	}
-	p.c.objectsMigrated.Add(int64(len(batch)))
-	p.c.migrationBytes.Add(moved)
+	p.m.objectsMigrated.Add(int64(len(batch)))
+	p.m.migrationBytes.Add(moved)
 	return len(batch), moved, nil
 }
 
@@ -982,7 +1047,21 @@ func (p *Peer) Info() (PeerInfo, error) {
 // device"). Stubs this VM already holds upgrade in place, so references
 // stay valid.
 func (p *Peer) Recall(classNames []string) (objects int, bytes int64, err error) {
-	reply, err := p.call(&Message{Kind: MsgRecall, Classes: classNames})
+	if !p.tracer.Enabled() {
+		return p.recall(context.Background(), classNames)
+	}
+	sid := p.tracer.NextID()
+	start := p.mnow()
+	objects, bytes, err = p.recall(telemetry.WithSpan(context.Background(), sid), classNames)
+	p.tracer.Emit(telemetry.Span{
+		ID: sid, Kind: telemetry.SpanMigration, Note: "recall", Peer: p.idx,
+		N: int64(objects), Bytes: bytes, Err: err != nil, Start: start, Dur: p.mnow().Sub(start),
+	})
+	return objects, bytes, err
+}
+
+func (p *Peer) recall(ctx context.Context, classNames []string) (objects int, bytes int64, err error) {
+	reply, err := p.Call(ctx, &Message{Kind: MsgRecall, Classes: classNames})
 	if err != nil {
 		return 0, 0, fmt.Errorf("remote: recall: %w", err)
 	}
@@ -994,16 +1073,16 @@ func (p *Peer) Recall(classNames []string) (objects int, bytes int64, err error)
 
 // serve executes one incoming request and replies.
 func (p *Peer) serve(m *Message) {
-	p.c.requestsServed.Add(1)
+	p.m.requestsServed.Inc()
 
 	reply := &Message{ID: m.ID, Reply: true, Kind: m.Kind}
 	switch m.Kind {
 	case MsgRelease:
-		p.c.releasesReceived.Add(1)
+		p.m.releasesReceived.Inc()
 		p.local.ReleaseExport(m.Obj)
 		return // one-way
 	case MsgReleaseBatch:
-		p.c.releasesReceived.Add(int64(len(m.IDs)))
+		p.m.releasesReceived.Add(int64(len(m.IDs)))
 		for _, id := range m.IDs {
 			p.local.ReleaseExport(id)
 		}
@@ -1110,7 +1189,10 @@ func (p *Peer) serve(m *Message) {
 			break
 		}
 		reply.IDs = ids
-		p.c.objectsMigrated.Add(int64(len(m.Batch)))
+		p.m.objectsMigrated.Add(int64(len(m.Batch)))
+		if p.tracer.Enabled() {
+			p.tracer.Emit(telemetry.Span{Kind: telemetry.SpanMigration, Note: "adopt", Peer: p.idx, N: int64(len(m.Batch))})
+		}
 	default:
 		reply.Err = fmt.Sprintf("unknown request kind %d", m.Kind)
 	}
@@ -1118,7 +1200,7 @@ func (p *Peer) serve(m *Message) {
 	if p.closed.Load() {
 		return
 	}
-	p.c.bytesSent.Add(reply.wireBytes())
+	p.m.bytesSent.Add(reply.wireBytes())
 	if err := p.transport.Send(reply); err != nil {
 		// The connection is gone; recvLoop will observe and shut down.
 		return

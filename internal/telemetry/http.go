@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the telemetry surface:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  Snapshot as JSON
+//	/events        retained tracer spans as JSON (?limit=N newest)
+//	/healthz       200 "ok" or 503 with the health error
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// healthz is optional; with nil the endpoint always reports healthy.
+// pprof is served on this mux explicitly so nothing leaks onto
+// http.DefaultServeMux.
+func Handler(reg *Registry, tr *Tracer, healthz func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			return // client went away mid-scrape; nothing to clean up
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		events := tr.Events()
+		if s := req.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		buf, err := json.MarshalIndent(events, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := w.Write(append(buf, '\n')); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry HTTP listener. Close shuts it down.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	errc chan error
+}
+
+// Serve starts serving h on addr (use ":0" or "127.0.0.1:0" for an
+// ephemeral port) and returns once the listener is bound.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, errc: make(chan error, 1)}
+	go func() { s.errc <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if err := s.srv.Close(); err != nil {
+		return err
+	}
+	if err := <-s.errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. All methods are nil-safe
+// no-ops so a disabled counter is simply a nil pointer; a live counter
+// update is one atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// NewCounter builds a standalone (unregistered) counter. Layers that
+// must keep counting even when telemetry is off — remote.Peer's Stats
+// shim — fall back to standalone instruments.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// NewGauge builds a standalone (unregistered) gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistUnit says what a histogram's observations measure; it selects how
+// bucket bounds render in the Prometheus exposition.
+type HistUnit uint8
+
+const (
+	// UnitNanoseconds marks a latency histogram; bounds are exposed in
+	// seconds per the Prometheus convention.
+	UnitNanoseconds HistUnit = iota
+	// UnitCount marks a dimensionless histogram (batch sizes, object
+	// counts); bounds are exposed verbatim.
+	UnitCount
+)
+
+// String names the unit as it appears in JSON snapshots.
+func (u HistUnit) String() string {
+	if u == UnitCount {
+		return "count"
+	}
+	return "ns"
+}
+
+// Histogram counts observations into fixed buckets with ascending upper
+// bounds plus one overflow bucket. Observation is two atomic adds after
+// a binary search over ~20 bounds; no locks, no allocation.
+type Histogram struct {
+	unit    HistUnit
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum     atomic.Int64
+}
+
+func newHistogram(unit HistUnit, bounds []int64) *Histogram {
+	return &Histogram{unit: unit, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// NewHistogram builds a standalone duration histogram. Bounds must be
+// strictly ascending; a malformed set degrades to a single overflow
+// bucket (sum and count still work) rather than panicking.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	b := make([]int64, len(bounds))
+	for i, d := range bounds {
+		b[i] = int64(d)
+	}
+	if !ascending(b) {
+		b = nil
+	}
+	return newHistogram(UnitNanoseconds, b)
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveInt(int64(d)) }
+
+// ObserveInt records a raw observation in the histogram's unit
+// (nanoseconds for latency histograms, a count for size histograms).
+func (h *Histogram) ObserveInt(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; misses land in +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time histogram state. Count is derived
+// from the bucket sums, so Count == Σ Buckets always holds even for a
+// snapshot taken concurrently with observations.
+type HistSnapshot struct {
+	Unit    string  `json:"unit"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
+// accumulate folds this histogram's buckets and sum into hs. The
+// snapshot's bounds govern; a child with mismatched bounds cannot be
+// registered (the registry rejects it), so indexes line up.
+func (h *Histogram) accumulate(hs *HistSnapshot) {
+	for i := range h.buckets {
+		if i < len(hs.Buckets) {
+			hs.Buckets[i] += h.buckets[i].Load()
+		}
+	}
+	hs.Sum += h.sum.Load()
+}
+
+// Snapshot captures this single histogram (standalone use; registered
+// histograms are aggregated by Registry.Snapshot).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	hs := HistSnapshot{Unit: h.unit.String(), Bounds: h.bounds, Buckets: make([]int64, len(h.buckets))}
+	h.accumulate(&hs)
+	for _, b := range hs.Buckets {
+		hs.Count += b
+	}
+	return hs
+}
+
+// DefaultLatencyBuckets spans 1µs to 5s in a 1-2-5 progression — wide
+// enough for in-process RPC (µs) through WAN retries (seconds).
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+		10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second, 2 * time.Second, 5 * time.Second,
+	}
+}
+
+// DefaultSizeBuckets is a power-of-two ladder for batch/object-count
+// histograms (1 to 4096).
+func DefaultSizeBuckets() []int64 {
+	return []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp quotes backslashes and newlines per the Prometheus text
+// exposition rules for HELP lines.
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, histogram buckets
+// cumulative with an explicit +Inf bucket. Deterministic for a given
+// registry state.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, f := range r.Snapshot().Families {
+		if f.Help != "" {
+			fmt.Fprintf(&buf, "# HELP %s %s\n", f.Name, escapeHelp.Replace(f.Help))
+		}
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.Name, f.Kind)
+		h := f.Histogram
+		if h == nil {
+			fmt.Fprintf(&buf, "%s %d\n", f.Name, f.Value)
+			continue
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			le := promFloat(float64(bound))
+			if h.Unit == UnitNanoseconds.String() {
+				le = promFloat(float64(bound) / 1e9)
+			}
+			fmt.Fprintf(&buf, "%s_bucket{le=%q} %d\n", f.Name, le, cum)
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, h.Count)
+		if h.Unit == UnitNanoseconds.String() {
+			fmt.Fprintf(&buf, "%s_sum %s\n", f.Name, promFloat(float64(h.Sum)/1e9))
+		} else {
+			fmt.Fprintf(&buf, "%s_sum %d\n", f.Name, h.Sum)
+		}
+		fmt.Fprintf(&buf, "%s_count %d\n", f.Name, h.Count)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (the
+// /metrics.json payload; aide-stat decodes it back into Snapshot).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one family of every shape and a
+// fixed set of observations, so the exposition output is a constant.
+func goldenRegistry() *Registry {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	r := NewWithClock(func() time.Time { return base })
+	a := r.Counter("aide_remote_requests_sent_total", "requests issued to the peer")
+	b := r.Counter("aide_remote_requests_sent_total", "requests issued to the peer")
+	a.Add(3)
+	b.Add(9)
+	g := r.Gauge("aide_vm_heap_live_bytes", "live bytes in the VM heap")
+	g.Set(1 << 20)
+	r.GaugeFunc("aide_vm_heap_live_bytes", "live bytes in the VM heap", func() int64 { return 512 })
+	h := r.Histogram("aide_remote_call_latency_seconds", "round-trip latency of peer calls",
+		[]time.Duration{100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond})
+	h.Observe(50 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Second)
+	s := r.SizeHistogram("aide_remote_release_batch_size", "decrefs coalesced per release batch",
+		[]int64{1, 8, 32})
+	s.ObserveInt(1)
+	s.ObserveInt(6)
+	s.ObserveInt(32)
+	s.ObserveInt(40)
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	r := goldenRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	path := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus exposition drifted from golden.\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two scrapes of an idle registry must be byte-identical")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := goldenRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(snap.Families) != 4 {
+		t.Fatalf("families = %d, want 4", len(snap.Families))
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f
+	}
+	if f := byName["aide_remote_requests_sent_total"]; f.Value != 12 || f.Kind != "counter" {
+		t.Fatalf("counter family: %+v", f)
+	}
+	if f := byName["aide_vm_heap_live_bytes"]; f.Value != (1<<20)+512 {
+		t.Fatalf("gauge family: %+v", f)
+	}
+	if f := byName["aide_remote_call_latency_seconds"]; f.Histogram == nil || f.Histogram.Count != 4 {
+		t.Fatalf("histogram family: %+v", f)
+	}
+}

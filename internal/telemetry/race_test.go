@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotWhileIncrementRace hammers the registry from writer
+// goroutines while scraping continuously. Under -race this proves the
+// snapshot path is data-race free; the assertions prove each snapshot
+// is internally consistent (histogram count equals its bucket sum and
+// counters are monotonic across snapshots).
+func TestSnapshotWhileIncrementRace(t *testing.T) {
+	r := New()
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer registers its own children mid-flight, so
+			// registration races the scrape loop too.
+			c := r.Counter("aide_race_ops_total", "")
+			g := r.Gauge("aide_race_live", "")
+			h := r.Histogram("aide_race_latency_seconds", "", []time.Duration{time.Microsecond, time.Millisecond})
+			sz := r.SizeHistogram("aide_race_batch", "", []int64{2, 16})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i%2000) * time.Microsecond)
+				sz.ObserveInt(int64(i % 32))
+				tr.Emit(Span{Kind: SpanRPC, Peer: w, N: int64(i)})
+			}
+		}(w)
+	}
+
+	var lastOps int64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		snap := r.Snapshot()
+		for _, f := range snap.Families {
+			if f.Histogram != nil {
+				var sum int64
+				for _, b := range f.Histogram.Buckets {
+					sum += b
+				}
+				if sum != f.Histogram.Count {
+					t.Fatalf("inconsistent snapshot: %s count=%d Σbuckets=%d", f.Name, f.Histogram.Count, sum)
+				}
+			}
+			if f.Name == "aide_race_ops_total" {
+				if f.Value < lastOps {
+					t.Fatalf("counter went backwards: %d -> %d", lastOps, f.Value)
+				}
+				lastOps = f.Value
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatalf("WriteProm: %v", err)
+		}
+		tr.Events()
+	}
+	close(stop)
+	wg.Wait()
+	if lastOps == 0 {
+		t.Fatal("writers never ran")
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("Check after race: %v", err)
+	}
+}

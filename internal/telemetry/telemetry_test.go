@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", DefaultLatencyBuckets())
+	r.GaugeFunc("y", "", func() int64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments: %v %v %v", c, g, h)
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Millisecond)
+	h.ObserveInt(7)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("nil registry Check: %v", err)
+	}
+	if s := r.Snapshot(); len(s.Families) != 0 {
+		t.Fatalf("nil registry snapshot: %+v", s)
+	}
+}
+
+func TestFamilyChildrenSumAtSnapshot(t *testing.T) {
+	base := time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)
+	r := NewWithClock(func() time.Time { return base })
+	a := r.Counter("aide_requests_total", "requests")
+	b := r.Counter("aide_requests_total", "requests")
+	if a == b {
+		t.Fatal("re-registering a name must return a distinct child")
+	}
+	a.Add(3)
+	b.Add(4)
+	if a.Value() != 3 || b.Value() != 4 {
+		t.Fatalf("children must read back privately: %d %d", a.Value(), b.Value())
+	}
+	snap := r.Snapshot()
+	if len(snap.Families) != 1 {
+		t.Fatalf("want one family, got %d", len(snap.Families))
+	}
+	f := snap.Families[0]
+	if f.Value != 7 || f.Kind != "counter" {
+		t.Fatalf("family must sum children: %+v", f)
+	}
+	if !snap.TakenAt.Equal(base) {
+		t.Fatalf("snapshot must use the injected clock, got %v", snap.TakenAt)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestGaugeFuncAndGaugeSum(t *testing.T) {
+	r := New()
+	g := r.Gauge("aide_live", "")
+	g.Set(10)
+	r.GaugeFunc("aide_live", "", func() int64 { return 32 })
+	if v := r.Snapshot().Families[0].Value; v != 42 {
+		t.Fatalf("gauge + func sum = %d, want 42", v)
+	}
+}
+
+func TestHistogramBucketsAndSnapshotConsistency(t *testing.T) {
+	r := New()
+	h := r.Histogram("aide_latency_seconds", "", []time.Duration{time.Microsecond, time.Millisecond})
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // bucket 0 (le is inclusive)
+	h.Observe(2 * time.Microsecond)  // bucket 1
+	h.Observe(time.Second)           // +Inf
+	hs := r.Snapshot().Families[0].Histogram
+	if hs == nil {
+		t.Fatal("histogram family lost its snapshot")
+	}
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if hs.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, hs.Buckets[i], w, hs)
+		}
+	}
+	if hs.Count != 4 {
+		t.Fatalf("count = %d, want 4", hs.Count)
+	}
+	wantSum := int64(500 + 1000 + 2000 + int64(time.Second))
+	if hs.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", hs.Sum, wantSum)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	r := New()
+	h := r.SizeHistogram("aide_batch_size", "", []int64{1, 8, 32})
+	for _, v := range []int64{1, 2, 8, 9, 100} {
+		h.ObserveInt(v)
+	}
+	hs := r.Snapshot().Families[0].Histogram
+	want := []int64{1, 2, 1, 1}
+	for i, w := range want {
+		if hs.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, hs.Buckets[i], w)
+		}
+	}
+	if hs.Unit != "count" {
+		t.Fatalf("unit = %q", hs.Unit)
+	}
+}
+
+func TestRegistrationProblems(t *testing.T) {
+	r := New()
+	c := r.Counter("Bad-Name", "")
+	if c == nil {
+		t.Fatal("malformed registration must still return a live instrument")
+	}
+	c.Inc() // must not crash; instrument is standalone
+	r.Gauge("aide_thing", "")
+	mismatched := r.Counter("aide_thing", "") // kind conflict
+	mismatched.Inc()
+	r.Histogram("aide_h_seconds", "", []time.Duration{time.Second})
+	r.Histogram("aide_h_seconds", "", []time.Duration{time.Minute}) // bounds conflict
+	r.Histogram("aide_desc_seconds", "", []time.Duration{time.Second, time.Millisecond})
+	probs := r.Problems()
+	if len(probs) != 4 {
+		t.Fatalf("want 4 problems, got %d: %v", len(probs), probs)
+	}
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), "and 3 more") {
+		t.Fatalf("Check must summarize problems, got %v", err)
+	}
+	// The conflicting registrations must not have joined the families.
+	for _, f := range r.Snapshot().Families {
+		if f.Name == "aide_thing" && f.Value != 0 {
+			t.Fatalf("conflicting child leaked into family: %+v", f)
+		}
+	}
+}
+
+func TestStandaloneInstruments(t *testing.T) {
+	c := NewCounter()
+	c.Add(2)
+	if c.Value() != 2 {
+		t.Fatalf("standalone counter = %d", c.Value())
+	}
+	g := NewGauge()
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("standalone gauge = %d", g.Value())
+	}
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(time.Microsecond)
+	h.Observe(time.Second)
+	hs := h.Snapshot()
+	if hs.Count != 2 || hs.Buckets[0] != 1 || hs.Buckets[1] != 1 {
+		t.Fatalf("standalone histogram snapshot: %+v", hs)
+	}
+	// Malformed bounds degrade to a single overflow bucket, no panic.
+	bad := NewHistogram([]time.Duration{time.Second, time.Millisecond})
+	bad.Observe(time.Minute)
+	if s := bad.Snapshot(); s.Count != 1 || len(s.Buckets) != 1 {
+		t.Fatalf("malformed-bounds histogram: %+v", s)
+	}
+}

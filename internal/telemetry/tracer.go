@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind classifies an offload event.
+type SpanKind uint8
+
+const (
+	SpanRPC SpanKind = iota + 1
+	SpanMigration
+	SpanRepartition
+	SpanGC
+	SpanFailover
+	SpanDisconnect
+	SpanReattach
+	SpanProbe
+	SpanOrphan
+	SpanFault
+)
+
+var spanKindNames = [...]string{
+	SpanRPC:         "rpc",
+	SpanMigration:   "migration",
+	SpanRepartition: "repartition",
+	SpanGC:          "gc",
+	SpanFailover:    "failover",
+	SpanDisconnect:  "disconnect",
+	SpanReattach:    "reattach",
+	SpanProbe:       "probe",
+	SpanOrphan:      "orphan",
+	SpanFault:       "fault",
+}
+
+// String names the kind as it appears in /events output.
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) && spanKindNames[k] != "" {
+		return spanKindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalText lets Span serialize kinds as readable strings.
+func (k SpanKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the names MarshalText produces, so /events
+// payloads round-trip through consumers like aide-stat. Unrecognized
+// names (including "unknown") decode to the zero kind.
+func (k *SpanKind) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, name := range spanKindNames {
+		if name != "" && name == s {
+			*k = SpanKind(i)
+			return nil
+		}
+	}
+	*k = 0
+	return nil
+}
+
+// Span is one structured offload event. Parent links a child to the
+// span that caused it (an RPC call carries the migration that issued
+// it), threaded through context by WithSpan/SpanFrom.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Kind   SpanKind      `json:"kind"`
+	Note   string        `json:"note,omitempty"`
+	Peer   int           `json:"peer"`
+	N      int64         `json:"n,omitempty"`
+	Bytes  int64         `json:"bytes,omitempty"`
+	Err    bool          `json:"err,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Tracer records spans into a bounded ring, overwriting the oldest
+// when full. It is nil-safe and additionally gated on an atomic
+// enabled flag: a nil or disabled tracer's Emit is a single atomic
+// load and allocates nothing, which is what lets instrumentation sit
+// on the RPC fast path unconditionally.
+type Tracer struct {
+	now func() time.Time
+	on  atomic.Bool
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total uint64
+}
+
+// NewTracer builds a tracer with capacity slots (minimum 1) stamping
+// spans with the wall clock. The tracer starts disabled.
+func NewTracer(capacity int) *Tracer { return NewTracerWithClock(capacity, time.Now) }
+
+// NewTracerWithClock builds a tracer with an injectable clock. Spans
+// emitted with a zero Start are stamped with this clock.
+func NewTracerWithClock(capacity int, now func() time.Time) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now, ring: make([]Span, capacity)}
+}
+
+// SetEnabled switches span recording on or off. No-op on nil.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.on.Store(on)
+	}
+}
+
+// Enabled reports whether spans are being recorded. Instrumentation
+// sites that would allocate to build a span (formatting a note,
+// deriving a context) must check this first; sites that emit a
+// ready-made struct may call Emit unconditionally.
+func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// NextID allocates a span ID for parent/child linking, or 0 when the
+// tracer is off (0 is "no parent").
+func (t *Tracer) NextID() uint64 {
+	if !t.Enabled() {
+		return 0
+	}
+	return t.seq.Add(1)
+}
+
+// Emit records s, assigning an ID if s.ID is zero and stamping s.Start
+// from the tracer clock if zero. No-op when nil or disabled.
+func (t *Tracer) Emit(s Span) {
+	if !t.Enabled() {
+		return
+	}
+	if s.ID == 0 {
+		s.ID = t.seq.Add(1)
+	}
+	if s.Start.IsZero() {
+		s.Start = t.now()
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained spans, oldest first.
+func (t *Tracer) Events() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if t.total < uint64(n) {
+		n = int(t.total)
+	}
+	out := make([]Span, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Total reports how many spans were ever emitted, including ones the
+// ring has since overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// ctxKey carries a parent span ID through a context.
+type ctxKey struct{}
+
+// WithSpan returns ctx carrying id as the parent for downstream spans.
+// With id zero (tracer off) it returns ctx unchanged — no allocation.
+func WithSpan(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// SpanFrom extracts the parent span ID from ctx (0 when absent).
+func SpanFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(ctxKey{}).(uint64)
+	return id
+}

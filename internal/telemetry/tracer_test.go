@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerDisabledIsInert(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Emit(Span{Kind: SpanRPC})
+	nilTr.SetEnabled(true)
+	if nilTr.Enabled() || nilTr.NextID() != 0 || nilTr.Events() != nil || nilTr.Total() != 0 {
+		t.Fatal("nil tracer must be fully inert")
+	}
+
+	tr := NewTracer(4) // starts disabled
+	tr.Emit(Span{Kind: SpanRPC})
+	if tr.Enabled() || tr.NextID() != 0 || len(tr.Events()) != 0 || tr.Total() != 0 {
+		t.Fatal("disabled tracer must drop spans")
+	}
+}
+
+func TestTracerRingWrapAndOrder(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	tr := NewTracerWithClock(3, func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	tr.SetEnabled(true)
+	for i := int64(1); i <= 5; i++ {
+		tr.Emit(Span{Kind: SpanGC, N: i})
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("ring of 3 retained %d", len(ev))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if ev[i].N != want {
+			t.Fatalf("event %d: N=%d want %d (oldest first)", i, ev[i].N, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	if ev[0].ID == 0 || ev[1].ID != ev[0].ID+1 {
+		t.Fatalf("IDs must auto-assign sequentially: %d %d", ev[0].ID, ev[1].ID)
+	}
+	if !ev[0].Start.After(base) {
+		t.Fatalf("zero Start must be stamped from the injected clock: %v", ev[0].Start)
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	tr.Emit(Span{Kind: SpanProbe, Note: "a"})
+	tr.Emit(Span{Kind: SpanProbe, Note: "b"})
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Note != "a" || ev[1].Note != "b" {
+		t.Fatalf("partial ring: %+v", ev)
+	}
+}
+
+func TestTracerExplicitFieldsPreserved(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetEnabled(true)
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	id := tr.NextID()
+	tr.Emit(Span{ID: id, Parent: 7, Kind: SpanMigration, Note: "offload", Peer: 1, N: 12, Bytes: 4096, Err: true, Start: start, Dur: time.Millisecond})
+	ev := tr.Events()[0]
+	if ev.ID != id || ev.Parent != 7 || ev.Kind != SpanMigration || ev.Note != "offload" ||
+		ev.Peer != 1 || ev.N != 12 || ev.Bytes != 4096 || !ev.Err || !ev.Start.Equal(start) || ev.Dur != time.Millisecond {
+		t.Fatalf("span fields mangled: %+v", ev)
+	}
+}
+
+func TestSpanContextLinking(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != 0 {
+		t.Fatal("background context must carry no span")
+	}
+	if WithSpan(ctx, 0) != ctx {
+		t.Fatal("WithSpan(ctx, 0) must not allocate a new context")
+	}
+	child := WithSpan(ctx, 42)
+	if SpanFrom(child) != 42 {
+		t.Fatalf("SpanFrom = %d", SpanFrom(child))
+	}
+	var nilCtx context.Context
+	if SpanFrom(nilCtx) != 0 {
+		t.Fatal("nil context must be safe")
+	}
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	kinds := map[SpanKind]string{
+		SpanRPC: "rpc", SpanMigration: "migration", SpanRepartition: "repartition",
+		SpanGC: "gc", SpanFailover: "failover", SpanDisconnect: "disconnect",
+		SpanReattach: "reattach", SpanProbe: "probe", SpanOrphan: "orphan",
+		SpanFault: "fault", SpanKind(0): "unknown", SpanKind(200): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package vm
 
-import "sort"
+import (
+	"sort"
+
+	"aide/internal/telemetry"
+)
 
 // Heap management and the mark-and-sweep collector.
 //
@@ -54,6 +58,8 @@ func (v *VM) allocLocked(class *Class, size int64) (*Object, error) {
 	v.liveBytes += size
 	v.objsSinceGC++
 	v.bytesSinceGC += size
+	v.tm.objectsCreated.Inc()
+	v.tm.allocBytes.Add(size)
 	// Protect the newborn before any threshold collection can see it.
 	v.addTempLocked(id)
 	if v.hooks != nil {
@@ -166,6 +172,14 @@ func (v *VM) collectLocked() {
 	v.objsSinceGC = 0
 	v.bytesSinceGC = 0
 	v.collections++
+	v.tm.gcCycles.Inc()
+	reclaimed := (before - v.liveBytes) + garbageBefore
+	if reclaimed > 0 {
+		v.tm.gcReclaimed.Add(reclaimed)
+	}
+	if v.tracer.Enabled() {
+		v.tracer.Emit(telemetry.Span{Kind: telemetry.SpanGC, N: int64(len(dead)), Bytes: reclaimed})
+	}
 	freed := v.liveBytes < before || garbageBefore > 0
 	v.lastGCFreedAny = freed
 	free := v.cfg.HeapCapacity - v.liveBytes

@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"time"
+
+	"aide/internal/telemetry"
 )
 
 // MigratedObject is one object in an offload batch: the serialized form in
@@ -77,6 +79,7 @@ func (v *VM) ExtractMigration(classNames []string) ([]MigratedObject, error) {
 		batch = append(batch, m)
 	}
 	v.mu.Unlock()
+	v.tm.migratedOut.Add(int64(len(batch)))
 	return batch, nil
 }
 
@@ -159,6 +162,7 @@ func (v *VM) AdoptMigration(peerIdx int, batch []MigratedObject) ([]ObjectID, er
 			o.Fields[fi] = val
 		}
 	}
+	v.tm.migratedIn.Add(int64(len(assigned)))
 	return assigned, nil
 }
 
@@ -248,6 +252,10 @@ func (v *VM) ReclaimStubs(peerIdx int) int {
 		for _, o := range v.objects {
 			o.exported = 0
 		}
+	}
+	v.tm.reclaimedStubs.Add(int64(n))
+	if v.tracer.Enabled() {
+		v.tracer.Emit(telemetry.Span{Kind: telemetry.SpanFailover, Note: "reclaim_stubs", Peer: peerIdx, N: int64(n)})
 	}
 	return n
 }

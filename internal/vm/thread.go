@@ -130,6 +130,7 @@ func (t *Thread) Invoke(target ObjectID, method string, args ...Value) (Value, e
 // VM lock while waiting so the peer can call back in. Called with the lock
 // held; returns with it released.
 func (v *VM) invokeRemoteLocked(o *Object, method string, args []Value) (Value, error) {
+	v.tm.invokeRemote.Inc()
 	peer := v.peerAt(o.PeerIdx)
 	if peer == nil {
 		idx := o.PeerIdx
@@ -165,6 +166,7 @@ func (v *VM) invokeRemoteLocked(o *Object, method string, args []Value) (Value, 
 // invokeLocalLocked executes a method body on this VM. Called with the
 // lock held; returns with it released.
 func (v *VM) invokeLocalLocked(o *Object, method string, args []Value) (Value, error) {
+	v.tm.invokeLocal.Inc()
 	m := o.Class.Method(method)
 	if m == nil {
 		v.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"aide/internal/telemetry"
 )
 
 // Common VM errors.
@@ -137,6 +139,14 @@ type Config struct {
 	// monitoring, charged to the clock while Hooks are installed. The
 	// prototype measured ≈11% wall overhead for JavaNote (paper §5.1).
 	MonitorCostPerEvent time.Duration
+
+	// Telemetry, when set, registers this VM's invocation/allocation/GC
+	// counters plus heap gauges sampled at scrape time. Nil leaves every
+	// instrument nil: hot-path updates reduce to nil-check no-ops.
+	Telemetry *telemetry.Registry
+
+	// Tracer, when set and enabled, receives gc and failover spans.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +212,11 @@ type VM struct {
 	// true retries the allocation (the AIDE platform offloads here).
 	pressure func(needed int64) bool
 
+	// tm and tracer are the telemetry instruments, fixed at construction
+	// (nil members when Config.Telemetry/Tracer are unset).
+	tm     vmMetrics
+	tracer *telemetry.Tracer
+
 	// failover is consulted when a remote operation fails with
 	// ErrPeerGone; returning true means the handler re-homed the peer's
 	// objects locally (ReclaimStubs) and the operation should be retried.
@@ -223,7 +238,7 @@ type VM struct {
 
 // New constructs a VM bound to a class registry.
 func New(registry *Registry, cfg Config) *VM {
-	return &VM{
+	v := &VM{
 		cfg:      cfg.withDefaults(),
 		registry: registry,
 		objects:  make(map[ObjectID]*Object),
@@ -231,7 +246,13 @@ func New(registry *Registry, cfg Config) *VM {
 		imports:  make(map[importKey]ObjectID),
 		statics:  make(map[string][]Value),
 		roots:    make(map[string]ObjectID),
+		tm:       newVMMetrics(cfg.Telemetry),
+		tracer:   cfg.Tracer,
 	}
+	if cfg.Telemetry != nil {
+		registerHeapGauges(cfg.Telemetry, v)
+	}
+	return v
 }
 
 // Role returns the VM's role.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aide/internal/remote"
+	"aide/internal/telemetry"
 	"aide/internal/vm"
 )
 
@@ -24,29 +25,64 @@ type SurrogateProbe struct {
 // availability"; this is that probe. Unreachable candidates carry a
 // non-nil Err.
 func ProbeSurrogates(addrs []string) []SurrogateProbe {
+	return probeSurrogates(nil, addrs)
+}
+
+// probeSurrogates implements ProbeSurrogates, emitting one SpanProbe per
+// candidate (reachable or not) when the tracer is enabled: the span's
+// duration is the measured RTT for a successful probe and the elapsed
+// dial-plus-query time for a failed one.
+func probeSurrogates(tr *telemetry.Tracer, addrs []string) []SurrogateProbe {
 	probes := make([]SurrogateProbe, len(addrs))
 	// Probes are resource queries only; any registry works.
 	reg := vm.NewRegistry()
 	for i, addr := range addrs {
 		probes[i].Addr = addr
-		conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		traced := tr.Enabled()
+		var start time.Time
+		if traced {
+			start = time.Now()
+		}
+		info, err := probeOne(reg, addr)
 		if err != nil {
-			probes[i].Err = fmt.Errorf("aide: probe %s: %w", addr, err)
-			continue
+			probes[i].Err = err
+		} else {
+			probes[i].Info = info
 		}
-		v := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
-		peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
-		info, err := peer.Info()
-		if cerr := peer.Close(); err == nil {
-			err = cerr
+		if traced {
+			dur := info.RTT
+			if err != nil {
+				dur = time.Since(start)
+			}
+			tr.Emit(telemetry.Span{
+				Kind:  telemetry.SpanProbe,
+				Note:  addr,
+				Bytes: info.FreeBytes,
+				Err:   err != nil,
+				Start: start,
+				Dur:   dur,
+			})
 		}
-		if err != nil {
-			probes[i].Err = fmt.Errorf("aide: probe %s: %w", addr, err)
-			continue
-		}
-		probes[i].Info = info
 	}
 	return probes
+}
+
+// probeOne dials one candidate and queries its resources.
+func probeOne(reg *Registry, addr string) (remote.PeerInfo, error) {
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return remote.PeerInfo{}, fmt.Errorf("aide: probe %s: %w", addr, err)
+	}
+	v := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
+	peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
+	info, err := peer.Info()
+	if cerr := peer.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return remote.PeerInfo{}, fmt.Errorf("aide: probe %s: %w", addr, err)
+	}
+	return info, nil
 }
 
 // RankSurrogates orders reachable probes best-first: lowest latency
@@ -80,7 +116,7 @@ func (c *Client) AttachBestTCP(addrs []string) (string, error) {
 	if len(addrs) == 0 {
 		return "", fmt.Errorf("aide: no surrogate candidates")
 	}
-	ranked := RankSurrogates(ProbeSurrogates(addrs))
+	ranked := RankSurrogates(probeSurrogates(c.tracer, addrs))
 	best := ranked[0]
 	if best.Err != nil {
 		return "", fmt.Errorf("aide: no reachable surrogate: %w", best.Err)

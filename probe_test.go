@@ -1,0 +1,97 @@
+package aide
+
+import (
+	"strings"
+	"testing"
+
+	"aide/internal/telemetry"
+)
+
+// probeSpans filters a tracer's events down to the probe spans.
+func probeSpans(tr *Tracer) []telemetry.Span {
+	var out []telemetry.Span
+	for _, s := range tr.Events() {
+		if s.Kind == telemetry.SpanProbe {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestAttachBestTCPSkipsUnreachableCandidate(t *testing.T) {
+	reg := demoRegistry(t)
+	surrogate := NewSurrogate(reg)
+	addr, err := surrogate.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer surrogate.Close()
+
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	client := NewClient(reg, WithTelemetry(nil, tr))
+	defer client.Close()
+
+	// Port 1 on loopback refuses immediately: a candidate that is present
+	// in the list but unreachable must be probed, recorded, and skipped.
+	dead := "127.0.0.1:1"
+	chosen, err := client.AttachBestTCP([]string{dead, addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != addr {
+		t.Fatalf("attached to %s, want the reachable surrogate %s", chosen, addr)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := probeSpans(tr)
+	if len(spans) != 2 {
+		t.Fatalf("got %d probe spans, want one per candidate: %+v", len(spans), spans)
+	}
+	byAddr := make(map[string]telemetry.Span, len(spans))
+	for _, s := range spans {
+		byAddr[s.Note] = s
+	}
+	if s, ok := byAddr[dead]; !ok || !s.Err {
+		t.Fatalf("unreachable candidate span = %+v, want Err", s)
+	}
+	if s, ok := byAddr[addr]; !ok || s.Err {
+		t.Fatalf("reachable candidate span = %+v, want success", s)
+	} else {
+		if s.Dur <= 0 {
+			t.Fatalf("reachable probe span must carry the measured RTT, got %v", s.Dur)
+		}
+		if s.Bytes <= 0 {
+			t.Fatalf("reachable probe span must carry free bytes, got %d", s.Bytes)
+		}
+	}
+}
+
+func TestAttachBestTCPAllCandidatesFail(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	client := NewClient(demoRegistry(t), WithTelemetry(nil, tr))
+	defer client.Close()
+
+	dead := []string{"127.0.0.1:1", "127.0.0.1:2"}
+	if _, err := client.AttachBestTCP(dead); err == nil {
+		t.Fatal("attach with no reachable candidate must fail")
+	} else if !strings.Contains(err.Error(), "no reachable surrogate") {
+		t.Fatalf("err = %v, want the no-reachable-surrogate failure", err)
+	}
+	if n := client.Surrogates(); n != 0 {
+		t.Fatalf("client attached %d surrogates after all probes failed", n)
+	}
+
+	spans := probeSpans(tr)
+	if len(spans) != len(dead) {
+		t.Fatalf("got %d probe spans, want one per candidate: %+v", len(spans), spans)
+	}
+	for _, s := range spans {
+		if !s.Err {
+			t.Fatalf("probe span for dead candidate %s not marked Err", s.Note)
+		}
+	}
+}

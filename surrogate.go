@@ -40,6 +40,8 @@ func NewSurrogate(reg *Registry, opts ...Option) *Surrogate {
 		Role:         vm.RoleSurrogate,
 		HeapCapacity: o.heap,
 		CPUSpeed:     o.cpuSpeed,
+		Telemetry:    o.telemetry,
+		Tracer:       o.tracer,
 	})
 	s.vm.SetStatelessNativeLocal(o.stateless)
 	return s

@@ -1,0 +1,77 @@
+package aide
+
+import (
+	"aide/internal/telemetry"
+)
+
+// Re-exported telemetry types, so platform embedders can construct a
+// registry and tracer without importing the internal package path.
+type (
+	// TelemetryRegistry is a named collection of metrics instruments.
+	TelemetryRegistry = telemetry.Registry
+
+	// Tracer records structured offload-event spans in a bounded ring.
+	Tracer = telemetry.Tracer
+)
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *TelemetryRegistry { return telemetry.New() }
+
+// NewTracer returns an event tracer holding the last capacity spans.
+// It starts disabled; call SetEnabled(true) to record.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// WithTelemetry attaches a metrics registry and an event tracer to the
+// platform being constructed: the client or surrogate registers its
+// aide_* instrument families on reg and emits offload-event spans to tr.
+// Either argument may be nil to enable only the other; the option is
+// inert when both are nil. Serve the registry and tracer over HTTP with
+// telemetry.Handler / telemetry.Serve, or scrape them with aide-stat.
+func WithTelemetry(reg *TelemetryRegistry, tr *Tracer) Option {
+	return func(o *options) { o.telemetry = reg; o.tracer = tr }
+}
+
+// Platform-level (policy and lifecycle) metric names.
+const (
+	metricPartitions       = "aide_policy_partitions_total"
+	metricPartitionRuntime = "aide_policy_partition_runtime_seconds"
+	metricPolicyChosen     = "aide_policy_chosen_total"
+	metricPolicyRejected   = "aide_policy_rejected_total"
+	metricOffloads         = "aide_policy_offloads_total"
+	metricOffloadedBytes   = "aide_policy_offloaded_bytes_total"
+	metricRebalances       = "aide_policy_rebalances_total"
+	metricAttaches         = "aide_platform_attaches_total"
+	metricDisconnects      = "aide_platform_disconnects_total"
+)
+
+// platformMetrics instruments the client's partitioning pipeline and
+// surrogate lifecycle. Every field is a nil-safe no-op when the platform
+// was built without WithTelemetry.
+type platformMetrics struct {
+	partitions       *telemetry.Counter
+	partitionRuntime *telemetry.Histogram
+	chosen           *telemetry.Counter
+	rejected         *telemetry.Counter
+	offloads         *telemetry.Counter
+	offloadedBytes   *telemetry.Counter
+	rebalances       *telemetry.Counter
+	attaches         *telemetry.Counter
+	disconnects      *telemetry.Counter
+}
+
+func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
+	if reg == nil {
+		return platformMetrics{}
+	}
+	return platformMetrics{
+		partitions:       reg.Counter(metricPartitions, "Partitioning pipeline runs (MINCUT + policy)."),
+		partitionRuntime: reg.Histogram(metricPartitionRuntime, "Wall-clock runtime of one MINCUT candidate generation.", telemetry.DefaultLatencyBuckets()),
+		chosen:           reg.Counter(metricPolicyChosen, "Partitionings accepted by the memory policy."),
+		rejected:         reg.Counter(metricPolicyRejected, "Partitionings rejected as not beneficial."),
+		offloads:         reg.Counter(metricOffloads, "Completed offload operations."),
+		offloadedBytes:   reg.Counter(metricOffloadedBytes, "Object payload bytes moved to surrogates by offloads."),
+		rebalances:       reg.Counter(metricRebalances, "Rebalance passes that ran the partitioning pipeline."),
+		attaches:         reg.Counter(metricAttaches, "Surrogate connections attached."),
+		disconnects:      reg.Counter(metricDisconnects, "Surrogate connections lost involuntarily."),
+	}
+}
