@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -81,6 +82,13 @@ type Client struct {
 	// VM's failover hook) each return only after the peer's stubs have
 	// been reclaimed locally.
 	discMu sync.Mutex
+
+	// bg joins the asynchronous peer-close goroutines disconnect
+	// handling spawns; Detach waits for them so no goroutine outlives
+	// the client. Add happens under c.mu in the same critical section
+	// that claims the peer slot, so it is serialized against Detach's
+	// peers-clearing section and can never race a Wait at zero.
+	bg sync.WaitGroup
 }
 
 // NewClient builds a client platform over the shared class registry.
@@ -233,6 +241,7 @@ func (c *Client) disconnectLocked(idx int) {
 	c.pm.disconnects.Inc()
 	c.disc.Fire()
 	logf := c.opts.logf
+	c.bg.Add(1)
 	c.mu.Unlock()
 
 	// Detach before reclaiming so the export-pin check inside
@@ -244,8 +253,9 @@ func (c *Client) disconnectLocked(idx int) {
 		logf("aide: surrogate %d disconnected; reclaimed %d stubs, pinned local", idx, n)
 	}
 	// Close asynchronously: this may run on the peer's own receive loop
-	// (via OnDown), which Close joins.
+	// (via OnDown), which Close joins. Detach joins the closer via c.bg.
 	go func() {
+		defer c.bg.Done()
 		if err := p.Close(); err != nil && logf != nil {
 			logf("aide: close disconnected surrogate %d: %v", idx, err)
 		}
@@ -254,7 +264,14 @@ func (c *Client) disconnectLocked(idx int) {
 
 // AttachTCP dials a surrogate's listener and attaches to it.
 func (c *Client) AttachTCP(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	return c.AttachTCPContext(context.Background(), addr)
+}
+
+// AttachTCPContext is AttachTCP with a cancellable dial: a client
+// reattaching after a disconnection can abandon a slow candidate.
+func (c *Client) AttachTCPContext(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("aide: dial surrogate: %w", err)
 	}
@@ -280,6 +297,8 @@ func (c *Client) Detach() error {
 			firstErr = err
 		}
 	}
+	// Join the disconnect handlers' async peer-close goroutines.
+	c.bg.Wait()
 	return firstErr
 }
 
@@ -288,6 +307,12 @@ func (c *Client) Close() error { return c.Detach() }
 
 // Ping round-trips a null message to every attached surrogate.
 func (c *Client) Ping() error {
+	return c.PingContext(context.Background())
+}
+
+// PingContext is Ping bounded by ctx: probes of the remaining
+// surrogates abort when ctx is cancelled or its deadline expires.
+func (c *Client) PingContext(ctx context.Context) error {
 	c.mu.Lock()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	c.mu.Unlock()
@@ -296,7 +321,7 @@ func (c *Client) Ping() error {
 		if p == nil {
 			continue
 		}
-		if err := p.Ping(); err != nil {
+		if err := p.Probe(ctx); err != nil {
 			return err
 		}
 		live++
@@ -383,6 +408,12 @@ func (c *Client) onPressure(needed int64) bool {
 // for a client are not available at the closest surrogate, multiple
 // surrogates could be used").
 func (c *Client) Offload() (*OffloadReport, error) {
+	return c.OffloadContext(context.Background())
+}
+
+// OffloadContext is Offload bounded by ctx: the placement probes and
+// migration calls abort when ctx is cancelled or its deadline expires.
+func (c *Client) OffloadContext(ctx context.Context) (*OffloadReport, error) {
 	c.mu.Lock()
 	pinned := c.disc.Active()
 	peers := append([]*remote.Peer(nil), c.peers...)
@@ -435,7 +466,7 @@ func (c *Client) Offload() (*OffloadReport, error) {
 		return chosen[i].name < chosen[j].name
 	})
 
-	placement, err := c.placeAcross(peers, chosen)
+	placement, err := c.placeAcross(ctx, peers, chosen)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +480,7 @@ func (c *Client) Offload() (*OffloadReport, error) {
 		if len(classes) == 0 {
 			continue
 		}
-		objects, bytes, err := peers[idx].Offload(classes)
+		objects, bytes, err := peers[idx].OffloadContext(ctx, classes)
 		if err != nil {
 			return nil, fmt.Errorf("aide: offload to surrogate %d: %w", idx, err)
 		}
@@ -496,7 +527,7 @@ type classInfo struct {
 	size int64
 }
 
-func (c *Client) placeAcross(peers []*remote.Peer, chosen []classInfo) (map[int][]string, error) {
+func (c *Client) placeAcross(ctx context.Context, peers []*remote.Peer, chosen []classInfo) (map[int][]string, error) {
 	live := make([]int, 0, len(peers))
 	for i, p := range peers {
 		if p != nil {
@@ -515,7 +546,7 @@ func (c *Client) placeAcross(peers []*remote.Peer, chosen []classInfo) (map[int]
 	}
 	free := make(map[int]int64, len(live))
 	for _, i := range live {
-		info, err := peers[i].Info()
+		info, err := peers[i].InfoContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("aide: probe surrogate %d: %w", i, err)
 		}
@@ -571,6 +602,12 @@ func (c *Client) Offloads() ([]OffloadReport, int) {
 // to the client: the reverse of Offload (the paper's §8 "global placement"
 // direction). References held on either side stay valid.
 func (c *Client) Recall(classes []string) (objects int, bytes int64, err error) {
+	return c.RecallContext(context.Background(), classes)
+}
+
+// RecallContext is Recall bounded by ctx: the per-surrogate migration
+// calls abort when ctx is cancelled or its deadline expires.
+func (c *Client) RecallContext(ctx context.Context, classes []string) (objects int, bytes int64, err error) {
 	c.mu.Lock()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	byPeer := make(map[int][]string)
@@ -589,7 +626,7 @@ func (c *Client) Recall(classes []string) (objects int, bytes int64, err error) 
 		if idx >= len(peers) || peers[idx] == nil {
 			continue
 		}
-		n, b, rerr := peers[idx].Recall(group)
+		n, b, rerr := peers[idx].RecallContext(ctx, group)
 		if rerr != nil {
 			return objects, bytes, rerr
 		}
@@ -624,6 +661,12 @@ func (r *RebalanceReport) Moved() bool { return len(r.Offloaded)+len(r.Recalled)
 // surrogate to the client device". If no partitioning is beneficial any
 // more, everything comes home.
 func (c *Client) Rebalance() (*RebalanceReport, error) {
+	return c.RebalanceContext(context.Background())
+}
+
+// RebalanceContext is Rebalance bounded by ctx: both migration
+// directions abort when ctx is cancelled or its deadline expires.
+func (c *Client) RebalanceContext(ctx context.Context) (*RebalanceReport, error) {
 	c.mu.Lock()
 	nPeers := countLive(c.peers)
 	current := make(map[string]bool, len(c.offloaded))
@@ -680,7 +723,7 @@ func (c *Client) Rebalance() (*RebalanceReport, error) {
 	sort.Strings(rep.Recalled)
 
 	if len(rep.Recalled) > 0 {
-		_, bytes, err := c.Recall(rep.Recalled)
+		_, bytes, err := c.RecallContext(ctx, rep.Recalled)
 		if err != nil {
 			return nil, fmt.Errorf("aide: rebalance recall: %w", err)
 		}
@@ -698,7 +741,7 @@ func (c *Client) Rebalance() (*RebalanceReport, error) {
 			}
 			chosen = append(chosen, classInfo{name: cls, size: size})
 		}
-		placement, err := c.placeAcross(peers, chosen)
+		placement, err := c.placeAcross(ctx, peers, chosen)
 		if err != nil {
 			return nil, fmt.Errorf("aide: rebalance: %w", err)
 		}
@@ -706,7 +749,7 @@ func (c *Client) Rebalance() (*RebalanceReport, error) {
 			if len(group) == 0 {
 				continue
 			}
-			_, bytes, err := peers[idx].Offload(group)
+			_, bytes, err := peers[idx].OffloadContext(ctx, group)
 			if err != nil {
 				return nil, fmt.Errorf("aide: rebalance offload: %w", err)
 			}
@@ -744,6 +787,12 @@ func (c *Client) SurrogateInfo() (remote.PeerInfo, error) {
 
 // SurrogateInfos probes every attached surrogate.
 func (c *Client) SurrogateInfos() ([]remote.PeerInfo, error) {
+	return c.SurrogateInfosContext(context.Background())
+}
+
+// SurrogateInfosContext is SurrogateInfos bounded by ctx: the resource
+// probes abort when ctx is cancelled or its deadline expires.
+func (c *Client) SurrogateInfosContext(ctx context.Context) ([]remote.PeerInfo, error) {
 	c.mu.Lock()
 	peers := append([]*remote.Peer(nil), c.peers...)
 	c.mu.Unlock()
@@ -755,7 +804,7 @@ func (c *Client) SurrogateInfos() ([]remote.PeerInfo, error) {
 		if p == nil {
 			continue
 		}
-		info, err := p.Info()
+		info, err := p.InfoContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("aide: surrogate %d: %w", i, err)
 		}

@@ -1,5 +1,6 @@
 // Command aide-vet runs AIDE's custom static-analysis suite: lockcheck,
-// detcheck, rpcerr, gobwire, and telemetrycheck (see internal/lint).
+// detcheck, rpcerr, gobwire, telemetrycheck, goroutinecheck, ctxcheck,
+// and atomiccheck (see internal/lint).
 //
 // Standalone:
 //
@@ -9,7 +10,15 @@
 //
 //	go vet -vettool=$(which aide-vet) ./...
 //
-// Exit status is non-zero when any finding survives suppression.
+// Output modes: human-readable text (default), -json (a machine-stable
+// diagnostic array), and -sarif (SARIF 2.1.0, for code-scanning upload).
+// -timings appends a per-analyzer wall-clock breakdown to stderr.
+//
+// In standalone mode the driver also audits suppression debt: every
+// //lint:allow must carry a reason (enforced by the lint framework) and
+// the per-analyzer suppression counts must fit the checked-in
+// lint.budget file (see -budget). Exit status is non-zero when any
+// finding survives suppression or the budget is exceeded.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"aide/internal/lint"
@@ -33,6 +43,9 @@ func main() {
 	versionFlag := flag.String("V", "", "print version and exit (go vet protocol)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifFlag := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	timingsFlag := flag.Bool("timings", false, "report per-analyzer wall-clock timings on stderr")
+	budgetFlag := flag.String("budget", "", "suppression budget file (standalone mode; default: lint.budget in the working directory if present)")
 	flag.Int("c", -1, "display context lines (accepted for go vet protocol, unused)")
 	flag.Parse()
 
@@ -48,19 +61,39 @@ func main() {
 		return
 	}
 
+	mode := modeText
+	if *jsonFlag && *sarifFlag {
+		fmt.Fprintln(os.Stderr, "aide-vet: -json and -sarif are mutually exclusive")
+		os.Exit(1)
+	}
+	if *jsonFlag {
+		mode = modeJSON
+	}
+	if *sarifFlag {
+		mode = modeSARIF
+	}
+
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(vetUnit(args[0], *jsonFlag))
+		os.Exit(vetUnit(args[0], mode))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args, *jsonFlag))
+	os.Exit(standalone(args, mode, *timingsFlag, *budgetFlag))
 }
 
+type outputMode int
+
+const (
+	modeText outputMode = iota
+	modeJSON
+	modeSARIF
+)
+
 // standalone loads the patterns itself and analyzes every matched
-// package.
-func standalone(patterns []string, asJSON bool) int {
+// package, then audits suppression debt against the budget file.
+func standalone(patterns []string, mode outputMode, timings bool, budgetPath string) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,26 +105,87 @@ func standalone(patterns []string, asJSON bool) int {
 		return 1
 	}
 	var all []lint.Diagnostic
+	var allTimings []lint.Timing
+	var sites []lint.Suppression
 	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, lint.For(pkg.Path))
+		diags, t, err := lint.RunTimed(pkg, lint.For(pkg.Path))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		all = append(all, diags...)
+		allTimings = append(allTimings, t...)
+		sites = append(sites, lint.Suppressions(pkg)...)
 	}
-	return emit(all, asJSON)
+	if diags, err := auditBudget(cwd, budgetPath, sites); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	} else {
+		all = append(all, diags...)
+	}
+	if timings {
+		reportTimings(allTimings)
+	}
+	return emit(all, mode)
 }
 
-func emit(diags []lint.Diagnostic, asJSON bool) int {
-	if asJSON {
+// auditBudget runs the suppression-debt check. An explicit -budget path
+// must exist; otherwise lint.budget in the working directory is used
+// when present and the audit is skipped when it is not (so the driver
+// still works from arbitrary directories).
+func auditBudget(cwd, budgetPath string, sites []lint.Suppression) ([]lint.Diagnostic, error) {
+	explicit := budgetPath != ""
+	if !explicit {
+		budgetPath = filepath.Join(cwd, "lint.budget")
+	}
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		if !explicit && os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("aide-vet: %w", err)
+	}
+	entries, err := lint.ParseBudget(data)
+	if err != nil {
+		return nil, fmt.Errorf("aide-vet: %w", err)
+	}
+	return lint.CheckBudget(entries, sites), nil
+}
+
+// reportTimings prints wall-clock totals per analyzer, slowest first.
+func reportTimings(timings []lint.Timing) {
+	totals := map[string]int64{}
+	for _, t := range timings {
+		totals[t.Analyzer] += int64(t.Elapsed)
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return totals[names[i]] > totals[names[j]] })
+	fmt.Fprintln(os.Stderr, "aide-vet timings:")
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-16s %8.3fms\n", name, float64(totals[name])/1e6)
+	}
+}
+
+func emit(diags []lint.Diagnostic, mode outputMode) int {
+	switch mode {
+	case modeJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	} else {
+	case modeSARIF:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(toSARIF(diags)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
 		}
@@ -117,7 +211,7 @@ type vetConfig struct {
 }
 
 // vetUnit analyzes one package unit on behalf of `go vet -vettool`.
-func vetUnit(cfgPath string, asJSON bool) int {
+func vetUnit(cfgPath string, mode outputMode) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -208,5 +302,5 @@ func vetUnit(cfgPath string, asJSON bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	return emit(diags, asJSON)
+	return emit(diags, mode)
 }

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The driver is exercised end to end: built once per test run, then
+// executed against the lint testdata packages (which the `./...`
+// pattern never matches, so the repo-wide run stays clean while these
+// packages deliberately carry findings).
+
+var vetBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "aide-vet-test")
+	if err != nil {
+		panic(err)
+	}
+	vetBin = filepath.Join(dir, "aide-vet")
+	cmd := exec.Command("go", "build", "-o", vetBin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		panic("building aide-vet: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// repoRoot locates the module root from the test's working directory
+// (cmd/aide-vet).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(cwd))
+}
+
+// runVet executes the built driver from the repo root and returns its
+// stdout, stderr, and exit code.
+func runVet(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(vetBin, args...)
+	cmd.Dir = repoRoot(t)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running aide-vet: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// writeBudget writes a temp budget file covering the testdata packages'
+// deliberate suppressions.
+func writeBudget(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lint.budget")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// jsonDiag mirrors the -json output element shape.
+type jsonDiag struct {
+	Analyzer string
+	Pos      struct {
+		Filename string
+		Line     int
+		Column   int
+	}
+	Message string
+}
+
+func TestJSONOutputAndExitOnFindings(t *testing.T) {
+	stdout, _, code := runVet(t, "-json", "./internal/lint/testdata/src/ctx_bad")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on findings", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced no diagnostics for ctx_bad")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "ctxcheck" {
+			t.Errorf("unexpected analyzer %q in ctx_bad", d.Analyzer)
+		}
+		if d.Pos.Filename == "" || d.Pos.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	budget := writeBudget(t, "ctxcheck 1 testdata suppression exercise\n")
+	stdout, stderr, code := runVet(t, "-json", "-budget", budget, "./internal/lint/testdata/src/ctx_clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 on a clean package\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	budget := writeBudget(t, "atomiccheck 0 unused\n")
+	stdout, _, code := runVet(t, "-sarif", "-budget", budget, "./internal/lint/testdata/src/atomic_bad")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on findings", code)
+	}
+	var log struct {
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct{ ID string }
+				}
+			}
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct{ StartLine int }
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output is not SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d; want SARIF 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "aide-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["atomiccheck"] {
+		t.Error("rules do not include atomiccheck")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for atomic_bad")
+	}
+	for _, r := range run.Results {
+		if r.RuleID != "atomiccheck" || r.Message.Text == "" {
+			t.Errorf("unexpected result %+v", r)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result without a concrete location: %+v", r)
+		}
+	}
+}
+
+// TestBudgetRegressionFails pins the suppression-debt contract: a
+// suppression whose analyzer has no budget line fails the run even when
+// the analyzers themselves report nothing.
+func TestBudgetRegressionFails(t *testing.T) {
+	budget := writeBudget(t, "goroutinecheck 0 unrelated\n")
+	_, stderr, code := runVet(t, "-budget", budget, "./internal/lint/testdata/src/ctx_clean")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on a budget violation\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no lint.budget entry") {
+		t.Errorf("stderr does not explain the missing budget entry:\n%s", stderr)
+	}
+}
+
+// TestBudgetOverspendFails pins the other direction: more live
+// suppressions than the budget grants.
+func TestBudgetOverspendFails(t *testing.T) {
+	budget := writeBudget(t, "ctxcheck 0 grandfathered none\n")
+	_, stderr, code := runVet(t, "-budget", budget, "./internal/lint/testdata/src/ctx_clean")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on overspent budget\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "budget allows 0") {
+		t.Errorf("stderr does not report the overspend:\n%s", stderr)
+	}
+}

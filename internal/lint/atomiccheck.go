@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCheck bans mixed atomic/plain access to the same struct field.
+// The sharded pending-call table and the telemetry counters lean on
+// sync/atomic for their hot paths; a single plain load or store of a
+// field that is elsewhere accessed atomically is a data race the race
+// detector only catches when the interleaving happens to fire. The rule
+// is absolute: once a field is touched through sync/atomic — either the
+// function style (atomic.AddInt64(&s.n, 1)) or the Go 1.19 typed
+// wrappers (atomic.Bool, atomic.Int64, …) — every access must be
+// atomic.
+//
+// Concretely, within a package:
+//
+//   - a field passed by address to a sync/atomic function may appear
+//     only as &x.f inside such calls; any other read or write is
+//     flagged;
+//   - a field of a sync/atomic wrapper type may appear only as the
+//     receiver of its own methods (x.f.Load(), x.f.Store(v), …) or as
+//     &x.f handed to a helper; assigning or copying the wrapper value
+//     is flagged (it smuggles the word out from under the atomics).
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "a struct field accessed through sync/atomic anywhere must be accessed atomically everywhere; mixed atomic/plain access is a data race",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(pass *Pass) error {
+	atomicFields := map[*types.Var]bool{}      // fields under the atomic contract
+	sanctioned := map[*ast.SelectorExpr]bool{} // legal appearances of those fields
+
+	// Pass 1: collect the contract and the accesses that honour it.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				collectAtomicCall(pass, n, atomicFields, sanctioned)
+			case *ast.UnaryExpr:
+				// &x.f of a wrapper-typed field: taking the address to
+				// hand the atomic to a helper keeps the contract.
+				if n.Op == token.AND {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						if v := fieldOf(pass, sel); v != nil && isAtomicWrapper(v.Type()) {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			case *ast.StructType:
+				// Declaring a wrapper-typed field puts it under the
+				// contract even before any method call is seen.
+				for _, field := range n.Fields.List {
+					if t := pass.Info.TypeOf(field.Type); t != nil && isAtomicWrapper(t) {
+						for _, name := range field.Names {
+							if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+								atomicFields[v] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every remaining appearance of a contract field is a race.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldOf(pass, sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			if isAtomicWrapper(v.Type()) {
+				pass.Reportf(sel.Pos(),
+					"field %s (%s) copied or reassigned as a value; use its Load/Store/Add methods so every access stays atomic", v.Name(), typeString(v.Type()))
+			} else {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed through sync/atomic elsewhere; this plain access races with those atomics", v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicCall inspects one call expression. A sync/atomic
+// function call (atomic.AddInt64(&s.n, 1)) registers its &field
+// arguments under the contract and sanctions them; a wrapper method
+// call (s.flag.Load()) sanctions its receiver selection.
+func collectAtomicCall(pass *Pass, call *ast.CallExpr, atomicFields map[*types.Var]bool, sanctioned map[*ast.SelectorExpr]bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// Wrapper method: s.flag.Load() — sanction the field selection
+		// serving as the receiver.
+		outer, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if sel, ok := outer.X.(*ast.SelectorExpr); ok {
+			if v := fieldOf(pass, sel); v != nil {
+				atomicFields[v] = true
+				sanctioned[sel] = true
+			}
+		}
+		return
+	}
+	// Function style: register every &x.f argument.
+	for _, arg := range call.Args {
+		u, ok := arg.(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		sel, ok := u.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if v := fieldOf(pass, sel); v != nil {
+			atomicFields[v] = true
+			sanctioned[sel] = true
+		}
+	}
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil if
+// it is not a field selection (package qualifier, method value, …).
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isAtomicWrapper reports whether t is one of the Go 1.19 typed
+// atomics (atomic.Bool, atomic.Int64, atomic.Value, …).
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// typeString renders a type with its package qualifier shortened
+// (sync/atomic.Bool → atomic.Bool) for readable diagnostics.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if i := strings.LastIndex(p.Path(), "/"); i >= 0 {
+			return p.Path()[i+1:]
+		}
+		return p.Path()
+	})
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheck enforces the platform's cancellation discipline. The
+// disconnection machinery (PR 4) made every blocking remote operation
+// deadline- and cancel-aware; this analyzer keeps new code on that
+// contract instead of quietly minting uncancellable contexts mid-stack.
+//
+// Four rules:
+//
+//  1. context.Background() and context.TODO() are banned outside
+//     package main and test files. The one blessed library shape is the
+//     ctx-less compatibility wrapper: a function whose body is a single
+//     statement forwarding to its *Context-suffixed variant
+//     (`func (c *Client) Ping() error { return c.PingContext(context.Background()) }`).
+//     Everywhere else, thread the caller's context.
+//  2. a struct field of type context.Context is flagged: contexts are
+//     call-scoped values, not state. Storing one hides lifetime bugs
+//     (the stored ctx outlives its cancel) and defeats per-call
+//     deadlines. Derive cancellation from the owner's stop channel
+//     instead (remote.Peer's lifeCtx shape).
+//  3. a context.Context parameter must be the function's first
+//     parameter (the stdlib convention every caller pattern-matches on).
+//  4. a function that accepts a context must use it — pass it on or
+//     consult Done/Err/Deadline. An ignored ctx parameter advertises
+//     cancellation it does not deliver.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "ban context.Background outside entry points and single-statement compatibility wrappers, flag stored contexts in structs, require ctx first and actually threaded",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkStoredContext(pass, n)
+			case *ast.FuncDecl:
+				checkCtxParam(pass, n)
+				if !isMain && !isTest {
+					checkBackgroundCalls(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkStoredContext flags struct fields of type context.Context.
+func checkStoredContext(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"context.Context stored in a struct field; contexts are call-scoped — accept one per method or derive cancellation from the owner's stop channel")
+	}
+}
+
+// checkCtxParam enforces rules 3 and 4 on one function declaration.
+func checkCtxParam(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	var ctxVars []*types.Var
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if t != nil && isContextType(t) {
+			if pos != 0 {
+				pass.Reportf(field.Pos(),
+					"context.Context must be the first parameter of %s (stdlib convention)", fd.Name.Name)
+			}
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok && name.Name != "_" {
+					ctxVars = append(ctxVars, v)
+				}
+			}
+		}
+		pos += names
+	}
+	if fd.Body == nil || len(ctxVars) == 0 {
+		return
+	}
+	for _, v := range ctxVars {
+		if !usesVar(pass, fd.Body, v) {
+			pass.Reportf(fd.Pos(),
+				"%s accepts a context.Context but never uses it; thread it into the blocking calls or drop the parameter", fd.Name.Name)
+		}
+	}
+}
+
+// usesVar reports whether the body references v.
+func usesVar(pass *Pass, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkBackgroundCalls enforces rule 1 within one declaration.
+func checkBackgroundCalls(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	wrapper := isCompatWrapper(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if wrapper {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s mid-library; accept a ctx from the caller (or make this a single-statement wrapper over the *Context variant)",
+			fn.Name())
+		return true
+	})
+}
+
+// isCompatWrapper reports whether fd is the blessed ctx-less
+// compatibility shape: a body of exactly one statement that calls a
+// function whose name ends in "Context".
+func isCompatWrapper(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(fun.Name, "Context")
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(fun.Sel.Name, "Context")
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineCheck enforces joinable goroutine lifecycles in library code.
+// The platform's graceful-degradation story rests on background
+// machinery — health probes, release flushers, telemetry servers — and
+// every one of those loops must provably stop when its owner is closed:
+// a goroutine that outlives Close is a leak that multiplies under
+// multi-tenant fleets (one peer per client, several loops per peer).
+//
+// Every `go` statement outside package main and test files must carry
+// one of these join/shutdown shapes in the spawned body:
+//
+//  1. a sync.WaitGroup join — the body calls Done() on a WaitGroup
+//     (usually deferred), so an owner can Wait for it;
+//  2. a shutdown-signal select — a `select` with a channel-receive case
+//     whose body terminates (return or break), covering both
+//     close-signalled done channels and ctx.Done();
+//  3. a channel-range loop — `for range ch` terminates when the owner
+//     closes the channel;
+//  4. a completion send — the body's final statement sends on a
+//     channel, the single-bounded-operation-then-signal shape
+//     (`go func() { errc <- srv.Serve(ln) }()`).
+//
+// A spawned call to a function declared in the same package is checked
+// against that function's body. A spawned call whose body the analyzer
+// cannot see (another package's function, an interface method, a
+// function value) is flagged: the join path must be provable where the
+// goroutine is launched.
+var GoroutineCheck = &Analyzer{
+	Name: "goroutinecheck",
+	Doc:  "every go statement in library code must have a provable join/shutdown path: a WaitGroup Done, a shutdown-channel select, a channel range, or a completion send",
+	Run:  runGoroutineCheck,
+}
+
+func runGoroutineCheck(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // cmd entry points own the process lifetime
+	}
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, decls, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function and method bodies by
+// their types.Func, so `go recv.method()` spawns resolve to a body.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.BlockStmt {
+	out := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.BlockStmt, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := calleeFunc(pass, gs.Call); fn != nil {
+		body = decls[fn] // nil for out-of-package callees
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"go statement spawns a body this package cannot see; launch a local func with a provable join/shutdown path instead")
+		return
+	}
+	if !joinable(pass, body) {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no provable join/shutdown path (WaitGroup Done, shutdown-channel select, channel range, or completion send); it can outlive Close")
+	}
+}
+
+// joinable reports whether the goroutine body carries one of the four
+// accepted join/shutdown shapes.
+func joinable(pass *Pass, body *ast.BlockStmt) bool {
+	// Shape 4: the final statement is a channel send — the goroutine
+	// performs bounded work and signals completion.
+	if n := len(body.List); n > 0 {
+		if _, ok := body.List[n-1].(*ast.SendStmt); ok {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested goroutine's body proves nothing here
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectStmt:
+			if selectHasTerminatingReceive(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupDone matches wg.Done() where wg is a sync.WaitGroup (or a
+// field/pointer to one).
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// selectHasTerminatingReceive reports whether the select has a
+// channel-receive case whose body terminates the goroutine's loop —
+// a return, or a break out of the enclosing for.
+func selectHasTerminatingReceive(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil || !isReceiveComm(cc.Comm) {
+			continue
+		}
+		if terminates(cc.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// isReceiveComm matches the receive shapes a CommClause can take:
+// `<-ch`, `v := <-ch`, and `v, ok := <-ch`.
+func isReceiveComm(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := s.Rhs[0].(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// terminates reports whether a case body ends the surrounding loop:
+// a return statement, or a break/goto branching out.
+func terminates(body []ast.Stmt) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				return true
+			}
+		case *ast.BlockStmt:
+			if terminates(s.List) {
+				return true
+			}
+		case *ast.IfStmt:
+			if terminates(s.Body.List) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -129,6 +129,21 @@ func TestTelemetryCheck(t *testing.T) {
 	runTestdata(t, TelemetryCheck, "internal/telemetry")
 }
 
+func TestGoroutineCheck(t *testing.T) {
+	runTestdata(t, GoroutineCheck, "goroutine_bad")
+	runTestdata(t, GoroutineCheck, "goroutine_clean")
+}
+
+func TestCtxCheck(t *testing.T) {
+	runTestdata(t, CtxCheck, "ctx_bad")
+	runTestdata(t, CtxCheck, "ctx_clean")
+}
+
+func TestAtomicCheck(t *testing.T) {
+	runTestdata(t, AtomicCheck, "atomic_bad")
+	runTestdata(t, AtomicCheck, "atomic_clean")
+}
+
 // TestAllowDirective pins the suppression contract: a directive covers
 // its own line and the next, only for the named analyzer, and a
 // directive without a reason is itself reported.
@@ -174,15 +189,17 @@ func TestForScoping(t *testing.T) {
 		}
 		return out
 	}
+	// The concurrency-lifecycle analyzers (goroutinecheck, ctxcheck,
+	// atomiccheck) are unscoped: they run everywhere.
 	cases := []struct {
 		pkg  string
 		want string
 	}{
-		{"aide/internal/remote", "lockcheck detcheck rpcerr gobwire telemetrycheck"},
-		{"aide/internal/vm", "lockcheck rpcerr gobwire telemetrycheck"},
-		{"aide/internal/emulator", "detcheck rpcerr gobwire telemetrycheck"},
-		{"aide/internal/apps", "rpcerr gobwire telemetrycheck"},
-		{"aide/internal/telemetry", "lockcheck detcheck rpcerr gobwire telemetrycheck"},
+		{"aide/internal/remote", "lockcheck detcheck rpcerr gobwire telemetrycheck goroutinecheck ctxcheck atomiccheck"},
+		{"aide/internal/vm", "lockcheck rpcerr gobwire telemetrycheck goroutinecheck ctxcheck atomiccheck"},
+		{"aide/internal/emulator", "detcheck rpcerr gobwire telemetrycheck goroutinecheck ctxcheck atomiccheck"},
+		{"aide/internal/apps", "rpcerr gobwire telemetrycheck goroutinecheck ctxcheck atomiccheck"},
+		{"aide/internal/telemetry", "lockcheck detcheck rpcerr gobwire telemetrycheck goroutinecheck ctxcheck atomiccheck"},
 	}
 	for _, tc := range cases {
 		if got := strings.Join(names(tc.pkg), " "); got != tc.want {

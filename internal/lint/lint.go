@@ -2,9 +2,12 @@
 // go/analysis-style framework plus the project's custom analyzers. It
 // exists because AIDE's correctness rests on invariants the compiler
 // cannot see — lock discipline around the VM and peer tables, trace
-// determinism in the replay paths, and transport-error propagation at
-// the remote-invocation boundary (the paper's graceful degradation when
-// the surrogate disappears).
+// determinism in the replay paths, transport-error propagation at the
+// remote-invocation boundary (the paper's graceful degradation when the
+// surrogate disappears), and the concurrency lifecycle of the
+// platform's background machinery: goroutines that provably join,
+// contexts that thread caller-to-callee, atomic fields that stay
+// atomic.
 //
 // The framework is self-contained on the standard library's go/ast and
 // go/types (no golang.org/x/tools dependency): packages are loaded
@@ -27,6 +30,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant checker.
@@ -76,10 +80,19 @@ func (d Diagnostic) String() string {
 // AllowDirective is the comment prefix that suppresses a finding.
 const AllowDirective = "//lint:allow "
 
-// suppressions maps file -> line -> analyzer names allowed on that line
-// (a directive also covers the line directly beneath it, so it can sit
+// A Suppression is one //lint:allow directive found in source, with
+// its mandatory reason. The driver's suppression-debt report compares
+// the full inventory against the checked-in lint.budget file.
+type Suppression struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+}
+
+// suppressions maps file -> line -> directives allowed on that line (a
+// directive also covers the line directly beneath it, so it can sit
 // above the flagged statement).
-type suppressions map[string]map[int][]string
+type suppressions map[string]map[int][]Suppression
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
 	sup := suppressions{}
@@ -103,10 +116,14 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, 
 				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]string{}
+					byLine = map[int][]Suppression{}
 					sup[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				byLine[pos.Line] = append(byLine[pos.Line], Suppression{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					Pos:      pos,
+				})
 			}
 		}
 	}
@@ -119,8 +136,8 @@ func (s suppressions) allows(d Diagnostic) bool {
 		return false
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == d.Analyzer {
+		for _, a := range byLine[line] {
+			if a.Analyzer == d.Analyzer {
 				return true
 			}
 		}
@@ -128,10 +145,45 @@ func (s suppressions) allows(d Diagnostic) bool {
 	return false
 }
 
+// Suppressions inventories every well-formed //lint:allow directive in
+// the package, sorted by position, for the driver's budget report.
+func Suppressions(pkg *Package) []Suppression {
+	sup, _ := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Suppression
+	for _, byLine := range sup {
+		for _, entries := range byLine {
+			out = append(out, entries...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// A Timing records one analyzer's wall-clock cost over one package.
+type Timing struct {
+	Analyzer string
+	Package  string
+	Elapsed  time.Duration
+}
+
 // Run applies the analyzers to one loaded package and returns the
 // surviving (non-suppressed) findings sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkg, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus a per-analyzer wall-clock timing breakdown for
+// the driver's -timings report.
+func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	sup, diags := collectSuppressions(pkg.Fset, pkg.Files)
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -145,8 +197,11 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags = append(diags, d)
 			}
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings = append(timings, Timing{Analyzer: a.Name, Package: pkg.Path, Elapsed: time.Since(start)})
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -159,12 +214,15 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{LockCheck, DetCheck, RPCErr, GobWire, TelemetryCheck}
+	return []*Analyzer{
+		LockCheck, DetCheck, RPCErr, GobWire, TelemetryCheck,
+		GoroutineCheck, CtxCheck, AtomicCheck,
+	}
 }
 
 // scopes lists, per analyzer, the package-path suffixes it is scoped to

@@ -1,0 +1,36 @@
+// Package atomic_bad exercises atomiccheck's findings: a field updated
+// through sync/atomic but also read plainly, and a typed-atomic field
+// copied out as a value.
+package atomic_bad
+
+import "sync/atomic"
+
+type Counters struct {
+	hits int64
+	flag atomic.Bool
+}
+
+// Inc puts hits under the atomic contract.
+func (c *Counters) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Racy reads hits without the atomics.
+func (c *Counters) Racy() int64 {
+	return c.hits // want `plain access races`
+}
+
+// Reset writes hits without the atomics.
+func (c *Counters) Reset() {
+	c.hits = 0 // want `plain access races`
+}
+
+// Set is the legal use of the wrapper.
+func (c *Counters) Set(v bool) {
+	c.flag.Store(v)
+}
+
+// Copy smuggles the word out from under the atomics.
+func (c *Counters) Copy() atomic.Bool {
+	return c.flag // want `copied or reassigned`
+}

@@ -1,0 +1,50 @@
+// Package atomic_clean carries the accepted atomic-access shapes:
+// function-style atomics used consistently, wrapper methods, a plain
+// field that never mixes with atomics, passing a wrapper by address,
+// and a suppressed plain read. No expectations: any finding fails the
+// test.
+package atomic_clean
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  int64
+	total int64
+	flag  atomic.Bool
+}
+
+// Inc and Load keep hits consistently atomic.
+func (c *Counters) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counters) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Bump touches total, which no atomic ever touches: plain is fine.
+func (c *Counters) Bump() {
+	c.total++
+}
+
+// Set and Get are the wrapper's own methods.
+func (c *Counters) Set(v bool) {
+	c.flag.Store(v)
+}
+
+func (c *Counters) Get() bool {
+	return c.flag.Load()
+}
+
+// reset takes the wrapper by address: the contract holds.
+func reset(b *atomic.Bool) { b.Store(false) }
+
+func (c *Counters) ResetFlag() {
+	reset(&c.flag)
+}
+
+// Snapshot exercises the suppression path.
+func (c *Counters) Snapshot() int64 {
+	//lint:allow atomiccheck testdata: pinned as acceptable to exercise suppression
+	return c.hits
+}

@@ -1,0 +1,35 @@
+// Package ctx_bad exercises ctxcheck's findings: Background/TODO
+// minted mid-library, a context stored in a struct, a ctx parameter
+// that is not first, and a ctx parameter that is never used.
+package ctx_bad
+
+import "context"
+
+// Fetch mints a Background outside the blessed wrapper shape.
+func Fetch() error {
+	ctx := context.Background() // want `context.Background mid-library`
+	<-ctx.Done()
+	return nil
+}
+
+// Todo is no better.
+func Todo() {
+	_ = context.TODO() // want `context.TODO mid-library`
+}
+
+// Session stores a call-scoped value as state.
+type Session struct {
+	ctx context.Context // want `stored in a struct field`
+}
+
+// Query hides the context mid-signature.
+func Query(name string, ctx context.Context) error { // want `must be the first parameter`
+	<-ctx.Done()
+	_ = name
+	return nil
+}
+
+// Ignore advertises cancellation it does not deliver.
+func Ignore(ctx context.Context) error { // want `never uses it`
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package ctx_clean carries the accepted context shapes: the
+// single-statement ctx-less compatibility wrapper (both return and
+// expression forms), ctx-first threaded signatures, and a suppressed
+// Background. No expectations: any finding fails the test.
+package ctx_clean
+
+import "context"
+
+// Fetch is the blessed wrapper: one statement forwarding to the
+// *Context variant.
+func Fetch() error {
+	return FetchContext(context.Background())
+}
+
+// FetchContext threads the caller's context.
+func FetchContext(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+// Run is the expression-statement form of the wrapper.
+func Run() {
+	RunContext(context.Background())
+}
+
+// RunContext consults the context it accepts.
+func RunContext(ctx context.Context) {
+	_ = ctx.Err()
+}
+
+// Query keeps ctx first and passes it on.
+func Query(ctx context.Context, name string) error {
+	_ = name
+	return FetchContext(ctx)
+}
+
+// Pinned exercises the suppression path.
+func Pinned() {
+	//lint:allow ctxcheck testdata: pinned as acceptable to exercise suppression
+	_ = context.Background()
+}

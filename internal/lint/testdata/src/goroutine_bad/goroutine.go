@@ -1,0 +1,35 @@
+// Package goroutine_bad exercises goroutinecheck's findings: a spawned
+// body with no join/shutdown shape, a same-package method spawn whose
+// body cannot stop, and a spawn of a function value the analyzer cannot
+// see into.
+package goroutine_bad
+
+type Server struct {
+	busy bool
+}
+
+// Leak spawns a loop that nothing can stop.
+func Leak() {
+	go func() { // want `no provable join/shutdown path`
+		for {
+		}
+	}()
+}
+
+// loop runs forever with no join shape; spawning it is the finding.
+func (s *Server) loop() {
+	for {
+		s.busy = !s.busy
+	}
+}
+
+// Start resolves the method body within the package and flags it.
+func (s *Server) Start() {
+	go s.loop() // want `no provable join/shutdown path`
+}
+
+// Opaque spawns a function value: the join path is unprovable at the
+// launch site.
+func Opaque(f func()) {
+	go f() // want `cannot see`
+}

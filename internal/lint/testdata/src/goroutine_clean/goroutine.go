@@ -1,0 +1,66 @@
+// Package goroutine_clean carries one goroutine per accepted
+// join/shutdown shape — WaitGroup Done, shutdown-channel select,
+// channel range, completion send — plus a suppressed launch site. No
+// expectations: any finding fails the test.
+package goroutine_clean
+
+import "sync"
+
+type Worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	jobs chan int
+	done int
+}
+
+// StartJoined joins via the WaitGroup.
+func (w *Worker) StartJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for range w.jobs {
+			w.done++
+		}
+	}()
+}
+
+// StartSelect stops when the shutdown channel closes.
+func (w *Worker) StartSelect() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case j := <-w.jobs:
+				w.done += j
+			}
+		}
+	}()
+}
+
+// StartRange drains until the owner closes the jobs channel.
+func (w *Worker) StartRange() {
+	go w.drain()
+}
+
+func (w *Worker) drain() {
+	for j := range w.jobs {
+		w.done += j
+	}
+}
+
+// StartBounded performs one bounded operation and signals completion.
+func StartBounded(errc chan error, f func() error) {
+	go func() {
+		errc <- f()
+	}()
+}
+
+// StartSuppressed exercises the suppression path.
+func StartSuppressed() {
+	//lint:allow goroutinecheck testdata: pinned as acceptable to exercise suppression
+	go func() {
+		for {
+		}
+	}()
+}

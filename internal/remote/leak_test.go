@@ -1,0 +1,43 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain wraps the whole package run in a goroutine-leak check: the
+// peer's receive loop, worker pool, and health prober must all have
+// joined (Close waits on p.wg) by the time the tests finish.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := settleGoroutines(before); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines outlived the package tests (started with %d)\n",
+				leaked, before)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, tolerating runtime-internal stragglers that need a few
+// scheduler rounds to park.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			if n <= baseline {
+				return 0
+			}
+			return n - baseline
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

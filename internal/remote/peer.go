@@ -568,7 +568,32 @@ func (p *Peer) worker() {
 // call sends a request and blocks for the matching reply, under the
 // peer's configured deadline.
 func (p *Peer) call(m *Message) (*Message, error) {
-	return p.Call(context.Background(), m)
+	return p.Call(p.lifeCtx(), m)
+}
+
+// lifeCtx returns a context bound to the peer's lifetime: done when the
+// peer fails or closes, with Err reporting the peer's failure error
+// (ErrClosed, or the wrapped ErrDisconnected cause) so failover paths
+// that errors.Is on those sentinels keep working. The peer deliberately
+// does not store a context.Context — contexts are call-scoped, and a
+// stored one would hide the cancel's lifetime (ctxcheck flags that
+// shape); instead the context is derived on demand from the stop
+// channel the peer already owns.
+func (p *Peer) lifeCtx() context.Context { return peerCtx{p} }
+
+// peerCtx adapts the peer's stop channel to context.Context for the
+// ctx-less compatibility wrappers and the peer's own background loops.
+type peerCtx struct{ p *Peer }
+
+func (c peerCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c peerCtx) Done() <-chan struct{}       { return c.p.stop }
+func (c peerCtx) Value(key any) any           { return nil }
+
+func (c peerCtx) Err() error {
+	if c.p.closed.Load() {
+		return c.p.failErr()
+	}
+	return nil
 }
 
 // Call sends a request and blocks for the matching reply. Buffered
@@ -887,7 +912,7 @@ func (p *Peer) flushReleases() {
 	// receiver's dedupe window makes an "errored but delivered" send
 	// harmless: every decref applies exactly once. A batch that exhausts
 	// the retry budget is dropped — export pins leak, never corrupt.
-	if err := p.sendRetry(context.Background(), m); err != nil {
+	if err := p.sendRetry(p.lifeCtx(), m); err != nil {
 		p.m.releasesDropped.Add(int64(len(ids)))
 	}
 }
@@ -898,12 +923,18 @@ func (p *Peer) flushReleases() {
 // simulated clock when a link model is attached. With the tracer on it
 // emits a migration span whose ID parents the underlying RPC span.
 func (p *Peer) Offload(classNames []string) (objects int, bytes int64, err error) {
+	return p.OffloadContext(p.lifeCtx(), classNames)
+}
+
+// OffloadContext is Offload bounded by ctx: the migration call aborts
+// when ctx is cancelled or its deadline expires.
+func (p *Peer) OffloadContext(ctx context.Context, classNames []string) (objects int, bytes int64, err error) {
 	if !p.tracer.Enabled() {
-		return p.offload(context.Background(), classNames)
+		return p.offload(ctx, classNames)
 	}
 	sid := p.tracer.NextID()
 	start := p.mnow()
-	objects, bytes, err = p.offload(telemetry.WithSpan(context.Background(), sid), classNames)
+	objects, bytes, err = p.offload(telemetry.WithSpan(ctx, sid), classNames)
 	p.tracer.Emit(telemetry.Span{
 		ID: sid, Kind: telemetry.SpanMigration, Note: "offload", Peer: p.idx,
 		N: int64(objects), Bytes: bytes, Err: err != nil, Start: start, Dur: p.mnow().Sub(start),
@@ -948,7 +979,7 @@ func (p *Peer) offload(ctx context.Context, classNames []string) (objects int, b
 // idempotent, so a failed round trip is retried up to the peer's retry
 // budget.
 func (p *Peer) Ping() error {
-	return p.Probe(context.Background())
+	return p.Probe(p.lifeCtx())
 }
 
 // Probe sends one health-check ping under ctx with idempotent retries.
@@ -1004,7 +1035,7 @@ func (p *Peer) prober(interval time.Duration) {
 			if p.closed.Load() {
 				return
 			}
-			if _, err := p.Call(context.Background(), &Message{Kind: MsgPing}); err != nil {
+			if _, err := p.Call(p.lifeCtx(), &Message{Kind: MsgPing}); err != nil {
 				p.logfSafe("remote: health probe failed: %v", err)
 			}
 		}
@@ -1028,8 +1059,14 @@ type PeerInfo struct {
 // the measured RTT includes any retry latency (a degraded link honestly
 // ranks worse).
 func (p *Peer) Info() (PeerInfo, error) {
+	return p.InfoContext(p.lifeCtx())
+}
+
+// InfoContext is Info bounded by ctx: the resource probe (including its
+// idempotent retries) aborts when ctx is cancelled or expires.
+func (p *Peer) InfoContext(ctx context.Context) (PeerInfo, error) {
 	start := p.now()
-	reply, err := p.retryIdempotent(context.Background(), func() *Message { return &Message{Kind: MsgInfo} })
+	reply, err := p.retryIdempotent(ctx, func() *Message { return &Message{Kind: MsgInfo} })
 	if err != nil {
 		return PeerInfo{}, err
 	}
@@ -1047,12 +1084,18 @@ func (p *Peer) Info() (PeerInfo, error) {
 // device"). Stubs this VM already holds upgrade in place, so references
 // stay valid.
 func (p *Peer) Recall(classNames []string) (objects int, bytes int64, err error) {
+	return p.RecallContext(p.lifeCtx(), classNames)
+}
+
+// RecallContext is Recall bounded by ctx: the migration call aborts
+// when ctx is cancelled or its deadline expires.
+func (p *Peer) RecallContext(ctx context.Context, classNames []string) (objects int, bytes int64, err error) {
 	if !p.tracer.Enabled() {
-		return p.recall(context.Background(), classNames)
+		return p.recall(ctx, classNames)
 	}
 	sid := p.tracer.NextID()
 	start := p.mnow()
-	objects, bytes, err = p.recall(telemetry.WithSpan(context.Background(), sid), classNames)
+	objects, bytes, err = p.recall(telemetry.WithSpan(ctx, sid), classNames)
 	p.tracer.Emit(telemetry.Span{
 		ID: sid, Kind: telemetry.SpanMigration, Note: "recall", Peer: p.idx,
 		N: int64(objects), Bytes: bytes, Err: err != nil, Start: start, Dur: p.mnow().Sub(start),

@@ -75,6 +75,7 @@ func RawTCPEcho(size int) (step func() error, close func() error, err error) {
 		return nil, nil, err
 	}
 	defer ln.Close()
+	//lint:allow goroutinecheck bench scaffolding: the echo loop exits when close() tears down its connection
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {

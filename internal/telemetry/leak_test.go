@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain wraps the whole package run in a goroutine-leak check: the
+// exposition server's Serve goroutine must have joined (Close receives
+// its exit error) by the time the tests finish.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := settleGoroutines(before); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines outlived the package tests (started with %d)\n",
+				leaked, before)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, tolerating runtime-internal stragglers that need a few
+// scheduler rounds to park.
+func settleGoroutines(baseline int) int {
+	// Scrape tests use the default client; idle keep-alive connections
+	// hold their goroutines until dropped.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			if n <= baseline {
+				return 0
+			}
+			return n - baseline
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,51 @@
+package aide
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain wraps the whole package run in a goroutine-leak check: every
+// background goroutine the platform spawns (peer workers and probers,
+// disconnect-close handlers, surrogate accept loops and reapers) must
+// have joined by the time the tests finish. This is the executable form
+// of goroutinecheck's promise — the analyzer proves a join path exists,
+// this proves the paths are actually taken.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := settleGoroutines(before); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines outlived the package tests (started with %d)\n",
+				leaked, before)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, tolerating runtime-internal stragglers (finalizer, netpoll)
+// that need a few scheduler rounds to park. Returns the number still
+// above baseline after the grace period.
+func settleGoroutines(baseline int) int {
+	// Idle keep-alive connections from TCP tests hold their goroutines
+	// until the transport drops them.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			if n <= baseline {
+				return 0
+			}
+			return n - baseline
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
@@ -25,14 +26,21 @@ type SurrogateProbe struct {
 // availability"; this is that probe. Unreachable candidates carry a
 // non-nil Err.
 func ProbeSurrogates(addrs []string) []SurrogateProbe {
-	return probeSurrogates(nil, addrs)
+	return ProbeSurrogatesContext(context.Background(), addrs)
+}
+
+// ProbeSurrogatesContext is ProbeSurrogates bounded by ctx: the dials
+// and resource queries abort when ctx is cancelled or its deadline
+// expires (candidates not yet probed report the cancellation error).
+func ProbeSurrogatesContext(ctx context.Context, addrs []string) []SurrogateProbe {
+	return probeSurrogates(ctx, nil, addrs)
 }
 
 // probeSurrogates implements ProbeSurrogates, emitting one SpanProbe per
 // candidate (reachable or not) when the tracer is enabled: the span's
 // duration is the measured RTT for a successful probe and the elapsed
 // dial-plus-query time for a failed one.
-func probeSurrogates(tr *telemetry.Tracer, addrs []string) []SurrogateProbe {
+func probeSurrogates(ctx context.Context, tr *telemetry.Tracer, addrs []string) []SurrogateProbe {
 	probes := make([]SurrogateProbe, len(addrs))
 	// Probes are resource queries only; any registry works.
 	reg := vm.NewRegistry()
@@ -43,7 +51,7 @@ func probeSurrogates(tr *telemetry.Tracer, addrs []string) []SurrogateProbe {
 		if traced {
 			start = time.Now()
 		}
-		info, err := probeOne(reg, addr)
+		info, err := probeOne(ctx, reg, addr)
 		if err != nil {
 			probes[i].Err = err
 		} else {
@@ -67,15 +75,17 @@ func probeSurrogates(tr *telemetry.Tracer, addrs []string) []SurrogateProbe {
 	return probes
 }
 
-// probeOne dials one candidate and queries its resources.
-func probeOne(reg *Registry, addr string) (remote.PeerInfo, error) {
-	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+// probeOne dials one candidate and queries its resources under ctx
+// (plus a 3 s dial cap so one dead candidate cannot stall the sweep).
+func probeOne(ctx context.Context, reg *Registry, addr string) (remote.PeerInfo, error) {
+	d := net.Dialer{Timeout: 3 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return remote.PeerInfo{}, fmt.Errorf("aide: probe %s: %w", addr, err)
 	}
 	v := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
 	peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
-	info, err := peer.Info()
+	info, err := peer.InfoContext(ctx)
 	if cerr := peer.Close(); err == nil {
 		err = cerr
 	}
@@ -113,15 +123,22 @@ func RankSurrogates(probes []SurrogateProbe) []SurrogateProbe {
 // AttachBestTCP probes every candidate surrogate, ranks them, and attaches
 // the client to the best reachable one, returning its address.
 func (c *Client) AttachBestTCP(addrs []string) (string, error) {
+	return c.AttachBestTCPContext(context.Background(), addrs)
+}
+
+// AttachBestTCPContext is AttachBestTCP bounded by ctx: the probe sweep
+// and the final attach dial abort when ctx is cancelled or expires, so
+// a reattach after a disconnection stays cancellable end to end.
+func (c *Client) AttachBestTCPContext(ctx context.Context, addrs []string) (string, error) {
 	if len(addrs) == 0 {
 		return "", fmt.Errorf("aide: no surrogate candidates")
 	}
-	ranked := RankSurrogates(probeSurrogates(c.tracer, addrs))
+	ranked := RankSurrogates(probeSurrogates(ctx, c.tracer, addrs))
 	best := ranked[0]
 	if best.Err != nil {
 		return "", fmt.Errorf("aide: no reachable surrogate: %w", best.Err)
 	}
-	if err := c.AttachTCP(best.Addr); err != nil {
+	if err := c.AttachTCPContext(ctx, best.Addr); err != nil {
 		return "", err
 	}
 	return best.Addr, nil

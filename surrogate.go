@@ -19,10 +19,15 @@ type Surrogate struct {
 	opts options
 	vm   *vm.VM
 
-	mu    sync.Mutex
-	peers []*remote.Peer
-	ln    net.Listener
-	wg    sync.WaitGroup
+	mu     sync.Mutex
+	peers  []*remote.Peer
+	ln     net.Listener
+	closed bool
+	// wg joins the accept loop and the asynchronous reap goroutines;
+	// Close waits on it so no goroutine outlives the surrogate. Add
+	// happens under mu, serialized against Close's closed-flag flip, so
+	// it can never race a Wait at zero.
+	wg sync.WaitGroup
 }
 
 // NewSurrogate builds a surrogate platform over the shared class registry.
@@ -65,8 +70,22 @@ func (s *Surrogate) Serve(t remote.Transport) {
 	ro.OnDown = func(p *remote.Peer, cause error) {
 		_ = cause // the peer already logged it via Logf
 		// Reap asynchronously: OnDown runs on the peer's own receive
-		// loop, which Close joins.
-		go s.reap(p)
+		// loop, which Close joins. The reaper itself joins via s.wg;
+		// once Close has flipped the flag it owns the teardown and the
+		// reap is redundant.
+		s.mu.Lock()
+		closed := s.closed
+		if !closed {
+			s.wg.Add(1)
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		go func() {
+			defer s.wg.Done()
+			s.reap(p)
+		}()
 	}
 	p := remote.NewPeer(s.vm, t, ro)
 	s.mu.Lock()
@@ -102,15 +121,20 @@ func (s *Surrogate) ListenAndServe(addr string) (string, error) {
 		return "", fmt.Errorf("aide: surrogate listen: %w", err)
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("aide: surrogate closed")
+	}
 	if s.ln != nil {
 		s.mu.Unlock()
 		_ = ln.Close()
 		return "", errors.New("aide: surrogate already listening")
 	}
 	s.ln = ln
+	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -127,6 +151,7 @@ func (s *Surrogate) ListenAndServe(addr string) (string, error) {
 // Close stops listening and closes every client connection.
 func (s *Surrogate) Close() error {
 	s.mu.Lock()
+	s.closed = true
 	ln := s.ln
 	s.ln = nil
 	peers := s.peers
