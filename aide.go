@@ -58,6 +58,17 @@ type (
 
 	// PolicyParams bundles the trigger/partitioning policy parameters.
 	PolicyParams = policy.Params
+
+	// Pipeline batches a chain of dependent remote invocations into one
+	// round trip (promise pipelining); build one with Client.NewPipeline.
+	Pipeline = vm.Pipeline
+
+	// Promise is the not-yet-resolved result of a pipelined call.
+	Promise = vm.Promise
+
+	// PipelineError identifies the failing call of a pipelined frame;
+	// every dependent promise yields the same *PipelineError.
+	PipelineError = vm.PipelineError
 )
 
 // InvalidObject is the zero object reference.
@@ -121,6 +132,10 @@ type options struct {
 	// instrument the platform holds is then a nil-safe no-op.
 	telemetry *TelemetryRegistry
 	tracer    *Tracer
+
+	// Lazy state transfer, from WithLazyMigration.
+	lazyMigration   bool
+	lazyMinAccesses int64
 }
 
 // remoteOptions maps the platform options onto the remote module's
@@ -137,6 +152,7 @@ func (o *options) remoteOptions() remote.Options {
 		Logf:            o.logf,
 		Telemetry:       o.telemetry,
 		Tracer:          o.tracer,
+		LazyMigration:   o.lazyMigration,
 	}
 }
 
@@ -220,6 +236,17 @@ func WithDisconnectCooldown(cycles int) Option {
 // orphan replies, dropped release batches). Nil discards them.
 func WithLogf(f func(format string, args ...any)) Option {
 	return func(o *options) { o.logf = f }
+}
+
+// WithLazyMigration enables monitor-driven lazy state transfer:
+// migrations ship only the fields the access graph predicts will be
+// touched (at least minAccesses recorded accesses make a field hot);
+// cold fields stay behind and cross on first access, all of an object's
+// remaining fields in one batched pull. minAccesses < 1 defaults to 1.
+// Requires monitoring; with WithoutMonitoring the option is inert and
+// migrations stay full-state.
+func WithLazyMigration(minAccesses int64) Option {
+	return func(o *options) { o.lazyMigration = true; o.lazyMinAccesses = minAccesses }
 }
 
 // WithPeriodicRebalance re-evaluates the whole placement every n

@@ -13,6 +13,7 @@ package aide
 // alongside.
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -775,6 +776,86 @@ func BenchmarkRPCReleaseStorm(b *testing.B) {
 			if st.ReleaseBatchesSent > 0 {
 				b.ReportMetric(float64(st.ReleasesSent)/float64(st.ReleaseBatchesSent), "releases/msg")
 			}
+		})
+	}
+}
+
+// BenchmarkRPCPipeline measures one chained-call transaction — depth
+// dependent hops, each needing the previous result as its receiver —
+// pipelined as one MsgInvokeBatch frame versus issued as depth blocking
+// round trips, at the paper-style depths 1/4/16/64 over the in-process
+// and TCP transports. The wire/op metric is the client's two-way wire
+// volume per transaction; BENCH_rpc.json records the speedup claim
+// (≥5x at depth 16 over TCP) machine-checkably.
+func BenchmarkRPCPipeline(b *testing.B) {
+	skipBench(b)
+	for _, mode := range []rpcbench.Mode{rpcbench.ModeChan, rpcbench.ModeTCP} {
+		for _, depth := range []int{1, 4, 16, 64} {
+			for _, variant := range []struct {
+				name string
+				run  func(*rpcbench.Env, int) error
+			}{
+				{"sequential", (*rpcbench.Env).SequentialChain},
+				{"pipelined", (*rpcbench.Env).PipelineChain},
+			} {
+				name := string(mode) + "/depth-" + strconv.Itoa(depth) + "/" + variant.name
+				b.Run(name, func(b *testing.B) {
+					env, err := rpcbench.New(rpcbench.Config{Mode: mode, Workers: 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer func() {
+						if err := env.Close(); err != nil {
+							b.Errorf("close: %v", err)
+						}
+					}()
+					wireBefore := env.WireBytes()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := variant.run(env, depth); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(env.WireBytes()-wireBefore)/float64(b.N), "wire/op")
+					if variant.name == "pipelined" && env.PipelineFrames() != int64(b.N) {
+						b.Fatalf("pipelined run sent %d frames for %d chains: it degraded to sequential",
+							env.PipelineFrames(), b.N)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRPCLazyMigration migrates the JavaNote-like document set
+// (1 KiB hot text + 16 KiB cold thumbnail per note) full-state and
+// lazily, reporting the measured migration wire bytes per run — the
+// number the lazy_migration section of BENCH_rpc.json is built from.
+func BenchmarkRPCLazyMigration(b *testing.B) {
+	skipBench(b)
+	const notes = 16
+	for _, cfg := range []struct {
+		name string
+		lazy bool
+	}{
+		{"full", false},
+		{"lazy", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var wire int64
+			for i := 0; i < b.N; i++ {
+				m, err := rpcbench.MeasureLazyMigration(notes, cfg.lazy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.HotFaults != 0 {
+					b.Fatalf("hot fields faulted %d times", m.HotFaults)
+				}
+				wire = m.WireBytes
+			}
+			b.ReportMetric(float64(wire), "migration-wire-bytes")
 		})
 	}
 }

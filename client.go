@@ -112,6 +112,13 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 	if o.monitor {
 		c.mon = monitor.New(monitor.RegistryMeta(reg))
 		c.vm.SetHooks(c.mon)
+		if o.lazyMigration {
+			min := o.lazyMinAccesses
+			if min < 1 {
+				min = o.params.LazyMinAccesses
+			}
+			c.vm.SetFieldPredictor(c.mon.FieldPredictor(min))
+		}
 	}
 	c.trigger = policy.MemoryTrigger{
 		FreeFraction: o.params.TriggerFreeFraction,
@@ -125,6 +132,20 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 
 // Thread returns an execution context for running application code.
 func (c *Client) Thread() *Thread { return c.vm.NewThread() }
+
+// NewPipeline starts a promise pipeline: a chain of dependent remote
+// invocations that ships as one wire frame when every receiver lives on
+// the same surrogate.
+//
+//	p := c.NewPipeline()
+//	a := p.Invoke(obj, "f")
+//	b := p.Invoke(a, "g", a) // receiver and argument from a's promise
+//	res, err := p.Run(ctx)
+//
+// Against an old surrogate without multi-invoke support, or after a
+// mid-frame disconnection, the pipeline transparently degrades to
+// sequential calls.
+func (c *Client) NewPipeline() *Pipeline { return c.vm.NewPipeline() }
 
 // VM exposes the underlying client VM (roots, heap statistics, clock).
 func (c *Client) VM() *vm.VM { return c.vm }

@@ -36,6 +36,40 @@ type rpcReport struct {
 	TCPFloorAdjusted float64           `json:"invoke_tcp_speedup_vs_gob_above_floor"`
 
 	Storm rpcStorm `json:"release_storm"`
+
+	// Pipeline is the chained-call comparison over the TCP transport:
+	// one transaction of depth dependent hops, issued as blocking round
+	// trips versus shipped as one MsgInvokeBatch frame.
+	Pipeline []rpcPipelineRow `json:"pipeline"`
+
+	// PipelineSpeedup16 is the headline promise-pipelining claim: chain
+	// throughput multiple at the paper-style depth of 16.
+	PipelineSpeedup16 float64 `json:"pipeline_tcp_speedup_at_depth_16"`
+
+	LazyMigration rpcLazy `json:"lazy_migration"`
+}
+
+// rpcPipelineRow is one chained-call measurement at a given depth.
+type rpcPipelineRow struct {
+	Depth          int     `json:"depth"`
+	SequentialNs   float64 `json:"sequential_ns_per_chain"`
+	PipelinedNs    float64 `json:"pipelined_ns_per_chain"`
+	SpeedupX       float64 `json:"speedup_x"`
+	SequentialWire int64   `json:"sequential_wire_bytes_per_chain"`
+	PipelinedWire  int64   `json:"pipelined_wire_bytes_per_chain"`
+}
+
+// rpcLazy records the lazy-vs-full migration comparison: the same
+// document set shipped full-state and with monitor-predicted hot fields
+// only, cold fields pulled on demand.
+type rpcLazy struct {
+	Objects       int     `json:"objects"`
+	FullWireBytes int64   `json:"full_migration_wire_bytes"`
+	LazyWireBytes int64   `json:"lazy_migration_wire_bytes"`
+	DeferredBytes int64   `json:"deferred_logical_bytes"`
+	ReductionFrac float64 `json:"wire_byte_reduction_frac"`
+	HotFaults     int64   `json:"hot_field_faults"`
+	ColdFaults    int64   `json:"cold_field_faults"`
 }
 
 // rpcStorm records the release-coalescing comparison for one
@@ -127,6 +161,60 @@ func benchStorm(batch int) (testing.BenchmarkResult, int64, error) {
 	return r, perStorm, benchErr
 }
 
+// benchChain measures one chained-call depth over the TCP transport:
+// sequential blocking round trips versus one pipelined batch frame, plus
+// the deterministic wire cost of a single chain (measured outside the
+// timed loops so Stats polling cannot skew ns/op).
+func benchChain(depth int) (rpcPipelineRow, error) {
+	env, err := rpcbench.New(rpcbench.Config{Mode: rpcbench.ModeTCP, Workers: 2})
+	if err != nil {
+		return rpcPipelineRow{}, err
+	}
+	prow, err := measureChain(env, depth)
+	if cerr := env.Close(); err == nil {
+		err = cerr
+	}
+	return prow, err
+}
+
+func measureChain(env *rpcbench.Env, depth int) (rpcPipelineRow, error) {
+	w0 := env.WireBytes()
+	if err := env.SequentialChain(depth); err != nil {
+		return rpcPipelineRow{}, err
+	}
+	seqWire := env.WireBytes() - w0
+	w0 = env.WireBytes()
+	if err := env.PipelineChain(depth); err != nil {
+		return rpcPipelineRow{}, err
+	}
+	pipeWire := env.WireBytes() - w0
+
+	seq, err := benchStep(func() error { return env.SequentialChain(depth) })
+	if err != nil {
+		return rpcPipelineRow{}, err
+	}
+	frames0 := env.PipelineFrames()
+	pipe, err := benchStep(func() error { return env.PipelineChain(depth) })
+	if err != nil {
+		return rpcPipelineRow{}, err
+	}
+	if env.PipelineFrames() == frames0 {
+		return rpcPipelineRow{}, fmt.Errorf("pipelined run sent no batch frames (degraded to sequential)")
+	}
+
+	prow := rpcPipelineRow{
+		Depth:          depth,
+		SequentialNs:   float64(seq.NsPerOp()),
+		PipelinedNs:    float64(pipe.NsPerOp()),
+		SequentialWire: seqWire,
+		PipelinedWire:  pipeWire,
+	}
+	if prow.PipelinedNs > 0 {
+		prow.SpeedupX = prow.SequentialNs / prow.PipelinedNs
+	}
+	return prow, nil
+}
+
 // rpcBench runs the RPC fast-path comparison and writes BENCH_rpc.json.
 func rpcBench(jsonPath string) error {
 	rep := rpcReport{
@@ -209,6 +297,45 @@ func rpcBench(jsonPath string) error {
 	fmt.Printf("release storm (1000 decrefs): %d wire messages batched vs %d unbatched (%.1fx fewer), %.2fms vs %.2fms\n",
 		batchedMsgs, unbatchedMsgs, rep.Storm.MessageReduction,
 		rep.Storm.BatchedNs/1e6, rep.Storm.UnbatchedNs/1e6)
+
+	for _, depth := range []int{1, 4, 16, 64} {
+		prow, err := benchChain(depth)
+		if err != nil {
+			return fmt.Errorf("pipeline depth %d: %w", depth, err)
+		}
+		rep.Pipeline = append(rep.Pipeline, prow)
+		if depth == 16 {
+			rep.PipelineSpeedup16 = prow.SpeedupX
+		}
+		fmt.Printf("chained calls depth %-3d (tcp): sequential %7.0f ns, pipelined %7.0f ns (%.1fx), wire %d vs %d B/chain\n",
+			depth, prow.SequentialNs, prow.PipelinedNs, prow.SpeedupX, prow.SequentialWire, prow.PipelinedWire)
+	}
+
+	full, err := rpcbench.MeasureLazyMigration(16, false)
+	if err != nil {
+		return fmt.Errorf("full migration: %w", err)
+	}
+	lazy, err := rpcbench.MeasureLazyMigration(16, true)
+	if err != nil {
+		return fmt.Errorf("lazy migration: %w", err)
+	}
+	if lazy.HotFaults != 0 {
+		return fmt.Errorf("lazy migration: %d faults on predicted-hot fields", lazy.HotFaults)
+	}
+	rep.LazyMigration = rpcLazy{
+		Objects:       lazy.Objects,
+		FullWireBytes: full.WireBytes,
+		LazyWireBytes: lazy.WireBytes,
+		DeferredBytes: lazy.SavedBytes,
+		HotFaults:     lazy.HotFaults,
+		ColdFaults:    lazy.ColdFaults,
+	}
+	if full.WireBytes > 0 {
+		rep.LazyMigration.ReductionFrac = 1 - float64(lazy.WireBytes)/float64(full.WireBytes)
+	}
+	fmt.Printf("lazy migration (%d notes): %d B on the wire vs %d full-state (%.0f%% less), %d cold faults, %d hot faults\n",
+		lazy.Objects, lazy.WireBytes, full.WireBytes, rep.LazyMigration.ReductionFrac*100,
+		lazy.ColdFaults, lazy.HotFaults)
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

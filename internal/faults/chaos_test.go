@@ -34,6 +34,9 @@ func counterRegistry(t testing.TB) *vm.Registry {
 			{Name: "get", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
 				return th.GetField(self, "n")
 			}},
+			{Name: "self", Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				return vm.RefOf(self), nil
+			}},
 		},
 	}
 	if _, err := reg.Register(spec); err != nil {

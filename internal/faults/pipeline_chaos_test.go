@@ -1,0 +1,167 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aide/internal/faults"
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// offloadCounter creates one Counter, roots it, and offloads it.
+func offloadCounter(t *testing.T, p *chaosPlatform) vm.ObjectID {
+	t.Helper()
+	th := p.client.NewThread()
+	id, err := th.New("Counter", 1024)
+	if err != nil {
+		t.Fatalf("new Counter: %v", err)
+	}
+	p.client.SetRoot("ctr", id)
+	if _, _, err := p.pc.Offload([]string{"Counter"}); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	return id
+}
+
+// chainPipeline builds the standard three-call chain: self, then two
+// dependent incs through the returned promise.
+func chainPipeline(client *vm.VM, id vm.ObjectID) (*vm.Pipeline, *vm.Promise, *vm.Promise, *vm.Promise) {
+	p := client.NewPipeline()
+	a := p.Invoke(id, "self")
+	b := p.Invoke(a, "inc")
+	c := p.Invoke(a, "inc")
+	return p, a, b, c
+}
+
+// TestPipelineSeverMidFrameFailsDependentsOnce: the link dies on the
+// frame send itself, with no failover handler installed. Every promise
+// of the frame must yield the same disconnection error exactly once —
+// no partial execution, no hang, no zero-value "success".
+func TestPipelineSeverMidFrameFailsDependentsOnce(t *testing.T) {
+	// Send 1 is the migration; send 2 is the MsgInvokeBatch frame.
+	p := newChaosPlatform(t, faults.Profile{SeverAfter: 2}, remote.Options{
+		Workers:     2,
+		RetryMax:    2,
+		RetryBase:   50 * time.Microsecond,
+		CallTimeout: 5 * time.Second,
+	})
+	id := offloadCounter(t, p)
+
+	pl, a, b, c := chainPipeline(p.client, id)
+	res, err := pl.Run(context.Background())
+	if err == nil {
+		t.Fatalf("run over a severed link succeeded: %v", res)
+	}
+	var perr *vm.PipelineError
+	if !errors.As(err, &perr) {
+		t.Fatalf("run err = %v, want *PipelineError", err)
+	}
+	if !errors.Is(err, remote.ErrDisconnected) {
+		t.Fatalf("run err = %v, want it to wrap ErrDisconnected", err)
+	}
+	_, aerr := a.Value()
+	_, berr := b.Value()
+	_, cerr := c.Value()
+	if aerr == nil || aerr != berr || berr != cerr {
+		t.Fatalf("promises must share one frame error, got %v / %v / %v", aerr, berr, cerr)
+	}
+	// Nothing executed: the frame never reached the surrogate.
+	if got, err := p.surrogate.NewThread().GetField(p.client.Object(id).PeerID, "n"); err == nil && got.I != 0 {
+		t.Fatalf("surrogate counter = %d, want 0 (frame must not have executed)", got.I)
+	}
+}
+
+// TestPipelineSeverFailsOverToSequential: same mid-frame sever, but with
+// the standard failover handler installed. The pipeline re-executes
+// sequentially on the reclaimed local copy — observably sequential: the
+// zeroed counter counts 1, 2 in call order.
+func TestPipelineSeverFailsOverToSequential(t *testing.T) {
+	p := newChaosPlatform(t, faults.Profile{SeverAfter: 2}, remote.Options{
+		Workers:     2,
+		RetryMax:    2,
+		RetryBase:   50 * time.Microsecond,
+		CallTimeout: 5 * time.Second,
+	})
+	calls := failoverLocal(p.client)
+	id := offloadCounter(t, p)
+
+	pl, a, b, c := chainPipeline(p.client, id)
+	res, err := pl.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with failover: %v", err)
+	}
+	if av, aerr := a.Value(); aerr != nil || av.Kind != vm.KindRef || av.Ref != id {
+		t.Fatalf("promise a = %v err=%v, want the reclaimed local ref", av, aerr)
+	}
+	if bv, _ := b.Value(); bv.I != 1 {
+		t.Fatalf("first inc = %d, want 1 (zeroed reclaimed copy, executed first)", bv.I)
+	}
+	if cv, _ := c.Value(); cv.I != 2 {
+		t.Fatalf("second inc = %d, want 2 (executed after the first)", cv.I)
+	}
+	if res[2].I != 2 {
+		t.Fatalf("res = %v, want final count 2", res)
+	}
+	if *calls == 0 {
+		t.Fatal("failover handler never ran")
+	}
+	if o := p.client.Object(id); o == nil || o.Remote {
+		t.Fatal("counter must be local after failover")
+	}
+}
+
+// TestPipelineExactlyOnceUnderDropAndDup: batched frames under a lossy,
+// duplicating link. Retransmitted frames must be deduped to a single
+// execution and dropped frames retried: each chain's two incs extend the
+// exact sequence 1..2n with no skips or repeats.
+func TestPipelineExactlyOnceUnderDropAndDup(t *testing.T) {
+	p := newChaosPlatform(t, faults.Profile{
+		Seed:     41,
+		DropRate: 0.18,
+		DupRate:  0.22,
+	}, remote.Options{
+		Workers:   2,
+		RetryMax:  10,
+		RetryBase: 100 * time.Microsecond,
+	})
+	id := offloadCounter(t, p)
+
+	const chains = 40
+	for i := 0; i < chains; i++ {
+		pl, _, b, c := chainPipeline(p.client, id)
+		if _, err := pl.Run(context.Background()); err != nil {
+			t.Fatalf("chain %d: %v", i, err)
+		}
+		want := int64(2 * i)
+		if bv, _ := b.Value(); bv.I != want+1 {
+			t.Fatalf("chain %d first inc = %d, want %d: a frame was lost or executed twice", i, bv.I, want+1)
+		}
+		if cv, _ := c.Value(); cv.I != want+2 {
+			t.Fatalf("chain %d second inc = %d, want %d", i, cv.I, want+2)
+		}
+	}
+	th := p.client.NewThread()
+	if got, err := th.Invoke(id, "get"); err != nil || got.I != 2*chains {
+		t.Fatalf("final count = %v err=%v, want %d", got, err, 2*chains)
+	}
+
+	st := p.inj.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("profile injected nothing interesting: %+v", st)
+	}
+	cs := p.pc.Stats()
+	if cs.PipelineFrames != chains {
+		t.Fatalf("PipelineFrames = %d, want %d", cs.PipelineFrames, chains)
+	}
+	// Dropped frame sends must show up in the batch-specific retry
+	// counter, distinct from single-call retries.
+	if cs.BatchSendRetries == 0 {
+		t.Fatalf("BatchSendRetries = 0 with %d drops over %d frames", st.Dropped, chains)
+	}
+	if p.ps.Stats().DuplicatesDropped == 0 {
+		t.Fatal("dedupe window never fired despite duplicated frames")
+	}
+}

@@ -53,9 +53,23 @@ type Monitor struct {
 	creates     int64
 	deletes     int64
 	gcs         int64
+
+	// fieldHeat counts accesses per (class, field) — the signal the lazy
+	// state-transfer predictor reads. Allocated on first field event, so
+	// monitors driven purely by traces (which carry no field names) pay
+	// nothing.
+	fieldHeat map[fieldKey]int64
 }
 
-var _ vm.Hooks = (*Monitor)(nil)
+// fieldKey identifies one instance field for the heat table.
+type fieldKey struct {
+	class, field string
+}
+
+var (
+	_ vm.Hooks      = (*Monitor)(nil)
+	_ vm.FieldHooks = (*Monitor)(nil)
+)
 
 // New returns a monitor. meta may be nil, in which case no class is
 // considered pinned (the emulator supplies metadata from the trace's class
@@ -182,6 +196,41 @@ func (m *Monitor) OnGC(free, capacity int64, freed bool) {
 	m.mu.Unlock()
 	for _, f := range listeners {
 		f(free, capacity, freed)
+	}
+}
+
+// OnFieldAccess implements vm.FieldHooks: it heats the (class, field)
+// entry every instance-field read or write touches.
+func (m *Monitor) OnFieldAccess(class, field string, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fieldHeat == nil {
+		m.fieldHeat = make(map[fieldKey]int64)
+	}
+	m.fieldHeat[fieldKey{class: class, field: field}]++
+}
+
+// FieldHeat reports how many accesses the monitor has seen for one field
+// (diagnostics and tests).
+func (m *Monitor) FieldHeat(class, field string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fieldHeat[fieldKey{class: class, field: field}]
+}
+
+// FieldPredictor derives a lazy-migration predictor from the heat table:
+// a field is hot (ship eagerly) once it has at least minAccesses recorded
+// accesses; colder fields stay behind for on-demand pull. minAccesses < 1
+// defaults to 1 — any observed access makes the field hot. The predictor
+// reads the live table, so heat accumulated after installation counts.
+func (m *Monitor) FieldPredictor(minAccesses int64) vm.FieldPredictor {
+	if minAccesses < 1 {
+		minAccesses = 1
+	}
+	return func(class, field string) bool {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.fieldHeat[fieldKey{class: class, field: field}] >= minAccesses
 	}
 }
 

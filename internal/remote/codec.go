@@ -60,6 +60,9 @@ const (
 	tagFreeBytes
 	tagCapacityBytes
 	tagCPUSpeed
+	tagCalls
+	tagRets
+	tagErrIndex
 )
 
 // The binary codec encodes every field of the structs below; these pins
@@ -68,7 +71,7 @@ const (
 // in the same change.
 //
 //lint:wire Message
-const messageWireFields = 20
+const messageWireFields = 23
 
 //lint:wire aide/internal/vm.WireValue
 const wireValueWireFields = 7
@@ -78,6 +81,12 @@ const wireRefWireFields = 3
 
 //lint:wire aide/internal/vm.MigratedObject
 const migratedObjectWireFields = 4
+
+//lint:wire aide/internal/vm.PipelineCall
+const pipelineCallWireFields = 5
+
+//lint:wire aide/internal/vm.PromiseArg
+const promiseArgWireFields = 2
 
 // framePool recycles encode/receive buffers across messages.
 var framePool = sync.Pool{
@@ -180,7 +189,143 @@ func appendMessage(buf []byte, m *Message) []byte {
 		buf = append(buf, tagCPUSpeed)
 		buf = appendFloat(buf, m.CPUSpeed)
 	}
+	if len(m.Calls) > 0 {
+		buf = append(buf, tagCalls)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Calls)))
+		for i := range m.Calls {
+			buf = appendPipelineCall(buf, &m.Calls[i])
+		}
+	}
+	if len(m.Rets) > 0 {
+		buf = append(buf, tagRets)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Rets)))
+		for i := range m.Rets {
+			buf = m.Rets[i].AppendWire(buf)
+		}
+	}
+	if m.ErrIndex != 0 {
+		buf = append(buf, tagErrIndex)
+		buf = binary.AppendVarint(buf, int64(m.ErrIndex))
+	}
 	return buf
+}
+
+// appendPipelineCall appends one pipelined call. The first byte
+// discriminates the receiver form — byte(MsgPromiseRef) introduces a
+// varint index of an earlier call in the same frame, byte(MsgInvoke) a
+// varint object ID in the receiver's namespace — followed by the method
+// name, the argument list (KindNil placeholders at promise positions),
+// and the promise-argument substitutions.
+func appendPipelineCall(buf []byte, c *vm.PipelineCall) []byte {
+	if c.Recv >= 0 {
+		buf = append(buf, byte(MsgPromiseRef))
+		buf = binary.AppendVarint(buf, int64(c.Recv))
+	} else {
+		buf = append(buf, byte(MsgInvoke))
+		buf = binary.AppendVarint(buf, int64(c.Obj))
+	}
+	buf = vm.AppendString(buf, c.Method)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Args)))
+	for i := range c.Args {
+		buf = c.Args[i].AppendWire(buf)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.ArgPromises)))
+	for _, ap := range c.ArgPromises {
+		buf = binary.AppendVarint(buf, int64(ap.Pos))
+		buf = binary.AppendVarint(buf, int64(ap.Call))
+	}
+	return buf
+}
+
+// sizePipelineCall mirrors appendPipelineCall exactly.
+func sizePipelineCall(c *vm.PipelineCall) int {
+	n := 1
+	if c.Recv >= 0 {
+		n += vm.VarintSize(int64(c.Recv))
+	} else {
+		n += vm.VarintSize(int64(c.Obj))
+	}
+	n += vm.StringSize(c.Method)
+	n += vm.UvarintSize(uint64(len(c.Args)))
+	for i := range c.Args {
+		n += c.Args[i].WireLen()
+	}
+	n += vm.UvarintSize(uint64(len(c.ArgPromises)))
+	for _, ap := range c.ArgPromises {
+		n += vm.VarintSize(int64(ap.Pos)) + vm.VarintSize(int64(ap.Call))
+	}
+	return n
+}
+
+// decodePipelineCall decodes one pipelined call in place, returning the
+// remaining bytes. A concrete receiver decodes with the canonical Recv
+// of -1. Argument slices are carved full-capacity out of *arena (grown
+// in blocks), so a frame of many calls costs a handful of allocations
+// rather than one per call.
+func decodePipelineCall(c *vm.PipelineCall, data []byte, arena *[]vm.WireValue) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("truncated pipeline call")
+	}
+	form := MsgKind(data[0])
+	x, rest, err := vm.ReadVarint(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	switch form {
+	case MsgPromiseRef:
+		if x < 0 || x > math.MaxInt32 {
+			return nil, fmt.Errorf("pipeline promise receiver %d out of range", x)
+		}
+		c.Recv = int32(x)
+	case MsgInvoke:
+		c.Recv = -1
+		c.Obj = vm.ObjectID(x)
+	default:
+		return nil, fmt.Errorf("unknown pipeline receiver form %d", data[0])
+	}
+	if c.Method, rest, err = vm.ReadString(rest); err != nil {
+		return nil, err
+	}
+	n, rest, err := readCount(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if n > uint64(len(*arena)) {
+			size := n
+			if size < 64 {
+				size = 64
+			}
+			*arena = make([]vm.WireValue, size)
+		}
+		c.Args = (*arena)[:n:n]
+		*arena = (*arena)[n:]
+		for i := range c.Args {
+			if rest, err = vm.DecodeWireValueInto(&c.Args[i], rest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n, rest, err = readCount(rest); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		c.ArgPromises = make([]vm.PromiseArg, n)
+		for i := range c.ArgPromises {
+			var pos, call int64
+			if pos, rest, err = vm.ReadVarint(rest); err != nil {
+				return nil, err
+			}
+			if call, rest, err = vm.ReadVarint(rest); err != nil {
+				return nil, err
+			}
+			if pos < 0 || pos > math.MaxInt32 || call < 0 || call > math.MaxInt32 {
+				return nil, fmt.Errorf("pipeline promise argument (%d, %d) out of range", pos, call)
+			}
+			c.ArgPromises[i] = vm.PromiseArg{Pos: int32(pos), Call: int32(call)}
+		}
+	}
+	return rest, nil
 }
 
 // sizeMessage returns the exact payload size appendMessage would
@@ -254,6 +399,21 @@ func sizeMessage(m *Message) int {
 	if m.CPUSpeed != 0 {
 		n += 1 + 8
 	}
+	if len(m.Calls) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Calls)))
+		for i := range m.Calls {
+			n += sizePipelineCall(&m.Calls[i])
+		}
+	}
+	if len(m.Rets) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Rets)))
+		for i := range m.Rets {
+			n += m.Rets[i].WireLen()
+		}
+	}
+	if m.ErrIndex != 0 {
+		n += 1 + vm.VarintSize(int64(m.ErrIndex))
+	}
 	return n
 }
 
@@ -319,7 +479,7 @@ func decodeMessage(data []byte) (*Message, error) {
 			if n, rest, err = readCount(rest); err == nil && n > 0 {
 				m.Args = make([]vm.WireValue, n)
 				for i := range m.Args {
-					if m.Args[i], rest, err = vm.DecodeWireValue(rest); err != nil {
+					if rest, err = vm.DecodeWireValueInto(&m.Args[i], rest); err != nil {
 						break
 					}
 				}
@@ -370,6 +530,31 @@ func decodeMessage(data []byte) (*Message, error) {
 			m.CapacityBytes, rest, err = vm.ReadVarint(rest)
 		case tagCPUSpeed:
 			m.CPUSpeed, rest, err = readFloat(rest)
+		case tagCalls:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Calls = make([]vm.PipelineCall, n)
+				var argArena []vm.WireValue
+				for i := range m.Calls {
+					if rest, err = decodePipelineCall(&m.Calls[i], rest, &argArena); err != nil {
+						break
+					}
+				}
+			}
+		case tagRets:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Rets = make([]vm.WireValue, n)
+				for i := range m.Rets {
+					if rest, err = vm.DecodeWireValueInto(&m.Rets[i], rest); err != nil {
+						break
+					}
+				}
+			}
+		case tagErrIndex:
+			var v int64
+			v, rest, err = vm.ReadVarint(rest)
+			m.ErrIndex = int32(v)
 		default:
 			return nil, fmt.Errorf("remote: codec: unknown field tag %d", tag)
 		}

@@ -47,6 +47,31 @@ func codecMessages() []*Message {
 		{Kind: MsgRecall, ID: 12, Reply: true, Objects: 3, MovedBytes: 8192},
 		{Kind: MsgInfo, ID: 13},
 		{Kind: MsgInfo, ID: 13, Reply: true, FreeBytes: 1 << 20, CapacityBytes: 8 << 20, CPUSpeed: 3.5},
+		{Kind: MsgInvokeBatch, ID: 14, Calls: []vm.PipelineCall{
+			{Recv: -1, Obj: 42, Method: "head", Args: []vm.WireValue{{Kind: vm.KindInt, I: 3}}},
+			{Recv: 0, Method: "next", Args: []vm.WireValue{{Kind: vm.KindNil}, {Kind: vm.KindString, S: "x"}},
+				ArgPromises: []vm.PromiseArg{{Pos: 0, Call: 0}}},
+			{Recv: 1, Method: "value"},
+		}},
+		{Kind: MsgInvokeBatch, ID: 14, Reply: true, ElapsedNanos: 42_000, Rets: []vm.WireValue{
+			{Kind: vm.KindRef, Ref: vm.WireRef{ReceiverLocal: false, ID: 7, Class: "Node"}},
+			{Kind: vm.KindRef, Ref: vm.WireRef{ReceiverLocal: false, ID: 8, Class: "Node"}},
+			{Kind: vm.KindInt, I: 99},
+		}},
+		// Failed frame: ErrIndex is 1-based on the wire, Rets carry the
+		// successful prefix.
+		{Kind: MsgInvokeBatch, ID: 15, Reply: true, Err: "no such method", ErrIndex: 2,
+			Rets: []vm.WireValue{{Kind: vm.KindInt, I: 1}}},
+		{Kind: MsgFieldFetch, ID: 16, Obj: 11, Classes: []string{"text", "thumb"}},
+		{Kind: MsgFieldFetch, ID: 16, Reply: true, Classes: []string{"text"}, MovedBytes: 6,
+			Args: []vm.WireValue{{Kind: vm.KindString, S: "hello"}}},
+		// A lazy migration ships withheld fields as KindDeferred markers.
+		{Kind: MsgMigrate, ID: 17, Batch: []vm.MigratedObject{
+			{SenderID: 13, Class: "Note", Size: 2048, Fields: []vm.WireValue{
+				{Kind: vm.KindString, S: "title"},
+				{Kind: vm.KindDeferred},
+			}},
+		}},
 	}
 }
 
@@ -65,7 +90,12 @@ func TestWireBytesExact(t *testing.T) {
 			t.Errorf("%s (reply=%v): wireBytes() = %d, encoded frame is %d bytes", m.Kind, m.Reply, got, want)
 		}
 	}
-	for k := MsgInvoke; k <= MsgPong; k++ {
+	for k := MsgInvoke; k <= MsgFieldFetch; k++ {
+		if k == MsgPromiseRef {
+			// Never a top-level frame kind: it is the per-call receiver
+			// discriminator inside MsgInvokeBatch payloads.
+			continue
+		}
 		if !seenKinds[k] {
 			t.Errorf("codecMessages covers no %s message", k)
 		}
@@ -113,7 +143,7 @@ func TestBinaryMatchesGobSemantics(t *testing.T) {
 // randomWireValue produces a canonical WireValue: only the field the
 // kind uses is populated, empty blobs stay nil.
 func randomWireValue(rng *rand.Rand) vm.WireValue {
-	kinds := []vm.ValueKind{vm.KindNil, vm.KindInt, vm.KindFloat, vm.KindBool, vm.KindString, vm.KindBytes, vm.KindRef}
+	kinds := []vm.ValueKind{vm.KindNil, vm.KindInt, vm.KindFloat, vm.KindBool, vm.KindString, vm.KindBytes, vm.KindRef, vm.KindDeferred}
 	switch k := kinds[rng.Intn(len(kinds))]; k {
 	case vm.KindInt:
 		return vm.WireValue{Kind: k, I: rng.Int63() - rng.Int63()}
@@ -146,7 +176,7 @@ func randomString(rng *rand.Rand, n int) string {
 
 func randomMessage(rng *rand.Rand) *Message {
 	m := &Message{
-		Kind: MsgKind(1 + rng.Intn(int(MsgPong))),
+		Kind: MsgKind(1 + rng.Intn(int(MsgFieldFetch))),
 		ID:   rng.Uint64() >> uint(rng.Intn(64)),
 	}
 	if rng.Intn(2) == 1 {
@@ -216,6 +246,39 @@ func randomMessage(rng *rand.Rand) *Message {
 		m.CapacityBytes = rng.Int63n(1 << 32)
 		m.CPUSpeed = float64(rng.Intn(100)) / 10
 	}
+	if n := rng.Intn(3); n > 0 {
+		m.Calls = make([]vm.PipelineCall, n)
+		for i := range m.Calls {
+			// Canonical forms only: a concrete receiver has Recv -1, a
+			// promise receiver leaves Obj zero (it is not encoded).
+			c := vm.PipelineCall{Method: randomString(rng, 1+rng.Intn(8))}
+			if rng.Intn(2) == 0 {
+				c.Recv = -1
+				c.Obj = vm.ObjectID(rng.Int63n(1 << 20))
+			} else {
+				c.Recv = int32(rng.Intn(4))
+			}
+			if f := rng.Intn(3); f > 0 {
+				c.Args = make([]vm.WireValue, f)
+				for j := range c.Args {
+					c.Args[j] = randomWireValue(rng)
+				}
+				if rng.Intn(2) == 0 {
+					c.ArgPromises = []vm.PromiseArg{{Pos: int32(rng.Intn(f)), Call: int32(rng.Intn(4))}}
+				}
+			}
+			m.Calls[i] = c
+		}
+	}
+	if n := rng.Intn(3); n > 0 {
+		m.Rets = make([]vm.WireValue, n)
+		for i := range m.Rets {
+			m.Rets[i] = randomWireValue(rng)
+		}
+	}
+	if rng.Intn(4) == 0 {
+		m.ErrIndex = int32(rng.Intn(64))
+	}
 	return m
 }
 
@@ -259,6 +322,15 @@ func TestDecodeMessageRejectsCorruptFrames(t *testing.T) {
 		"bad value kind":   {wireVersion, byte(MsgPing), 1, tagRet, 99},
 		"truncated float":  {wireVersion, byte(MsgPing), 1, tagCPUSpeed, 1, 2, 3},
 		"truncated frame":  good[:len(good)-1],
+
+		"huge call count":          {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"truncated pipeline call":  {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 1},
+		"bad receiver form":        {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 1, 99, 0},
+		"truncated promise recv":   {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 1, byte(MsgPromiseRef)},
+		"truncated rets":           {wireVersion, byte(MsgInvokeBatch), 1, tagRets, 1},
+		"truncated err index":      {wireVersion, byte(MsgInvokeBatch), 1, tagErrIndex},
+		"truncated fetch classes":  {wireVersion, byte(MsgFieldFetch), 1, tagClasses, 1, 5, 't', 'e'},
+		"negative promise arg pos": {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 1, byte(MsgInvoke), 2, 1, 'f', 0, 1, 1, 1},
 	}
 	for name, data := range cases {
 		if _, err := decodeMessage(data); err == nil {

@@ -35,6 +35,22 @@ const (
 	// receiver tell a probe answer from an echoed request without
 	// consulting the pending-call table.
 	MsgPong
+	// MsgInvokeBatch carries a pipelined multi-invoke frame: Calls execute
+	// strictly in order on the serving VM; a call may name an earlier
+	// call's result as its receiver or argument (promise pipelining), so a
+	// chain of N dependent invocations costs one round trip.
+	MsgInvokeBatch
+	// MsgPromiseRef is the per-call receiver discriminator inside a
+	// MsgInvokeBatch frame: it introduces the promise form (an earlier
+	// call's index) where MsgInvoke introduces a concrete object ID. It
+	// never appears as a top-level frame kind.
+	MsgPromiseRef
+	// MsgFieldFetch pulls fields a lazy migration withheld: Obj names the
+	// object in the serving VM's namespace (the lazy migration's origin),
+	// Classes the requested field names (empty = all remaining). The reply
+	// carries the served names in Classes, values in Args, and their wire
+	// size in MovedBytes.
+	MsgFieldFetch
 )
 
 // String returns the kind's name.
@@ -66,6 +82,12 @@ func (k MsgKind) String() string {
 		return "release-batch"
 	case MsgPong:
 		return "pong"
+	case MsgInvokeBatch:
+		return "invoke-batch"
+	case MsgPromiseRef:
+		return "promise-ref"
+	case MsgFieldFetch:
+		return "field-fetch"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -111,6 +133,18 @@ type Message struct {
 	FreeBytes     int64
 	CapacityBytes int64
 	CPUSpeed      float64
+
+	// Calls carries a pipelined multi-invoke frame (MsgInvokeBatch); Rets
+	// carries its reply's per-call results, in call order — on a failed
+	// frame, the successful prefix only.
+	Calls []vm.PipelineCall
+	Rets  []vm.WireValue
+
+	// ErrIndex, on a failed MsgInvokeBatch reply (Err non-empty), is
+	// 1 + the index of the call that failed; 0 means the failure was not
+	// attributable to a single call (the offset keeps the zero value off
+	// the wire under tag-presence encoding).
+	ErrIndex int32
 }
 
 // wireBytes returns the exact on-the-wire frame size of the message

@@ -21,6 +21,12 @@ const (
 	metricOrphanReplies      = "aide_remote_orphan_replies_total"
 	metricSendRetries        = "aide_remote_send_retries_total"
 	metricCallTimeouts       = "aide_remote_call_timeouts_total"
+	metricBatchSendRetries   = "aide_remote_batch_send_retries_total"
+	metricBatchCallTimeouts  = "aide_remote_batch_call_timeouts_total"
+	metricPipelineFrames     = "aide_remote_pipeline_frames_total"
+	metricPipelineCalls      = "aide_remote_pipeline_calls_total"
+	metricFieldFetches       = "aide_remote_field_fetches_total"
+	metricLazyBytesSaved     = "aide_remote_lazy_migration_saved_bytes_total"
 	metricDuplicatesDropped  = "aide_remote_duplicates_dropped_total"
 	metricReleasesDropped    = "aide_remote_releases_dropped_total"
 	metricDegraded           = "aide_remote_state_degraded_total"
@@ -28,6 +34,7 @@ const (
 	metricDisconnected       = "aide_remote_state_disconnected_total"
 	metricCallLatency        = "aide_remote_call_latency_seconds"
 	metricReleaseBatchSize   = "aide_remote_release_batch_size"
+	metricPipelineDepth      = "aide_remote_pipeline_depth"
 )
 
 // peerMetrics is the peer's wire accounting, held as telemetry
@@ -51,6 +58,12 @@ type peerMetrics struct {
 	orphanReplies      *telemetry.Counter
 	sendRetries        *telemetry.Counter
 	callTimeouts       *telemetry.Counter
+	batchSendRetries   *telemetry.Counter
+	batchCallTimeouts  *telemetry.Counter
+	pipelineFrames     *telemetry.Counter
+	pipelineCalls      *telemetry.Counter
+	fieldFetches       *telemetry.Counter
+	lazyBytesSaved     *telemetry.Counter
 	duplicatesDropped  *telemetry.Counter
 	releasesDropped    *telemetry.Counter
 
@@ -58,8 +71,9 @@ type peerMetrics struct {
 	healed       *telemetry.Counter
 	disconnected *telemetry.Counter
 
-	callLatency  *telemetry.Histogram // nil without a registry
-	releaseBatch *telemetry.Histogram // nil without a registry
+	callLatency   *telemetry.Histogram // nil without a registry
+	releaseBatch  *telemetry.Histogram // nil without a registry
+	pipelineDepth *telemetry.Histogram // nil without a registry
 }
 
 // counterIn returns a registered child when a registry is wired, a
@@ -86,6 +100,12 @@ func newPeerMetrics(reg *telemetry.Registry) *peerMetrics {
 		orphanReplies:      counterIn(reg, metricOrphanReplies, "replies that arrived with no pending waiter"),
 		sendRetries:        counterIn(reg, metricSendRetries, "re-sends after transient transport errors"),
 		callTimeouts:       counterIn(reg, metricCallTimeouts, "calls abandoned at their deadline"),
+		batchSendRetries:   counterIn(reg, metricBatchSendRetries, "re-sends of batched frames (invoke-batch, release-batch)"),
+		batchCallTimeouts:  counterIn(reg, metricBatchCallTimeouts, "batched-frame calls abandoned at their deadline"),
+		pipelineFrames:     counterIn(reg, metricPipelineFrames, "pipelined invoke-batch frames sent"),
+		pipelineCalls:      counterIn(reg, metricPipelineCalls, "invocations carried by pipelined frames"),
+		fieldFetches:       counterIn(reg, metricFieldFetches, "lazy-migration field pulls issued"),
+		lazyBytesSaved:     counterIn(reg, metricLazyBytesSaved, "migration wire bytes withheld by lazy state transfer"),
 		duplicatesDropped:  counterIn(reg, metricDuplicatesDropped, "incoming requests suppressed by the dedupe window"),
 		releasesDropped:    counterIn(reg, metricReleasesDropped, "decrefs lost when a release batch exhausted its retries"),
 		degraded:           counterIn(reg, metricDegraded, "healthy to degraded state transitions"),
@@ -95,6 +115,7 @@ func newPeerMetrics(reg *telemetry.Registry) *peerMetrics {
 	if reg != nil {
 		m.callLatency = reg.Histogram(metricCallLatency, "wall-clock round trip of peer calls", telemetry.DefaultLatencyBuckets())
 		m.releaseBatch = reg.SizeHistogram(metricReleaseBatchSize, "decrefs coalesced per release batch", telemetry.DefaultSizeBuckets())
+		m.pipelineDepth = reg.SizeHistogram(metricPipelineDepth, "calls per pipelined invoke-batch frame", telemetry.DefaultSizeBuckets())
 	}
 	return m
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,6 +186,10 @@ type Peer struct {
 	// release decrefs apply exactly once.
 	dedupe *dedupeWindow
 
+	// lazyMigration switches offload to predictor-driven partial state
+	// transfer (vm.ExtractMigrationLazy); fixed at construction.
+	lazyMigration bool
+
 	// m holds the wire accounting as telemetry instruments (atomic on
 	// the fast path, like the counters struct it replaced); tracer
 	// records offload-event spans when enabled. mnow is the metrics
@@ -198,6 +203,13 @@ type Peer struct {
 }
 
 var _ vm.Peer = (*Peer)(nil)
+
+// A Peer also implements the optional pipelining and lazy-state
+// extensions; the VM type-asserts for them, so test fakes stay minimal.
+var (
+	_ vm.PipelinePeer = (*Peer)(nil)
+	_ vm.FieldFetcher = (*Peer)(nil)
+)
 
 // Stats counts wire activity.
 type Stats struct {
@@ -222,6 +234,22 @@ type Stats struct {
 	// CallTimeouts counts calls abandoned at their deadline.
 	SendRetries  int64
 	CallTimeouts int64
+
+	// BatchSendRetries and BatchCallTimeouts are the subsets of
+	// SendRetries/CallTimeouts attributable to batched frames
+	// (MsgInvokeBatch, MsgReleaseBatch), so single-call and multi-op
+	// frame health read separately.
+	BatchSendRetries  int64
+	BatchCallTimeouts int64
+
+	// PipelineFrames counts MsgInvokeBatch frames sent; PipelineCalls the
+	// invocations they carried (PipelineCalls/PipelineFrames is the mean
+	// pipeline depth). FieldFetches counts lazy-migration field pulls and
+	// LazyBytesSaved the migration wire bytes lazy extraction withheld.
+	PipelineFrames int64
+	PipelineCalls  int64
+	FieldFetches   int64
+	LazyBytesSaved int64
 
 	// DuplicatesDropped counts incoming requests suppressed by the
 	// dedupe window; ReleasesDropped counts decrefs lost when a release
@@ -305,6 +333,12 @@ type Options struct {
 	// Tracer, when set and enabled, receives structured offload-event
 	// spans (RPC calls, migrations, disconnects, orphan replies).
 	Tracer *telemetry.Tracer
+
+	// LazyMigration switches Offload to predictor-driven partial state
+	// transfer: fields the local VM's FieldPredictor calls cold stay
+	// behind as residuals and cross on first access (MsgFieldFetch).
+	// Without a predictor installed the option is inert.
+	LazyMigration bool
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -328,6 +362,7 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		disconnectAfter: int32(opts.DisconnectAfter),
 		logf:            opts.Logf,
 		onDown:          opts.OnDown,
+		lazyMigration:   opts.LazyMigration,
 		stop:            make(chan struct{}),
 		m:               newPeerMetrics(opts.Telemetry),
 		tracer:          opts.Tracer,
@@ -493,6 +528,12 @@ func (p *Peer) Stats() Stats {
 		OrphanReplies:      p.m.orphanReplies.Value(),
 		SendRetries:        p.m.sendRetries.Value(),
 		CallTimeouts:       p.m.callTimeouts.Value(),
+		BatchSendRetries:   p.m.batchSendRetries.Value(),
+		BatchCallTimeouts:  p.m.batchCallTimeouts.Value(),
+		PipelineFrames:     p.m.pipelineFrames.Value(),
+		PipelineCalls:      p.m.pipelineCalls.Value(),
+		FieldFetches:       p.m.fieldFetches.Value(),
+		LazyBytesSaved:     p.m.lazyBytesSaved.Value(),
 		DuplicatesDropped:  p.m.duplicatesDropped.Value(),
 		ReleasesDropped:    p.m.releasesDropped.Value(),
 	}
@@ -673,6 +714,9 @@ func (p *Peer) doCall(ctx context.Context, m *Message) (*Message, error) {
 			return p.finishCall(m, reply, ok)
 		}
 		p.m.callTimeouts.Inc()
+		if isBatchFrame(m.Kind) {
+			p.m.batchCallTimeouts.Inc()
+		}
 		p.markDegraded()
 		n := p.consecTimeouts.Add(1)
 		if p.disconnectAfter > 0 && n >= p.disconnectAfter {
@@ -710,10 +754,20 @@ func (p *Peer) finishCall(m *Message, reply *Message, ok bool) (*Message, error)
 		return nil, p.failErr()
 	}
 	p.noteReplyOK()
-	if reply.Err != "" {
+	// A failed MsgInvokeBatch reply is not an error at this layer: it
+	// carries the successful-prefix results and the failing call's index,
+	// which InvokePipeline turns into a per-call outcome.
+	if reply.Err != "" && m.Kind != MsgInvokeBatch {
 		return nil, &RemoteError{Kind: m.Kind, Msg: reply.Err}
 	}
 	return reply, nil
+}
+
+// isBatchFrame reports whether a message kind carries many operations in
+// one frame; Stats tracks their retry/timeout health separately from
+// single-call frames.
+func isBatchFrame(k MsgKind) bool {
+	return k == MsgInvokeBatch || k == MsgReleaseBatch
 }
 
 // sendRetry sends m, retrying transient transport errors with
@@ -743,6 +797,9 @@ func (p *Peer) sendRetry(ctx context.Context, m *Message) error {
 		}
 		p.markDegraded()
 		p.m.sendRetries.Inc()
+		if isBatchFrame(m.Kind) {
+			p.m.batchSendRetries.Inc()
+		}
 		time.Sleep(p.backoff(attempt))
 	}
 }
@@ -817,6 +874,128 @@ func (p *Peer) InvokeNativeRemote(class, method string, peerSelf vm.ObjectID, se
 		return vm.Nil(), 0, err
 	}
 	return ret, time.Duration(reply.ElapsedNanos) + p.netCost(req, reply), nil
+}
+
+// InvokePipeline implements vm.PipelinePeer: it ships a whole chain of
+// dependent calls as one MsgInvokeBatch frame. The reply's Rets hold the
+// executed calls' results in order; a frame that failed part-way comes
+// back as a PipelineOutcome naming the failing call (nil error), so the
+// VM can fail exactly the dependent promises. A peer that predates the
+// frame kind answers "unknown request kind", reported as
+// vm.ErrPipelineUnsupported so the pipeline falls back to sequential
+// calls.
+func (p *Peer) InvokePipeline(ctx context.Context, calls []vm.PipelineCall) (vm.PipelineOutcome, error) {
+	p.m.pipelineFrames.Inc()
+	p.m.pipelineCalls.Add(int64(len(calls)))
+	p.m.pipelineDepth.ObserveInt(int64(len(calls)))
+	req := &Message{Kind: MsgInvokeBatch, Calls: calls}
+	reply, err := p.Call(ctx, req)
+	if err != nil {
+		return vm.PipelineOutcome{}, err
+	}
+	out := vm.PipelineOutcome{
+		Rets:     reply.Rets,
+		ErrIndex: -1,
+		Elapsed:  time.Duration(reply.ElapsedNanos) + p.netCost(req, reply),
+	}
+	if reply.Err != "" {
+		if strings.Contains(reply.Err, "unknown request kind") {
+			return vm.PipelineOutcome{}, fmt.Errorf("%w: %s", vm.ErrPipelineUnsupported, reply.Err)
+		}
+		if reply.ErrIndex <= 0 {
+			// Not attributable to a single call: a frame-level failure
+			// (decode error, protocol violation) surfaces as a plain
+			// remote error.
+			return vm.PipelineOutcome{}, &RemoteError{Kind: MsgInvokeBatch, Msg: reply.Err}
+		}
+		out.ErrIndex = int(reply.ErrIndex) - 1
+		out.ErrMsg = reply.Err
+	}
+	return out, nil
+}
+
+// servePipeline executes a MsgInvokeBatch frame: strictly in call order,
+// resolving promise receivers and promise arguments against earlier
+// results. On a failure at call i it returns the successful prefix's
+// encoded results with errIdx=i; errIdx -1 means either full success or
+// (with err non-nil) a failure not attributable to one call.
+func (p *Peer) servePipeline(calls []vm.PipelineCall) (rets []vm.WireValue, elapsed time.Duration, errIdx int, err error) {
+	results := make([]vm.Value, 0, len(calls))
+	// The frame executes inside one virtual-clock bracket: the accrued
+	// service time is rewound here and charged to the requester via the
+	// returned elapsed, exactly like a single served invocation's.
+	mark := p.local.ClockMark()
+	fail := func(i int, ferr error) ([]vm.WireValue, time.Duration, int, error) {
+		elapsed = p.local.ClockRewind(mark)
+		prefix, eerr := p.local.EncodeOutgoingAll(p.idx, results)
+		if eerr != nil {
+			return nil, elapsed, -1, eerr
+		}
+		return prefix, elapsed, i, ferr
+	}
+	// One decoded-argument arena and one service thread for the whole
+	// frame: per-call slices are carved full-capacity out of the arena
+	// (never overlapping, so a body retaining its args stays safe).
+	total := 0
+	for i := range calls {
+		total += len(calls[i].Args)
+	}
+	arena := make([]vm.Value, total)
+	off := 0
+	th := p.local.NewThread()
+	for i := range calls {
+		c := &calls[i]
+		target := c.Obj
+		if c.Recv >= 0 {
+			if int(c.Recv) >= i {
+				return fail(i, fmt.Errorf("pipeline call %d: receiver promise %d not yet resolved", i, c.Recv))
+			}
+			rv := results[c.Recv]
+			if rv.Kind != vm.KindRef || rv.Ref == vm.InvalidObject {
+				return fail(i, fmt.Errorf("pipeline call %d: receiver promise %d resolved to %s, not an object reference", i, c.Recv, rv))
+			}
+			target = rv.Ref
+		}
+		args := arena[off : off+len(c.Args) : off+len(c.Args)]
+		off += len(c.Args)
+		if derr := p.local.DecodeIncomingSlice(p.idx, c.Args, args); derr != nil {
+			return fail(i, derr)
+		}
+		for _, pa := range c.ArgPromises {
+			if pa.Pos < 0 || int(pa.Pos) >= len(args) || pa.Call < 0 || int(pa.Call) >= i {
+				return fail(i, fmt.Errorf("pipeline call %d: bad argument promise (pos %d, call %d)", i, pa.Pos, pa.Call))
+			}
+			args[pa.Pos] = results[pa.Call]
+		}
+		ret, serr := th.Invoke(target, c.Method, args...)
+		if serr != nil {
+			return fail(i, serr)
+		}
+		results = append(results, ret)
+	}
+	elapsed = p.local.ClockRewind(mark)
+	rets, err = p.local.EncodeOutgoingAll(p.idx, results)
+	if err != nil {
+		return nil, elapsed, -1, err
+	}
+	return rets, elapsed, -1, nil
+}
+
+// FetchFieldsRemote implements vm.FieldFetcher: it pulls fields a lazy
+// migration withheld from the origin VM (nil fields = all remaining).
+func (p *Peer) FetchFieldsRemote(peerObj vm.ObjectID, fields []string) ([]string, []vm.Value, int64, error) {
+	p.m.fieldFetches.Inc()
+	req := &Message{Kind: MsgFieldFetch, Obj: peerObj, Classes: fields}
+	reply, err := p.call(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	vals, err := p.local.DecodeIncomingAll(p.idx, reply.Args)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	p.local.AdvanceClock(p.netCost(req, reply))
+	return reply.Classes, vals, reply.MovedBytes, nil
 }
 
 // GetFieldRemote implements vm.Peer.
@@ -943,7 +1122,13 @@ func (p *Peer) OffloadContext(ctx context.Context, classNames []string) (objects
 }
 
 func (p *Peer) offload(ctx context.Context, classNames []string) (objects int, bytes int64, err error) {
-	batch, err := p.local.ExtractMigration(classNames)
+	var batch []vm.MigratedObject
+	var plan *vm.LazyPlan
+	if p.lazyMigration {
+		batch, plan, err = p.local.ExtractMigrationLazy(classNames)
+	} else {
+		batch, err = p.local.ExtractMigration(classNames)
+	}
 	if err != nil {
 		return 0, 0, fmt.Errorf("remote: offload: %w", err)
 	}
@@ -962,10 +1147,19 @@ func (p *Peer) offload(ctx context.Context, classNames []string) (objects int, b
 	for i := range batch {
 		ids[i] = batch[i].SenderID
 	}
-	if err := p.local.ConvertToStubs(p.idx, ids, reply.IDs); err != nil {
+	if err := p.local.ConvertToStubsLazy(p.idx, ids, reply.IDs, plan); err != nil {
 		return 0, 0, fmt.Errorf("remote: offload: %w", err)
 	}
 	moved := vm.MigrationWireBytes(batch)
+	if plan != nil && plan.SavedBytes > 0 {
+		// Withheld fields crossed as one-byte placeholders; the residual
+		// bytes stay home until (unless) the receiver faults them in.
+		moved -= plan.SavedBytes
+		if moved < 0 {
+			moved = 0
+		}
+		p.m.lazyBytesSaved.Add(plan.SavedBytes)
+	}
 	if p.link != nil {
 		p.local.AdvanceClock(p.link.Transfer(moved, 1400))
 	}
@@ -1225,6 +1419,29 @@ func (p *Peer) serve(m *Message) {
 		if err := p.local.ServeSetStatic(m.Class, m.Field, val); err != nil {
 			reply.Err = err.Error()
 		}
+	case MsgInvokeBatch:
+		rets, elapsed, errIdx, err := p.servePipeline(m.Calls)
+		reply.ElapsedNanos = int64(elapsed)
+		reply.Rets = rets
+		if err != nil {
+			reply.Err = err.Error()
+			// 1-based on the wire; errIdx -1 (not attributable) maps to 0.
+			reply.ErrIndex = int32(errIdx) + 1
+		}
+	case MsgFieldFetch:
+		names, vals, moved, err := p.local.ServeFetchFields(m.Obj, m.Classes)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		wvals, err := p.local.EncodeOutgoingAll(p.idx, vals)
+		if err != nil {
+			reply.Err = err.Error()
+			break
+		}
+		reply.Classes = names
+		reply.Args = wvals
+		reply.MovedBytes = moved
 	case MsgMigrate:
 		ids, err := p.local.AdoptMigration(p.idx, m.Batch)
 		if err != nil {

@@ -1,0 +1,245 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aide/internal/netmodel"
+	"aide/internal/vm"
+)
+
+// newLazyPlatform is newPlatform with lazy state transfer enabled on
+// both peers (only the offloading side's flag matters).
+func newLazyPlatform(t *testing.T) (client, surrogate *vm.VM, pc, ps *Peer) {
+	t.Helper()
+	reg := testRegistry(t)
+	client = vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate = vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20, CPUSpeed: 3.5})
+	link := netmodel.WaveLAN()
+	pc, ps = NewPair(client, surrogate, Options{Workers: 2, Link: &link, LazyMigration: true})
+	t.Cleanup(func() {
+		if err := pc.Close(); err != nil {
+			t.Errorf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("close surrogate peer: %v", err)
+		}
+	})
+	return client, surrogate, pc, ps
+}
+
+// offloadDoc creates one Doc, roots it, and offloads the Doc class.
+func offloadDoc(t *testing.T, client *vm.VM, pc *Peer) vm.ObjectID {
+	t.Helper()
+	th := client.NewThread()
+	doc, err := th.New("Doc", 2048)
+	if err != nil {
+		t.Fatalf("new Doc: %v", err)
+	}
+	client.SetRoot("doc", doc)
+	if _, _, err := pc.Offload([]string{"Doc"}); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	return doc
+}
+
+// TestPipelineOneRoundTrip: a three-call chain — promise receiver and
+// promise argument — ships as one MsgInvokeBatch frame, costs one wire
+// request, and leaves the surrogate state as if the calls ran one by one.
+func TestPipelineOneRoundTrip(t *testing.T) {
+	client, _, pc, _ := newPlatform(t)
+	doc := offloadDoc(t, client, pc)
+	before := pc.Stats()
+
+	p := client.NewPipeline()
+	a := p.Invoke(doc, "me")
+	b := p.Invoke(a, "append", vm.Int(5)) // promise receiver
+	c := p.Invoke(a, "append", b)         // promise receiver + promise argument
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res[0].Kind != vm.KindRef || res[0].Ref != doc {
+		t.Fatalf("res[0] = %v, want the doc stub (imports must re-map the returned ref)", res[0])
+	}
+	if res[1].I != 5 || res[2].I != 10 {
+		t.Fatalf("res = [%v %v %v], want appends of 5 then 10", res[0], res[1], res[2])
+	}
+	if cv, cerr := c.Value(); cerr != nil || cv.I != 10 {
+		t.Fatalf("promise c = %v err=%v, want 10", cv, cerr)
+	}
+
+	st := pc.Stats()
+	if frames := st.PipelineFrames - before.PipelineFrames; frames != 1 {
+		t.Fatalf("PipelineFrames = %d, want 1", frames)
+	}
+	if calls := st.PipelineCalls - before.PipelineCalls; calls != 3 {
+		t.Fatalf("PipelineCalls = %d, want 3", calls)
+	}
+	if reqs := st.RequestsSent - before.RequestsSent; reqs != 1 {
+		t.Fatalf("RequestsSent = %d for a 3-call chain, want 1 (that is the whole point)", reqs)
+	}
+
+	th := client.NewThread()
+	if v, err := th.GetField(doc, "len"); err != nil || v.I != 10 {
+		t.Fatalf("len after pipeline = %v err=%v, want 10", v, err)
+	}
+}
+
+// TestPipelineFrameErrorFailsDependentsOnce: when call k of a frame
+// fails, the successful prefix resolves, promises k..N yield the same
+// *PipelineError, and the calls after k never execute on the surrogate.
+func TestPipelineFrameErrorFailsDependentsOnce(t *testing.T) {
+	client, _, pc, _ := newPlatform(t)
+	doc := offloadDoc(t, client, pc)
+	before := pc.Stats()
+
+	p := client.NewPipeline()
+	a := p.Invoke(doc, "me")
+	bad := p.Invoke(a, "nosuch")
+	tail := p.Invoke(a, "append", vm.Int(3))
+	res, err := p.Run(context.Background())
+	var perr *vm.PipelineError
+	if !errors.As(err, &perr) || perr.Index != 1 {
+		t.Fatalf("run err = %v, want *PipelineError at index 1", err)
+	}
+	if res[0].Kind != vm.KindRef || res[0].Ref != doc {
+		t.Fatalf("prefix result = %v, want the doc ref", res[0])
+	}
+	if _, aerr := a.Value(); aerr != nil {
+		t.Fatalf("prefix promise errored: %v", aerr)
+	}
+	_, berr := bad.Value()
+	_, terr := tail.Value()
+	if berr == nil || berr != terr {
+		t.Fatalf("dependent promises must share one error, got %v vs %v", berr, terr)
+	}
+	if st := pc.Stats(); st.PipelineFrames-before.PipelineFrames != 1 {
+		t.Fatalf("failing chain used %d frames, want 1", st.PipelineFrames-before.PipelineFrames)
+	}
+
+	th := client.NewThread()
+	if v, gerr := th.GetField(doc, "len"); gerr != nil || v.I != 0 {
+		t.Fatalf("len = %v err=%v: the call after the failure must not have executed", v, gerr)
+	}
+}
+
+// TestLazyMigrationDefersAndFetches: with a predictor marking only "len"
+// hot, the migration withholds "title", charges fewer wire bytes than a
+// full-state migration, and the surrogate's first access to the cold
+// field pulls it with one MsgFieldFetch.
+func TestLazyMigrationDefersAndFetches(t *testing.T) {
+	seed := func(t *testing.T, client *vm.VM) vm.ObjectID {
+		t.Helper()
+		th := client.NewThread()
+		doc, err := th.New("Doc", 2048)
+		if err != nil {
+			t.Fatalf("new Doc: %v", err)
+		}
+		if err := th.SetField(doc, "len", vm.Int(3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.SetField(doc, "title", vm.Str("cold title payload")); err != nil {
+			t.Fatal(err)
+		}
+		client.SetRoot("doc", doc)
+		return doc
+	}
+
+	// Full-state baseline for the wire-byte comparison.
+	fullClient, _, fullPC, _ := newPlatform(t)
+	seed(t, fullClient)
+	_, movedFull, err := fullPC.Offload([]string{"Doc"})
+	if err != nil {
+		t.Fatalf("full offload: %v", err)
+	}
+
+	client, surrogate, pc, ps := newLazyPlatform(t)
+	client.SetFieldPredictor(func(class, field string) bool { return field == "len" })
+	doc := seed(t, client)
+	n, movedLazy, err := pc.Offload([]string{"Doc"})
+	if err != nil {
+		t.Fatalf("lazy offload: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("offloaded %d objects, want 1", n)
+	}
+	saved := pc.Stats().LazyBytesSaved
+	if saved <= 0 {
+		t.Fatalf("LazyBytesSaved = %d, want > 0", saved)
+	}
+	if movedLazy+saved != movedFull {
+		t.Fatalf("moved %d + saved %d != full migration's %d", movedLazy, saved, movedFull)
+	}
+	if rc := client.ResidualCount(); rc != 1 {
+		t.Fatalf("residuals = %d, want 1", rc)
+	}
+
+	// The hot field shipped eagerly: reading it on the surrogate must not
+	// fault back to the client.
+	sid := client.Object(doc).PeerID
+	sth := surrogate.NewThread()
+	if v, err := sth.GetField(sid, "len"); err != nil || v.I != 3 {
+		t.Fatalf("hot field = %v err=%v, want 3", v, err)
+	}
+	if f := ps.Stats().FieldFetches; f != 0 {
+		t.Fatalf("hot-field read triggered %d fetches, want 0", f)
+	}
+
+	// First cold access pulls the residual; the second is served locally.
+	if v, err := sth.GetField(sid, "title"); err != nil || v.S != "cold title payload" {
+		t.Fatalf("cold field = %v err=%v", v, err)
+	}
+	if f := ps.Stats().FieldFetches; f != 1 {
+		t.Fatalf("FieldFetches = %d after first cold access, want 1", f)
+	}
+	if rc := client.ResidualCount(); rc != 0 {
+		t.Fatalf("residuals = %d after fetch, want 0 (store must drain)", rc)
+	}
+	if v, err := sth.GetField(sid, "title"); err != nil || v.S != "cold title payload" {
+		t.Fatalf("second cold read = %v err=%v", v, err)
+	}
+	if f := ps.Stats().FieldFetches; f != 1 {
+		t.Fatalf("FieldFetches = %d after second read, want still 1", f)
+	}
+}
+
+// TestLazyFetchPullsAllRemainingOnce: one fault fetches every withheld
+// field of the object (prefetch batching) — the second cold field is
+// already present when accessed, so the object faults at most once.
+func TestLazyFetchPullsAllRemainingOnce(t *testing.T) {
+	client, surrogate, pc, ps := newLazyPlatform(t)
+	client.SetFieldPredictor(func(class, field string) bool { return false })
+
+	th := client.NewThread()
+	doc, err := th.New("Doc", 2048)
+	if err != nil {
+		t.Fatalf("new Doc: %v", err)
+	}
+	if err := th.SetField(doc, "len", vm.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SetField(doc, "title", vm.Str("also cold")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetRoot("doc", doc)
+	if _, _, err := pc.Offload([]string{"Doc"}); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+
+	sid := client.Object(doc).PeerID
+	sth := surrogate.NewThread()
+	if v, err := sth.GetField(sid, "len"); err != nil || v.I != 7 {
+		t.Fatalf("first cold field = %v err=%v, want 7", v, err)
+	}
+	if v, err := sth.GetField(sid, "title"); err != nil || v.S != "also cold" {
+		t.Fatalf("second cold field = %v err=%v", v, err)
+	}
+	if f := ps.Stats().FieldFetches; f != 1 {
+		t.Fatalf("FieldFetches = %d, want 1 — one fault must batch the whole object", f)
+	}
+	if rc := client.ResidualCount(); rc != 0 {
+		t.Fatalf("residuals = %d, want 0", rc)
+	}
+}

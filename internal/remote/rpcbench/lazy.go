@@ -1,0 +1,133 @@
+package rpcbench
+
+import (
+	"fmt"
+
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// Lazy-migration measurement: a JavaNote-like document set — a small hot
+// text field the editor touches constantly next to a large cold
+// thumbnail blob it rarely renders — migrated full-state and lazily, so
+// the wire-byte reduction of monitor-driven lazy state transfer is a
+// measured number rather than a claim.
+
+// LazyMigration records one migration of the document set.
+type LazyMigration struct {
+	// Objects is the number of migrated documents.
+	Objects int
+
+	// WireBytes is the actual encoded size of the migration traffic
+	// (client-peer bytes sent during Offload): lazily deferred fields
+	// ride as empty placeholders, so this is where the reduction shows.
+	WireBytes int64
+
+	// SavedBytes is the logical field volume the lazy plan withheld
+	// (zero for a full-state migration).
+	SavedBytes int64
+
+	// HotFaults counts lazy faults while reading only hot fields on the
+	// surrogate — must stay zero, or the predictor shipped too little.
+	HotFaults int64
+
+	// ColdFaults counts lazy faults once every cold field is read: at
+	// most one per object (a fault pulls the whole remainder).
+	ColdFaults int64
+}
+
+// MeasureLazyMigration migrates `objects` documents (1 KiB hot text,
+// 16 KiB cold thumbnail each) to a surrogate over the in-process
+// transport, then reads every hot field and every cold field on the
+// surrogate. With lazy=false the migration ships full state — the
+// baseline the lazy run's wire volume is compared against.
+func MeasureLazyMigration(objects int, lazy bool) (out LazyMigration, err error) {
+	const hotBytes, coldBytes = 1 << 10, 16 << 10
+	reg := vm.NewRegistry()
+	if _, err := reg.Register(vm.ClassSpec{
+		Name:   "Note",
+		Fields: []string{"text", "thumb"},
+	}); err != nil {
+		return LazyMigration{}, err
+	}
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 64 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 64 << 20})
+	pc, ps := remote.NewPair(client, surrogate, remote.Options{Workers: 2, LazyMigration: lazy})
+	defer func() {
+		if cerr := pc.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := ps.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if lazy {
+		client.SetFieldPredictor(func(class, field string) bool { return field == "text" })
+	}
+
+	th := client.NewThread()
+	ids := make([]vm.ObjectID, objects)
+	hot := make([]byte, hotBytes)
+	cold := make([]byte, coldBytes)
+	for i := range cold {
+		cold[i] = byte(i)
+	}
+	copy(hot, cold)
+	for i := range ids {
+		id, err := th.New("Note", hotBytes+coldBytes+64)
+		if err != nil {
+			return LazyMigration{}, err
+		}
+		if err := th.SetField(id, "text", vm.Blob(hot)); err != nil {
+			return LazyMigration{}, err
+		}
+		if err := th.SetField(id, "thumb", vm.Blob(cold)); err != nil {
+			return LazyMigration{}, err
+		}
+		client.SetRoot(fmt.Sprintf("note%d", i), id)
+		ids[i] = id
+	}
+	th.ClearTemps()
+
+	sentBefore := pc.Stats().BytesSent
+	n, _, err := pc.Offload([]string{"Note"})
+	if err != nil {
+		return LazyMigration{}, err
+	}
+	if n != objects {
+		return LazyMigration{}, fmt.Errorf("rpcbench: offload moved %d objects, want %d", n, objects)
+	}
+	out = LazyMigration{
+		Objects:    objects,
+		WireBytes:  pc.Stats().BytesSent - sentBefore,
+		SavedBytes: pc.Stats().LazyBytesSaved,
+	}
+
+	// The editor's working set: every hot field, then every cold one.
+	sth := surrogate.NewThread()
+	peerIDs := make([]vm.ObjectID, objects)
+	for i, id := range ids {
+		peerIDs[i] = client.Object(id).PeerID
+	}
+	for i, sid := range peerIDs {
+		v, err := sth.GetField(sid, "text")
+		if err != nil {
+			return LazyMigration{}, err
+		}
+		if v.Kind != vm.KindBytes || len(v.Bytes) != hotBytes {
+			return LazyMigration{}, fmt.Errorf("rpcbench: note %d hot field came back as %v", i, v)
+		}
+	}
+	out.HotFaults = ps.Stats().FieldFetches
+	for i, sid := range peerIDs {
+		v, err := sth.GetField(sid, "thumb")
+		if err != nil {
+			return LazyMigration{}, err
+		}
+		if v.Kind != vm.KindBytes || len(v.Bytes) != coldBytes {
+			return LazyMigration{}, fmt.Errorf("rpcbench: note %d cold field came back as %v", i, v)
+		}
+	}
+	out.ColdFaults = ps.Stats().FieldFetches - out.HotFaults
+	return out, nil
+}

@@ -12,6 +12,7 @@
 package rpcbench
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -80,6 +81,18 @@ func New(cfg Config) (*Env, error) {
 					return vm.Nil(), fmt.Errorf("echo: got %d args, want 3", len(args))
 				}
 				return args[1], nil // the blob rides both directions
+			},
+		}, {
+			// hop is the chained-call step: it returns its receiver, so a
+			// depth-N chain needs each call's result before the next call
+			// can be issued — the dependency pattern promise pipelining
+			// collapses into one round trip.
+			Name: "hop",
+			Body: func(th *vm.Thread, self vm.ObjectID, args []vm.Value) (vm.Value, error) {
+				if len(args) != 3 {
+					return vm.Nil(), fmt.Errorf("hop: got %d args, want 3", len(args))
+				}
+				return vm.RefOf(self), nil
 			},
 		}},
 	}); err != nil {
@@ -184,6 +197,63 @@ func invoke(th *vm.Thread, svc vm.ObjectID, args []vm.Value) error {
 	}
 	return nil
 }
+
+// SequentialChain runs one chained-call transaction of depth dependent
+// hops the pre-pipelining way: each call blocks for its round trip
+// because the returned reference is the next call's receiver.
+func (e *Env) SequentialChain(depth int) error {
+	recv := e.svc
+	for i := 0; i < depth; i++ {
+		ret, err := e.th.Invoke(recv, "hop", e.args...)
+		if err != nil {
+			return err
+		}
+		if ret.Kind != vm.KindRef || ret.Ref == vm.InvalidObject {
+			return fmt.Errorf("rpcbench: hop %d returned %v, want a reference", i, ret)
+		}
+		recv = ret.Ref
+	}
+	e.th.ClearTemps()
+	return nil
+}
+
+// PipelineChain runs the same depth-call transaction as one pipelined
+// MsgInvokeBatch frame: every hop's receiver is the previous hop's
+// promise, and the whole chain costs one round trip.
+func (e *Env) PipelineChain(depth int) error {
+	return e.PipelineChainContext(context.Background(), depth)
+}
+
+// PipelineChainContext is PipelineChain under a caller-supplied context,
+// so chaos harnesses can cancel a frame mid-flight.
+func (e *Env) PipelineChainContext(ctx context.Context, depth int) error {
+	p := e.Client.NewPipeline()
+	var recv any = e.svc
+	for i := 0; i < depth; i++ {
+		recv = p.Invoke(recv, "hop", e.args[0], e.args[1], e.args[2])
+	}
+	res, err := p.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if last := res[depth-1]; last.Kind != vm.KindRef || last.Ref == vm.InvalidObject {
+		return fmt.Errorf("rpcbench: chain resolved to %v, want a reference", last)
+	}
+	e.th.ClearTemps()
+	return nil
+}
+
+// WireBytes returns the client peer's cumulative wire volume in both
+// directions; callers diff snapshots around a workload to charge it.
+func (e *Env) WireBytes() int64 {
+	st := e.PC.Stats()
+	return st.BytesSent + st.BytesReceived
+}
+
+// PipelineFrames returns how many MsgInvokeBatch frames the client peer
+// has sent — the guard that a "pipelined" measurement did not silently
+// degrade to sequential calls.
+func (e *Env) PipelineFrames() int64 { return e.PC.Stats().PipelineFrames }
 
 // ReleaseStorm sends n distributed-GC decrefs for synthetic object IDs
 // and round-trips a ping so the tail batch is flushed and the wire

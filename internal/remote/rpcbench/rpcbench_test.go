@@ -35,6 +35,76 @@ func TestEnvModes(t *testing.T) {
 	}
 }
 
+// TestEnvChains sanity-checks the chained-call workload both ways: the
+// pipelined transaction must actually batch (one frame per chain) and
+// cost strictly fewer wire requests than the sequential baseline.
+func TestEnvChains(t *testing.T) {
+	for _, m := range Modes() {
+		t.Run(string(m), func(t *testing.T) {
+			e, err := New(Config{Mode: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := e.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			const depth = 16
+			before := e.PC.Stats()
+			if err := e.SequentialChain(depth); err != nil {
+				t.Fatalf("sequential chain: %v", err)
+			}
+			mid := e.PC.Stats()
+			if got := mid.RequestsSent - before.RequestsSent; got != depth {
+				t.Errorf("sequential chain sent %d requests, want %d", got, depth)
+			}
+			if err := e.PipelineChain(depth); err != nil {
+				t.Fatalf("pipeline chain: %v", err)
+			}
+			after := e.PC.Stats()
+			if got := after.RequestsSent - mid.RequestsSent; got != 1 {
+				t.Errorf("pipelined chain sent %d requests, want 1", got)
+			}
+			if after.PipelineFrames != 1 || after.PipelineCalls != depth {
+				t.Errorf("frames=%d calls=%d, want 1 frame of %d calls",
+					after.PipelineFrames, after.PipelineCalls, depth)
+			}
+		})
+	}
+}
+
+// TestMeasureLazyMigration pins the lazy-vs-full comparison the
+// benchmark report is built from: lazy ships measurably fewer wire
+// bytes, faults zero times on hot fields, and at most once per object
+// on cold ones.
+func TestMeasureLazyMigration(t *testing.T) {
+	const objects = 4
+	full, err := MeasureLazyMigration(objects, false)
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	lazy, err := MeasureLazyMigration(objects, true)
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
+	if full.SavedBytes != 0 || full.HotFaults != 0 || full.ColdFaults != 0 {
+		t.Errorf("full migration reported lazy activity: %+v", full)
+	}
+	if lazy.WireBytes >= full.WireBytes {
+		t.Errorf("lazy wire bytes %d >= full %d: deferral saved nothing", lazy.WireBytes, full.WireBytes)
+	}
+	if lazy.SavedBytes <= 0 {
+		t.Errorf("lazy SavedBytes = %d, want > 0", lazy.SavedBytes)
+	}
+	if lazy.HotFaults != 0 {
+		t.Errorf("hot-field reads faulted %d times, want 0", lazy.HotFaults)
+	}
+	if lazy.ColdFaults != objects {
+		t.Errorf("cold-field reads faulted %d times, want one per object (%d)", lazy.ColdFaults, objects)
+	}
+}
+
 // TestEnvUnbatched pins the ReleaseBatchSize=1 baseline the storm
 // benchmark compares against: one wire message per decref.
 func TestEnvUnbatched(t *testing.T) {

@@ -25,7 +25,7 @@ func TestRegenerateFuzzSeeds(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var invoke []byte
+	var invoke, batch []byte
 	for _, m := range codecMessages() {
 		buf := appendMessage(nil, m)
 		switch {
@@ -37,9 +37,20 @@ func TestRegenerateFuzzSeeds(t *testing.T) {
 			write("seed-20-release-batch", buf)
 		case m.Kind == MsgPing && !m.Reply:
 			write("seed-22-ping-request", buf)
+		case m.Kind == MsgInvokeBatch && !m.Reply:
+			batch = buf
+			write("seed-23-invoke-batch", buf)
+		case m.Kind == MsgInvokeBatch && m.Reply && m.Err != "":
+			write("seed-24-invoke-batch-error-reply", buf)
+		case m.Kind == MsgFieldFetch && !m.Reply:
+			write("seed-25-field-fetch", buf)
+		case m.Kind == MsgFieldFetch && m.Reply:
+			write("seed-26-field-fetch-reply", buf)
 		}
 	}
 	// A mid-payload truncation: the decoder must reject it, and the
 	// fuzzer mutates outward from the cut point.
 	write("seed-21-truncated-invoke", invoke[:len(invoke)/2])
+	// Cut inside the multi-invoke frame's call list.
+	write("seed-27-truncated-invoke-batch", batch[:len(batch)*2/3])
 }

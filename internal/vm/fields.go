@@ -45,6 +45,9 @@ retry:
 		if val.Kind == KindRef {
 			v.addTempLocked(val.Ref)
 		}
+		if v.fieldHooks != nil {
+			v.fieldHooks.OnFieldAccess(to, field, val.WireSize())
+		}
 		if hooks != nil {
 			hooks.OnAccess(from, to, target, val.WireSize())
 			v.chargeMonitorLocked()
@@ -52,19 +55,32 @@ retry:
 		v.mu.Unlock()
 		return val, nil
 	}
-	defer v.mu.Unlock()
-	ix, ok := o.Class.FieldIndex(field)
-	if !ok {
+	ix, fok := o.Class.FieldIndex(field)
+	if !fok {
+		v.mu.Unlock()
 		return Nil(), fmt.Errorf("vm: get %s.%s: %w", to, field, ErrNoSuchField)
 	}
 	val := o.Fields[ix]
+	if val.Kind == KindDeferred {
+		// Lazy-migration fault: the value stayed behind on the origin VM.
+		// Pull every withheld field of the object in one round trip, then
+		// retry the access (fetchDeferred guarantees no slot stays
+		// deferred, so the retry cannot fault again).
+		v.mu.Unlock()
+		v.fetchDeferred(target)
+		goto retry
+	}
 	if val.Kind == KindRef {
 		v.addTempLocked(val.Ref)
+	}
+	if v.fieldHooks != nil {
+		v.fieldHooks.OnFieldAccess(to, field, val.WireSize())
 	}
 	if v.hooks != nil && from != to {
 		v.hooks.OnAccess(from, to, target, val.WireSize())
 		v.chargeMonitorLocked()
 	}
+	v.mu.Unlock()
 	return val, nil
 }
 
@@ -106,6 +122,9 @@ retry:
 			return fmt.Errorf("vm: remote set %s.%s: %w", to, field, err)
 		}
 		v.mu.Lock()
+		if v.fieldHooks != nil {
+			v.fieldHooks.OnFieldAccess(to, field, val.WireSize())
+		}
 		if hooks != nil {
 			hooks.OnAccess(from, to, target, val.WireSize())
 			v.chargeMonitorLocked()
@@ -118,7 +137,14 @@ retry:
 	if !ok {
 		return fmt.Errorf("vm: set %s.%s: %w", to, field, ErrNoSuchField)
 	}
+	// Writing a deferred slot overwrites the placeholder; the origin's
+	// residual copy is stale from here on and loses to this value if the
+	// object ever migrates home (AdoptMigration folds residuals into
+	// still-deferred slots only).
 	o.Fields[ix] = val
+	if v.fieldHooks != nil {
+		v.fieldHooks.OnFieldAccess(to, field, val.WireSize())
+	}
 	if v.hooks != nil && from != to {
 		v.hooks.OnAccess(from, to, target, val.WireSize())
 		v.chargeMonitorLocked()

@@ -1,0 +1,250 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Monitor-driven lazy state transfer: a migration normally ships every
+// field of every object. The access graph (internal/monitor) knows which
+// fields the application actually touches, so a lazy migration ships only
+// the fields a FieldPredictor marks hot and withholds the rest as
+// KindDeferred placeholders. The origin VM keeps the withheld values in a
+// residual store; the receiver pulls them on first access — one
+// MsgFieldFetch fetches *all* of an object's remaining fields (prefetch
+// batching), so an object faults at most once per migration.
+
+// FieldPredictor reports whether a migration should ship the field's
+// value eagerly (hot) or withhold it for on-demand pull (cold).
+type FieldPredictor func(class, field string) bool
+
+// SetFieldPredictor installs (or clears, with nil) the predictor that
+// ExtractMigrationLazy consults. With no predictor a lazy migration
+// degenerates to a full-state migration.
+func (v *VM) SetFieldPredictor(f FieldPredictor) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.fieldPredictor = f
+}
+
+// FieldHooks is an optional extension of Hooks: when the installed Hooks
+// value also implements it, the VM reports every instance-field access
+// with the concrete class, field name, and value size — the signal the
+// monitor's field-heat table (and hence the predictor) is built from.
+type FieldHooks interface {
+	OnFieldAccess(class, field string, bytes int64)
+}
+
+// FieldFetcher is the optional Peer extension for lazy state pull: it
+// fetches withheld fields of a lazily migrated object from the origin VM.
+// A nil fields slice requests every remaining residual field. The int64
+// result is the wire size of the fetched values.
+type FieldFetcher interface {
+	FetchFieldsRemote(peerObj ObjectID, fields []string) ([]string, []Value, int64, error)
+}
+
+// residual holds the withheld field values of one lazily migrated object
+// on its origin VM. bytes is the heap accounting the residual retains
+// (capped at the object's size, so lazy accounting never goes negative).
+type residual struct {
+	fields map[string]Value
+	bytes  int64
+}
+
+// LazyPlan describes what one ExtractMigrationLazy withheld; it carries
+// the residuals from extraction to ConvertToStubsLazy, which installs
+// them once the receiver has acknowledged the batch.
+type LazyPlan struct {
+	deferred map[ObjectID]*residual
+
+	// SavedBytes is the migration wire volume the plan avoided shipping.
+	SavedBytes int64
+
+	// DeferredFields counts the withheld field slots.
+	DeferredFields int64
+}
+
+// ExtractMigrationLazy is ExtractMigration with predictor-driven field
+// deferral: fields the installed FieldPredictor calls cold are replaced
+// by KindDeferred placeholders and recorded in the returned plan.
+// References are never deferred (the receiver needs them for reachability
+// and re-linking), and without a predictor nothing is deferred.
+func (v *VM) ExtractMigrationLazy(classNames []string) ([]MigratedObject, *LazyPlan, error) {
+	return v.extractMigration(classNames, true)
+}
+
+// lazyDeferrable reports whether a field value is eligible for deferral:
+// scalars and blobs only — references must travel, KindNil saves nothing,
+// and an already-deferred slot has no value here to withhold.
+func lazyDeferrable(val Value) bool {
+	switch val.Kind {
+	case KindNil, KindRef, KindDeferred:
+		return false
+	default:
+		return true
+	}
+}
+
+// ConvertToStubsLazy completes a lazy migration on the sender: like
+// ConvertToStubs, but the plan's residuals are installed in the VM's
+// residual store, keyed by the local stub ID, and their bytes stay in the
+// live-heap accounting until fetched, dropped, or reclaimed.
+func (v *VM) ConvertToStubsLazy(peerIdx int, ids, peerIDs []ObjectID, plan *LazyPlan) error {
+	if len(ids) != len(peerIDs) {
+		return fmt.Errorf("vm: convert to stubs: %d ids but %d peer ids", len(ids), len(peerIDs))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, id := range ids {
+		o, ok := v.objects[id]
+		if !ok {
+			return fmt.Errorf("vm: convert #%d: %w", id, ErrNoSuchObject)
+		}
+		if o.Remote {
+			return fmt.Errorf("vm: convert #%d: already a stub", id)
+		}
+		keep := int64(0)
+		if plan != nil {
+			if res, ok := plan.deferred[id]; ok {
+				if v.residuals == nil {
+					v.residuals = make(map[ObjectID]*residual)
+				}
+				v.residuals[id] = res
+				keep = res.bytes
+			}
+		}
+		v.liveBytes -= o.Size - keep
+		o.RemoteSize = o.Size
+		o.Size = 0
+		o.Fields = nil
+		o.Remote = true
+		o.PeerIdx = peerIdx
+		o.PeerID = peerIDs[i]
+		o.exported = 0
+		v.imports[importKey{peer: peerIdx, id: peerIDs[i]}] = id
+	}
+	return nil
+}
+
+// ServeFetchFields serves a peer's lazy-field pull against the residual
+// store. An empty names slice fetches every remaining field (served in
+// sorted order for determinism). Served fields leave the residual; a
+// fully drained residual is dropped and its heap accounting released.
+// The int64 result is the wire size of the served values.
+func (v *VM) ServeFetchFields(id ObjectID, names []string) ([]string, []Value, int64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	res, ok := v.residuals[id]
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("vm: fetch fields #%d: no residual state", id)
+	}
+	want := names
+	if len(want) == 0 {
+		want = make([]string, 0, len(res.fields))
+		for name := range res.fields {
+			want = append(want, name)
+		}
+		sort.Strings(want)
+	}
+	outNames := make([]string, 0, len(want))
+	outVals := make([]Value, 0, len(want))
+	var served int64
+	for _, name := range want {
+		val, ok := res.fields[name]
+		if !ok {
+			continue
+		}
+		outNames = append(outNames, name)
+		outVals = append(outVals, val)
+		served += val.WireSize()
+		delete(res.fields, name)
+	}
+	switch {
+	case len(res.fields) == 0:
+		v.liveBytes -= res.bytes
+		delete(v.residuals, id)
+	case served < res.bytes:
+		v.liveBytes -= served
+		res.bytes -= served
+	default:
+		// res.bytes was capped at the object size; a partial drain can
+		// still exhaust it.
+		v.liveBytes -= res.bytes
+		res.bytes = 0
+	}
+	return outNames, outVals, served, nil
+}
+
+// fetchDeferred resolves every KindDeferred field of a lazily migrated
+// object by pulling the withheld values from the origin peer — called
+// without v.mu held, from the GetField fault path. It always makes
+// progress: after it returns, no field of the object is KindDeferred
+// (fields the origin can no longer serve restart zeroed, the same
+// semantics ReclaimStubs gives a lost peer's objects).
+func (v *VM) fetchDeferred(id ObjectID) {
+	v.mu.Lock()
+	o, ok := v.objects[id]
+	if !ok || o.Remote {
+		v.mu.Unlock()
+		return
+	}
+	peer := v.peerAt(o.lazyFrom)
+	src := o.lazySrc
+	v.mu.Unlock()
+
+	var names []string
+	var vals []Value
+	if ff, ok := peer.(FieldFetcher); ok {
+		var err error
+		names, vals, _, err = ff.FetchFieldsRemote(src, nil)
+		if err != nil {
+			names, vals = nil, nil
+		}
+	}
+	byName := make(map[string]Value, len(names))
+	for i, name := range names {
+		if i < len(vals) {
+			byName[name] = vals[i]
+		}
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	o, ok = v.objects[id]
+	if !ok || o.Remote {
+		return
+	}
+	var fetched int64
+	for i, name := range o.Class.Fields {
+		if i >= len(o.Fields) || o.Fields[i].Kind != KindDeferred {
+			continue
+		}
+		if val, ok := byName[name]; ok {
+			o.Fields[i] = val
+			fetched++
+		} else {
+			o.Fields[i] = Nil()
+		}
+	}
+	v.tm.lazyFaults.Inc()
+	v.tm.lazyFetched.Add(fetched)
+}
+
+// dropResidualLocked discards the residual state kept for a lazily
+// migrated object, releasing its heap accounting — called when the stub
+// dies (the receiver can never fault the fields back) or when the object
+// returns home and the residual is folded back in.
+func (v *VM) dropResidualLocked(id ObjectID) {
+	if res, ok := v.residuals[id]; ok {
+		v.liveBytes -= res.bytes
+		delete(v.residuals, id)
+	}
+}
+
+// ResidualCount reports how many objects currently have residual state
+// (diagnostics and tests).
+func (v *VM) ResidualCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.residuals)
+}

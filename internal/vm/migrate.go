@@ -25,11 +25,25 @@ type MigratedObject struct {
 // The objects are not yet removed; call ConvertToStubs with the IDs the
 // receiver assigned to complete the move.
 func (v *VM) ExtractMigration(classNames []string) ([]MigratedObject, error) {
+	batch, _, err := v.extractMigration(classNames, false)
+	return batch, err
+}
+
+// extractMigration is the shared body of ExtractMigration and
+// ExtractMigrationLazy. With lazy set and a FieldPredictor installed,
+// predictor-cold scalar fields are withheld into the returned plan as
+// KindDeferred placeholders (lazy.go).
+func (v *VM) extractMigration(classNames []string, lazy bool) ([]MigratedObject, *LazyPlan, error) {
 	moving := make(map[string]bool, len(classNames))
 	for _, n := range classNames {
 		moving[n] = true
 	}
 	v.mu.Lock()
+	pred := v.fieldPredictor
+	if !lazy {
+		pred = nil
+	}
+	plan := &LazyPlan{deferred: make(map[ObjectID]*residual)}
 	var ids []ObjectID
 	for id, o := range v.objects {
 		if !o.Remote && moving[o.Class.Name] {
@@ -51,13 +65,25 @@ func (v *VM) ExtractMigration(classNames []string) ([]MigratedObject, error) {
 			Size:     o.Size,
 			Fields:   make([]WireValue, len(o.Fields)),
 		}
+		var res *residual
 		for i, val := range o.Fields {
+			if pred != nil && lazyDeferrable(val) && i < len(o.Class.Fields) &&
+				!pred(o.Class.Name, o.Class.Fields[i]) {
+				if res == nil {
+					res = &residual{fields: make(map[string]Value)}
+				}
+				res.fields[o.Class.Fields[i]] = val
+				res.bytes += val.WireSize()
+				m.Fields[i] = WireValue{Kind: KindDeferred}
+				plan.DeferredFields++
+				continue
+			}
 			w := WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
 			if val.Kind == KindRef && val.Ref != InvalidObject {
 				ro, ok := v.objects[val.Ref]
 				if !ok {
 					v.mu.Unlock()
-					return nil, fmt.Errorf("vm: migrate %s#%d field %d: %w", o.Class.Name, id, i, ErrNoSuchObject)
+					return nil, nil, fmt.Errorf("vm: migrate %s#%d field %d: %w", o.Class.Name, id, i, ErrNoSuchObject)
 				}
 				switch {
 				case ro.Remote:
@@ -76,11 +102,21 @@ func (v *VM) ExtractMigration(classNames []string) ([]MigratedObject, error) {
 			}
 			m.Fields[i] = w
 		}
+		if res != nil {
+			// The residual keeps at most the object's own heap accounting
+			// live, so withholding can never inflate the heap.
+			if res.bytes > o.Size {
+				res.bytes = o.Size
+			}
+			plan.deferred[id] = res
+			plan.SavedBytes += res.bytes
+		}
 		batch = append(batch, m)
 	}
 	v.mu.Unlock()
 	v.tm.migratedOut.Add(int64(len(batch)))
-	return batch, nil
+	v.tm.lazyDeferred.Add(plan.DeferredFields)
+	return batch, plan, nil
 }
 
 // WireBytes returns the approximate on-the-wire size of the batch, used to
@@ -105,6 +141,10 @@ func (v *VM) AdoptMigration(peerIdx int, batch []MigratedObject) ([]ObjectID, er
 	// the batch can be re-linked.
 	assigned := make([]ObjectID, len(batch))
 	senderToLocal := make(map[ObjectID]ObjectID, len(batch))
+	// recalled holds residuals this VM kept as the origin of an earlier
+	// lazy migration of the same object: when the object comes home, the
+	// withheld values fold back into any still-deferred slots.
+	var recalled map[ObjectID]*residual
 	for i := range batch {
 		m := &batch[i]
 		class := v.registry.Class(m.Class)
@@ -118,6 +158,14 @@ func (v *VM) AdoptMigration(peerIdx int, batch []MigratedObject) ([]ObjectID, er
 			o.PeerID = 0
 			o.RemoteSize = 0
 			delete(v.imports, importKey{peer: peerIdx, id: m.SenderID})
+			if res, ok := v.residuals[stubID]; ok {
+				if recalled == nil {
+					recalled = make(map[ObjectID]*residual)
+				}
+				recalled[stubID] = res
+				v.liveBytes -= res.bytes
+				delete(v.residuals, stubID)
+			}
 		} else {
 			id := v.nextID
 			v.nextID++
@@ -159,6 +207,28 @@ func (v *VM) AdoptMigration(peerIdx int, batch []MigratedObject) ([]ObjectID, er
 					val.Ref = id
 				}
 			}
+			if w.Kind == KindDeferred {
+				if res := recalled[o.ID]; res != nil {
+					// The object is home again; fold the withheld value back
+					// in. A slot the residual no longer holds was fetched
+					// while the object was away and came back concrete, so a
+					// miss here means the value is unrecoverable — zero it.
+					if fi < len(o.Class.Fields) {
+						if rv, ok := res.fields[o.Class.Fields[fi]]; ok {
+							val = rv
+						} else {
+							val = Nil()
+						}
+					} else {
+						val = Nil()
+					}
+				} else {
+					// Freshly adopted lazy field: remember the origin so the
+					// first access can pull the value (fields.go fault path).
+					o.lazyFrom = peerIdx
+					o.lazySrc = m.SenderID
+				}
+			}
 			o.Fields[fi] = val
 		}
 	}
@@ -186,30 +256,7 @@ func (v *VM) stubForLocked(peerIdx int, peerID ObjectID, className string) (Obje
 // a stub pointing at the peer ID the receiver assigned, and its heap
 // memory is freed. ids and peerIDs correspond positionally.
 func (v *VM) ConvertToStubs(peerIdx int, ids, peerIDs []ObjectID) error {
-	if len(ids) != len(peerIDs) {
-		return fmt.Errorf("vm: convert to stubs: %d ids but %d peer ids", len(ids), len(peerIDs))
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for i, id := range ids {
-		o, ok := v.objects[id]
-		if !ok {
-			return fmt.Errorf("vm: convert #%d: %w", id, ErrNoSuchObject)
-		}
-		if o.Remote {
-			return fmt.Errorf("vm: convert #%d: already a stub", id)
-		}
-		v.liveBytes -= o.Size
-		o.RemoteSize = o.Size
-		o.Size = 0
-		o.Fields = nil
-		o.Remote = true
-		o.PeerIdx = peerIdx
-		o.PeerID = peerIDs[i]
-		o.exported = 0
-		v.imports[importKey{peer: peerIdx, id: peerIDs[i]}] = id
-	}
-	return nil
+	return v.ConvertToStubsLazy(peerIdx, ids, peerIDs, nil)
 }
 
 // ReclaimStubs re-materializes every stub hosted by the given peer as a
@@ -238,6 +285,18 @@ func (v *VM) ReclaimStubs(peerIdx int) int {
 		o.PeerIdx = 0
 		o.RemoteSize = 0
 		o.Fields = make([]Value, len(o.Class.Fields))
+		if res, ok := v.residuals[o.ID]; ok {
+			// The object lazily migrated to the vanished peer earlier and we
+			// are its origin: the withheld values survived locally, so the
+			// re-materialized object keeps them instead of restarting zeroed.
+			for name, val := range res.fields {
+				if ix, ok := o.Class.FieldIndex(name); ok {
+					o.Fields[ix] = val
+				}
+			}
+			v.liveBytes -= res.bytes
+			delete(v.residuals, o.ID)
+		}
 		v.liveBytes += o.Size
 		n++
 	}
@@ -269,19 +328,36 @@ func (v *VM) ReclaimStubs(peerIdx int) int {
 // ServeInvoke executes a peer-requested method invocation on a local
 // object.
 func (v *VM) ServeInvoke(localID ObjectID, method string, args []Value) (Value, time.Duration, error) {
-	v.mu.Lock()
-	start := v.clock
-	v.mu.Unlock()
+	mark := v.ClockMark()
 	t := v.NewThread()
 	ret, err := t.Invoke(localID, method, args...)
-	v.mu.Lock()
-	elapsed := v.clock - start
-	v.clock = start
-	v.mu.Unlock()
+	elapsed := v.ClockRewind(mark)
 	if err != nil {
 		return Nil(), 0, err
 	}
 	return ret, elapsed, nil
+}
+
+// ClockMark snapshots the virtual clock so a service bracket can later
+// rewind it. ClockRewind returns the time accrued since the mark and
+// resets the clock to it — the accrued time is charged to the requesting
+// VM instead, so serial execution time is counted exactly once. The pair
+// lets a pipelined frame bracket all of its calls with one mark/rewind
+// rather than two lock acquisitions per call.
+func (v *VM) ClockMark() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.clock
+}
+
+// ClockRewind returns the virtual time accrued since mark and resets the
+// clock to mark (see ClockMark).
+func (v *VM) ClockRewind(mark time.Duration) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	elapsed := v.clock - mark
+	v.clock = mark
+	return elapsed
 }
 
 // ServeNative executes a native method directed back to this (client) VM.

@@ -20,6 +20,35 @@ type frame struct {
 	// temps are JNI-style local references: objects created or received in
 	// this frame are GC roots until the frame exits.
 	temps []ObjectID
+
+	// thread is the execution context handed to this frame's method body.
+	// Embedding it in the (pooled) frame makes it allocation-free; reuse
+	// is safe because a Thread holds only the VM pointer, which is the
+	// same for every frame of the pool's VM.
+	thread Thread
+}
+
+// getFrameLocked returns a recycled (or fresh) frame initialized for one
+// method invocation. Called with v.mu held.
+func (v *VM) getFrameLocked(className, method string) *frame {
+	if n := len(v.framePool); n > 0 {
+		f := v.framePool[n-1]
+		v.framePool = v.framePool[:n-1]
+		f.class, f.method, f.self = className, method, 0
+		f.temps = f.temps[:0]
+		return f
+	}
+	f := &frame{class: className, method: method}
+	f.thread.vm = v
+	return f
+}
+
+// putFrameLocked recycles a popped frame. Called with v.mu held; the
+// frame must no longer be on v.frames.
+func (v *VM) putFrameLocked(f *frame) {
+	if len(v.framePool) < 64 {
+		v.framePool = append(v.framePool, f)
+	}
 }
 
 // Thread is the execution context handed to method bodies. It is a
@@ -188,24 +217,24 @@ func (v *VM) invokeLocalLocked(o *Object, method string, args []Value) (Value, e
 func (v *VM) runBodyLocked(className string, m *Method, self ObjectID, args []Value) (Value, error) {
 	caller := v.currentClassLocked()
 	argBytes := WireSizeAll(args)
-	f := &frame{class: className, method: m.Name}
+	f := v.getFrameLocked(className, m.Name)
 	if self != InvalidObject {
 		f.temps = append(f.temps, self)
 	}
-	for _, a := range args {
-		if a.Kind == KindRef {
-			f.temps = append(f.temps, a.Ref)
+	for i := range args {
+		if args[i].Kind == KindRef {
+			f.temps = append(f.temps, args[i].Ref)
 		}
 	}
 	v.frames = append(v.frames, f)
-	thread := &Thread{vm: v}
 	v.mu.Unlock()
 
-	ret, err := m.Body(thread, self, args)
+	ret, err := m.Body(&f.thread, self, args)
 
 	v.mu.Lock()
 	v.frames = v.frames[:len(v.frames)-1]
 	if err != nil {
+		v.putFrameLocked(f)
 		v.mu.Unlock()
 		return Nil(), fmt.Errorf("vm: %s.%s: %w", className, m.Name, err)
 	}
@@ -216,6 +245,7 @@ func (v *VM) runBodyLocked(className string, m *Method, self ObjectID, args []Va
 		v.hooks.OnInvoke(caller, className, m.Name, self, argBytes, ret.WireSize(), f.self, m.Native, m.Stateless)
 		v.chargeMonitorLocked()
 	}
+	v.putFrameLocked(f)
 	v.mu.Unlock()
 	return ret, nil
 }

@@ -83,6 +83,14 @@ type Object struct {
 	// positive the object is a distributed-GC root.
 	exported int64
 
+	// lazyFrom/lazySrc remember where a lazily migrated object came from:
+	// the peer index of the origin VM and the object's ID in that VM's
+	// namespace (its residual-store key). Set when AdoptMigration installs
+	// KindDeferred fields; the first access pulls the withheld values from
+	// there (lazy.go).
+	lazyFrom int
+	lazySrc  ObjectID
+
 	marked bool
 }
 
@@ -202,6 +210,16 @@ type VM struct {
 
 	hooks Hooks
 
+	// fieldHooks caches hooks' optional FieldHooks extension (SetHooks
+	// type-asserts once, so the per-access check is a nil compare).
+	fieldHooks FieldHooks
+
+	// fieldPredictor, when set, lets ExtractMigrationLazy withhold
+	// predictor-cold fields; residuals holds the withheld values of
+	// objects this VM lazily migrated away, keyed by local stub ID.
+	fieldPredictor FieldPredictor
+	residuals      map[ObjectID]*residual
+
 	// peers are the attached remote-invocation modules. A client may
 	// attach several surrogates (paper §2: "multiple surrogates could be
 	// used by the client"); a surrogate attaches exactly one client at
@@ -229,6 +247,11 @@ type VM struct {
 	// frames of the single logical application thread (the platform's
 	// serial-execution assumption); used as GC roots.
 	frames []*frame
+
+	// framePool recycles popped frames (and their temps backing arrays):
+	// every served invocation pushes one, so the RPC hot path would
+	// otherwise allocate a frame, a temps slice, and a thread per call.
+	framePool []*frame
 
 	// rootTemps protects objects created or received outside any method
 	// frame (top-level driver code) until ClearTemps is called, so a
@@ -264,11 +287,18 @@ func (v *VM) Registry() *Registry { return v.registry }
 // CPUSpeed returns the VM's configured relative CPU speed.
 func (v *VM) CPUSpeed() float64 { return v.cfg.CPUSpeed }
 
-// SetHooks installs (or removes, with nil) monitoring hooks.
+// SetHooks installs (or removes, with nil) monitoring hooks. A Hooks
+// value that also implements FieldHooks additionally receives per-field
+// access callbacks (the lazy-migration heat signal).
 func (v *VM) SetHooks(h Hooks) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.hooks = h
+	if fh, ok := h.(FieldHooks); ok {
+		v.fieldHooks = fh
+	} else {
+		v.fieldHooks = nil
+	}
 }
 
 // importKey identifies a foreign object: which peer hosts it and its ID

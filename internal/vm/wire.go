@@ -37,41 +37,78 @@ type WireValue struct {
 // *different* surrogate is rejected: surrogate-to-surrogate references are
 // the paper's future work (§2, §8).
 func (v *VM) EncodeOutgoing(peerIdx int, val Value) (WireValue, error) {
-	w := WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
+	var w WireValue
+	err := v.EncodeOutgoingInto(peerIdx, &val, &w)
+	return w, err
+}
+
+// EncodeOutgoingInto is EncodeOutgoing writing through pointers, so
+// parameter-list loops fill their slice elements without copying the
+// ~90-byte structs through return values (the RPC hot path). On error
+// *w is the zero value.
+func (v *VM) EncodeOutgoingInto(peerIdx int, val *Value, w *WireValue) error {
+	*w = WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
 	if val.Kind != KindRef {
-		return w, nil
+		return nil
 	}
 	if val.Ref == InvalidObject {
 		w.Kind = KindNil
-		return w, nil
+		return nil
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	return v.encodeOutgoingRefLocked(peerIdx, val, w)
+}
+
+// encodeOutgoingRefLocked converts a live KindRef value's reference into
+// *w (whose scalar fields are already filled). Called with v.mu held.
+func (v *VM) encodeOutgoingRefLocked(peerIdx int, val *Value, w *WireValue) error {
 	o, ok := v.objects[val.Ref]
 	if !ok {
-		return WireValue{}, fmt.Errorf("vm: encode ref #%d: %w", val.Ref, ErrNoSuchObject)
+		*w = WireValue{}
+		return fmt.Errorf("vm: encode ref #%d: %w", val.Ref, ErrNoSuchObject)
 	}
 	if o.Remote {
 		if o.PeerIdx != peerIdx {
-			return WireValue{}, fmt.Errorf("vm: encode ref #%d: cross-surrogate references are unsupported", val.Ref)
+			*w = WireValue{}
+			return fmt.Errorf("vm: encode ref #%d: cross-surrogate references are unsupported", val.Ref)
 		}
 		w.Ref = WireRef{ReceiverLocal: true, ID: o.PeerID}
-		return w, nil
+		return nil
 	}
 	o.exported++
 	w.Ref = WireRef{ReceiverLocal: false, ID: o.ID, Class: o.Class.Name}
-	return w, nil
+	return nil
 }
 
-// EncodeOutgoingAll converts a parameter list to wire form.
+// EncodeOutgoingAll converts a parameter list to wire form. References
+// in the list are exported under a single lock acquisition (a pipelined
+// frame's reply is mostly references).
 func (v *VM) EncodeOutgoingAll(peerIdx int, vals []Value) ([]WireValue, error) {
 	out := make([]WireValue, len(vals))
-	for i, val := range vals {
-		w, err := v.EncodeOutgoing(peerIdx, val)
-		if err != nil {
+	locked := false
+	defer func() {
+		if locked {
+			v.mu.Unlock()
+		}
+	}()
+	for i := range vals {
+		val := &vals[i]
+		out[i] = WireValue{Kind: val.Kind, I: val.I, F: val.F, B: val.B, S: val.S, Bytes: val.Bytes}
+		if val.Kind != KindRef {
+			continue
+		}
+		if val.Ref == InvalidObject {
+			out[i].Kind = KindNil
+			continue
+		}
+		if !locked {
+			v.mu.Lock()
+			locked = true
+		}
+		if err := v.encodeOutgoingRefLocked(peerIdx, val, &out[i]); err != nil {
 			return nil, err
 		}
-		out[i] = w
 	}
 	return out, nil
 }
@@ -79,39 +116,82 @@ func (v *VM) EncodeOutgoingAll(peerIdx int, vals []Value) ([]WireValue, error) {
 // DecodeIncoming converts a wire value received from the peer into a local
 // value, creating stub placeholders for foreign references as needed.
 func (v *VM) DecodeIncoming(peerIdx int, w WireValue) (Value, error) {
-	val := Value{Kind: w.Kind, I: w.I, F: w.F, B: w.B, S: w.S, Bytes: w.Bytes}
+	var val Value
+	err := v.DecodeIncomingInto(peerIdx, &w, &val)
+	return val, err
+}
+
+// DecodeIncomingInto is DecodeIncoming writing through pointers (see
+// EncodeOutgoingInto). On error *val is Nil().
+func (v *VM) DecodeIncomingInto(peerIdx int, w *WireValue, val *Value) error {
+	*val = Value{Kind: w.Kind, I: w.I, F: w.F, B: w.B, S: w.S, Bytes: w.Bytes}
 	if w.Kind != KindRef {
-		return val, nil
+		return nil
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.decodeIncomingRefLocked(peerIdx, w, val)
+}
+
+// decodeIncomingRefLocked resolves a KindRef wire value's reference into
+// *val (whose scalar fields are already filled). Called with v.mu held.
+func (v *VM) decodeIncomingRefLocked(peerIdx int, w *WireValue, val *Value) error {
 	if w.Ref.ReceiverLocal {
-		v.mu.Lock()
-		_, ok := v.objects[w.Ref.ID]
-		v.mu.Unlock()
-		if !ok {
-			return Nil(), fmt.Errorf("vm: incoming ref #%d: %w", w.Ref.ID, ErrNoSuchObject)
+		if _, ok := v.objects[w.Ref.ID]; !ok {
+			*val = Nil()
+			return fmt.Errorf("vm: incoming ref #%d: %w", w.Ref.ID, ErrNoSuchObject)
 		}
 		val.Ref = w.Ref.ID
-		return val, nil
+		return nil
 	}
-	id, err := v.StubFor(peerIdx, w.Ref.ID, w.Ref.Class)
+	id, err := v.stubForLocked(peerIdx, w.Ref.ID, w.Ref.Class)
 	if err != nil {
-		return Nil(), err
+		*val = Nil()
+		return err
 	}
 	val.Ref = id
-	return val, nil
+	return nil
 }
 
 // DecodeIncomingAll converts a received parameter list.
 func (v *VM) DecodeIncomingAll(peerIdx int, ws []WireValue) ([]Value, error) {
 	out := make([]Value, len(ws))
-	for i, w := range ws {
-		val, err := v.DecodeIncoming(peerIdx, w)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = val
+	if err := v.DecodeIncomingSlice(peerIdx, ws, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeIncomingSlice converts a received parameter list into the
+// caller-provided destination (len(out) must equal len(ws)): the batched
+// frame paths carve per-call slices out of one arena instead of
+// allocating one per call, and references in the list are resolved under
+// a single lock acquisition rather than one per value.
+func (v *VM) DecodeIncomingSlice(peerIdx int, ws []WireValue, out []Value) error {
+	if len(out) != len(ws) {
+		return fmt.Errorf("vm: decode incoming: %d values into %d slots", len(ws), len(out))
+	}
+	locked := false
+	defer func() {
+		if locked {
+			v.mu.Unlock()
+		}
+	}()
+	for i := range ws {
+		w := &ws[i]
+		out[i] = Value{Kind: w.Kind, I: w.I, F: w.F, B: w.B, S: w.S, Bytes: w.Bytes}
+		if w.Kind != KindRef {
+			continue
+		}
+		if !locked {
+			v.mu.Lock()
+			locked = true
+		}
+		if err := v.decodeIncomingRefLocked(peerIdx, w, &out[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StubFor returns the local stub for the peer's object, creating one if

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Binary wire-codec hooks: the hand-rolled encoding of the VM's wire
@@ -69,7 +70,7 @@ func StringSize(s string) int {
 }
 
 // ReadString decodes a length-prefixed string. The returned string is a
-// copy; it does not alias data.
+// copy (or an interned equal); it never aliases data.
 func ReadString(data []byte) (string, []byte, error) {
 	n, rest, err := ReadUvarint(data)
 	if err != nil {
@@ -78,7 +79,34 @@ func ReadString(data []byte) (string, []byte, error) {
 	if n > uint64(len(rest)) {
 		return "", nil, fmt.Errorf("vm: wire: string length %d exceeds %d remaining bytes", n, len(rest))
 	}
-	return string(rest[:n]), rest[n:], nil
+	return internBytes(rest[:n]), rest[n:], nil
+}
+
+// Short-string interning for the decode path: wire traffic repeats the
+// same method, class, and field names endlessly — a pipelined frame
+// would otherwise allocate one copy per call. The cache is a small
+// direct-mapped table of atomically published strings; collisions just
+// fall back to a fresh copy, and concurrent decoders (one per peer)
+// race benignly on publication.
+const internMaxLen = 32
+
+var internTab [512]atomic.Pointer[string]
+
+func internBytes(b []byte) string {
+	if len(b) == 0 || len(b) > internMaxLen {
+		return string(b)
+	}
+	h := uint32(2166136261) // FNV-1a
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	slot := &internTab[h%uint32(len(internTab))]
+	if p := slot.Load(); p != nil && *p == string(b) {
+		return *p
+	}
+	s := string(b)
+	slot.Store(&s)
+	return s
 }
 
 // AppendWire appends the reference's binary wire form: a locality byte,
@@ -174,11 +202,21 @@ func (w *WireValue) WireLen() int {
 // DecodeWireValue decodes one WireValue, returning the remaining bytes.
 // Byte payloads are copied; the result does not alias data.
 func DecodeWireValue(data []byte) (WireValue, []byte, error) {
-	if len(data) == 0 {
-		return WireValue{}, nil, fmt.Errorf("vm: wire: truncated value")
-	}
 	var w WireValue
-	w.Kind = ValueKind(data[0])
+	rest, err := DecodeWireValueInto(&w, data)
+	return w, rest, err
+}
+
+// DecodeWireValueInto decodes one WireValue in place, returning the
+// remaining bytes. Decode loops use it to fill slice elements directly
+// instead of copying the ~90-byte struct through a return value (the RPC
+// hot path; a pipelined frame decodes dozens of values per message). On
+// error *w is the zero value, matching DecodeWireValue.
+func DecodeWireValueInto(w *WireValue, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vm: wire: truncated value")
+	}
+	*w = WireValue{Kind: ValueKind(data[0])}
 	rest := data[1:]
 	var err error
 	switch w.Kind {
@@ -187,13 +225,15 @@ func DecodeWireValue(data []byte) (WireValue, []byte, error) {
 		w.I, rest, err = ReadVarint(rest)
 	case KindFloat:
 		if len(rest) < 8 {
-			return WireValue{}, nil, fmt.Errorf("vm: wire: truncated float")
+			*w = WireValue{}
+			return nil, fmt.Errorf("vm: wire: truncated float")
 		}
 		w.F = math.Float64frombits(binary.LittleEndian.Uint64(rest))
 		rest = rest[8:]
 	case KindBool:
 		if len(rest) < 1 {
-			return WireValue{}, nil, fmt.Errorf("vm: wire: truncated bool")
+			*w = WireValue{}
+			return nil, fmt.Errorf("vm: wire: truncated bool")
 		}
 		w.B = rest[0] != 0
 		rest = rest[1:]
@@ -204,7 +244,8 @@ func DecodeWireValue(data []byte) (WireValue, []byte, error) {
 		n, rest, err = ReadUvarint(rest)
 		if err == nil {
 			if n > uint64(len(rest)) {
-				return WireValue{}, nil, fmt.Errorf("vm: wire: blob length %d exceeds %d remaining bytes", n, len(rest))
+				*w = WireValue{}
+				return nil, fmt.Errorf("vm: wire: blob length %d exceeds %d remaining bytes", n, len(rest))
 			}
 			if n > 0 {
 				w.Bytes = append([]byte(nil), rest[:n]...)
@@ -213,13 +254,18 @@ func DecodeWireValue(data []byte) (WireValue, []byte, error) {
 		}
 	case KindRef:
 		w.Ref, rest, err = DecodeWireRef(rest)
+	case KindDeferred:
+		// No payload: the kind byte alone marks a withheld field.
 	default:
-		return WireValue{}, nil, fmt.Errorf("vm: wire: unknown value kind %d", w.Kind)
+		kind := w.Kind
+		*w = WireValue{}
+		return nil, fmt.Errorf("vm: wire: unknown value kind %d", kind)
 	}
 	if err != nil {
-		return WireValue{}, nil, err
+		*w = WireValue{}
+		return nil, err
 	}
-	return w, rest, nil
+	return rest, nil
 }
 
 // AppendWire appends the migrated object's binary wire form.
@@ -273,8 +319,7 @@ func DecodeMigratedObject(data []byte) (MigratedObject, []byte, error) {
 	if n > 0 {
 		m.Fields = make([]WireValue, n)
 		for i := range m.Fields {
-			m.Fields[i], rest, err = DecodeWireValue(rest)
-			if err != nil {
+			if rest, err = DecodeWireValueInto(&m.Fields[i], rest); err != nil {
 				return MigratedObject{}, nil, err
 			}
 		}
