@@ -16,18 +16,19 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry, partition)")
+	smoke := flag.Bool("smoke", false, "shrink benchmark axes to CI-sized single passes")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
 	jsonPath := flag.String("json", "BENCH_sweeps.json", "file to write per-artifact wall-clock seconds into (empty disables)")
 	flag.Parse()
-	if err := run(*full, *only, *dot, *parallel, *jsonPath); err != nil {
+	if err := run(*full, *smoke, *only, *dot, *parallel, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, only, dotDir string, parallel int, jsonPath string) error {
+func run(full, smoke bool, only, dotDir string, parallel int, jsonPath string) error {
 	s := experiments.NewSuite()
 	s.Parallelism = parallel
 	section := func(title, paper string) {
@@ -214,6 +215,11 @@ func run(full bool, only, dotDir string, parallel int, jsonPath string) error {
 		{"telemetry", func() error {
 			section("Extension: telemetry overhead", "disabled instrumentation must cost ≤10 ns and 0 allocs per site")
 			return telemetryBench("BENCH_telemetry.json")
+		}},
+		{"partition", func() error {
+			section("Extension: incremental repartitioning",
+				"O(changed edges) delta pipeline vs O(N²) from-scratch; striped vs global-mutex ingestion")
+			return partitionBench("BENCH_partition.json", smoke)
 		}},
 		{"energy", func() error {
 			section("Extension: client battery drain (paper §2/§8)",

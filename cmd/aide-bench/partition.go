@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"aide/internal/experiments/partbench"
+)
+
+// partitionReport is the machine-readable record of the incremental
+// monitor→partition pipeline study: repartition latency versus class
+// count at a fixed dirty fraction, monitor ingestion throughput versus
+// stripe count under concurrent sources, and the streaming-decay
+// overhead. The headline claims: ≥10x repartition speedup at N≥1000
+// with ≤5% dirty edges, ≥3x ingestion throughput at 8 sources.
+type partitionReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	Repartition []partbench.RepartitionPoint `json:"repartition"`
+
+	// RepartitionSpeedupAt1000 is the headline incremental-vs-classic
+	// latency multiple at the largest measured class count.
+	RepartitionSpeedupAt1000 float64 `json:"repartition_speedup_at_n1000_x"`
+
+	// EquivalenceGates is true only if every measured point's forced
+	// full pass over the maintained matrix reproduced a from-scratch
+	// partition exactly.
+	EquivalenceGates bool `json:"incremental_equals_scratch_all"`
+
+	Ingestion []partbench.IngestionPoint `json:"ingestion"`
+
+	// IngestionSpeedup8 is striped (16 shards) over single-shard
+	// throughput at 8 concurrent event sources.
+	IngestionSpeedup8 float64 `json:"ingestion_speedup_8_sources_x"`
+
+	Decay partbench.DecayPoint `json:"decay"`
+}
+
+// partitionBench runs the partition study and writes the report. smoke
+// shrinks every axis to a CI-sized single pass.
+func partitionBench(path string, smoke bool) error {
+	counts := []int{100, 300, 1000}
+	rounds := 9
+	ingestEvents := 2_000_000
+	decayEvents := 1_000_000
+	if smoke {
+		counts = []int{100, 300}
+		rounds = 3
+		ingestEvents = 200_000
+		decayEvents = 100_000
+	}
+
+	rep := partitionReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	rep.Repartition = partbench.MeasureRepartition(counts, 0.05, rounds)
+	rep.EquivalenceGates = true
+	for _, p := range rep.Repartition {
+		fmt.Printf("N=%-5d edges=%-6d dirty=%.0f%%  classic %8.2fms  incremental %8.3fms  speedup %6.1fx  warm/full %d/%d  equal=%t\n",
+			p.N, p.Edges, p.DirtyFrac*100, p.ClassicNs/1e6, p.IncrNs/1e6, p.SpeedupX, p.WarmRounds, p.FullRounds, p.Equivalent)
+		if !p.Equivalent {
+			rep.EquivalenceGates = false
+		}
+	}
+	last := rep.Repartition[len(rep.Repartition)-1]
+	rep.RepartitionSpeedupAt1000 = last.SpeedupX
+
+	rep.Ingestion = partbench.MeasureIngestion([]int{1, 16}, 8, ingestEvents, 1024, 1024)
+	var legacy, striped float64
+	for _, p := range rep.Ingestion {
+		fmt.Printf("%-11s sources=%d snapshots=%-5d  %10.0f events/s\n", p.Design, p.Sources, p.Snapshots, p.EventsPerSec)
+		switch p.Design {
+		case "legacy":
+			legacy = p.EventsPerSec
+		case "striped-16":
+			striped = p.EventsPerSec
+		}
+	}
+	if legacy > 0 {
+		rep.IngestionSpeedup8 = striped / legacy
+	}
+
+	rep.Decay = partbench.MeasureDecay(decayEvents, 256, 4096)
+	fmt.Printf("decay: plain %.1f ns/event, decayed %.1f ns/event (overhead %.1f%%)\n",
+		rep.Decay.PlainNs, rep.Decay.DecayNs, rep.Decay.OverheadFrac*100)
+	fmt.Printf("headline: repartition %0.1fx @ N=%d, ingestion %0.1fx @ 8 sources, equivalence=%t\n",
+		rep.RepartitionSpeedupAt1000, last.N, rep.IngestionSpeedup8, rep.EquivalenceGates)
+
+	if !rep.EquivalenceGates {
+		return fmt.Errorf("partition: incremental != from-scratch partition")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

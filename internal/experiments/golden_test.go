@@ -6,9 +6,14 @@ package experiments
 // and must be reflected in the documentation.
 
 import (
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
+
+	"aide/internal/graph"
+	"aide/internal/monitor"
 )
 
 func approx(t *testing.T, name string, got, want, tol float64) {
@@ -149,6 +154,63 @@ func TestGoldenFigure10(t *testing.T) {
 			if !r.Declined {
 				t.Error("Biomer must decline")
 			}
+		}
+	}
+}
+
+// TestGoldenDecayDeterminism pins the streaming-decay contract alongside
+// the engine's order-preservation gate above: the same event multiset fed
+// serially and from 8 round-robin concurrent sources, flushed once, must
+// produce bit-identical decayed edge weights — shard merges commute and
+// every event in a flush window decays from the same event-time stamp, so
+// ingestion interleaving can never leak into the partitioner's input.
+func TestGoldenDecayDeterminism(t *testing.T) {
+	feed := func(sources int) *graph.Graph {
+		m := monitor.New(nil, monitor.WithDecay(5000))
+		var wg sync.WaitGroup
+		for s := 0; s < sources; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < 40000; i += sources {
+					a := fmt.Sprintf("C%02d", i%37)
+					b := fmt.Sprintf("C%02d", (i*11+3)%37)
+					if i%3 == 0 {
+						m.OnInvoke(a, b, "m", 0, int64(i%512), 32, 0, false, false)
+					} else {
+						m.OnAccess(a, b, 0, int64(i%256))
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		return m.Live() // single flush: one decay window for all events
+	}
+
+	serial, parallel := feed(1), feed(8)
+	if serial.Clock() != parallel.Clock() {
+		t.Fatalf("clock diverges: %v vs %v", serial.Clock(), parallel.Clock())
+	}
+	// NodeIDs differ under concurrent interning; compare by name pair.
+	type pair struct{ a, b string }
+	index := func(g *graph.Graph) map[pair]float64 {
+		out := map[pair]float64{}
+		g.EdgesFunc(func(e *graph.Edge) {
+			a, b := g.Node(e.A).Name, g.Node(e.B).Name
+			if a > b {
+				a, b = b, a
+			}
+			out[pair{a, b}] = e.Hot
+		})
+		return out
+	}
+	si, pi := index(serial), index(parallel)
+	if len(si) != len(pi) {
+		t.Fatalf("edge sets differ: %d vs %d", len(si), len(pi))
+	}
+	for k, hot := range si {
+		if got, ok := pi[k]; !ok || got != hot {
+			t.Fatalf("edge %v: serial Hot %v, parallel Hot %v (ok=%t) — decay must be bit-identical", k, hot, got, ok)
 		}
 	}
 }

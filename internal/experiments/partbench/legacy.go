@@ -1,0 +1,74 @@
+package partbench
+
+import (
+	"sync"
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/vm"
+)
+
+// legacyMonitor reproduces the pre-incremental monitor's ingestion path
+// — one global mutex around direct execution-graph mutation, counters,
+// and the fieldHeat map — as the measured baseline for the striped
+// design. It implements just enough of vm.Hooks for the ingestion
+// benchmark; snapshotting (the old full Clone per repartition) is
+// measured separately on the repartition axis.
+type legacyMonitor struct {
+	mu        sync.Mutex
+	g         *graph.Graph
+	inv, acc  int64
+	creates   int64
+	fieldHeat map[fieldKey]int64
+}
+
+type fieldKey struct{ class, field string }
+
+func newLegacy() *legacyMonitor {
+	return &legacyMonitor{g: graph.New(), fieldHeat: make(map[fieldKey]int64)}
+}
+
+// Graph is the legacy snapshot path: a full deep copy under the global
+// mutex, O(N+E) regardless of how little changed.
+func (m *legacyMonitor) Graph() *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.g.Clone()
+}
+
+func (m *legacyMonitor) OnInvoke(caller, callee, method string, obj vm.ObjectID, argBytes, retBytes int64, selfTime time.Duration, native, stateless bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cn := m.g.Intern(callee)
+	cn.CPUTime += selfTime
+	m.inv++
+	if caller != "" && caller != callee {
+		from := m.g.Intern(caller)
+		m.g.AddInvocation(from.ID, cn.ID, argBytes+retBytes)
+	}
+}
+
+func (m *legacyMonitor) OnAccess(from, to string, obj vm.ObjectID, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acc++
+	tn := m.g.Intern(to)
+	if from != "" && from != to {
+		fn := m.g.Intern(from)
+		m.g.AddAccess(fn.ID, tn.ID, bytes)
+	}
+}
+
+func (m *legacyMonitor) OnCreate(class string, obj vm.ObjectID, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.creates++
+	n := m.g.Intern(class)
+	m.g.AddObject(n.ID, size)
+}
+
+func (m *legacyMonitor) OnFieldAccess(class, field string, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fieldHeat[fieldKey{class, field}]++
+}

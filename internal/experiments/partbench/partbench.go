@@ -1,0 +1,396 @@
+// Package partbench measures the incremental monitor→partition pipeline
+// against the classic from-scratch pipeline: repartition latency versus
+// class count and dirty fraction, monitor ingestion throughput versus
+// stripe count under concurrent event sources, and the streaming-decay
+// overhead. It lives outside the deterministic-replay packages because
+// it measures wall-clock time; everything it drives (monitor, graph,
+// mincut, policy) stays deterministic.
+package partbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"aide/internal/graph"
+	"aide/internal/mincut"
+	"aide/internal/monitor"
+	"aide/internal/policy"
+	"aide/internal/vm"
+)
+
+// RepartitionPoint is one (N, dirty-fraction) measurement comparing the
+// classic pipeline — Graph() clone, dense O(N²) fill, full modified
+// MINCUT, policy sweep over every candidate — against the incremental
+// pipeline — Delta pull, O(changed) matrix patch, warm-started local
+// refinement, dense policy check.
+type RepartitionPoint struct {
+	N          int     `json:"classes"`
+	Edges      int     `json:"edges"`
+	DirtyFrac  float64 `json:"dirty_frac"`
+	ClassicNs  float64 `json:"classic_ns_per_repartition"`
+	IncrNs     float64 `json:"incremental_ns_per_repartition"`
+	SpeedupX   float64 `json:"speedup_x"`
+	WarmRounds int     `json:"warm_rounds"`
+	FullRounds int     `json:"full_rounds"`
+
+	// Equivalent records the per-point equivalence gate: after the warm
+	// rounds, a forced full pass over the incrementally maintained matrix
+	// must agree candidate-for-candidate with a cold run on a fresh
+	// snapshot of the same graph.
+	Equivalent bool `json:"incremental_equals_scratch"`
+}
+
+// workload deterministically drives a synthetic application with n
+// classes through a monitor: a ring of hot neighbors plus seeded random
+// chords, the usual shape of class-interaction graphs.
+type workload struct {
+	n   int
+	rng *rand.Rand
+}
+
+func (w *workload) class(i int) string { return fmt.Sprintf("C%04d", ((i % w.n) + w.n) % w.n) }
+
+// base feeds the initial dense history: every class gets memory and a
+// few edges.
+func (w *workload) base(m *monitor.Monitor) {
+	for i := 0; i < w.n; i++ {
+		m.OnCreate(w.class(i), vm.ObjectID(i), int64(1024+w.rng.Intn(4096)))
+		m.OnInvoke(w.class(i), w.class(i+1), "m", 0, int64(64+w.rng.Intn(512)), 32, time.Microsecond, false, false)
+		for k := 0; k < 4; k++ {
+			j := w.rng.Intn(w.n)
+			if j != i {
+				m.OnAccess(w.class(i), w.class(j), 0, int64(16+w.rng.Intn(256)))
+			}
+		}
+	}
+}
+
+// churn touches roughly dirtyFrac of the edge population: repeated
+// interactions on existing pairs (the steady-state shape of a running
+// application — new classes are rare, new traffic on known pairs is
+// constant).
+func (w *workload) churn(m *monitor.Monitor, edges int, dirtyFrac float64) {
+	touches := int(float64(edges) * dirtyFrac)
+	if touches < 1 {
+		touches = 1
+	}
+	for t := 0; t < touches; t++ {
+		i := w.rng.Intn(w.n)
+		if w.rng.Intn(2) == 0 {
+			m.OnInvoke(w.class(i), w.class(i+1), "m", 0, int64(64+w.rng.Intn(512)), 32, 0, false, false)
+		} else {
+			m.OnAccess(w.class(i), w.class(i+1), 0, int64(16+w.rng.Intn(256)))
+		}
+	}
+}
+
+// MeasureRepartition runs `rounds` repartitions at each class count,
+// with churn touching dirtyFrac of edges between rounds, and reports the
+// median per-round latency of both pipelines.
+func MeasureRepartition(classCounts []int, dirtyFrac float64, rounds int) []RepartitionPoint {
+	var out []RepartitionPoint
+	for _, n := range classCounts {
+		out = append(out, measureOne(n, dirtyFrac, rounds))
+	}
+	return out
+}
+
+func measureOne(n int, dirtyFrac float64, rounds int) RepartitionPoint {
+	w := &workload{n: n, rng: rand.New(rand.NewSource(int64(n)))}
+	m := monitor.New(nil)
+	w.base(m)
+
+	heap := int64(n) * 16 * 1024
+	pol := policy.MemoryPolicy{MinFreeFraction: 0.05}
+
+	// Classic pipeline state: a scratch amortizing the dense matrix, as
+	// the emulator uses it today.
+	var scr mincut.Scratch
+
+	// Incremental pipeline state: matrix maintained across deltas plus
+	// the dense per-class memory vector ChooseDense reads.
+	var inc mincut.Incremental
+	var mem []int64
+
+	edges := m.Live().EdgeCount()
+	point := RepartitionPoint{N: n, Edges: edges, DirtyFrac: dirtyFrac}
+
+	classic := func() {
+		g := m.Graph()
+		in := scr.FromGraph(g, graph.BytesWeight)
+		cands, err := scr.Candidates(in)
+		if err != nil {
+			return
+		}
+		_, _ = pol.Choose(g, heap, cands)
+	}
+	incremental := func() {
+		d := m.Delta(inc.Epoch())
+		for i := range d.Nodes {
+			nd := &d.Nodes[i]
+			for int(nd.ID) >= len(mem) {
+				mem = append(mem, 0)
+			}
+			mem[nd.ID] = nd.Memory
+		}
+		inc.Update(d, graph.BytesWeight)
+		cands, err := inc.Candidates()
+		if err != nil {
+			return
+		}
+		if inc.WasFull() {
+			point.FullRounds++
+		} else {
+			point.WarmRounds++
+		}
+		dec, err := pol.ChooseDense(mem, heap, cands)
+		if err == nil {
+			inc.Commit(mincut.Candidate{InClient: dec.InClient, CutWeight: dec.CutWeight, Offloaded: dec.OffloadClasses})
+		} else {
+			inc.Commit(cands[len(cands)-1])
+		}
+	}
+
+	// Prime both pipelines (cold start is the same O(N²) for both).
+	classic()
+	incremental()
+
+	var classicNs, incrNs []float64
+	for r := 0; r < rounds; r++ {
+		// One churn batch per round: the classic pipeline re-derives
+		// everything from it, the incremental pipeline sees exactly this
+		// batch in its next delta (classic consumes no dirty state).
+		w.churn(m, edges, dirtyFrac)
+		t0 := time.Now()
+		classic()
+		classicNs = append(classicNs, float64(time.Since(t0)))
+
+		t1 := time.Now()
+		incremental()
+		incrNs = append(incrNs, float64(time.Since(t1)))
+	}
+	point.ClassicNs = median(classicNs)
+	point.IncrNs = median(incrNs)
+	if point.IncrNs > 0 {
+		point.SpeedupX = point.ClassicNs / point.IncrNs
+	}
+	point.Equivalent = equivalenceGate(m, &inc)
+	return point
+}
+
+// equivalenceGate forces the incremental partitioner through its full
+// pass and compares it candidate-for-candidate against a cold run on a
+// fresh snapshot: the maintained matrix must have drifted nowhere.
+func equivalenceGate(m *monitor.Monitor, inc *mincut.Incremental) bool {
+	d := m.Delta(inc.Epoch())
+	inc.Update(d, graph.BytesWeight)
+	got, err := inc.FullCandidates()
+	if err != nil {
+		return false
+	}
+	want, err := mincut.Candidates(mincut.FromGraph(m.Graph(), graph.BytesWeight))
+	if err != nil || len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i].CutWeight != want[i].CutWeight || got[i].Offloaded != want[i].Offloaded {
+			return false
+		}
+		for v := range want[i].InClient {
+			if got[i].InClient[v] != want[i].InClient[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IngestionPoint is one sustained monitor-pipeline throughput
+// measurement: `sources` goroutines feed events while one of them pulls
+// a partitioner snapshot every SnapshotEvery events — the steady state
+// of high-frequency repartitioning. The legacy design's snapshot is a
+// full O(N+E) Clone under the global ingestion mutex; the striped
+// design's is an O(changed) delta pull, so ingestion throughput holds as
+// N grows.
+type IngestionPoint struct {
+	// Design names the ingestion implementation: "legacy" is the
+	// pre-incremental monitor (one global mutex around direct graph
+	// mutation and a fieldHeat map, full-clone snapshots), "striped-K"
+	// the delta-buffering monitor with K shards and delta snapshots.
+	Design        string  `json:"design"`
+	Shards        int     `json:"shards"`
+	Sources       int     `json:"sources"`
+	Events        int     `json:"events"`
+	SnapshotEvery int     `json:"snapshot_every_events"`
+	Snapshots     int     `json:"snapshots"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+}
+
+// hotPairs is the size of the skewed workload's hot set: real
+// applications hammer a few class pairs while the rest of the graph
+// stays quiet, which is precisely the regime delta snapshots exploit.
+const hotPairs = 32
+
+// skewedEvent feeds one event of the 90/10 skewed mix through hooks
+// shared by both monitor designs.
+type eventSink interface {
+	OnInvoke(caller, callee, method string, obj vm.ObjectID, argBytes, retBytes int64, selfTime time.Duration, native, stateless bool)
+	OnAccess(from, to string, obj vm.ObjectID, bytes int64)
+	OnCreate(class string, obj vm.ObjectID, size int64)
+	OnFieldAccess(class, field string, bytes int64)
+}
+
+func skewedEvent(m eventSink, names []string, i int) {
+	classes := len(names)
+	var a, b string
+	if i%10 != 0 {
+		h := i % hotPairs
+		a, b = names[h], names[h+1]
+	} else {
+		r := (i * 2654435761) % classes
+		a, b = names[r], names[(r*7+1)%classes]
+	}
+	switch i & 3 {
+	case 0:
+		m.OnInvoke(a, b, "m", vm.ObjectID(i), 64, 16, 0, false, false)
+	case 1:
+		m.OnAccess(a, b, vm.ObjectID(i), 32)
+	case 2:
+		m.OnCreate(a, vm.ObjectID(i), 128)
+	case 3:
+		m.OnFieldAccess(a, "f", 8)
+	}
+}
+
+// prepopulate gives both designs the same full-size starting graph, so
+// snapshots cost their steady-state O(N+E) (legacy) vs O(changed)
+// (striped) from the first pull.
+func prepopulate(m eventSink, names []string) {
+	for i := range names {
+		m.OnCreate(names[i], vm.ObjectID(i), 1024)
+		m.OnInvoke(names[i], names[(i*7+1)%len(names)], "m", 0, 64, 16, 0, false, false)
+		m.OnAccess(names[i], names[(i+1)%len(names)], 0, 32)
+	}
+}
+
+// MeasureIngestion runs the sustained-pipeline measurement for the
+// legacy monitor and for striped monitors with each stripe count.
+func MeasureIngestion(shardCounts []int, sources, events, classes, snapEvery int) []IngestionPoint {
+	names := make([]string, classes)
+	for i := range names {
+		names[i] = fmt.Sprintf("C%04d", i)
+	}
+
+	lm := newLegacy()
+	prepopulate(lm, names)
+	snaps := 0
+	t0 := time.Now()
+	ingest(lm, names, sources, events, snapEvery, func() {
+		g := lm.Graph() // legacy repartition input: full deep copy
+		_ = g
+		snaps++
+	})
+	out := []IngestionPoint{{
+		Design: "legacy", Shards: 1, Sources: sources, Events: events,
+		SnapshotEvery: snapEvery, Snapshots: snaps,
+		EventsPerSec: float64(events) / time.Since(t0).Seconds(),
+	}}
+
+	for _, shards := range shardCounts {
+		m := monitor.New(nil, monitor.WithShards(shards))
+		prepopulate(m, names)
+		m.Flush()
+		var epoch int64
+		snaps := 0
+		t0 := time.Now()
+		ingest(m, names, sources, events, snapEvery, func() {
+			d := m.Delta(epoch) // incremental repartition input: changes only
+			epoch = d.Epoch
+			snaps++
+		})
+		out = append(out, IngestionPoint{
+			Design: fmt.Sprintf("striped-%d", shards), Shards: shards,
+			Sources: sources, Events: events,
+			SnapshotEvery: snapEvery, Snapshots: snaps,
+			EventsPerSec: float64(events) / time.Since(t0).Seconds(),
+		})
+	}
+	return out
+}
+
+// ingest drives the sink from `sources` goroutines, joined before
+// returning; source 0 pulls a snapshot every snapEvery of its events,
+// interleaving the consumer with ingestion exactly as the platform's
+// repartition loop does. Class names are precomputed so the measurement
+// isolates the monitor's ingestion path (the VM hands it interned
+// strings, not formatting work).
+func ingest(m eventSink, names []string, sources, events, snapEvery int, snap func()) {
+	// snapEvery is a global interval; source 0 triggers on its share.
+	localEvery := snapEvery / sources
+	if localEvery < 1 {
+		localEvery = 1
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			n := 0
+			for i := s; i < events; i += sources {
+				skewedEvent(m, names, i)
+				n++
+				if s == 0 && snap != nil && n%localEvery == 0 {
+					snap()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// DecayPoint compares ingestion+flush cost with streaming decay off and
+// on: the marginal price of aging edge weights.
+type DecayPoint struct {
+	Events       int     `json:"events"`
+	PlainNs      float64 `json:"plain_ns_per_event"`
+	DecayNs      float64 `json:"decay_ns_per_event"`
+	OverheadFrac float64 `json:"decay_overhead_frac"`
+}
+
+// MeasureDecay measures serial ingestion with periodic flushes, decay
+// disabled versus enabled.
+func MeasureDecay(events, classes, flushEvery int) DecayPoint {
+	run := func(opts ...monitor.Option) float64 {
+		m := monitor.New(nil, opts...)
+		t0 := time.Now()
+		for i := 0; i < events; i++ {
+			a := fmt.Sprintf("C%04d", i%classes)
+			b := fmt.Sprintf("C%04d", (i*7+1)%classes)
+			m.OnAccess(a, b, vm.ObjectID(i), 64)
+			if i%flushEvery == flushEvery-1 {
+				m.Flush()
+			}
+		}
+		m.Flush()
+		return float64(time.Since(t0)) / float64(events)
+	}
+	p := DecayPoint{Events: events}
+	p.PlainNs = run()
+	p.DecayNs = run(monitor.WithDecay(float64(events) / 4))
+	if p.PlainNs > 0 {
+		p.OverheadFrac = p.DecayNs/p.PlainNs - 1
+	}
+	return p
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,42 @@
+package partbench
+
+import "testing"
+
+// TestRepartitionEquivalenceGate runs the smallest real measurement and
+// requires the per-point equivalence gate to hold: the incrementally
+// maintained pipeline, forced through its full pass, must agree with a
+// from-scratch partition of the same graph.
+func TestRepartitionEquivalenceGate(t *testing.T) {
+	points := MeasureRepartition([]int{60}, 0.05, 2)
+	for _, p := range points {
+		if !p.Equivalent {
+			t.Fatalf("N=%d: incremental != from-scratch partition", p.N)
+		}
+		if p.WarmRounds == 0 {
+			t.Fatalf("N=%d: no round took the warm path (dirty=%v)", p.N, p.DirtyFrac)
+		}
+	}
+}
+
+// TestIngestionPipelines exercises legacy and striped sustained-pipeline
+// measurement end to end (throughput numbers are hardware-dependent and
+// not asserted).
+func TestIngestionPipelines(t *testing.T) {
+	points := MeasureIngestion([]int{2}, 4, 20000, 64, 2000)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.EventsPerSec <= 0 || p.Snapshots == 0 {
+			t.Fatalf("%s: events/s=%v snapshots=%d", p.Design, p.EventsPerSec, p.Snapshots)
+		}
+	}
+}
+
+// TestDecayMeasurement exercises the decay-overhead comparison.
+func TestDecayMeasurement(t *testing.T) {
+	p := MeasureDecay(20000, 64, 1024)
+	if p.PlainNs <= 0 || p.DecayNs <= 0 {
+		t.Fatalf("decay point = %+v", p)
+	}
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDeltaLineage exercises the single-consumer delta contract: the
+// first pull carries everything dirty since birth, later pulls carry only
+// touched nodes/edges, and an out-of-lineage epoch forces Full.
+func TestDeltaLineage(t *testing.T) {
+	g := New()
+	a := g.Intern("a")
+	b := g.Intern("b")
+	c := g.Intern("c")
+	g.AddInvocation(a.ID, b.ID, 100)
+	g.AddObject(a.ID, 64)
+
+	d1 := g.Delta(0)
+	if d1.Full {
+		t.Fatal("first in-lineage pull must not be Full")
+	}
+	if d1.N != 3 || len(d1.Nodes) != 3 || len(d1.Edges) != 1 {
+		t.Fatalf("d1 = N%d nodes%d edges%d", d1.N, len(d1.Nodes), len(d1.Edges))
+	}
+	if d1.Epoch != 1 {
+		t.Fatalf("epoch = %d", d1.Epoch)
+	}
+
+	// Nothing changed: the next delta is empty.
+	d2 := g.Delta(d1.Epoch)
+	if d2.Full || len(d2.Nodes) != 0 || len(d2.Edges) != 0 {
+		t.Fatalf("quiet delta = %+v", d2)
+	}
+
+	// Touch one edge and one node.
+	g.AddAccess(b.ID, c.ID, 8)
+	g.AddCPU(a.ID, time.Millisecond)
+	d3 := g.Delta(d2.Epoch)
+	// Only the touched edge and the CPU-attributed node are dirty; edge
+	// endpoints ride on the edge copy itself.
+	if d3.Full || len(d3.Edges) != 1 || len(d3.Nodes) != 1 || d3.Nodes[0].ID != a.ID {
+		t.Fatalf("d3 = full=%t nodes=%d edges=%d", d3.Full, len(d3.Nodes), len(d3.Edges))
+	}
+	if d3.Edges[0].A != b.ID || d3.Edges[0].B != c.ID || d3.Edges[0].Accesses != 1 {
+		t.Fatalf("d3 edge = %+v", d3.Edges[0])
+	}
+
+	// Wrong epoch: full resync.
+	d4 := g.Delta(999)
+	if !d4.Full || len(d4.Nodes) != 3 || len(d4.Edges) != 2 {
+		t.Fatalf("d4 = full=%t nodes=%d edges=%d", d4.Full, len(d4.Nodes), len(d4.Edges))
+	}
+}
+
+// The test above intentionally documents that AddCPU dirties exactly one
+// node; keep the count assertion honest.
+func TestDeltaDirtyNodeGranularity(t *testing.T) {
+	g := New()
+	a := g.Intern("a")
+	g.Intern("b")
+	g.Delta(0) // drain birth dirt
+	g.AddCPU(a.ID, time.Second)
+	d := g.Delta(1)
+	if len(d.Nodes) != 1 || d.Nodes[0].ID != a.ID || d.Nodes[0].CPUTime != time.Second {
+		t.Fatalf("delta nodes = %+v", d.Nodes)
+	}
+}
+
+// Delta hands out value copies: mutating the graph afterwards must not
+// alter an already-pulled delta.
+func TestDeltaIsolation(t *testing.T) {
+	g := New()
+	a := g.Intern("a")
+	b := g.Intern("b")
+	g.AddInvocation(a.ID, b.ID, 10)
+	d := g.Delta(0)
+	g.AddInvocation(a.ID, b.ID, 90)
+	if d.Edges[0].Bytes != 10 {
+		t.Fatalf("delta mutated: %+v", d.Edges[0])
+	}
+}
+
+func TestAddNodeDeltaPeakSemantics(t *testing.T) {
+	// A window of +100, +200, -250, +30 has net -(-)= +80 over a 1000
+	// base, but its intra-window peak is 1000+300.
+	g := New()
+	n := g.Intern("x")
+	g.AddObject(n.ID, 1000)
+	g.AddNodeDelta(n.ID, 80, 2, 3, 300, time.Millisecond)
+	if n.Memory != 1080 || n.PeakMemory != 1300 || n.LiveObjects != 3 || n.TotalObjects != 4 {
+		t.Fatalf("node = %+v", n)
+	}
+	if n.CPUTime != time.Millisecond {
+		t.Fatalf("cpu = %v", n.CPUTime)
+	}
+	// A delete-only window (peakRise 0) never raises the peak.
+	g.AddNodeDelta(n.ID, -500, -1, 0, 0, 0)
+	if n.Memory != 580 || n.PeakMemory != 1300 {
+		t.Fatalf("after deletes: %+v", n)
+	}
+}
+
+// TestDecayHalves pins the decay semantics: after one half-life of
+// event-time, an edge's absolute score halves; relative order between a
+// stale and a fresh edge flips once the stale one ages.
+func TestDecayHalves(t *testing.T) {
+	g := New()
+	g.SetDecay(100)
+	a, b, c := g.Intern("a"), g.Intern("b"), g.Intern("c")
+
+	g.AddInvocation(a.ID, b.ID, 1000) // at t=0
+	e := g.Edge(a.ID, b.ID)
+	if got := g.HotAt(e, 0); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("hot@0 = %v", got)
+	}
+	if got := g.HotAt(e, 100); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("hot@half-life = %v", got)
+	}
+
+	// 400 events later a 200-byte edge outweighs the stale 1000-byte one.
+	g.AdvanceClock(400)
+	g.AddInvocation(a.ID, c.ID, 200)
+	f := g.Edge(a.ID, c.ID)
+	if HotWeight(f) <= HotWeight(e) {
+		t.Fatalf("fresh edge must outweigh stale: fresh=%v stale=%v", f.Hot, e.Hot)
+	}
+	// Absolute readings agree with the closed form.
+	if got, want := g.HotAt(e, 400), 1000*math.Exp2(-4); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stale hot@400 = %v want %v", got, want)
+	}
+	if got := g.HotAt(f, 400); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("fresh hot@400 = %v", got)
+	}
+}
+
+// TestDecayDisabledTracksBytes: with no half-life, Hot is exactly Bytes,
+// so HotWeight degrades to BytesWeight.
+func TestDecayDisabledTracksBytes(t *testing.T) {
+	g := New()
+	a, b := g.Intern("a"), g.Intern("b")
+	g.AddInvocation(a.ID, b.ID, 123)
+	g.AddAccess(a.ID, b.ID, 77)
+	e := g.Edge(a.ID, b.ID)
+	if e.Hot != 200 || HotWeight(e) != BytesWeight(e) {
+		t.Fatalf("hot = %v bytes = %d", e.Hot, e.Bytes)
+	}
+}
+
+// TestDecayRebase drives the clock past the rebase horizon and checks
+// that relative weights survive and everything lands in the next delta.
+func TestDecayRebase(t *testing.T) {
+	g := New()
+	g.SetDecay(1)
+	a, b, c := g.Intern("a"), g.Intern("b"), g.Intern("c")
+	g.AddInvocation(a.ID, b.ID, 100)
+	g.AdvanceClock(2)
+	g.AddInvocation(a.ID, c.ID, 100) // 2 half-lives fresher: 4x the weight
+	g.Delta(0)                       // drain
+
+	ratio := g.Edge(a.ID, c.ID).Hot / g.Edge(a.ID, b.ID).Hot
+	g.AdvanceClock(600) // past rebaseExp=512 → rebase fires
+	d := g.Delta(1)
+	if len(d.Edges) != 2 {
+		t.Fatalf("rebase must dirty every edge, got %d", len(d.Edges))
+	}
+	got := g.Edge(a.ID, c.ID).Hot / g.Edge(a.ID, b.ID).Hot
+	if math.Abs(got-ratio) > 1e-9*ratio {
+		t.Fatalf("rebase changed relative weights: %v vs %v", got, ratio)
+	}
+}
+
+// TestEdgesCaching: repeated Edges calls return the same slice until a
+// new class pair interacts; counter updates alone do not invalidate.
+func TestEdgesCaching(t *testing.T) {
+	g := New()
+	a, b, c := g.Intern("a"), g.Intern("b"), g.Intern("c")
+	g.AddInvocation(a.ID, b.ID, 1)
+	s1 := g.Edges()
+	g.AddInvocation(a.ID, b.ID, 1) // existing edge: set unchanged
+	s2 := g.Edges()
+	if &s1[0] != &s2[0] || len(s2) != 1 {
+		t.Fatal("cache must survive counter updates")
+	}
+	g.AddAccess(b.ID, c.ID, 1) // new edge: invalidate
+	s3 := g.Edges()
+	if len(s3) != 2 || s3[0].A != a.ID || s3[1].B != c.ID {
+		t.Fatalf("rebuilt edges = %v", s3)
+	}
+	// EdgesFunc visits every edge exactly once.
+	seen := 0
+	g.EdgesFunc(func(*Edge) { seen++ })
+	if seen != 2 {
+		t.Fatalf("EdgesFunc visited %d", seen)
+	}
+}
+
+// TestCloneStartsFreshLineage: a clone's first delta pull must carry the
+// whole graph, and decay state must survive the copy.
+func TestCloneStartsFreshLineage(t *testing.T) {
+	g := New()
+	g.SetDecay(50)
+	a, b := g.Intern("a"), g.Intern("b")
+	g.AddInvocation(a.ID, b.ID, 10)
+	g.AdvanceClock(25)
+	g.Delta(0) // drain the original
+
+	c := g.Clone()
+	d := c.Delta(0)
+	if len(d.Nodes) != 2 || len(d.Edges) != 1 {
+		t.Fatalf("clone first delta = nodes%d edges%d", len(d.Nodes), len(d.Edges))
+	}
+	if c.HalfLife() != 50 || c.Clock() != 25 {
+		t.Fatalf("decay state lost: hl=%v clock=%v", c.HalfLife(), c.Clock())
+	}
+}

@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -76,6 +77,16 @@ type Edge struct {
 	// of the two classes, as represented by the parameters and return
 	// values used in inter-class interactions.
 	Bytes int64
+
+	// Hot is the edge's streaming-decay interaction score: bytes
+	// transferred, exponentially decayed on the graph's event-time clock
+	// (SetDecay). The stored value is *scale-free* — it is the decayed
+	// score divided by a global decay factor shared by every edge — so
+	// relative comparisons (and therefore minimum cuts) are exact without
+	// ever rewriting untouched edges. Use Graph.HotAt for an absolute
+	// reading; use HotWeight as the partitioning weight. With decay
+	// disabled Hot equals float64(Bytes).
+	Hot float64
 }
 
 // Interactions returns the combined interaction-event count for the edge.
@@ -97,13 +108,37 @@ type Graph struct {
 	nodes  []*Node
 	byName map[string]NodeID
 	edges  map[EdgeKey]*Edge
+
+	// sorted caches the deterministic (A, B)-ordered edge slice Edges
+	// returns. Counter updates on existing edges keep the set intact, so
+	// the cache is invalidated only when a new edge is created.
+	sorted   []*Edge
+	sortedOK bool
+
+	// Dirty tracking for delta-driven repartitioning: every node or edge
+	// touched since the last Delta call. epoch counts Delta consumptions.
+	dirtyNodes map[NodeID]struct{}
+	dirtyEdges map[EdgeKey]struct{}
+	epoch      int64
+
+	// Streaming decay state (SetDecay): halfLife in event-time units,
+	// clock the current event time, base the event-time origin of the
+	// scale-free Hot values. Contributions at event time t are stored as
+	// w·2^((t−base)/halfLife); the absolute decayed score at time T is
+	// Hot·2^((base−T)/halfLife). When the exponent drifts too far the
+	// graph rebases, rescaling every edge (rare, amortized O(1)).
+	halfLife float64
+	clock    float64
+	base     float64
 }
 
 // New returns an empty execution graph.
 func New() *Graph {
 	return &Graph{
-		byName: make(map[string]NodeID),
-		edges:  make(map[EdgeKey]*Edge),
+		byName:     make(map[string]NodeID),
+		edges:      make(map[EdgeKey]*Edge),
+		dirtyNodes: make(map[NodeID]struct{}),
+		dirtyEdges: make(map[EdgeKey]struct{}),
 	}
 }
 
@@ -124,7 +159,16 @@ func (g *Graph) Intern(name string) *Node {
 	n := &Node{ID: id, Name: name}
 	g.nodes = append(g.nodes, n)
 	g.byName[name] = id
+	g.dirtyNodes[id] = struct{}{}
 	return n
+}
+
+// MarkNodeDirty records an out-of-band node mutation (metadata flags set
+// directly on the *Node) so the next Delta carries it.
+func (g *Graph) MarkNodeDirty(id NodeID) {
+	if id >= 0 && int(id) < len(g.nodes) {
+		g.dirtyNodes[id] = struct{}{}
+	}
 }
 
 // Lookup returns the node for the named class and whether it exists.
@@ -155,8 +199,16 @@ func (g *Graph) Edge(a, b NodeID) *Edge {
 	return g.edges[makeEdgeKey(a, b)]
 }
 
-// Edges returns all edges in deterministic (A, B) order.
+// Edges returns all edges in deterministic (A, B) order. The returned
+// slice is cached and shared — treat it as read-only, like Nodes. The
+// cache survives counter updates and is rebuilt only after a new class
+// pair interacts for the first time.
 func (g *Graph) Edges() []*Edge {
+	if g.sortedOK && len(g.sorted) == len(g.edges) {
+		return g.sorted
+	}
+	// Rebuild into a fresh slice: earlier callers may still hold the old
+	// one, and rebuilding in place would scramble their view.
 	out := make([]*Edge, 0, len(g.edges))
 	for _, e := range g.edges {
 		out = append(out, e)
@@ -167,7 +219,18 @@ func (g *Graph) Edges() []*Edge {
 		}
 		return out[i].B < out[j].B
 	})
+	g.sorted = out
+	g.sortedOK = true
 	return out
+}
+
+// EdgesFunc calls yield for every edge in unspecified order, without
+// allocating or sorting. Hot paths whose per-edge work commutes (matrix
+// fills, counter sums) should prefer it over Edges.
+func (g *Graph) EdgesFunc(yield func(*Edge)) {
+	for _, e := range g.edges {
+		yield(e)
+	}
 }
 
 func (g *Graph) edge(a, b NodeID) *Edge {
@@ -176,7 +239,9 @@ func (g *Graph) edge(a, b NodeID) *Edge {
 	if !ok {
 		e = &Edge{A: k.A, B: k.B}
 		g.edges[k] = e
+		g.sortedOK = false
 	}
+	g.dirtyEdges[k] = struct{}{}
 	return e
 }
 
@@ -185,23 +250,29 @@ func (g *Graph) edge(a, b NodeID) *Edge {
 // interactions are not recorded (paper §5.1: "Information is recorded only
 // for interactions between two different classes").
 func (g *Graph) AddInvocation(a, b NodeID, bytes int64) {
-	if a == b {
-		return
-	}
-	e := g.edge(a, b)
-	e.Invocations++
-	e.Bytes += bytes
+	g.AddEdgeDelta(a, b, 1, 0, bytes)
 }
 
 // AddAccess records a data-field access from class a to class b transferring
 // the given number of bytes.
 func (g *Graph) AddAccess(a, b NodeID, bytes int64) {
-	if a == b {
+	g.AddEdgeDelta(a, b, 0, 1, bytes)
+}
+
+// AddEdgeDelta merges a batch of interactions between classes a and b in
+// one step: inv invocations and acc accesses transferring bytes in total.
+// The sharded monitor drains its per-shard counters through this entry
+// point, paying the edge lookup, dirty marking, and decay arithmetic once
+// per touched edge per flush instead of once per event.
+func (g *Graph) AddEdgeDelta(a, b NodeID, inv, acc, bytes int64) {
+	if a == b || (inv == 0 && acc == 0 && bytes == 0) {
 		return
 	}
 	e := g.edge(a, b)
-	e.Accesses++
+	e.Invocations += inv
+	e.Accesses += acc
 	e.Bytes += bytes
+	e.Hot += float64(bytes) * g.scale()
 }
 
 // AddObject records the creation of an object of the class with the given
@@ -214,6 +285,7 @@ func (g *Graph) AddObject(id NodeID, size int64) {
 	if n.Memory > n.PeakMemory {
 		n.PeakMemory = n.Memory
 	}
+	g.dirtyNodes[id] = struct{}{}
 }
 
 // RemoveObject records the deletion (collection) of an object of the class
@@ -222,11 +294,100 @@ func (g *Graph) RemoveObject(id NodeID, size int64) {
 	n := g.nodes[id]
 	n.Memory -= size
 	n.LiveObjects--
+	g.dirtyNodes[id] = struct{}{}
+}
+
+// AddNodeDelta merges a window of object-lifecycle and CPU attribution
+// for one class: mem/live/total are net deltas, peakRise is the maximum
+// prefix sum of the window's memory deltas (so the true intra-window peak
+// survives batching), cpu is attributed self time.
+func (g *Graph) AddNodeDelta(id NodeID, mem, live, total, peakRise int64, cpu time.Duration) {
+	n := g.nodes[id]
+	if p := n.Memory + peakRise; p > n.PeakMemory {
+		n.PeakMemory = p
+	}
+	n.Memory += mem
+	n.LiveObjects += live
+	n.TotalObjects += total
+	n.CPUTime += cpu
+	g.dirtyNodes[id] = struct{}{}
 }
 
 // AddCPU attributes self execution time to the class (paper Figure 9).
 func (g *Graph) AddCPU(id NodeID, d time.Duration) {
 	g.nodes[id].CPUTime += d
+	g.dirtyNodes[id] = struct{}{}
+}
+
+// rebaseExp is the scale exponent (in half-lives) beyond which the graph
+// rebases its Hot values. 2^512 is far inside float64 range (max ~2^1023),
+// leaving headroom for per-edge accumulation on top of the scale.
+const rebaseExp = 512
+
+// SetDecay enables streaming exponential decay of edge Hot scores with
+// the given half-life, measured in event-time units (AdvanceClock).
+// Configure it before recording interactions; a half-life of 0 disables
+// decay, making Hot track Bytes exactly. Decay is applied lazily and
+// scale-free: recording and reading both stay O(1) per edge, and a
+// repartition over HotWeight never needs untouched edges rewritten.
+func (g *Graph) SetDecay(halfLife float64) {
+	if halfLife < 0 || math.IsNaN(halfLife) || math.IsInf(halfLife, 0) {
+		halfLife = 0
+	}
+	g.halfLife = halfLife
+}
+
+// HalfLife returns the configured decay half-life (0 = decay disabled).
+func (g *Graph) HalfLife() float64 { return g.halfLife }
+
+// AdvanceClock moves the graph's event-time clock forward to now.
+// Event-time is any monotonic, caller-defined measure (the monitor uses
+// its consumed-event count), which keeps decay deterministic under
+// replay. Moving backwards is ignored.
+func (g *Graph) AdvanceClock(now float64) {
+	if now <= g.clock {
+		return
+	}
+	g.clock = now
+	if g.halfLife > 0 && (g.clock-g.base)/g.halfLife > rebaseExp {
+		g.rebase()
+	}
+}
+
+// Clock returns the current event-time reading.
+func (g *Graph) Clock() float64 { return g.clock }
+
+// scale is the factor a contribution recorded now carries so that the
+// shared decay divisor keeps every edge comparable: 2^((now−base)/halfLife).
+func (g *Graph) scale() float64 {
+	if g.halfLife == 0 {
+		return 1
+	}
+	return math.Exp2((g.clock - g.base) / g.halfLife)
+}
+
+// rebase rescales every Hot value so the shared exponent returns to zero
+// at the current clock. All edges change, so all are marked dirty —
+// delta-driven partitioners refresh them on their next pull. Scores older
+// than ~512 half-lives underflow to zero, which is exactly "aged out".
+func (g *Graph) rebase() {
+	f := math.Exp2((g.base - g.clock) / g.halfLife)
+	for k, e := range g.edges {
+		e.Hot *= f
+		g.dirtyEdges[k] = struct{}{}
+	}
+	g.base = g.clock
+}
+
+// HotAt returns the absolute decayed score of an edge at event-time now:
+// the scale-free Hot value re-anchored to the shared decay origin. Use it
+// for diagnostics and thresholds; partitioning can consume Hot directly
+// because a shared factor never changes relative order.
+func (g *Graph) HotAt(e *Edge, now float64) float64 {
+	if g.halfLife == 0 {
+		return e.Hot
+	}
+	return e.Hot * math.Exp2((g.base-now)/g.halfLife)
 }
 
 // TotalMemory returns the memory occupied by live objects across all
@@ -249,23 +410,101 @@ func (g *Graph) TotalCPU() time.Duration {
 }
 
 // Clone returns a deep copy of the graph. Partitioning runs against a clone
-// so that monitoring can continue concurrently.
+// so that monitoring can continue concurrently. The clone starts a fresh
+// delta lineage: everything is dirty and its epoch is zero, so a first
+// Delta pull sees the full content.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nodes:  make([]*Node, len(g.nodes)),
-		byName: make(map[string]NodeID, len(g.byName)),
-		edges:  make(map[EdgeKey]*Edge, len(g.edges)),
+		nodes:      make([]*Node, len(g.nodes)),
+		byName:     make(map[string]NodeID, len(g.byName)),
+		edges:      make(map[EdgeKey]*Edge, len(g.edges)),
+		dirtyNodes: make(map[NodeID]struct{}, len(g.nodes)),
+		dirtyEdges: make(map[EdgeKey]struct{}, len(g.edges)),
+		halfLife:   g.halfLife,
+		clock:      g.clock,
+		base:       g.base,
 	}
 	for i, n := range g.nodes {
 		cp := *n
 		c.nodes[i] = &cp
 		c.byName[n.Name] = n.ID
+		c.dirtyNodes[n.ID] = struct{}{}
 	}
 	for k, e := range g.edges {
 		cp := *e
 		c.edges[k] = &cp
+		c.dirtyEdges[k] = struct{}{}
 	}
 	return c
+}
+
+// Delta is the changed part of a graph since an epoch: value copies of
+// every touched node and edge, safe to hand to a partitioner while the
+// graph keeps mutating. When Full is set the receiver's state was not
+// continuable from the caller's epoch (first pull, competing consumer, or
+// a decay rebase made everything dirty anyway) and Nodes/Edges carry the
+// entire graph.
+type Delta struct {
+	// Epoch identifies this delta; pass it to the next Delta call to
+	// continue the lineage.
+	Epoch int64
+
+	// Full reports that Nodes/Edges are complete, not incremental.
+	Full bool
+
+	// N is the total node count at the snapshot (vertex IDs are dense,
+	// so this sizes the partitioner's matrix).
+	N int
+
+	// Nodes and Edges are value copies in deterministic order (Nodes by
+	// ID, Edges by (A, B)).
+	Nodes []Node
+	Edges []Edge
+}
+
+// Epoch returns the number of Delta pulls consumed so far.
+func (g *Graph) Epoch() int64 { return g.epoch }
+
+// Delta returns everything that changed since the given epoch and opens a
+// new one. A caller that passes the Epoch of the delta it last consumed
+// receives only the touched nodes/edges — O(changed) — with Full=false; a
+// caller that is out of lineage (wrong epoch) receives the whole graph
+// with Full=true. Either way the dirty sets reset, so a single consumer
+// drives the lineage; concurrent consumers should each work from Clone.
+func (g *Graph) Delta(since int64) Delta {
+	d := Delta{N: len(g.nodes)}
+	if since != g.epoch {
+		d.Full = true
+		d.Nodes = make([]Node, len(g.nodes))
+		for i, n := range g.nodes {
+			d.Nodes[i] = *n
+		}
+		d.Edges = make([]Edge, 0, len(g.edges))
+		for _, e := range g.edges {
+			d.Edges = append(d.Edges, *e)
+		}
+	} else {
+		d.Nodes = make([]Node, 0, len(g.dirtyNodes))
+		for id := range g.dirtyNodes {
+			d.Nodes = append(d.Nodes, *g.nodes[id])
+		}
+		sort.Slice(d.Nodes, func(i, j int) bool { return d.Nodes[i].ID < d.Nodes[j].ID })
+		d.Edges = make([]Edge, 0, len(g.dirtyEdges))
+		for k := range g.dirtyEdges {
+			d.Edges = append(d.Edges, *g.edges[k])
+		}
+	}
+	sort.Slice(d.Edges, func(i, j int) bool {
+		if d.Edges[i].A != d.Edges[j].A {
+			return d.Edges[i].A < d.Edges[j].A
+		}
+		return d.Edges[i].B < d.Edges[j].B
+	})
+	clear(g.dirtyNodes)
+	clear(g.dirtyEdges)
+	g.epoch++
+	d.Epoch = g.epoch
+	return d
 }
 
 // WeightFunc maps an edge to the weight used by partitioning. The paper's
@@ -279,6 +518,13 @@ func BytesWeight(e *Edge) float64 { return float64(e.Bytes) }
 
 // InteractionWeight weights edges by interaction-event count.
 func InteractionWeight(e *Edge) float64 { return float64(e.Interactions()) }
+
+// HotWeight weights edges by the streaming-decay byte score, so stale
+// interactions age out of partitioning decisions (SetDecay). The value is
+// scale-free — every edge shares one decay factor — which keeps relative
+// order, and therefore cuts, exact. With decay disabled it equals
+// BytesWeight.
+func HotWeight(e *Edge) float64 { return e.Hot }
 
 // CutWeight returns the total weight of edges crossing the cut defined by
 // inA: edges with exactly one endpoint x for which inA(x) is true.

@@ -45,11 +45,13 @@ func fillFromGraph(in *Input, g *graph.Graph, w graph.WeightFunc) {
 	for _, node := range g.Nodes() {
 		in.Pinned[node.ID] = node.Pinned
 	}
-	for _, e := range g.Edges() {
+	// EdgesFunc iterates the live edge map directly — the dense fill does
+	// not care about order, so it skips Edges()'s sort and slice build.
+	g.EdgesFunc(func(e *graph.Edge) {
 		wt := w(e)
 		in.Weight[e.A][e.B] = wt
 		in.Weight[e.B][e.A] = wt
-	}
+	})
 }
 
 // Scratch holds reusable partitioning buffers for a repartition hot loop:

@@ -1,0 +1,217 @@
+package mincut
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aide/internal/graph"
+)
+
+// randomDeltaWorkload applies k random mutations to g and mirrors them
+// nowhere else — deltas are pulled by the caller.
+func randomDeltaWorkload(rng *rand.Rand, g *graph.Graph, ids []graph.NodeID, k int) {
+	for i := 0; i < k; i++ {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		if a == b {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			g.AddInvocation(a, b, int64(rng.Intn(1024)+1))
+		case 1:
+			g.AddAccess(a, b, int64(rng.Intn(256)+1))
+		case 2:
+			g.AddObject(a, int64(rng.Intn(4096)))
+		}
+	}
+}
+
+// TestIncrementalMatrixMatchesFresh: after K rounds of random deltas the
+// persistently maintained matrix must be byte-equal to a from-scratch
+// fillFromGraph of the same graph — the invariant that makes the
+// fallback path exactly equivalent to a cold run.
+func TestIncrementalMatrixMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.New()
+	var ids []graph.NodeID
+	for i := 0; i < 30; i++ {
+		n := g.Intern(fmt.Sprintf("C%02d", i))
+		if i%7 == 0 {
+			n.Pinned = true
+		}
+		ids = append(ids, n.ID)
+	}
+
+	var inc Incremental
+	for round := 0; round < 25; round++ {
+		randomDeltaWorkload(rng, g, ids, 40)
+		if round == 10 {
+			// Mid-stream growth: new classes join.
+			for i := 0; i < 5; i++ {
+				ids = append(ids, g.Intern(fmt.Sprintf("X%02d", i)).ID)
+			}
+		}
+		inc.Update(g.Delta(inc.Epoch()), graph.BytesWeight)
+
+		var fresh Scratch
+		want := fresh.FromGraph(g, graph.BytesWeight)
+		if inc.in.N != want.N {
+			t.Fatalf("round %d: N = %d want %d", round, inc.in.N, want.N)
+		}
+		for i := 0; i < want.N; i++ {
+			if inc.in.Pinned[i] != want.Pinned[i] {
+				t.Fatalf("round %d: pinned[%d] = %t", round, i, inc.in.Pinned[i])
+			}
+			for j := 0; j < want.N; j++ {
+				if inc.in.Weight[i][j] != want.Weight[i][j] {
+					t.Fatalf("round %d: weight[%d][%d] = %v want %v",
+						round, i, j, inc.in.Weight[i][j], want.Weight[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalFallbackEqualsFullPass: with Threshold < 0 every
+// Candidates call takes the fallback, which must reproduce a cold
+// Candidates run on the same graph bit for bit.
+func TestIncrementalFallbackEqualsFullPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.New()
+	var ids []graph.NodeID
+	for i := 0; i < 20; i++ {
+		n := g.Intern(fmt.Sprintf("C%02d", i))
+		n.Pinned = i < 3
+		ids = append(ids, n.ID)
+	}
+
+	inc := Incremental{Threshold: -1}
+	for round := 0; round < 10; round++ {
+		randomDeltaWorkload(rng, g, ids, 30)
+		inc.Update(g.Delta(inc.Epoch()), graph.BytesWeight)
+		got, err := inc.Candidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inc.WasFull() {
+			t.Fatal("negative threshold must force the full pass")
+		}
+		want, err := Candidates(FromGraph(g, graph.BytesWeight))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d candidates, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].CutWeight != want[i].CutWeight || got[i].Offloaded != want[i].Offloaded {
+				t.Fatalf("round %d cand %d: got %v/%d want %v/%d", round, i,
+					got[i].CutWeight, got[i].Offloaded, want[i].CutWeight, want[i].Offloaded)
+			}
+			for v := range want[i].InClient {
+				if got[i].InClient[v] != want[i].InClient[v] {
+					t.Fatalf("round %d cand %d vertex %d differs", round, i, v)
+				}
+			}
+		}
+		inc.Commit(got[len(got)/2])
+	}
+}
+
+// TestIncrementalWarmPath: small deltas against a committed partition
+// take the warm path, keep pinned vertices on the client, maintain the
+// cut weight exactly (integer weights), and never worsen the committed
+// cut.
+func TestIncrementalWarmPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := graph.New()
+	var ids []graph.NodeID
+	for i := 0; i < 40; i++ {
+		n := g.Intern(fmt.Sprintf("C%02d", i))
+		n.Pinned = i == 0
+		ids = append(ids, n.ID)
+	}
+	randomDeltaWorkload(rng, g, ids, 2000) // dense base graph
+
+	var inc Incremental
+	inc.Update(g.Delta(0), graph.BytesWeight)
+	cands, err := inc.Candidates()
+	if err != nil || !inc.WasFull() {
+		t.Fatalf("cold start: err=%v full=%t", err, inc.WasFull())
+	}
+	chosen := cands[len(cands)/2]
+	inc.Commit(chosen)
+
+	for round := 0; round < 15; round++ {
+		randomDeltaWorkload(rng, g, ids, 5) // ≤5 dirty edges on a dense graph
+		inc.Update(g.Delta(inc.Epoch()), graph.BytesWeight)
+		warm, err := inc.Candidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc.WasFull() {
+			t.Fatalf("round %d: small delta took the full pass", round)
+		}
+		if len(warm) != 1 {
+			t.Fatalf("round %d: warm path returned %d candidates", round, len(warm))
+		}
+		c := warm[0]
+		if !c.InClient[0] {
+			t.Fatalf("round %d: pinned vertex left the client", round)
+		}
+		// The reported cut must equal the true cut of the placement.
+		truth := CutWeight(inc.N(), inc.in.Weight, c.InClient)
+		if c.CutWeight != truth {
+			t.Fatalf("round %d: maintained cut %v, true cut %v", round, c.CutWeight, truth)
+		}
+		// Refinement only applies improving moves: no worse than the
+		// committed baseline under the updated weights.
+		base := CutWeight(inc.N(), inc.in.Weight, inc.prev)
+		if c.CutWeight > base {
+			t.Fatalf("round %d: refined cut %v worse than baseline %v", round, c.CutWeight, base)
+		}
+		inc.Commit(c)
+	}
+}
+
+// TestIncrementalFullResync: an out-of-lineage delta (Full) resets the
+// matrix and forces the full pass, landing on the same result as a cold
+// run.
+func TestIncrementalFullResync(t *testing.T) {
+	g := graph.New()
+	a, b, c := g.Intern("a"), g.Intern("b"), g.Intern("c")
+	g.Intern("d").Pinned = true
+	g.AddInvocation(a.ID, b.ID, 100)
+	g.AddAccess(b.ID, c.ID, 50)
+
+	var inc Incremental
+	inc.Update(g.Delta(0), graph.BytesWeight)
+	cands, _ := inc.Candidates()
+	inc.Commit(cands[0])
+
+	// Simulate a consumer that lost its epoch: pull with a bogus one.
+	d := g.Delta(12345)
+	if !d.Full {
+		t.Fatal("expected full resync")
+	}
+	inc.Update(d, graph.BytesWeight)
+	got, err := inc.Candidates()
+	if err != nil || !inc.WasFull() {
+		t.Fatalf("resync: err=%v full=%t", err, inc.WasFull())
+	}
+	want, _ := Candidates(FromGraph(g, graph.BytesWeight))
+	if len(got) != len(want) || got[0].CutWeight != want[0].CutWeight {
+		t.Fatalf("resync diverged: %d/%v vs %d/%v", len(got), got[0].CutWeight, len(want), want[0].CutWeight)
+	}
+}
+
+// TestIncrementalEmpty: partitioning before any delta reports
+// ErrNoVertices like the cold API.
+func TestIncrementalEmpty(t *testing.T) {
+	var inc Incremental
+	if _, err := inc.Candidates(); err != ErrNoVertices {
+		t.Fatalf("err = %v", err)
+	}
+}

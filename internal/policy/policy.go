@@ -77,12 +77,12 @@ func evaluate(g *graph.Graph, c mincut.Candidate) Decision {
 			d.OffloadCPU += n.CPUTime
 		}
 	}
-	for _, e := range g.Edges() {
+	g.EdgesFunc(func(e *graph.Edge) {
 		if c.InClient[e.A] != c.InClient[e.B] {
 			d.CutBytes += e.Bytes
 			d.CutInteractions += e.Interactions()
 		}
-	}
+	})
 	return d
 }
 
@@ -119,6 +119,44 @@ func (p MemoryPolicy) Choose(g *graph.Graph, heapCapacity int64, cands []mincut.
 	found := false
 	for _, c := range cands {
 		d := evaluate(g, c)
+		if d.OffloadBytes < need || d.OffloadClasses == 0 {
+			continue
+		}
+		if !found || d.CutWeight < best.CutWeight {
+			best = d
+			found = true
+		}
+	}
+	if !found {
+		p.Rejected.Inc()
+		return Decision{}, ErrNotBeneficial
+	}
+	p.Chosen.Inc()
+	return best, nil
+}
+
+// ChooseDense is Choose for the incremental repartition path, where no
+// full graph snapshot exists: mem[v] is the live memory attributed to
+// the class with vertex ID v (maintained from graph deltas). The
+// acceptance rule and cost ranking match Choose exactly; the returned
+// Decision carries only placement, CutWeight, OffloadBytes, and
+// OffloadClasses — the history-derived fields (CutBytes,
+// CutInteractions, OffloadCPU) stay zero because computing them would
+// reintroduce the O(edges) full-graph walk this path exists to avoid.
+func (p MemoryPolicy) ChooseDense(mem []int64, heapCapacity int64, cands []mincut.Candidate) (Decision, error) {
+	if heapCapacity <= 0 {
+		return Decision{}, fmt.Errorf("policy: heap capacity %d must be positive", heapCapacity)
+	}
+	need := int64(p.MinFreeFraction * float64(heapCapacity))
+	var best Decision
+	found := false
+	for _, c := range cands {
+		d := Decision{InClient: c.InClient, CutWeight: c.CutWeight, OffloadClasses: c.Offloaded}
+		for v, m := range mem {
+			if v < len(c.InClient) && !c.InClient[v] {
+				d.OffloadBytes += m
+			}
+		}
 		if d.OffloadBytes < need || d.OffloadClasses == 0 {
 			continue
 		}
@@ -204,11 +242,11 @@ func (p CPUPolicy) Predict(g *graph.Graph, inClient []bool) time.Duration {
 		}
 		total += time.Duration(t)
 	}
-	for _, e := range g.Edges() {
+	g.EdgesFunc(func(e *graph.Edge) {
 		if inClient[e.A] != inClient[e.B] {
 			total += time.Duration(float64(p.commCost(e)) * p.edgeFactor(g, e))
 		}
-	}
+	})
 	return total
 }
 
