@@ -74,6 +74,21 @@ type (
 // InvalidObject is the zero object reference.
 const InvalidObject = vm.InvalidObject
 
+// Typed session-control errors, re-exported from the remote module.
+// Attach (and any later call on a rejected session) matches them with
+// errors.Is across the wire.
+var (
+	// ErrAdmissionRejected reports an attach refused by the surrogate's
+	// session or heap-quota cap.
+	ErrAdmissionRejected = remote.ErrAdmissionRejected
+	// ErrShed reports an attach refused because the surrogate's health
+	// check says it is degraded and shedding load.
+	ErrShed = remote.ErrShed
+	// ErrEvicted reports a session the surrogate tore down to reclaim
+	// capacity.
+	ErrEvicted = remote.ErrEvicted
+)
+
 // NewRegistry returns an empty class registry.
 func NewRegistry() *Registry { return vm.NewRegistry() }
 
@@ -136,6 +151,13 @@ type options struct {
 	// Lazy state transfer, from WithLazyMigration.
 	lazyMigration   bool
 	lazyMinAccesses int64
+
+	// Surrogate session control, from WithMaxSessions, WithSessionQuota,
+	// WithHealthCheck, and WithEvictOnDegraded. All inert on clients.
+	maxSessions     int
+	sessionQuota    int64
+	healthCheck     func() error
+	evictOnDegraded bool
 }
 
 // remoteOptions maps the platform options onto the remote module's
@@ -256,3 +278,32 @@ func WithLazyMigration(minAccesses int64) Option {
 func WithPeriodicRebalance(everyNGCs int) Option {
 	return func(o *options) { o.rebalanceGC = everyNGCs }
 }
+
+// WithMaxSessions caps how many tenant sessions a surrogate admits
+// concurrently; an attach beyond the cap fails with the typed
+// remote.ErrAdmissionRejected wire error. Zero (the default) is
+// unlimited. Client-side the option is inert.
+func WithMaxSessions(n int) Option { return func(o *options) { o.maxSessions = n } }
+
+// WithSessionQuota sets each tenant session's private heap quota in
+// bytes and turns on heap-cap admission: a surrogate refuses new
+// sessions once the committed quotas would exceed its WithHeap budget.
+// Zero (the default) gives every session the full budget and disables
+// the heap cap, the single-tenant behavior. Client-side the option is
+// inert.
+func WithSessionQuota(bytes int64) Option { return func(o *options) { o.sessionQuota = bytes } }
+
+// WithHealthCheck installs a surrogate health probe consulted at
+// admission (and served by Healthz): while fn returns an error the
+// surrogate is degraded and sheds new sessions with the typed
+// remote.ErrShed wire error. fn runs under the surrogate's session lock
+// and must be fast and concurrency-safe. Client-side the option is
+// inert.
+func WithHealthCheck(fn func() error) Option { return func(o *options) { o.healthCheck = fn } }
+
+// WithEvictOnDegraded lets a degraded surrogate actively reclaim
+// capacity: each shed attach attempt also evicts the admitted session
+// holding the most live bytes (remote.ErrEvicted for its late requests;
+// the tenant sees a disconnect and fails over locally). Off by default;
+// requires WithHealthCheck to ever trigger.
+func WithEvictOnDegraded() Option { return func(o *options) { o.evictOnDegraded = true } }

@@ -171,12 +171,40 @@ func (c *Client) Graph() (*graph.Graph, error) {
 // partitioner then spreads offloaded classes across them by available
 // memory ("multiple surrogates could be used by the client", §2).
 func (c *Client) Attach(t remote.Transport) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return c.AttachContext(context.Background(), t)
+}
+
+// AttachContext is Attach bounded by ctx. It runs the session handshake:
+// the surrogate's admission control either opens the session or rejects
+// it with a typed error — errors.Is(err, ErrAdmissionRejected) when the
+// surrogate is at capacity, ErrShed when it is degraded and shedding
+// load. Surrogates predating the handshake admit implicitly; the client
+// attaches to them exactly as before.
+func (c *Client) AttachContext(ctx context.Context, t remote.Transport) error {
 	ro := c.opts.remoteOptions()
 	ro.OnDown = c.onPeerDown
 	p := remote.NewPeer(c.vm, t, ro)
+	c.mu.Lock()
 	c.peers = append(c.peers, p)
+	c.mu.Unlock()
+	if _, err := p.Attach(ctx); err != nil && !errors.Is(err, remote.ErrAttachUnsupported) {
+		// Rejected (or the transport died mid-handshake): free the slot.
+		// The VM's peer table never reuses indexes, so nilling the
+		// positional entry keeps every other peer's index aligned.
+		idx := p.VMIndex()
+		c.mu.Lock()
+		if idx >= 0 && idx < len(c.peers) && c.peers[idx] == p {
+			c.peers[idx] = nil
+		}
+		c.mu.Unlock()
+		c.vm.DetachPeer(idx)
+		if cerr := p.Close(); cerr != nil && c.opts.logf != nil {
+			c.opts.logf("aide: close rejected attach: %v", cerr)
+		}
+		return fmt.Errorf("aide: attach: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.pm.attaches.Inc()
 	if c.tracer.Enabled() {
 		c.tracer.Emit(telemetry.Span{Kind: telemetry.SpanReattach, Peer: p.VMIndex()})
@@ -296,7 +324,7 @@ func (c *Client) AttachTCPContext(ctx context.Context, addr string) error {
 	if err != nil {
 		return fmt.Errorf("aide: dial surrogate: %w", err)
 	}
-	return c.Attach(remote.NewConnTransport(conn))
+	return c.AttachContext(ctx, remote.NewConnTransport(conn))
 }
 
 // Detach tears the platform down: every surrogate connection closes and

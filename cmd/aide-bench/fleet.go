@@ -1,0 +1,249 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"aide"
+	"aide/internal/fleet"
+)
+
+// fleetPoint is one sweep point of the multi-tenant fleet study: a
+// surrogate topology, a session load, and what the load generator and the
+// surrogates measured.
+type fleetPoint struct {
+	Name        string `json:"name"`
+	Surrogates  int    `json:"surrogates"`
+	Sessions    int    `json:"sessions"`
+	Concurrency int    `json:"concurrency"`
+
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Unplaced  int64 `json:"unplaced"`
+	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	Evicted   int64 `json:"evicted"`
+
+	CrossTenantFailures int64 `json:"cross_tenant_failures"`
+
+	SessionP50Ms float64 `json:"session_p50_ms"`
+	SessionP99Ms float64 `json:"session_p99_ms"`
+	OpP50Ms      float64 `json:"op_p50_ms"`
+	OpP99Ms      float64 `json:"op_p99_ms"`
+
+	SessionsPerSec float64          `json:"sessions_per_sec"`
+	Placed         map[string]int64 `json:"placed"`
+}
+
+// fleetReport is the machine-readable record of the fleet study. The
+// headline claim: every sweep point — including the capped and degraded
+// fleets, where admission control and shedding are actively refusing and
+// evicting tenants — completes with zero cross-tenant failures.
+type fleetReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []fleetPoint `json:"points"`
+
+	// ZeroCrossTenant is true only if no sweep point observed a tenant
+	// reading state it did not write.
+	ZeroCrossTenant bool `json:"zero_cross_tenant_all"`
+}
+
+// fleetBench runs the multi-tenant fleet sweep and writes the report.
+// smoke shrinks the session counts to CI size (the baseline keeps >= 100
+// concurrent sessions either way — that floor is the isolation claim).
+func fleetBench(path string, smoke bool) error {
+	sessions := 10_000
+	if smoke {
+		sessions = 1_000
+	}
+
+	rep := fleetReport{GOMAXPROCS: runtime.GOMAXPROCS(0), ZeroCrossTenant: true}
+	ctx := context.Background()
+
+	runPoint := func(name string, coord *fleet.Coordinator, reg *aide.Registry, cfg fleet.Config, surrogates map[string]*aide.Surrogate) (fleet.Report, error) {
+		t0 := time.Now()
+		r, err := fleet.Run(ctx, coord, reg, cfg)
+		if err != nil {
+			return fleet.Report{}, fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(t0).Seconds()
+		var evicted int64
+		for _, s := range surrogates {
+			evicted += s.Stats().Evicted
+		}
+		p := fleetPoint{
+			Name:                name,
+			Surrogates:          len(surrogates),
+			Sessions:            cfg.Sessions,
+			Concurrency:         cfg.Concurrency,
+			Completed:           r.Completed,
+			Failed:              r.Failed,
+			Unplaced:            r.Unplaced,
+			Rejected:            r.Rejected,
+			Shed:                r.Shed,
+			Evicted:             evicted,
+			CrossTenantFailures: r.CrossTenantFailures,
+			SessionP50Ms:        float64(r.SessionP50) / 1e6,
+			SessionP99Ms:        float64(r.SessionP99) / 1e6,
+			OpP50Ms:             float64(r.OpP50) / 1e6,
+			OpP99Ms:             float64(r.OpP99) / 1e6,
+			SessionsPerSec:      float64(r.Completed) / wall,
+			Placed:              r.Placed,
+		}
+		rep.Points = append(rep.Points, p)
+		if r.CrossTenantFailures != 0 {
+			rep.ZeroCrossTenant = false
+		}
+		fmt.Printf("%-12s %d surrogate(s)  %5d sessions @%3d conc  p50 %.2fms p99 %.2fms  rej %d shed %d evict %d  cross-tenant %d  %.0f sessions/s\n",
+			name, len(surrogates), cfg.Sessions, cfg.Concurrency,
+			p.SessionP50Ms, p.SessionP99Ms, p.Rejected, p.Shed, p.Evicted, p.CrossTenantFailures, p.SessionsPerSec)
+		return *r, nil
+	}
+
+	newFleet := func(names []string, mk func(name string, reg *aide.Registry) *aide.Surrogate, rtts []time.Duration) (*fleet.Coordinator, *aide.Registry, map[string]*aide.Surrogate, func() error) {
+		reg, err := fleet.WorkloadRegistry()
+		if err != nil {
+			panic(err) // registry specs are static; failure is a programming error
+		}
+		surrogates := make(map[string]*aide.Surrogate, len(names))
+		targets := make([]fleet.Target, len(names))
+		for i, name := range names {
+			s := mk(name, reg)
+			surrogates[name] = s
+			targets[i] = &fleet.LocalTarget{TargetName: name, Surrogate: s, SyntheticRTT: rtts[i]}
+		}
+		closeAll := func() error {
+			var firstErr error
+			for _, s := range surrogates {
+				if err := s.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		}
+		return fleet.New(targets...), reg, surrogates, closeAll
+	}
+
+	// Point 1 — baseline: one surrogate, the full session load, >= 100
+	// concurrent tenants. The isolation floor the ISSUE demands.
+	{
+		coord, reg, surrogates, closeAll := newFleet([]string{"s0"},
+			func(_ string, reg *aide.Registry) *aide.Surrogate {
+				return aide.NewSurrogate(reg, aide.WithHeap(256<<20))
+			}, []time.Duration{0})
+		r, err := runPoint("baseline_1x", coord, reg, fleet.Config{
+			Sessions: sessions, Concurrency: 128, Ops: 4, BytesPerSession: 8 << 10,
+		}, surrogates)
+		if cerr := closeAll(); err == nil && cerr != nil {
+			err = fmt.Errorf("baseline_1x close: %w", cerr)
+		}
+		if err != nil {
+			return err
+		}
+		if r.Failed != 0 || r.Unplaced != 0 {
+			return fmt.Errorf("baseline_1x: %d failed, %d unplaced sessions on an uncontended surrogate", r.Failed, r.Unplaced)
+		}
+	}
+
+	// Point 2 — fleet spread: two equal surrogates, same load; placement
+	// must use both.
+	{
+		coord, reg, surrogates, closeAll := newFleet([]string{"s0", "s1"},
+			func(_ string, reg *aide.Registry) *aide.Surrogate {
+				return aide.NewSurrogate(reg, aide.WithHeap(256<<20))
+			}, []time.Duration{0, 0})
+		r, err := runPoint("fleet_2x", coord, reg, fleet.Config{
+			Sessions: sessions, Concurrency: 128, Ops: 4, BytesPerSession: 8 << 10, RefreshEvery: 256,
+		}, surrogates)
+		if cerr := closeAll(); err == nil && cerr != nil {
+			err = fmt.Errorf("fleet_2x close: %w", cerr)
+		}
+		if err != nil {
+			return err
+		}
+		if r.Placed["s0"] == 0 || r.Placed["s1"] == 0 {
+			return fmt.Errorf("fleet_2x: placement dogpiled one surrogate (%v)", r.Placed)
+		}
+	}
+
+	// Point 3 — admission control: the preferred surrogate caps at 8
+	// sessions (well under the sustained in-flight load, so the cap is
+	// genuinely contended); the overflow must be typed rejections that
+	// reroute to the open surrogate, never failures.
+	{
+		coord, reg, surrogates, closeAll := newFleet([]string{"capped", "open"},
+			func(name string, reg *aide.Registry) *aide.Surrogate {
+				if name == "capped" {
+					return aide.NewSurrogate(reg, aide.WithHeap(256<<20), aide.WithMaxSessions(8))
+				}
+				return aide.NewSurrogate(reg, aide.WithHeap(256<<20))
+			}, []time.Duration{0, 5 * time.Millisecond})
+		r, err := runPoint("capped", coord, reg, fleet.Config{
+			Sessions: sessions / 2, Concurrency: 128, Ops: 4, BytesPerSession: 8 << 10, RefreshEvery: 64,
+		}, surrogates)
+		if cerr := closeAll(); err == nil && cerr != nil {
+			err = fmt.Errorf("capped close: %w", cerr)
+		}
+		if err != nil {
+			return err
+		}
+		if r.Rejected == 0 {
+			return errors.New("capped: admission control never rejected a session")
+		}
+		if r.Failed != 0 {
+			return fmt.Errorf("capped: %d sessions failed instead of rerouting", r.Failed)
+		}
+	}
+
+	// Point 4 — degradation: the preferred surrogate's health check trips
+	// partway through the run; with evict-on-degraded it sheds new
+	// tenants and evicts live ones, and the fleet absorbs the rest.
+	{
+		var healthChecks atomic.Int64
+		trip := int64(sessions / 8)
+		coord, reg, surrogates, closeAll := newFleet([]string{"sick", "backup"},
+			func(name string, reg *aide.Registry) *aide.Surrogate {
+				if name == "sick" {
+					return aide.NewSurrogate(reg,
+						aide.WithHeap(256<<20),
+						aide.WithEvictOnDegraded(),
+						aide.WithHealthCheck(func() error {
+							if healthChecks.Add(1) > trip {
+								return errors.New("synthetic degradation")
+							}
+							return nil
+						}))
+				}
+				return aide.NewSurrogate(reg, aide.WithHeap(256<<20))
+			}, []time.Duration{0, 5 * time.Millisecond})
+		r, err := runPoint("degraded", coord, reg, fleet.Config{
+			Sessions: sessions / 4, Concurrency: 64, Ops: 4, BytesPerSession: 8 << 10, RefreshEvery: 64,
+		}, surrogates)
+		if cerr := closeAll(); err == nil && cerr != nil {
+			err = fmt.Errorf("degraded close: %w", cerr)
+		}
+		if err != nil {
+			return err
+		}
+		if r.Shed == 0 {
+			return errors.New("degraded: health-based shedding never triggered")
+		}
+	}
+
+	if !rep.ZeroCrossTenant {
+		return errors.New("fleet: cross-tenant interference observed — isolation broken")
+	}
+	fmt.Printf("headline: %d sweep points, zero cross-tenant failures everywhere\n", len(rep.Points))
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry, partition)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry, partition, fleet)")
 	smoke := flag.Bool("smoke", false, "shrink benchmark axes to CI-sized single passes")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
@@ -220,6 +220,11 @@ func run(full, smoke bool, only, dotDir string, parallel int, jsonPath string) e
 			section("Extension: incremental repartitioning",
 				"O(changed edges) delta pipeline vs O(N²) from-scratch; striped vs global-mutex ingestion")
 			return partitionBench("BENCH_partition.json", smoke)
+		}},
+		{"fleet", func() error {
+			section("Extension: multi-tenant fleet",
+				"per-session isolation under >=100 concurrent tenants; admission, shedding, eviction across a surrogate fleet")
+			return fleetBench("BENCH_fleet.json", smoke)
 		}},
 		{"energy", func() error {
 			section("Extension: client battery drain (paper §2/§8)",

@@ -1,0 +1,128 @@
+// Command aide-loadgen drives simulated tenant sessions against a
+// surrogate fleet and reports session/op latency percentiles, admission
+// outcomes, and — the point of the exercise — the cross-tenant failure
+// count, which must be zero. By default it builds an in-process fleet of
+// surrogates (channel transports, no sockets, so 10k+ sessions need no
+// file descriptors); -addrs points it at real aide-surrogate processes
+// instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aide"
+	"aide/internal/fleet"
+)
+
+func main() {
+	surrogates := flag.Int("surrogates", 2, "size of the in-process surrogate fleet (ignored with -addrs)")
+	addrs := flag.String("addrs", "", "comma-separated TCP surrogate addresses to drive instead of an in-process fleet")
+	sessions := flag.Int("sessions", 10_000, "total tenant sessions to run")
+	concurrency := flag.Int("concurrency", 128, "sessions in flight at once")
+	ops := flag.Int("ops", 4, "remote invocations per session")
+	bytes := flag.Int64("bytes", 8<<10, "offloaded object size per session")
+	heap := flag.Int64("heap", 256<<20, "per-surrogate heap capacity (in-process fleet)")
+	maxSessions := flag.Int("max-sessions", 0, "per-surrogate admission cap (0 = uncapped; in-process fleet)")
+	sessionQuota := flag.Int64("session-quota", 0, "per-session heap quota in bytes (0 = whole heap; in-process fleet)")
+	refreshEvery := flag.Int("refresh-every", 64, "re-probe the fleet after this many dispatched sessions")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+	jsonPath := flag.String("json", "", "file to write the machine-readable report into (empty disables)")
+	flag.Parse()
+
+	if err := run(*surrogates, *addrs, *sessions, *concurrency, *ops, *bytes, *heap,
+		*maxSessions, *sessionQuota, *refreshEvery, *timeout, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "aide-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, heap int64,
+	maxSessions int, sessionQuota int64, refreshEvery int, timeout time.Duration, jsonPath string) error {
+	reg, err := fleet.WorkloadRegistry()
+	if err != nil {
+		return err
+	}
+
+	var targets []fleet.Target
+	var owned []*aide.Surrogate
+	if addrs != "" {
+		for _, addr := range strings.Split(addrs, ",") {
+			targets = append(targets, &fleet.TCPTarget{Addr: strings.TrimSpace(addr)})
+		}
+	} else {
+		if surrogates < 1 {
+			return fmt.Errorf("need at least one surrogate, got %d", surrogates)
+		}
+		opts := []aide.Option{aide.WithHeap(heap)}
+		if maxSessions > 0 {
+			opts = append(opts, aide.WithMaxSessions(maxSessions))
+		}
+		if sessionQuota > 0 {
+			opts = append(opts, aide.WithSessionQuota(sessionQuota))
+		}
+		for i := 0; i < surrogates; i++ {
+			s := aide.NewSurrogate(reg, opts...)
+			owned = append(owned, s)
+			targets = append(targets, &fleet.LocalTarget{
+				TargetName: fmt.Sprintf("s%d", i),
+				Surrogate:  s,
+			})
+		}
+	}
+	defer func() {
+		for _, s := range owned {
+			if cerr := s.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "aide-loadgen: close surrogate:", cerr)
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	coord := fleet.New(targets...)
+	t0 := time.Now()
+	r, err := fleet.Run(ctx, coord, reg, fleet.Config{
+		Sessions:        sessions,
+		Concurrency:     concurrency,
+		Ops:             ops,
+		BytesPerSession: bytes,
+		RefreshEvery:    refreshEvery,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+
+	fmt.Printf("sessions   %d (%d completed, %d failed, %d unplaced) in %v — %.0f sessions/s\n",
+		r.Sessions, r.Completed, r.Failed, r.Unplaced, wall.Round(time.Millisecond),
+		float64(r.Completed)/wall.Seconds())
+	fmt.Printf("admission  %d rejected, %d shed, %d evicted (surrogate-side)\n", r.Rejected, r.Shed, r.Evicted())
+	fmt.Printf("latency    session p50 %v p99 %v — op p50 %v p99 %v\n",
+		r.SessionP50.Round(time.Microsecond), r.SessionP99.Round(time.Microsecond),
+		r.OpP50.Round(time.Microsecond), r.OpP99.Round(time.Microsecond))
+	for name, n := range r.Placed {
+		fmt.Printf("placed     %-12s %d\n", name, n)
+	}
+	fmt.Printf("isolation  %d cross-tenant failures\n", r.CrossTenantFailures)
+
+	if jsonPath != "" {
+		buf, merr := json.MarshalIndent(r, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		if werr := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); werr != nil {
+			return werr
+		}
+	}
+	if r.CrossTenantFailures != 0 {
+		return fmt.Errorf("%d cross-tenant failures: session isolation is broken", r.CrossTenantFailures)
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package fleet places tenant sessions across a pool of surrogates. The
+// paper's client picks one nearby surrogate (§2); a production platform
+// runs a fleet of unequal helpers, so placement becomes a scheduling
+// decision: rank candidates by probe RTT bucket and live occupancy
+// (admitted sessions, free heap), break ties deterministically, and feed
+// admission rejections back so a saturated surrogate falls out of the
+// rotation until the next refresh. Every ranking is a pure function of
+// the status snapshot, which makes placement replay-testable.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"aide"
+	"aide/internal/remote"
+)
+
+// Status is one surrogate's placement inputs: the probe round trip, the
+// admitted session count, and the shared heap occupancy. A target that
+// could not be probed carries a non-nil Err and ranks last.
+type Status struct {
+	Name          string
+	RTT           time.Duration
+	Sessions      int64
+	FreeBytes     int64
+	CapacityBytes int64
+	Err           error
+}
+
+// Target is one surrogate the coordinator can place sessions on.
+type Target interface {
+	// Name identifies the target; rankings tie-break on it, so names
+	// must be unique within a coordinator.
+	Name() string
+	// Status probes the target's placement inputs.
+	Status(ctx context.Context) Status
+	// Dial opens a fresh session transport to the target.
+	Dial(ctx context.Context) (remote.Transport, error)
+}
+
+// LocalTarget serves an in-process surrogate over channel transports:
+// the fleet shape used by the load generator and tests, where thousands
+// of sessions must not consume file descriptors. SyntheticRTT stands in
+// for the network round trip a real deployment would measure.
+type LocalTarget struct {
+	TargetName   string
+	Surrogate    *aide.Surrogate
+	SyntheticRTT time.Duration
+}
+
+// Name implements Target.
+func (t *LocalTarget) Name() string { return t.TargetName }
+
+// Status implements Target by reading the surrogate directly.
+func (t *LocalTarget) Status(ctx context.Context) Status {
+	if err := ctx.Err(); err != nil {
+		return Status{Name: t.TargetName, Err: err}
+	}
+	h := t.Surrogate.Heap()
+	return Status{
+		Name:          t.TargetName,
+		RTT:           t.SyntheticRTT,
+		Sessions:      int64(t.Surrogate.Sessions()),
+		FreeBytes:     h.Free,
+		CapacityBytes: h.Capacity,
+	}
+}
+
+// Dial implements Target with an in-memory channel pair.
+func (t *LocalTarget) Dial(ctx context.Context) (remote.Transport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ct, st := remote.NewChannelPair()
+	t.Surrogate.Serve(st)
+	return ct, nil
+}
+
+// TCPTarget is a surrogate reached over the network, probed with the
+// same MsgInfo sweep AttachBestTCP uses.
+type TCPTarget struct {
+	Addr string
+}
+
+// Name implements Target.
+func (t *TCPTarget) Name() string { return t.Addr }
+
+// Status implements Target via a probe dial.
+func (t *TCPTarget) Status(ctx context.Context) Status {
+	p := aide.ProbeSurrogatesContext(ctx, []string{t.Addr})[0]
+	if p.Err != nil {
+		return Status{Name: t.Addr, Err: p.Err}
+	}
+	return Status{
+		Name:          t.Addr,
+		RTT:           p.Info.RTT,
+		Sessions:      p.Info.Sessions,
+		FreeBytes:     p.Info.FreeBytes,
+		CapacityBytes: p.Info.CapacityBytes,
+	}
+}
+
+// Dial implements Target with a TCP connection.
+func (t *TCPTarget) Dial(ctx context.Context) (remote.Transport, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", t.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial %s: %w", t.Addr, err)
+	}
+	return remote.NewConnTransport(conn), nil
+}
+
+// Rank orders statuses best-first: reachable before failed, lower RTT
+// bucket (500 µs, matching RankSurrogates) first, then fewer loaded
+// sessions (status sessions plus the pending placements the caller has
+// made since the snapshot), then larger free heap fraction, then
+// lexicographic name. Pure: same statuses and pending always produce the
+// same order, so placement is replayable.
+func Rank(statuses []Status, pending map[string]int64) []Status {
+	out := append([]Status(nil), statuses...)
+	bucket := func(d time.Duration) int64 { return int64(d / (500 * time.Microsecond)) }
+	frac := func(s Status) float64 {
+		if s.CapacityBytes <= 0 {
+			return 0
+		}
+		return float64(s.FreeBytes) / float64(s.CapacityBytes)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.Err == nil) != (b.Err == nil) {
+			return a.Err == nil
+		}
+		if a.Err != nil {
+			return a.Name < b.Name
+		}
+		if ba, bb := bucket(a.RTT), bucket(b.RTT); ba != bb {
+			return ba < bb
+		}
+		la, lb := a.Sessions+pending[a.Name], b.Sessions+pending[b.Name]
+		if la != lb {
+			return la < lb
+		}
+		if fa, fb := frac(a), frac(b); fa != fb {
+			return fa > fb
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Coordinator tracks a fleet of targets and places sessions across them.
+// Refresh snapshots every target's status; between refreshes, Place
+// ranks the snapshot plus its own pending-placement counts, and a typed
+// admission rejection benches the target until the next refresh.
+type Coordinator struct {
+	mu       sync.Mutex
+	targets  []Target
+	byName   map[string]Target
+	status   map[string]Status
+	pending  map[string]int64
+	benched  map[string]bool
+	placed   int64
+	rejected int64
+}
+
+// New builds a coordinator over the given targets. Call Refresh before
+// the first placement.
+func New(targets ...Target) *Coordinator {
+	c := &Coordinator{
+		targets: append([]Target(nil), targets...),
+		byName:  make(map[string]Target, len(targets)),
+		status:  make(map[string]Status),
+		pending: make(map[string]int64),
+		benched: make(map[string]bool),
+	}
+	for _, t := range c.targets {
+		c.byName[t.Name()] = t
+	}
+	return c
+}
+
+// Refresh probes every target concurrently, replaces the status
+// snapshot, and clears the pending counts and the admission bench. It
+// returns the fresh statuses in target order.
+func (c *Coordinator) Refresh(ctx context.Context) []Status {
+	c.mu.Lock()
+	targets := append([]Target(nil), c.targets...)
+	c.mu.Unlock()
+	statuses := make([]Status, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			statuses[i] = t.Status(ctx)
+		}(i, t)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	c.status = make(map[string]Status, len(statuses))
+	for _, st := range statuses {
+		c.status[st.Name] = st
+	}
+	c.pending = make(map[string]int64)
+	c.benched = make(map[string]bool)
+	c.mu.Unlock()
+	return statuses
+}
+
+// Candidates returns the targets ranked best-first under the latest
+// snapshot, excluding targets benched by admission rejections.
+func (c *Coordinator) Candidates() []Target {
+	c.mu.Lock()
+	statuses := make([]Status, 0, len(c.status))
+	for name, st := range c.status {
+		if !c.benched[name] {
+			statuses = append(statuses, st)
+		}
+	}
+	pending := make(map[string]int64, len(c.pending))
+	for name, n := range c.pending {
+		pending[name] = n
+	}
+	c.mu.Unlock()
+	ranked := Rank(statuses, pending)
+	out := make([]Target, 0, len(ranked))
+	for _, st := range ranked {
+		if st.Err != nil {
+			continue
+		}
+		if t := c.lookup(st.Name); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) lookup(name string) Target {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[name]
+}
+
+// NotePlaced records a successful placement on the named target: its
+// effective load rises by one session until the next refresh.
+func (c *Coordinator) NotePlaced(name string) {
+	c.mu.Lock()
+	c.pending[name]++
+	c.placed++
+	c.mu.Unlock()
+}
+
+// NoteRejected benches the named target until the next refresh: its
+// admission control is refusing sessions, so re-offering it placements
+// only burns round trips.
+func (c *Coordinator) NoteRejected(name string) {
+	c.mu.Lock()
+	c.benched[name] = true
+	c.rejected++
+	c.mu.Unlock()
+}
+
+// Placements reports how many placements and admission rejections the
+// coordinator has recorded over its lifetime.
+func (c *Coordinator) Placements() (placed, rejected int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placed, c.rejected
+}
+
+// Place walks the ranked candidates, running attach against each until
+// one accepts the session. A typed admission rejection or shed benches
+// the candidate and falls through to the next; transport failures fall
+// through without benching (the next refresh re-probes them). The error
+// wraps the last failure when every candidate refuses.
+func (c *Coordinator) Place(ctx context.Context, attach func(Target) error) (Target, error) {
+	cands := c.Candidates()
+	if len(cands) == 0 {
+		return nil, errors.New("fleet: no placement candidates (refresh first, or every target is benched)")
+	}
+	var lastErr error
+	for _, t := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		err := attach(t)
+		if err == nil {
+			c.NotePlaced(t.Name())
+			return t, nil
+		}
+		lastErr = err
+		if errors.Is(err, remote.ErrAdmissionRejected) || errors.Is(err, remote.ErrShed) {
+			c.NoteRejected(t.Name())
+		}
+	}
+	return nil, fmt.Errorf("fleet: no target admitted the session: %w", lastErr)
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aide/internal/remote"
+)
+
+// fakeTarget is a scriptable Target for coordinator tests: Status returns
+// a fixed snapshot and Dial is never used (Place's attach callback is the
+// test's hook).
+type fakeTarget struct {
+	name   string
+	status Status
+}
+
+func (t *fakeTarget) Name() string                  { return t.name }
+func (t *fakeTarget) Status(context.Context) Status { return t.status }
+func (t *fakeTarget) Dial(context.Context) (remote.Transport, error) {
+	return nil, errors.New("fakeTarget has no transport")
+}
+
+func st(name string, rtt time.Duration, sessions, free, cap int64) Status {
+	return Status{Name: name, RTT: rtt, Sessions: sessions, FreeBytes: free, CapacityBytes: cap}
+}
+
+// TestRankDeterministic pins the ranking's tie-break ladder and proves it
+// is a pure function of its inputs: every rotation of the same statuses
+// ranks identically.
+func TestRankDeterministic(t *testing.T) {
+	statuses := []Status{
+		// Worst RTT bucket: last among the reachable.
+		st("slow", 2*time.Millisecond, 0, 100, 100),
+		// Same bucket as "busy"/"roomy"/"alpha" (sub-500µs): ordered by
+		// sessions, then free fraction, then name.
+		st("busy", 100*time.Microsecond, 5, 100, 100),
+		st("roomy", 200*time.Microsecond, 1, 80, 100),
+		st("tight", 300*time.Microsecond, 1, 20, 100),
+		st("alpha", 400*time.Microsecond, 1, 80, 100),
+		// Unreachable: always last, name-ordered.
+		{Name: "down-b", Err: errors.New("unreachable")},
+		{Name: "down-a", Err: errors.New("unreachable")},
+	}
+	want := []string{"alpha", "roomy", "tight", "busy", "slow", "down-a", "down-b"}
+	for rot := 0; rot < len(statuses); rot++ {
+		in := append(append([]Status(nil), statuses[rot:]...), statuses[:rot]...)
+		got := Rank(in, nil)
+		for i, w := range want {
+			if got[i].Name != w {
+				t.Fatalf("rotation %d: rank[%d] = %s, want %s (full: %v)", rot, i, got[i].Name, w, names(got))
+			}
+		}
+	}
+}
+
+// TestRankPendingLoad verifies that placements recorded since the last
+// refresh count against a target: the coordinator must not dogpile the
+// surrogate that merely looked emptiest at snapshot time.
+func TestRankPendingLoad(t *testing.T) {
+	statuses := []Status{
+		st("a", 0, 0, 100, 100),
+		st("b", 0, 0, 100, 100),
+	}
+	got := Rank(statuses, map[string]int64{"a": 2})
+	if got[0].Name != "b" {
+		t.Fatalf("rank with pending load on a = %v, want b first", names(got))
+	}
+}
+
+// TestCoordinatorPlacementSequence replays the same fleet twice and
+// demands the identical placement sequence — the determinism the ISSUE
+// requires so fleet decisions can be audited offline.
+func TestCoordinatorPlacementSequence(t *testing.T) {
+	run := func() []string {
+		c := New(
+			&fakeTarget{name: "b", status: st("b", 0, 0, 100, 100)},
+			&fakeTarget{name: "a", status: st("a", 0, 0, 100, 100)},
+		)
+		c.Refresh(context.Background())
+		var seq []string
+		for i := 0; i < 6; i++ {
+			tgt, err := c.Place(context.Background(), func(Target) error { return nil })
+			if err != nil {
+				t.Fatalf("place %d: %v", i, err)
+			}
+			seq = append(seq, tgt.Name())
+		}
+		return seq
+	}
+	first, second := run(), run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if first[i] != want[i] || second[i] != want[i] {
+			t.Fatalf("placement sequences diverged or unexpected:\n  first  %v\n  second %v\n  want   %v", first, second, want)
+		}
+	}
+}
+
+// TestCoordinatorBenchOnRejection verifies the admission feedback loop: a
+// typed rejection benches the target until the next refresh, while plain
+// transport failures leave it in the rotation.
+func TestCoordinatorBenchOnRejection(t *testing.T) {
+	c := New(
+		&fakeTarget{name: "full", status: st("full", 0, 0, 100, 100)},
+		&fakeTarget{name: "open", status: st("open", 0, 9, 100, 100)},
+	)
+	c.Refresh(context.Background())
+
+	// "full" ranks first (fewer sessions) but rejects with the typed
+	// admission error; Place must fall through to "open" and bench "full".
+	attempts := []string{}
+	tgt, err := c.Place(context.Background(), func(cand Target) error {
+		attempts = append(attempts, cand.Name())
+		if cand.Name() == "full" {
+			return fmt.Errorf("attach: %w", remote.ErrAdmissionRejected)
+		}
+		return nil
+	})
+	if err != nil || tgt.Name() != "open" {
+		t.Fatalf("place = %v, %v; want open, nil", tgt, err)
+	}
+	if len(attempts) != 2 || attempts[0] != "full" {
+		t.Fatalf("attach attempts = %v, want [full open]", attempts)
+	}
+
+	// Benched: the next placement must not re-offer "full".
+	tgt, err = c.Place(context.Background(), func(cand Target) error {
+		if cand.Name() == "full" {
+			return errors.New("benched target was offered again")
+		}
+		return nil
+	})
+	if err != nil || tgt.Name() != "open" {
+		t.Fatalf("post-bench place = %v, %v; want open, nil", tgt, err)
+	}
+	if placed, rejected := c.Placements(); placed != 2 || rejected != 1 {
+		t.Fatalf("placements = (%d, %d), want (2, 1)", placed, rejected)
+	}
+
+	// Refresh clears the bench.
+	c.Refresh(context.Background())
+	tgt, err = c.Place(context.Background(), func(Target) error { return nil })
+	if err != nil || tgt.Name() != "full" {
+		t.Fatalf("post-refresh place = %v, %v; want full back in rotation", tgt, err)
+	}
+}
+
+// TestCoordinatorShedBenches verifies load-shedding errors bench like
+// admission rejections, and that exhausting every candidate surfaces a
+// wrapped typed error.
+func TestCoordinatorShedBenches(t *testing.T) {
+	c := New(&fakeTarget{name: "only", status: st("only", 0, 0, 100, 100)})
+	c.Refresh(context.Background())
+	_, err := c.Place(context.Background(), func(Target) error {
+		return fmt.Errorf("attach: %w", remote.ErrShed)
+	})
+	if !errors.Is(err, remote.ErrShed) {
+		t.Fatalf("place error = %v, want wrapped ErrShed", err)
+	}
+	if _, err := c.Place(context.Background(), func(Target) error { return nil }); err == nil {
+		t.Fatal("place with every target benched should fail")
+	}
+}
+
+func names(sts []Status) []string {
+	out := make([]string, len(sts))
+	for i, s := range sts {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain extends the repo's goroutine-leak gate to the fleet package:
+// every goroutine the coordinator (concurrent refresh probes), the load
+// generator (worker pool), and the surrogates under test spawn must have
+// joined by the time the package tests finish.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := settleGoroutines(before); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines outlived the package tests (started with %d)\n",
+				leaked, before)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, tolerating runtime-internal stragglers (finalizer, netpoll)
+// that need a few scheduler rounds to park. Returns the number still
+// above baseline after the grace period.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			if n <= baseline {
+				return 0
+			}
+			return n - baseline
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

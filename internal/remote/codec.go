@@ -63,6 +63,8 @@ const (
 	tagCalls
 	tagRets
 	tagErrIndex
+	tagErrCode
+	tagSessions
 )
 
 // The binary codec encodes every field of the structs below; these pins
@@ -71,7 +73,7 @@ const (
 // in the same change.
 //
 //lint:wire Message
-const messageWireFields = 23
+const messageWireFields = 25
 
 //lint:wire aide/internal/vm.WireValue
 const wireValueWireFields = 7
@@ -206,6 +208,13 @@ func appendMessage(buf []byte, m *Message) []byte {
 	if m.ErrIndex != 0 {
 		buf = append(buf, tagErrIndex)
 		buf = binary.AppendVarint(buf, int64(m.ErrIndex))
+	}
+	if m.ErrCode != 0 {
+		buf = append(buf, tagErrCode, m.ErrCode)
+	}
+	if m.Sessions != 0 {
+		buf = append(buf, tagSessions)
+		buf = binary.AppendVarint(buf, m.Sessions)
 	}
 	return buf
 }
@@ -414,6 +423,12 @@ func sizeMessage(m *Message) int {
 	if m.ErrIndex != 0 {
 		n += 1 + vm.VarintSize(int64(m.ErrIndex))
 	}
+	if m.ErrCode != 0 {
+		n += 2
+	}
+	if m.Sessions != 0 {
+		n += 1 + vm.VarintSize(m.Sessions)
+	}
 	return n
 }
 
@@ -555,6 +570,14 @@ func decodeMessage(data []byte) (*Message, error) {
 			var v int64
 			v, rest, err = vm.ReadVarint(rest)
 			m.ErrIndex = int32(v)
+		case tagErrCode:
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("remote: codec: truncated error code")
+			}
+			m.ErrCode = rest[0]
+			rest = rest[1:]
+		case tagSessions:
+			m.Sessions, rest, err = vm.ReadVarint(rest)
 		default:
 			return nil, fmt.Errorf("remote: codec: unknown field tag %d", tag)
 		}

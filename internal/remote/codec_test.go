@@ -72,6 +72,13 @@ func codecMessages() []*Message {
 				{Kind: vm.KindDeferred},
 			}},
 		}},
+		{Kind: MsgAttach, ID: 18},
+		// Admitted: the reply carries surrogate-wide occupancy.
+		{Kind: MsgAttach, ID: 18, Reply: true, Sessions: 7,
+			FreeBytes: 1 << 20, CapacityBytes: 1 << 22, CPUSpeed: 2.0},
+		// Rejected: the typed code rides next to the error text.
+		{Kind: MsgAttach, ID: 19, Reply: true, Err: "session cap reached",
+			ErrCode: uint8(CodeAdmission)},
 	}
 }
 
@@ -90,7 +97,7 @@ func TestWireBytesExact(t *testing.T) {
 			t.Errorf("%s (reply=%v): wireBytes() = %d, encoded frame is %d bytes", m.Kind, m.Reply, got, want)
 		}
 	}
-	for k := MsgInvoke; k <= MsgFieldFetch; k++ {
+	for k := MsgInvoke; k <= MsgAttach; k++ {
 		if k == MsgPromiseRef {
 			// Never a top-level frame kind: it is the per-call receiver
 			// discriminator inside MsgInvokeBatch payloads.
@@ -176,7 +183,7 @@ func randomString(rng *rand.Rand, n int) string {
 
 func randomMessage(rng *rand.Rand) *Message {
 	m := &Message{
-		Kind: MsgKind(1 + rng.Intn(int(MsgFieldFetch))),
+		Kind: MsgKind(1 + rng.Intn(int(MsgAttach))),
 		ID:   rng.Uint64() >> uint(rng.Intn(64)),
 	}
 	if rng.Intn(2) == 1 {
@@ -278,6 +285,12 @@ func randomMessage(rng *rand.Rand) *Message {
 	}
 	if rng.Intn(4) == 0 {
 		m.ErrIndex = int32(rng.Intn(64))
+	}
+	if rng.Intn(4) == 0 {
+		m.ErrCode = uint8(rng.Intn(4))
+	}
+	if rng.Intn(4) == 0 {
+		m.Sessions = rng.Int63n(1 << 16)
 	}
 	return m
 }

@@ -51,6 +51,13 @@ const (
 	// carries the served names in Classes, values in Args, and their wire
 	// size in MovedBytes.
 	MsgFieldFetch
+	// MsgAttach opens a session: the serving side runs admission control
+	// and either admits the sender (reply carries the same occupancy
+	// payload as MsgInfo plus Sessions) or rejects it with a typed error
+	// code (ErrCode). Surrogates that predate this kind answer with an
+	// "unknown request kind" error, which Peer.Attach maps to
+	// ErrAttachUnsupported so callers can fall back to implicit admission.
+	MsgAttach
 )
 
 // String returns the kind's name.
@@ -88,6 +95,8 @@ func (k MsgKind) String() string {
 		return "promise-ref"
 	case MsgFieldFetch:
 		return "field-fetch"
+	case MsgAttach:
+		return "attach"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -145,6 +154,15 @@ type Message struct {
 	// attributable to a single call (the offset keeps the zero value off
 	// the wire under tag-presence encoding).
 	ErrIndex int32
+
+	// ErrCode, on a failed reply, classifies the failure machine-readably
+	// (admission rejection, load shed, eviction); 0 means unclassified.
+	// RemoteError carries it to the caller as an ErrorCode.
+	ErrCode uint8
+
+	// Sessions reports the serving surrogate's live admitted session count
+	// in info and attach replies (fleet placement input).
+	Sessions int64
 }
 
 // wireBytes returns the exact on-the-wire frame size of the message
@@ -155,16 +173,109 @@ func (m *Message) wireBytes() int64 {
 	return int64(frameSize(m))
 }
 
+// ErrorCode classifies a failed reply machine-readably. It rides the
+// wire as Message.ErrCode and surfaces on RemoteError, whose Unwrap maps
+// each code to a matching sentinel so errors.Is works across the link.
+type ErrorCode uint8
+
+// Error codes carried on failed replies.
+const (
+	// CodeNone marks an unclassified failure (the pre-session wire format).
+	CodeNone ErrorCode = iota
+	// CodeAdmission marks an attach or request rejected by admission
+	// control: the surrogate is at its session or heap-quota cap.
+	CodeAdmission
+	// CodeShed marks work refused by load shedding: the surrogate's
+	// health probe reports degraded and new sessions are turned away.
+	CodeShed
+	// CodeEvicted marks a session torn down by the surrogate to reclaim
+	// capacity; late requests on the severed session carry it.
+	CodeEvicted
+)
+
+// String returns the code's name.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeNone:
+		return "none"
+	case CodeAdmission:
+		return "admission-rejected"
+	case CodeShed:
+		return "shed"
+	case CodeEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("ErrorCode(%d)", uint8(c))
+	}
+}
+
+// Typed session-control failures. A surrogate rejecting work puts the
+// matching code on the wire; the requesting side's RemoteError unwraps to
+// these, so clients match with errors.Is regardless of transport.
+var (
+	// ErrAdmissionRejected reports an attach refused by admission control.
+	ErrAdmissionRejected = errors.New("remote: admission rejected")
+	// ErrShed reports work refused because the surrogate is shedding load.
+	ErrShed = errors.New("remote: load shed")
+	// ErrEvicted reports a session the surrogate evicted to reclaim capacity.
+	ErrEvicted = errors.New("remote: session evicted")
+	// ErrAttachUnsupported reports a peer that predates MsgAttach; callers
+	// treat it as a successful attach with no admission control.
+	ErrAttachUnsupported = errors.New("remote: peer does not support attach")
+)
+
+// sentinel maps an ErrorCode to its errors.Is target.
+func (c ErrorCode) sentinel() error {
+	switch c {
+	case CodeAdmission:
+		return ErrAdmissionRejected
+	case CodeShed:
+		return ErrShed
+	case CodeEvicted:
+		return ErrEvicted
+	default:
+		return nil
+	}
+}
+
+// CodeOf extracts the ErrorCode riding err, or CodeNone. It recognizes
+// both RemoteError values and the bare sentinels.
+func CodeOf(err error) ErrorCode {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	switch {
+	case errors.Is(err, ErrAdmissionRejected):
+		return CodeAdmission
+	case errors.Is(err, ErrShed):
+		return CodeShed
+	case errors.Is(err, ErrEvicted):
+		return CodeEvicted
+	}
+	return CodeNone
+}
+
 // RemoteError is an error returned by the peer VM while servicing a
 // request.
 type RemoteError struct {
 	Kind MsgKind
 	Msg  string
+	Code ErrorCode // typed session-control classification; CodeNone if unclassified
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
+	if e.Code != CodeNone {
+		return fmt.Sprintf("remote: peer %s failed (%s): %s", e.Kind, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("remote: peer %s failed: %s", e.Kind, e.Msg)
+}
+
+// Unwrap exposes the sentinel matching the error's code, so
+// errors.Is(err, ErrAdmissionRejected) holds across the wire.
+func (e *RemoteError) Unwrap() error {
+	return e.Code.sentinel()
 }
 
 // ErrClosed is returned for operations on a closed peer connection.

@@ -172,6 +172,8 @@ type Peer struct {
 	disconnectAfter int32
 	logf            func(format string, args ...any)
 	onDown          func(p *Peer, cause error)
+	gate            func(kind MsgKind) error
+	sessionInfo     func() (sessions, freeBytes, capacityBytes int64)
 
 	// state is the health state machine; consecTimeouts feeds the
 	// degraded→disconnected escalation; jitterSeq drives deterministic
@@ -339,6 +341,19 @@ type Options struct {
 	// behind as residuals and cross on first access (MsgFieldFetch).
 	// Without a predictor installed the option is inert.
 	LazyMigration bool
+
+	// Gate, when set, screens every incoming request before dispatch
+	// (admission control, load shedding). A non-nil return fails the
+	// request with the error's text and typed code (CodeOf) instead of
+	// serving it; one-way kinds (release, release-batch) are dropped. The
+	// gate runs on worker goroutines and must be safe for concurrent use.
+	Gate func(kind MsgKind) error
+
+	// SessionInfo, when set, overrides the occupancy payload of info and
+	// attach replies with surrogate-wide numbers — admitted session
+	// count, free and capacity bytes across every tenant — instead of
+	// this peer's single VM heap. Runs on worker goroutines.
+	SessionInfo func() (sessions, freeBytes, capacityBytes int64)
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -362,6 +377,8 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		disconnectAfter: int32(opts.DisconnectAfter),
 		logf:            opts.Logf,
 		onDown:          opts.OnDown,
+		gate:            opts.Gate,
+		sessionInfo:     opts.SessionInfo,
 		lazyMigration:   opts.LazyMigration,
 		stop:            make(chan struct{}),
 		m:               newPeerMetrics(opts.Telemetry),
@@ -758,7 +775,7 @@ func (p *Peer) finishCall(m *Message, reply *Message, ok bool) (*Message, error)
 	// carries the successful-prefix results and the failing call's index,
 	// which InvokePipeline turns into a per-call outcome.
 	if reply.Err != "" && m.Kind != MsgInvokeBatch {
-		return nil, &RemoteError{Kind: m.Kind, Msg: reply.Err}
+		return nil, &RemoteError{Kind: m.Kind, Msg: reply.Err, Code: ErrorCode(reply.ErrCode)}
 	}
 	return reply, nil
 }
@@ -1244,6 +1261,11 @@ type PeerInfo struct {
 	CapacityBytes int64
 	CPUSpeed      float64
 
+	// Sessions is the serving surrogate's admitted session count, when it
+	// reports one (info/attach against a session-aware surrogate); 0
+	// otherwise.
+	Sessions int64
+
 	// RTT is the wall-clock round trip of the info probe.
 	RTT time.Duration
 }
@@ -1268,6 +1290,34 @@ func (p *Peer) InfoContext(ctx context.Context) (PeerInfo, error) {
 		FreeBytes:     reply.FreeBytes,
 		CapacityBytes: reply.CapacityBytes,
 		CPUSpeed:      reply.CPUSpeed,
+		Sessions:      reply.Sessions,
+		RTT:           p.now().Sub(start),
+	}, nil
+}
+
+// Attach opens this peer's session with the serving side: the request
+// runs the remote admission control and the reply reports occupancy
+// (PeerInfo plus Sessions). A rejection comes back as a RemoteError
+// whose code unwraps to ErrAdmissionRejected or ErrShed. Attaching is
+// idempotent — the serving side's decision is sticky — so lost replies
+// retry like pings. A peer that predates MsgAttach answers with an
+// unknown-kind error, mapped to ErrAttachUnsupported; callers treat
+// that as an open session with no admission control.
+func (p *Peer) Attach(ctx context.Context) (PeerInfo, error) {
+	start := p.now()
+	reply, err := p.retryIdempotent(ctx, func() *Message { return &Message{Kind: MsgAttach} })
+	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == CodeNone && strings.Contains(re.Msg, "unknown request kind") {
+			return PeerInfo{}, fmt.Errorf("%w: %s", ErrAttachUnsupported, re.Msg)
+		}
+		return PeerInfo{}, err
+	}
+	return PeerInfo{
+		FreeBytes:     reply.FreeBytes,
+		CapacityBytes: reply.CapacityBytes,
+		CPUSpeed:      reply.CPUSpeed,
+		Sessions:      reply.Sessions,
 		RTT:           p.now().Sub(start),
 	}, nil
 }
@@ -1313,6 +1363,29 @@ func (p *Peer) serve(m *Message) {
 	p.m.requestsServed.Inc()
 
 	reply := &Message{ID: m.ID, Reply: true, Kind: m.Kind}
+	if p.gate != nil {
+		if gerr := p.gate(m.Kind); gerr != nil {
+			switch m.Kind {
+			case MsgRelease, MsgReleaseBatch:
+				// One-way: there is no reply to carry the rejection, and
+				// dropping a decref would leak the export ledger — gates
+				// should always admit these; a misconfigured gate drops
+				// them silently rather than corrupting the pending table.
+				return
+			}
+			reply.Err = gerr.Error()
+			reply.ErrCode = uint8(CodeOf(gerr))
+			if p.closed.Load() {
+				return
+			}
+			p.m.bytesSent.Add(reply.wireBytes())
+			if err := p.transport.Send(reply); err != nil {
+				// The connection is gone; recvLoop will observe it.
+				return
+			}
+			return
+		}
+	}
 	switch m.Kind {
 	case MsgRelease:
 		p.m.releasesReceived.Inc()
@@ -1328,11 +1401,18 @@ func (p *Peer) serve(m *Message) {
 		// A pong reply carries no payload; the distinct kind lets the
 		// prober (and wire traces) tell probe answers apart.
 		reply.Kind = MsgPong
-	case MsgInfo:
+	case MsgInfo, MsgAttach:
+		// MsgAttach is MsgInfo plus admission: the gate above has already
+		// admitted (or rejected) the session by the time dispatch runs, so
+		// the reply only reports occupancy. With a SessionInfo hook the
+		// payload covers the whole surrogate, not this one session's VM.
 		h := p.local.Heap()
 		reply.FreeBytes = h.Free
 		reply.CapacityBytes = h.Capacity
 		reply.CPUSpeed = p.local.CPUSpeed()
+		if p.sessionInfo != nil {
+			reply.Sessions, reply.FreeBytes, reply.CapacityBytes = p.sessionInfo()
+		}
 	case MsgRecall:
 		// Push our objects of the named classes back to the requester:
 		// exactly an Offload in the opposite direction. Offload blocks on

@@ -96,8 +96,12 @@ func probeOne(ctx context.Context, reg *Registry, addr string) (remote.PeerInfo,
 }
 
 // RankSurrogates orders reachable probes best-first: lowest latency
-// (bucketed at 500 µs so LAN jitter does not dominate), then most free
-// memory, then fastest CPU. Failed probes sort last.
+// (bucketed at 500 µs so LAN jitter does not dominate), then fewest
+// admitted sessions, then most free memory, then fastest CPU, then
+// lexicographic address. Failed probes sort last. The address tie-break
+// makes the ranking a pure function of the probe results — two callers
+// seeing the same probes always rank candidates identically, so
+// placement decisions built on the ranking are replay-testable.
 func RankSurrogates(probes []SurrogateProbe) []SurrogateProbe {
 	out := append([]SurrogateProbe(nil), probes...)
 	bucket := func(d time.Duration) int64 { return int64(d / (500 * time.Microsecond)) }
@@ -112,10 +116,16 @@ func RankSurrogates(probes []SurrogateProbe) []SurrogateProbe {
 		if ba, bb := bucket(a.Info.RTT), bucket(b.Info.RTT); ba != bb {
 			return ba < bb
 		}
+		if a.Info.Sessions != b.Info.Sessions {
+			return a.Info.Sessions < b.Info.Sessions
+		}
 		if a.Info.FreeBytes != b.Info.FreeBytes {
 			return a.Info.FreeBytes > b.Info.FreeBytes
 		}
-		return a.Info.CPUSpeed > b.Info.CPUSpeed
+		if a.Info.CPUSpeed != b.Info.CPUSpeed {
+			return a.Info.CPUSpeed > b.Info.CPUSpeed
+		}
+		return a.Addr < b.Addr
 	})
 	return out
 }
@@ -127,19 +137,32 @@ func (c *Client) AttachBestTCP(addrs []string) (string, error) {
 }
 
 // AttachBestTCPContext is AttachBestTCP bounded by ctx: the probe sweep
-// and the final attach dial abort when ctx is cancelled or expires, so
-// a reattach after a disconnection stays cancellable end to end.
+// and the attach dials abort when ctx is cancelled or expires, so a
+// reattach after a disconnection stays cancellable end to end. A
+// candidate that rejects the attach (admission cap, load shedding) falls
+// through to the next-ranked one; the error reports the last failure
+// when every reachable candidate refuses.
 func (c *Client) AttachBestTCPContext(ctx context.Context, addrs []string) (string, error) {
 	if len(addrs) == 0 {
 		return "", fmt.Errorf("aide: no surrogate candidates")
 	}
 	ranked := RankSurrogates(probeSurrogates(ctx, c.tracer, addrs))
-	best := ranked[0]
-	if best.Err != nil {
-		return "", fmt.Errorf("aide: no reachable surrogate: %w", best.Err)
+	if ranked[0].Err != nil {
+		return "", fmt.Errorf("aide: no reachable surrogate: %w", ranked[0].Err)
 	}
-	if err := c.AttachTCPContext(ctx, best.Addr); err != nil {
-		return "", err
+	var lastErr error
+	for _, cand := range ranked {
+		if cand.Err != nil {
+			break // failed probes sort last; nothing reachable remains
+		}
+		if err := c.AttachTCPContext(ctx, cand.Addr); err != nil {
+			lastErr = err
+			if cerr := ctx.Err(); cerr != nil {
+				return "", fmt.Errorf("aide: attach sweep: %w", cerr)
+			}
+			continue
+		}
+		return cand.Addr, nil
 	}
-	return best.Addr, nil
+	return "", fmt.Errorf("aide: every reachable surrogate refused the attach: %w", lastErr)
 }

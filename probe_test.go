@@ -1,9 +1,12 @@
 package aide
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"aide/internal/remote"
 	"aide/internal/telemetry"
 )
 
@@ -66,6 +69,94 @@ func TestAttachBestTCPSkipsUnreachableCandidate(t *testing.T) {
 		if s.Bytes <= 0 {
 			t.Fatalf("reachable probe span must carry free bytes, got %d", s.Bytes)
 		}
+	}
+}
+
+// TestRankSurrogatesDeterministicTieBreak pins the ranking as a pure
+// function of the probe results: when every resource signal ties — same
+// RTT bucket, sessions, free memory, CPU — candidates fall back to a
+// stable address sort, so the chosen surrogate never depends on input
+// (or map-iteration) order.
+func TestRankSurrogatesDeterministicTieBreak(t *testing.T) {
+	tied := func(addr string, rtt time.Duration) SurrogateProbe {
+		return SurrogateProbe{Addr: addr, Info: remote.PeerInfo{
+			RTT:       rtt,
+			FreeBytes: 64 << 20,
+			CPUSpeed:  2.0,
+		}}
+	}
+	probes := []SurrogateProbe{
+		// The four 10.0.0.x probes land in the same 500 µs RTT bucket
+		// despite different raw RTTs; "0.0.0.0:1" is a genuinely slower
+		// bucket and must sort after them despite its smaller address.
+		tied("10.0.0.3:7707", 400*time.Microsecond),
+		tied("10.0.0.1:7707", 499*time.Microsecond),
+		tied("10.0.0.2:7707", 100*time.Microsecond),
+		tied("10.0.0.0:7707", 250*time.Microsecond),
+		tied("0.0.0.0:1", 3*time.Millisecond),
+		{Addr: "10.0.0.9:7707", Err: errors.New("unreachable")},
+	}
+	want := []string{"10.0.0.0:7707", "10.0.0.1:7707", "10.0.0.2:7707", "10.0.0.3:7707", "0.0.0.0:1", "10.0.0.9:7707"}
+	// Every rotation of the input must produce the identical ranking.
+	for rot := range probes {
+		in := append(append([]SurrogateProbe(nil), probes[rot:]...), probes[:rot]...)
+		got := RankSurrogates(in)
+		for i, w := range want {
+			if got[i].Addr != w {
+				t.Fatalf("rotation %d: rank[%d] = %s, want %s", rot, i, got[i].Addr, w)
+			}
+		}
+	}
+	// The resource signals still dominate the address tie-break: more
+	// free memory wins within a bucket regardless of address order.
+	roomy := tied("10.0.0.8:7707", 200*time.Microsecond)
+	roomy.Info.FreeBytes = 512 << 20
+	got := RankSurrogates(append([]SurrogateProbe{roomy}, probes...))
+	if got[0].Addr != roomy.Addr {
+		t.Fatalf("rank[0] = %s, want the roomiest candidate %s", got[0].Addr, roomy.Addr)
+	}
+}
+
+// TestAttachBestTCPFallsThroughRejection pins the sweep's admission
+// behavior: when the best-ranked surrogate refuses the attach with a
+// typed rejection, the client walks down the ranking instead of failing.
+func TestAttachBestTCPFallsThroughRejection(t *testing.T) {
+	reg := demoRegistry(t)
+	// The full surrogate must rank FIRST so the sweep actually hits its
+	// rejection: both surrogates carry one occupant (session counts tie)
+	// and the full one advertises far more free heap, which wins the
+	// next rung of the ranking ladder deterministically.
+	full := NewSurrogate(reg, WithMaxSessions(1), WithHeap(256<<20))
+	defer full.Close()
+	fullAddr, err := full.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := NewSurrogate(reg, WithHeap(8<<20))
+	defer open.Close()
+	openAddr, err := open.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []string{fullAddr, openAddr} {
+		occupant := NewClient(reg, WithHeap(1<<20))
+		defer occupant.Close()
+		if err := occupant.AttachTCP(addr); err != nil {
+			t.Fatalf("occupant attach %s: %v", addr, err)
+		}
+	}
+
+	c := NewClient(reg, WithHeap(1<<20))
+	defer c.Close()
+	chosen, err := c.AttachBestTCP([]string{fullAddr, openAddr})
+	if err != nil {
+		t.Fatalf("attach sweep: %v", err)
+	}
+	if chosen != openAddr {
+		t.Fatalf("attached to %s, want the open surrogate %s", chosen, openAddr)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
 	}
 }
 

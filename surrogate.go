@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aide/internal/remote"
@@ -14,13 +16,35 @@ import (
 // Surrogate is the platform on a nearby server that lends its resources to
 // clients. A device can perform the role of a surrogate with respect to a
 // client even though it may be used independently for other purposes
-// (paper §2).
+// (paper §2). One surrogate multiplexes many tenants: each attached client
+// gets a private session VM carved out of the surrogate's heap budget, and
+// admission control, load shedding, and eviction keep the shared budget
+// honest under pressure.
 type Surrogate struct {
 	opts options
-	vm   *vm.VM
+	reg  *Registry
+	sm   surrogateMetrics
 
-	mu     sync.Mutex
-	peers  []*remote.Peer
+	// idle is the surrogate's own VM: the heap/clock reported before any
+	// tenant attaches, and the construction point for the telemetry the
+	// surrogate registers once (session VMs deliberately carry none — a
+	// churning tenant must not grow the registry).
+	idle *vm.VM
+
+	mu sync.Mutex
+	// sessions indexes every live session by its serving peer; order
+	// holds the same sessions in attach order (oldest first), which makes
+	// the single-tenant accessors (VM, Clock) deterministic.
+	sessions map[*remote.Peer]*session
+	order    []*session
+	seq      uint64
+	// admitted counts sessions past admission; committed sums their heap
+	// quotas — the number the quota cap checks against the heap budget.
+	admitted  int
+	committed int64
+	// Monotonic decision counters, surfaced by Stats().
+	admittedTotal, rejectedTotal, shedTotal, evictedTotal int64
+
 	ln     net.Listener
 	closed bool
 	// wg joins the accept loop and the asynchronous reap goroutines;
@@ -30,9 +54,39 @@ type Surrogate struct {
 	wg sync.WaitGroup
 }
 
+// session is one attached tenant: a private VM sized to the tenant's heap
+// quota, the peer serving its requests, and the admission state machine —
+// lobby (neither flag), admitted, or terminally rejected/evicted
+// (rejectErr set, sticky).
+type session struct {
+	seq   uint64
+	peer  *remote.Peer
+	vm    *vm.VM
+	quota int64
+
+	// admitted is the gate's lock-free fast path; transitions happen
+	// under the surrogate mutex. rejectErr is guarded by that mutex.
+	admitted  atomic.Bool
+	rejectErr error
+}
+
+// SurrogateStats reports the surrogate's session-control decisions.
+type SurrogateStats struct {
+	// Active is the number of currently admitted sessions.
+	Active int
+	// Admitted counts sessions ever admitted; Rejected those refused at
+	// the session or heap-quota cap; Shed those refused while degraded;
+	// Evicted those torn down to reclaim capacity.
+	Admitted int64
+	Rejected int64
+	Shed     int64
+	Evicted  int64
+}
+
 // NewSurrogate builds a surrogate platform over the shared class registry.
 // Surrogates generally have more computing power and memory than clients;
-// configure with WithHeap and WithCPUSpeed.
+// configure with WithHeap and WithCPUSpeed. Multi-tenant limits come from
+// WithMaxSessions, WithSessionQuota, and WithHealthCheck.
 func NewSurrogate(reg *Registry, opts ...Option) *Surrogate {
 	o := defaultOptions()
 	o.heap = 256 << 20
@@ -40,33 +94,134 @@ func NewSurrogate(reg *Registry, opts ...Option) *Surrogate {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &Surrogate{opts: o}
-	s.vm = vm.New(reg, vm.Config{
+	s := &Surrogate{
+		opts:     o,
+		reg:      reg,
+		sessions: make(map[*remote.Peer]*session),
+	}
+	s.idle = vm.New(reg, vm.Config{
 		Role:         vm.RoleSurrogate,
 		HeapCapacity: o.heap,
 		CPUSpeed:     o.cpuSpeed,
 		Telemetry:    o.telemetry,
 		Tracer:       o.tracer,
 	})
-	s.vm.SetStatelessNativeLocal(o.stateless)
+	s.idle.SetStatelessNativeLocal(o.stateless)
+	s.sm = newSurrogateMetrics(o.telemetry, s)
 	return s
 }
 
-// VM exposes the surrogate's VM (heap statistics, clock).
-func (s *Surrogate) VM() *vm.VM { return s.vm }
+// VM exposes a surrogate VM for heap statistics and clock access. With
+// tenants attached it is the oldest admitted session's VM (the natural
+// reading for single-tenant deployments); before any attach, the
+// surrogate's own idle VM.
+func (s *Surrogate) VM() *vm.VM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.order {
+		if sess.admitted.Load() {
+			return sess.vm
+		}
+	}
+	if len(s.order) > 0 {
+		return s.order[0].vm
+	}
+	return s.idle
+}
 
-// Heap returns surrogate heap statistics.
-func (s *Surrogate) Heap() vm.HeapStats { return s.vm.Heap() }
+// Heap returns surrogate-wide heap statistics: live, garbage, and object
+// counts summed across every tenant session, against the surrogate's
+// total heap budget.
+func (s *Surrogate) Heap() vm.HeapStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heapLocked()
+}
 
-// Clock returns the surrogate's simulated clock.
-func (s *Surrogate) Clock() time.Duration { return s.vm.Clock() }
+func (s *Surrogate) heapLocked() vm.HeapStats {
+	if len(s.order) == 0 {
+		return s.idle.Heap()
+	}
+	agg := vm.HeapStats{Capacity: s.opts.heap}
+	for _, sess := range s.order {
+		h := sess.vm.Heap()
+		agg.Live += h.Live
+		agg.Garbage += h.Garbage
+		agg.Collections += h.Collections
+		agg.Objects += h.Objects
+	}
+	agg.Free = agg.Capacity - agg.Live - agg.Garbage
+	if agg.Free < 0 {
+		agg.Free = 0
+	}
+	return agg
+}
+
+// Clock returns the simulated clock of the VM that Heap and VM report on.
+func (s *Surrogate) Clock() time.Duration { return s.VM().Clock() }
+
+// Sessions returns the number of currently admitted tenant sessions.
+func (s *Surrogate) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitted
+}
+
+// Stats returns the surrogate's session-control counters.
+func (s *Surrogate) Stats() SurrogateStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SurrogateStats{
+		Active:   s.admitted,
+		Admitted: s.admittedTotal,
+		Rejected: s.rejectedTotal,
+		Shed:     s.shedTotal,
+		Evicted:  s.evictedTotal,
+	}
+}
+
+// Healthz reports the surrogate's health: the WithHealthCheck probe's
+// error while degraded, nil otherwise. Plug it into telemetry.Handler to
+// serve /healthz.
+func (s *Surrogate) Healthz() error {
+	s.mu.Lock()
+	closed := s.closed
+	hc := s.opts.healthCheck
+	s.mu.Unlock()
+	if closed {
+		return errors.New("aide: surrogate closed")
+	}
+	if hc != nil {
+		return hc()
+	}
+	return nil
+}
 
 // Serve attaches one client over the given transport. It returns
-// immediately; the connection is serviced by the peer's worker pool. A
-// client connection that fails (transport error, timeout escalation) is
-// reaped: dropped from the peer list, detached from the VM, and closed.
+// immediately; the connection is serviced by the peer's worker pool. The
+// tenant starts in the lobby: its first work request (or explicit attach
+// handshake) runs admission control, and a rejection is a typed wire
+// error the client sees as remote.ErrAdmissionRejected or remote.ErrShed.
+// A client connection that fails (transport error, timeout escalation) is
+// reaped: dropped from the session registry, detached from its VM, and
+// closed.
 func (s *Surrogate) Serve(t remote.Transport) {
+	quota := s.opts.heap
+	if s.opts.sessionQuota > 0 {
+		quota = s.opts.sessionQuota
+	}
+	sv := vm.New(s.reg, vm.Config{
+		Role:         vm.RoleSurrogate,
+		HeapCapacity: quota,
+		CPUSpeed:     s.opts.cpuSpeed,
+		Tracer:       s.opts.tracer,
+	})
+	sv.SetStatelessNativeLocal(s.opts.stateless)
+	sess := &session{vm: sv, quota: quota}
+
 	ro := s.opts.remoteOptions()
+	ro.Gate = func(kind remote.MsgKind) error { return s.gate(sess, kind) }
+	ro.SessionInfo = s.occupancy
 	ro.OnDown = func(p *remote.Peer, cause error) {
 		_ = cause // the peer already logged it via Logf
 		// Reap asynchronously: OnDown runs on the peer's own receive
@@ -87,27 +242,203 @@ func (s *Surrogate) Serve(t remote.Transport) {
 			s.reap(p)
 		}()
 	}
-	p := remote.NewPeer(s.vm, t, ro)
+	p := remote.NewPeer(sv, t, ro)
 	s.mu.Lock()
-	s.peers = append(s.peers, p)
+	if s.closed {
+		// The session may have been admitted by an early request racing
+		// Close's snapshot; roll the occupancy back before discarding.
+		if sess.admitted.Load() {
+			s.admitted--
+			s.committed -= sess.quota
+		}
+		s.mu.Unlock()
+		if err := p.Close(); err != nil && s.opts.logf != nil {
+			s.opts.logf("aide: serve after close: %v", err)
+		}
+		return
+	}
+	s.seq++
+	sess.seq = s.seq
+	sess.peer = p
+	s.sessions[p] = sess
+	s.order = append(s.order, sess)
 	s.mu.Unlock()
 }
 
-// reap removes a failed client connection. The client's objects adopted
-// by this surrogate stay in the heap (their owner may reattach; a real
-// deployment would lease them), but the stubs importing *client* objects
-// are orphaned, so the peer slot is detached to make them fail fast.
+// gate screens one incoming request for the session (remote.Options.Gate).
+// Bookkeeping kinds always pass: probes must answer at capacity so fleet
+// placement can still rank a full surrogate, and distributed-GC releases
+// must apply exactly once no matter the session's fate. Work kinds require
+// admission; the first one (or an explicit MsgAttach) runs it.
+func (s *Surrogate) gate(sess *session, kind remote.MsgKind) error {
+	switch kind {
+	case remote.MsgPing, remote.MsgPong, remote.MsgInfo, remote.MsgRelease, remote.MsgReleaseBatch:
+		return nil
+	}
+	if sess.admitted.Load() {
+		return nil
+	}
+	return s.admit(sess)
+}
+
+// admit runs admission control for a lobby session. The decision is
+// sticky: a rejected session answers every later request with the same
+// typed error, and an admitted one never re-runs the checks. Order
+// matters — degraded health sheds before the caps reject, so a degraded
+// surrogate reports CodeShed even when it is also full.
+func (s *Surrogate) admit(sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.rejectErr != nil {
+		return sess.rejectErr
+	}
+	if sess.admitted.Load() {
+		return nil
+	}
+	if s.closed {
+		return errors.New("aide: surrogate closed")
+	}
+	if hc := s.opts.healthCheck; hc != nil {
+		if herr := hc(); herr != nil {
+			if s.opts.evictOnDegraded {
+				// Reclaim capacity from the heaviest tenant; the
+				// degraded attach is still shed — eviction relieves
+				// pressure for the sessions already running.
+				s.evictLocked(1)
+			}
+			s.shedTotal++
+			s.sm.shed.Inc()
+			sess.rejectErr = fmt.Errorf("%w: surrogate degraded: %v", remote.ErrShed, herr)
+			return sess.rejectErr
+		}
+	}
+	if max := s.opts.maxSessions; max > 0 && s.admitted >= max {
+		s.rejectedTotal++
+		s.sm.rejected.Inc()
+		sess.rejectErr = fmt.Errorf("%w: %d sessions at cap %d", remote.ErrAdmissionRejected, s.admitted, max)
+		return sess.rejectErr
+	}
+	if s.opts.sessionQuota > 0 && s.committed+sess.quota > s.opts.heap {
+		s.rejectedTotal++
+		s.sm.rejected.Inc()
+		sess.rejectErr = fmt.Errorf("%w: committed %dB + quota %dB exceeds heap budget %dB",
+			remote.ErrAdmissionRejected, s.committed, sess.quota, s.opts.heap)
+		return sess.rejectErr
+	}
+	sess.admitted.Store(true)
+	s.admitted++
+	s.committed += sess.quota
+	s.admittedTotal++
+	s.sm.admitted.Inc()
+	return nil
+}
+
+// occupancy reports surrogate-wide occupancy for info and attach replies
+// (remote.Options.SessionInfo): admitted session count, free bytes out of
+// the shared heap budget, and the budget itself — the fleet coordinator's
+// placement inputs.
+func (s *Surrogate) occupancy() (sessions, freeBytes, capacityBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.heapLocked()
+	return int64(s.admitted), h.Free, h.Capacity
+}
+
+// EvictSessions evicts up to n admitted sessions to reclaim capacity,
+// heaviest live heap first (ties broken toward the newest session, so the
+// longest-standing tenant of equal weight survives). Each victim's later
+// requests fail with the typed eviction error and its connection closes
+// asynchronously; the client sees a disconnect and fails over to local
+// execution. It returns the number of sessions evicted.
+func (s *Surrogate) EvictSessions(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evictLocked(n))
+}
+
+// evictLocked implements eviction under s.mu. Victims are marked, removed
+// from the registry, and handed to reaper goroutines — the peer Close
+// must not run under s.mu, because its workers may be blocked in
+// gate→admit on the same mutex.
+func (s *Surrogate) evictLocked(n int) []*session {
+	if n <= 0 || s.closed {
+		return nil
+	}
+	cands := make([]*session, 0, len(s.order))
+	for _, sess := range s.order {
+		if sess.admitted.Load() {
+			cands = append(cands, sess)
+		}
+	}
+	// Deterministic eviction order: most live bytes first, newest seq on
+	// ties. Live bytes are sampled once so the sort key is stable.
+	live := make(map[*session]int64, len(cands))
+	for _, sess := range cands {
+		live[sess] = sess.vm.Heap().Live
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if live[cands[i]] != live[cands[j]] {
+			return live[cands[i]] > live[cands[j]]
+		}
+		return cands[i].seq > cands[j].seq
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	victims := cands[:n]
+	for _, v := range victims {
+		v.admitted.Store(false)
+		v.rejectErr = fmt.Errorf("%w: reclaiming %dB of quota", remote.ErrEvicted, v.quota)
+		s.admitted--
+		s.committed -= v.quota
+		s.evictedTotal++
+		s.sm.evicted.Inc()
+		delete(s.sessions, v.peer)
+		s.removeOrderLocked(v)
+		logf := s.opts.logf
+		s.wg.Add(1)
+		go func(p *remote.Peer, sv *vm.VM) {
+			defer s.wg.Done()
+			sv.DetachPeer(p.VMIndex())
+			if err := p.Close(); err != nil && logf != nil {
+				logf("aide: surrogate evict session: %v", err)
+			}
+		}(v.peer, v.vm)
+	}
+	return victims
+}
+
+func (s *Surrogate) removeOrderLocked(sess *session) {
+	for i, q := range s.order {
+		if q == sess {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// reap removes a failed client connection. The tenant's session VM dies
+// with the session — its adopted objects are unreachable once the peer is
+// gone (a real deployment would lease them for reattach) — and the peer
+// slot is detached so stubs importing client objects fail fast.
 func (s *Surrogate) reap(p *remote.Peer) {
 	s.mu.Lock()
-	for i, q := range s.peers {
-		if q == p {
-			s.peers = append(s.peers[:i], s.peers[i+1:]...)
-			break
+	sess := s.sessions[p]
+	if sess != nil {
+		delete(s.sessions, p)
+		s.removeOrderLocked(sess)
+		if sess.admitted.Load() {
+			sess.admitted.Store(false)
+			s.admitted--
+			s.committed -= sess.quota
 		}
 	}
 	logf := s.opts.logf
 	s.mu.Unlock()
-	s.vm.DetachPeer(p.VMIndex())
+	if sess == nil {
+		return // already evicted or closed
+	}
+	sess.vm.DetachPeer(p.VMIndex())
 	if err := p.Close(); err != nil && logf != nil {
 		logf("aide: surrogate reap client: %v", err)
 	}
@@ -148,14 +479,20 @@ func (s *Surrogate) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops listening and closes every client connection.
+// Close stops listening and closes every tenant session.
 func (s *Surrogate) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
 	s.ln = nil
-	peers := s.peers
-	s.peers = nil
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[*remote.Peer]*session)
+	s.order = nil
+	s.admitted = 0
+	s.committed = 0
 	s.mu.Unlock()
 	var firstErr error
 	if ln != nil {
@@ -164,8 +501,8 @@ func (s *Surrogate) Close() error {
 		}
 	}
 	s.wg.Wait()
-	for _, p := range peers {
-		if err := p.Close(); err != nil && firstErr == nil {
+	for _, sess := range sessions {
+		if err := sess.peer.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -182,6 +519,7 @@ func NewLocalPair(reg *Registry, clientOpts, surrogateOpts []Option) (*Client, *
 	s.Serve(st)
 	if err := c.Attach(ct); err != nil {
 		_ = s.Close()
+		_ = c.Close()
 		return nil, nil, err
 	}
 	return c, s, nil

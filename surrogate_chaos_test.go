@@ -1,0 +1,181 @@
+package aide
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/faults"
+	"aide/internal/remote"
+	"aide/internal/vm"
+)
+
+// chaosTenant is one tenant of the multi-tenant chaos run: a raw client
+// VM whose transport runs through a fault injector, so the test can sever
+// exactly one tenant's connection while the others are mid-call.
+type chaosTenant struct {
+	vm   *vm.VM
+	peer *remote.Peer
+	inj  *faults.Transport
+	th   *vm.Thread
+	doc  vm.ObjectID
+}
+
+// TestMultiTenantChaosSever is the multi-tenant blast-radius test: ten
+// concurrent tenant sessions hammer one surrogate, one tenant's link is
+// severed hard mid-workload, and the isolation contract must hold — every
+// other tenant completes its exactly-once append sequence untouched, the
+// victim's session is reaped, and the survivors' distributed-GC release
+// ledgers stay clean (every decref sent exactly once, none dropped).
+func TestMultiTenantChaosSever(t *testing.T) {
+	const (
+		tenants = 10
+		victim  = 3
+		appends = 60
+	)
+	reg := demoRegistry(t)
+	s := NewSurrogate(reg, WithHeap(64<<20))
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close surrogate: %v", err)
+		}
+	}()
+
+	cts := make([]*chaosTenant, tenants)
+	for i := range cts {
+		cv := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 4 << 20})
+		ct, st := remote.NewChannelPair()
+		prof := faults.Profile{Seed: int64(i + 1)}
+		if i == victim {
+			// Slow the victim's link so the sever reliably lands while a
+			// call is in flight rather than between calls.
+			prof.DelayRate = 1.0
+			prof.DelayMax = 2 * time.Millisecond
+		}
+		inj := faults.Wrap(ct, prof)
+		s.Serve(st)
+		p := remote.NewPeer(cv, inj, remote.Options{
+			Workers:     2,
+			RetryMax:    4,
+			RetryBase:   100 * time.Microsecond,
+			CallTimeout: 5 * time.Second,
+		})
+		cts[i] = &chaosTenant{vm: cv, peer: p, inj: inj, th: cv.NewThread()}
+		t.Cleanup(func() { _ = p.Close() })
+
+		id, err := cts[i].th.New("Doc", 16<<10)
+		if err != nil {
+			t.Fatalf("tenant %d new: %v", i, err)
+		}
+		cv.SetRoot("doc", id)
+		cts[i].doc = id
+		if _, _, err := p.Offload([]string{"Doc"}); err != nil {
+			t.Fatalf("tenant %d offload: %v", i, err)
+		}
+	}
+	waitSessions(t, s, tenants)
+
+	// Every tenant appends concurrently; the victim's link is severed
+	// once it is provably mid-workload. Survivor appends assert the
+	// exactly-once sequence k*delta on every call, so a lost, duplicated,
+	// or cross-tenant-corrupted execution fails loudly at the exact op.
+	var (
+		wg            sync.WaitGroup
+		victimStarted = make(chan struct{})
+		victimOps     int
+		victimErr     error
+	)
+	for i := range cts {
+		i, rt := i, cts[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			delta := int64(i+1) * 10
+			for k := 1; k <= appends; k++ {
+				ret, err := rt.th.Invoke(rt.doc, "append", Int(delta))
+				if i == victim {
+					if k == 5 {
+						close(victimStarted) // sever fires while we keep calling
+					}
+					if err != nil {
+						victimOps, victimErr = k-1, err
+						return // severed mid-call: expected
+					}
+				} else if err != nil {
+					t.Errorf("tenant %d append %d: %v", i, k, err)
+					return
+				}
+				if err == nil && ret.I != int64(k)*delta {
+					t.Errorf("tenant %d append %d returned %d, want %d: isolation broken", i, k, ret.I, int64(k)*delta)
+					return
+				}
+			}
+			if i == victim {
+				victimOps = appends
+			}
+		}()
+	}
+	<-victimStarted
+	if err := cts[victim].inj.Sever(); err != nil {
+		t.Fatalf("sever: %v", err)
+	}
+	wg.Wait()
+	if victimErr == nil {
+		t.Log("victim finished its workload before the sever landed; blast-radius check still valid")
+	} else {
+		t.Logf("victim severed after %d ops: %v", victimOps, victimErr)
+	}
+
+	// The victim's session is reaped; the nine survivors remain admitted
+	// and their state is exactly what each wrote.
+	waitSessions(t, s, tenants-1)
+	for i, rt := range cts {
+		if i == victim {
+			continue
+		}
+		got, err := rt.th.GetField(rt.doc, "len")
+		if err != nil {
+			t.Fatalf("tenant %d final read: %v", i, err)
+		}
+		if want := int64(appends) * int64(i+1) * 10; got.I != want {
+			t.Fatalf("tenant %d final = %d, want %d", i, got.I, want)
+		}
+	}
+
+	// Release ledger: every survivor drops its root; the stub collection
+	// must emit exactly one decref per object and lose none, even with
+	// the victim's wreckage being reaped concurrently.
+	for i, rt := range cts {
+		if i == victim {
+			continue
+		}
+		rt.th.ClearTemps()
+		rt.vm.SetRoot("doc", vm.InvalidObject)
+		rt.vm.Collect()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for i, rt := range cts {
+		if i == victim {
+			continue
+		}
+		for {
+			cs := rt.peer.Stats()
+			if cs.ReleasesDropped > 0 {
+				t.Fatalf("tenant %d lost %d releases", i, cs.ReleasesDropped)
+			}
+			if cs.ReleasesSent > 1 {
+				t.Fatalf("tenant %d sent %d releases for one object: double release", i, cs.ReleasesSent)
+			}
+			if cs.ReleasesSent == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %d release never flushed (sent %d)", i, cs.ReleasesSent)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if st := s.Stats(); st.Active != tenants-1 || st.Admitted != tenants {
+		t.Fatalf("stats = %+v, want %d active of %d admitted", st, tenants-1, tenants)
+	}
+}

@@ -44,6 +44,56 @@ const (
 	metricDisconnects      = "aide_platform_disconnects_total"
 )
 
+// Surrogate session-control metric names.
+const (
+	metricSessionsActive    = "aide_surrogate_sessions_active"
+	metricSessionsAdmitted  = "aide_surrogate_sessions_admitted_total"
+	metricSessionsRejected  = "aide_surrogate_sessions_rejected_total"
+	metricSessionsShed      = "aide_surrogate_sessions_shed_total"
+	metricSessionsEvicted   = "aide_surrogate_sessions_evicted_total"
+	metricSurrogateLive     = "aide_surrogate_heap_live_bytes"
+	metricSurrogateCommit   = "aide_surrogate_heap_committed_bytes"
+	metricSurrogateCapacity = "aide_surrogate_heap_capacity_bytes"
+)
+
+// surrogateMetrics instruments the surrogate's session control. Every
+// counter is a nil-safe no-op without WithTelemetry; the occupancy gauges
+// sample the surrogate at scrape time and are registered once per
+// surrogate (session VMs deliberately register nothing, so tenant churn
+// cannot grow the registry).
+type surrogateMetrics struct {
+	admitted *telemetry.Counter
+	rejected *telemetry.Counter
+	shed     *telemetry.Counter
+	evicted  *telemetry.Counter
+}
+
+func newSurrogateMetrics(reg *telemetry.Registry, s *Surrogate) surrogateMetrics {
+	if reg == nil {
+		return surrogateMetrics{}
+	}
+	reg.GaugeFunc(metricSessionsActive, "Currently admitted tenant sessions.", func() int64 {
+		return int64(s.Sessions())
+	})
+	reg.GaugeFunc(metricSurrogateLive, "Live bytes summed across tenant session heaps.", func() int64 {
+		return s.Heap().Live
+	})
+	reg.GaugeFunc(metricSurrogateCommit, "Heap quota bytes committed to admitted sessions.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.committed
+	})
+	reg.GaugeFunc(metricSurrogateCapacity, "The surrogate's total heap budget in bytes.", func() int64 {
+		return s.opts.heap
+	})
+	return surrogateMetrics{
+		admitted: reg.Counter(metricSessionsAdmitted, "Tenant sessions admitted."),
+		rejected: reg.Counter(metricSessionsRejected, "Tenant sessions rejected at the session or heap-quota cap."),
+		shed:     reg.Counter(metricSessionsShed, "Tenant sessions refused by load shedding while degraded."),
+		evicted:  reg.Counter(metricSessionsEvicted, "Tenant sessions evicted to reclaim capacity."),
+	}
+}
+
 // platformMetrics instruments the client's partitioning pipeline and
 // surrogate lifecycle. Every field is a nil-safe no-op when the platform
 // was built without WithTelemetry.
