@@ -25,6 +25,7 @@
 package aide
 
 import (
+	"context"
 	"time"
 
 	"aide/internal/netmodel"
@@ -87,6 +88,12 @@ var (
 	// ErrEvicted reports a session the surrogate tore down to reclaim
 	// capacity.
 	ErrEvicted = remote.ErrEvicted
+	// ErrDrained reports a request that reached a surrogate mid-handoff:
+	// the session is moving to another surrogate. Clients handle the
+	// redirect transparently (the call blocks until the handoff lands and
+	// retries against the new home); the error surfaces only when the
+	// handoff cannot complete.
+	ErrDrained = remote.ErrDrained
 )
 
 // NewRegistry returns an empty class registry.
@@ -158,6 +165,12 @@ type options struct {
 	sessionQuota    int64
 	healthCheck     func() error
 	evictOnDegraded bool
+
+	// Live-handoff and speculation knobs, from WithDialer,
+	// WithHandoffTimeout, and WithSpeculation. All inert on surrogates.
+	dialer         func(ctx context.Context, addr string) (remote.Transport, error)
+	handoffTimeout time.Duration
+	speculate      bool
 }
 
 // remoteOptions maps the platform options onto the remote module's
@@ -307,3 +320,27 @@ func WithHealthCheck(fn func() error) Option { return func(o *options) { o.healt
 // the tenant sees a disconnect and fails over locally). Off by default;
 // requires WithHealthCheck to ever trigger.
 func WithEvictOnDegraded() Option { return func(o *options) { o.evictOnDegraded = true } }
+
+// WithDialer overrides how the client reaches a destination surrogate
+// during a live handoff (default: a TCP dial of the address the draining
+// surrogate named). Fleet deployments with in-process surrogates inject
+// a dialer that resolves addresses to channel transports.
+func WithDialer(dial func(ctx context.Context, addr string) (remote.Transport, error)) Option {
+	return func(o *options) { o.dialer = dial }
+}
+
+// WithHandoffTimeout bounds how long a call that hit a draining
+// surrogate waits for the session's new home before failing with
+// ErrDrained. Zero keeps the default of 10 seconds.
+func WithHandoffTimeout(d time.Duration) Option {
+	return func(o *options) { o.handoffTimeout = d }
+}
+
+// WithSpeculation enables speculative clone execution: while a surrogate
+// connection is degraded (timing out but not yet disconnected), remote
+// invocations race a local clone of the session — seeded from the last
+// pulled snapshot — against the remote call, and the first result wins.
+// A local win promotes the clone's state into the client VM and drops
+// the connection; a remote win discards the clone. Exactly one side's
+// effects survive.
+func WithSpeculation() Option { return func(o *options) { o.speculate = true } }

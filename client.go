@@ -54,6 +54,7 @@ type OffloadReport struct {
 type Client struct {
 	opts options
 
+	reg *Registry
 	vm  *vm.VM
 	mon *monitor.Monitor
 
@@ -77,6 +78,15 @@ type Client struct {
 	rebalances  int
 	disconnects int
 
+	// handoffs tracks, per peer slot, the waiter that calls bounced with
+	// ErrDrained block on until a live handoff re-points the slot;
+	// handoffsDone counts completed handoffs. Both under c.mu.
+	handoffs     map[int]*handoffWait
+	handoffsDone int
+
+	// Speculation outcome counters (see speculate.go), under c.mu.
+	specLocalWins, specRemoteWins, specMisses int64
+
 	// discMu serializes disconnect handling so that concurrent failure
 	// observers (the receive loop's OnDown, failed calls entering the
 	// VM's failover hook) each return only after the peer's stubs have
@@ -97,7 +107,7 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Client{opts: o}
+	c := &Client{opts: o, reg: reg}
 	c.pm = newPlatformMetrics(o.telemetry)
 	c.tracer = o.tracer
 	c.vm = vm.New(reg, vm.Config{
@@ -126,7 +136,9 @@ func NewClient(reg *Registry, opts ...Option) *Client {
 	}
 	c.disc = policy.DisconnectTrigger{CooldownCycles: o.disconnectCool}
 	c.offloaded = make(map[string]int)
+	c.handoffs = make(map[int]*handoffWait)
 	c.vm.SetFailoverHandler(c.failoverPeer)
+	c.vm.SetDrainHandler(c.waitHandoff)
 	return c
 }
 
@@ -184,6 +196,7 @@ func (c *Client) AttachContext(ctx context.Context, t remote.Transport) error {
 	ro := c.opts.remoteOptions()
 	ro.OnDown = c.onPeerDown
 	p := remote.NewPeer(c.vm, t, ro)
+	c.installHandoffHandler(p)
 	c.mu.Lock()
 	c.peers = append(c.peers, p)
 	c.mu.Unlock()
@@ -202,6 +215,14 @@ func (c *Client) AttachContext(ctx context.Context, t remote.Transport) error {
 			c.opts.logf("aide: close rejected attach: %v", cerr)
 		}
 		return fmt.Errorf("aide: attach: %w", err)
+	}
+	if c.opts.speculate {
+		// Interpose the speculation wrapper between the VM and the wire:
+		// while the connection is degraded, invocations race a local clone
+		// against the remote call (see speculate.go).
+		if err := c.vm.ReplacePeer(p.VMIndex(), newSpecPeer(c, p)); err != nil && c.opts.logf != nil {
+			c.opts.logf("aide: install speculation wrapper: %v", err)
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -255,7 +276,10 @@ func (c *Client) onPeerDown(p *remote.Peer, cause error) {
 	_ = cause // the peer already logged it via Logf
 	c.discMu.Lock()
 	defer c.discMu.Unlock()
-	c.disconnectLocked(p.VMIndex())
+	// Identity-guarded: after a live handoff the old connection's eventual
+	// transport failure must not tear down the replacement peer now
+	// occupying the same slot.
+	c.disconnectLocked(p.VMIndex(), p)
 }
 
 // failoverPeer is the VM's disconnect-failover hook: a remote call failed
@@ -264,18 +288,21 @@ func (c *Client) onPeerDown(p *remote.Peer, cause error) {
 func (c *Client) failoverPeer(idx int) bool {
 	c.discMu.Lock()
 	defer c.discMu.Unlock()
-	c.disconnectLocked(idx)
+	c.disconnectLocked(idx, nil)
 	return true
 }
 
 // disconnectLocked tears down one surrogate connection and fails its
 // objects over to local execution. Idempotent: the first caller does the
 // work; later callers find the slot empty and return at once (discMu
-// guarantees they return only after the reclaim completed). Requires
-// discMu; takes c.mu itself.
-func (c *Client) disconnectLocked(idx int) {
+// guarantees they return only after the reclaim completed). A non-nil
+// expect restricts the teardown to that specific peer, so a failure
+// report from a connection that already left the slot (handed off,
+// reattached) is ignored. Requires discMu; takes c.mu itself.
+func (c *Client) disconnectLocked(idx int, expect *remote.Peer) {
 	c.mu.Lock()
-	if idx < 0 || idx >= len(c.peers) || c.peers[idx] == nil {
+	if idx < 0 || idx >= len(c.peers) || c.peers[idx] == nil ||
+		(expect != nil && c.peers[idx] != expect) {
 		c.mu.Unlock()
 		return
 	}

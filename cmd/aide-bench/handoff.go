@@ -1,0 +1,455 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aide"
+	"aide/internal/faults"
+	"aide/internal/fleet"
+	"aide/internal/remote"
+	"aide/internal/snapshot"
+)
+
+// snapshotPoint is one point of the snapshot-encoding sweep: the wire
+// cost of imaging a session heap of Objects objects against its live
+// bytes. The image encodes object metadata and scalar fields (payload
+// bytes are size accounting in the VM model), so wire cost grows with
+// the object population, not the modeled payload — the headline is the
+// per-object overhead and how small the image stays relative to the
+// heap it moves.
+type snapshotPoint struct {
+	Objects      int     `json:"objects"`
+	HeapLive     int64   `json:"heap_live_bytes"`
+	EncodedBytes int     `json:"encoded_bytes"`
+	BytesPerObj  float64 `json:"wire_bytes_per_object"`
+	RatioToLive  float64 `json:"encoded_over_live"`
+}
+
+// blackoutReport measures live handoff under traffic: one tenant keeps
+// invoking while its session ping-pongs between two TCP surrogates.
+// Blackout samples are the wall time of each whole-fleet drain; op
+// percentiles cover every tenant call issued during the run, including
+// the ones that landed mid-handoff and were transparently redirected.
+type blackoutReport struct {
+	Drains        int     `json:"drains"`
+	SessionsMoved int64   `json:"sessions_moved"`
+	BlackoutP50Ms float64 `json:"blackout_p50_ms"`
+	BlackoutP99Ms float64 `json:"blackout_p99_ms"`
+	Ops           int     `json:"ops"`
+	OpErrors      int     `json:"op_errors"`
+	OpP50Ms       float64 `json:"op_p50_ms"`
+	OpP99Ms       float64 `json:"op_p99_ms"`
+}
+
+// specPoint is one fault-link profile of the speculation study: how
+// often the local clone beat the degraded remote, with the
+// exactly-once arithmetic checked on every acknowledged call.
+type specPoint struct {
+	Profile     string  `json:"profile"`
+	Rounds      int     `json:"rounds"`
+	LocalWins   int64   `json:"local_wins"`
+	RemoteWins  int64   `json:"remote_wins"`
+	Misses      int64   `json:"misses"`
+	WinRate     float64 `json:"local_win_rate"`
+	Disconnects int     `json:"disconnects"`
+	Violations  int     `json:"exactly_once_violations"`
+}
+
+type handoffReport struct {
+	Snapshots   []snapshotPoint `json:"snapshots"`
+	Blackout    blackoutReport  `json:"blackout"`
+	Speculation []specPoint     `json:"speculation"`
+}
+
+// pct returns the q-quantile of lat by sorted index (nearest-rank on
+// q*(n-1), matching the load generator's estimator).
+func pct(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// handoffBench runs the three snapshot-subsystem studies and writes
+// BENCH_handoff.json: snapshot size vs heap bytes, handoff blackout
+// percentiles under live traffic, and speculation win-rate under
+// degraded fault-link profiles.
+func handoffBench(path string, smoke bool) error {
+	var rep handoffReport
+
+	snaps, err := snapshotSweep(smoke)
+	if err != nil {
+		return err
+	}
+	rep.Snapshots = snaps
+
+	bl, err := blackoutStudy(smoke)
+	if err != nil {
+		return err
+	}
+	rep.Blackout = bl
+
+	spec, err := speculationStudy(smoke)
+	if err != nil {
+		return err
+	}
+	rep.Speculation = spec
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// snapshotSweep encodes a session image at several heap populations and
+// reports wire bytes against live heap bytes. Every image must decode
+// and re-encode byte-identically (the golden round-trip invariant).
+func snapshotSweep(smoke bool) ([]snapshotPoint, error) {
+	counts := []int{16, 128, 1024, 8192}
+	if smoke {
+		counts = []int{16, 512}
+	}
+	const objBytes = int64(8 << 10)
+	reg, err := fleet.WorkloadRegistry()
+	if err != nil {
+		return nil, err
+	}
+	var points []snapshotPoint
+	for _, n := range counts {
+		client := aide.NewClient(reg, aide.WithHeap(2*int64(n)*objBytes))
+		th := client.Thread()
+		for i := 0; i < n; i++ {
+			obj, err := th.New(fleet.WorkloadClass, objBytes)
+			if err != nil {
+				_ = client.Close()
+				return nil, fmt.Errorf("snapshot sweep %d objects: %w", n, err)
+			}
+			if i == 0 {
+				client.VM().SetRoot("acct", obj)
+			}
+			if err := th.SetField(obj, "bal", aide.Int(int64(i))); err != nil {
+				_ = client.Close()
+				return nil, err
+			}
+		}
+		img := snapshot.Snapshot(client.VM())
+		enc := img.Encode()
+		re, err := snapshot.Decode(enc)
+		if err != nil {
+			_ = client.Close()
+			return nil, fmt.Errorf("snapshot sweep %d objects: decode own image: %w", n, err)
+		}
+		if !bytes.Equal(re.Encode(), enc) {
+			_ = client.Close()
+			return nil, fmt.Errorf("snapshot sweep %d objects: round trip not byte-identical", n)
+		}
+		live := client.VM().Heap().Live
+		p := snapshotPoint{
+			Objects:      n,
+			HeapLive:     live,
+			EncodedBytes: len(enc),
+			BytesPerObj:  float64(len(enc)) / float64(n),
+			RatioToLive:  float64(len(enc)) / float64(live),
+		}
+		points = append(points, p)
+		fmt.Printf("snapshot  %5d objects  live %9dB  wire %8dB  (%.1fB/object, %.4fx live)\n",
+			p.Objects, p.HeapLive, p.EncodedBytes, p.BytesPerObj, p.RatioToLive)
+		if err := client.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// blackoutStudy ping-pongs one live session between two TCP surrogates
+// while a tenant loop keeps invoking it, and reports drain blackout and
+// tenant-op percentiles. The tenant's cumulative counter proves
+// exactly-once execution across every move.
+func blackoutStudy(smoke bool) (blackoutReport, error) {
+	drains := 20
+	if smoke {
+		drains = 6
+	}
+	reg, err := fleet.WorkloadRegistry()
+	if err != nil {
+		return blackoutReport{}, err
+	}
+	s1 := aide.NewSurrogate(reg, aide.WithHeap(64<<20))
+	s2 := aide.NewSurrogate(reg, aide.WithHeap(64<<20))
+	defer func() { _ = s1.Close(); _ = s2.Close() }()
+	addr1, err := s1.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return blackoutReport{}, err
+	}
+	addr2, err := s2.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return blackoutReport{}, err
+	}
+
+	const objBytes = 64 << 10
+	client := aide.NewClient(reg,
+		aide.WithHeap(3*objBytes+1<<13),
+		aide.WithCallTimeout(5*time.Second),
+		aide.WithHandoffTimeout(5*time.Second),
+	)
+	defer func() { _ = client.Close() }()
+	if err := client.AttachTCP(addr1); err != nil {
+		return blackoutReport{}, err
+	}
+	th := client.Thread()
+	obj, err := th.New(fleet.WorkloadClass, objBytes)
+	if err != nil {
+		return blackoutReport{}, err
+	}
+	client.VM().SetRoot("acct", obj)
+	if err := th.SetField(obj, "bal", aide.Int(0)); err != nil {
+		return blackoutReport{}, err
+	}
+	if _, err := th.Invoke(obj, "add", aide.Int(1)); err != nil {
+		return blackoutReport{}, err
+	}
+	if _, err := client.Offload(); err != nil {
+		return blackoutReport{}, fmt.Errorf("blackout: offload: %w", err)
+	}
+
+	// The tenant loop: keep adding 1 until stop, recording call latency.
+	var (
+		mu     sync.Mutex
+		opLat  []time.Duration
+		opErrs int
+		adds   int64 = 1 // the pre-offload seed call
+		stop         = make(chan struct{})
+		done         = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			_, err := th.Invoke(obj, "add", aide.Int(1))
+			d := time.Since(t0)
+			mu.Lock()
+			opLat = append(opLat, d)
+			if err != nil {
+				opErrs++
+			} else {
+				adds++
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Ping-pong drains: each drain moves the whole (one-session) fleet
+	// the other way. The drain wall time is the blackout sample.
+	var blackout []time.Duration
+	var moved int64
+	srcs := []*aide.Surrogate{s1, s2}
+	dests := []string{addr2, addr1}
+	for i := 0; i < drains; i++ {
+		src, dst := srcs[i%2], dests[i%2]
+		t0 := time.Now()
+		n, err := src.Drain(context.Background(), dst)
+		blackout = append(blackout, time.Since(t0))
+		if err != nil {
+			close(stop)
+			<-done
+			return blackoutReport{}, fmt.Errorf("blackout drain %d: %w", i, err)
+		}
+		moved += int64(n)
+		// Wait for the source's reaper to release the departed session so
+		// the next drain sees a clean single-session fleet.
+		deadline := time.Now().Add(5 * time.Second)
+		for src.Sessions() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if src.Sessions() != 0 {
+			close(stop)
+			<-done
+			return blackoutReport{}, fmt.Errorf("blackout drain %d: source never released the session", i)
+		}
+		// Let the tenant loop accumulate steady-state samples at the new
+		// home before the next move, so the op percentiles cover both
+		// mid-handoff and settled traffic.
+		floor := (i + 1) * 25
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			enough := len(opLat) >= floor
+			mu.Unlock()
+			if enough {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+
+	// The counter must equal exactly the acknowledged adds: no increment
+	// lost or duplicated across any of the moves.
+	v, err := th.GetField(obj, "bal")
+	if err != nil {
+		return blackoutReport{}, fmt.Errorf("blackout: final read: %w", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if opErrs == 0 && v.I != adds {
+		return blackoutReport{}, fmt.Errorf("blackout: counter %d after %d acknowledged adds — lost or duplicated an increment", v.I, adds)
+	}
+	if moved != int64(drains) {
+		return blackoutReport{}, fmt.Errorf("blackout: %d sessions moved across %d drains, want one per drain", moved, drains)
+	}
+	r := blackoutReport{
+		Drains:        drains,
+		SessionsMoved: moved,
+		BlackoutP50Ms: ms(pct(blackout, 0.50)),
+		BlackoutP99Ms: ms(pct(blackout, 0.99)),
+		Ops:           len(opLat),
+		OpErrors:      opErrs,
+		OpP50Ms:       ms(pct(opLat, 0.50)),
+		OpP99Ms:       ms(pct(opLat, 0.99)),
+	}
+	fmt.Printf("blackout  %d drains  p50 %.2fms p99 %.2fms  |  %d tenant ops (%d errs) p50 %.2fms p99 %.2fms  handoffs %d\n",
+		r.Drains, r.BlackoutP50Ms, r.BlackoutP99Ms, r.Ops, r.OpErrors, r.OpP50Ms, r.OpP99Ms, client.Handoffs())
+	return r, nil
+}
+
+// speculationStudy replays the chaos workload under named fault-link
+// profiles and reports how often the local clone won the race. Every
+// acknowledged call is checked against the exactly-once arithmetic; a
+// single violation fails the bench.
+func speculationStudy(smoke bool) ([]specPoint, error) {
+	rounds := 60
+	if smoke {
+		rounds = 10
+	}
+	profiles := []struct {
+		name string
+		p    faults.Profile
+	}{
+		// Delays past the 20ms call timeout degrade the link and arm
+		// speculation; drops surface synchronously and count toward the
+		// disconnect threshold.
+		{"delay-light", faults.Profile{DropRate: 0.02, DelayRate: 0.08, DelayMin: 30 * time.Millisecond, DelayMax: 60 * time.Millisecond}},
+		{"delay-heavy", faults.Profile{DropRate: 0.02, DelayRate: 0.25, DelayMin: 40 * time.Millisecond, DelayMax: 80 * time.Millisecond}},
+		{"lossy", faults.Profile{DropRate: 0.10, DelayRate: 0.12, DelayMin: 30 * time.Millisecond, DelayMax: 60 * time.Millisecond}},
+	}
+	reg, err := fleet.WorkloadRegistry()
+	if err != nil {
+		return nil, err
+	}
+
+	var points []specPoint
+	for _, prof := range profiles {
+		s := aide.NewSurrogate(reg, aide.WithHeap(1<<30))
+		client := aide.NewClient(reg,
+			aide.WithHeap(1<<20),
+			aide.WithSpeculation(),
+			aide.WithCallTimeout(20*time.Millisecond),
+			aide.WithDisconnectAfter(2),
+			aide.WithRetryPolicy(-1, 0),
+			aide.WithHandoffTimeout(100*time.Millisecond),
+		)
+		th := client.Thread()
+		obj, err := th.New(fleet.WorkloadClass, 300<<10)
+		if err != nil {
+			return nil, err
+		}
+		client.VM().SetRoot("acct", obj)
+		if err := th.SetField(obj, "bal", aide.Int(0)); err != nil {
+			return nil, err
+		}
+
+		rng := rand.New(rand.NewSource(11))
+		var (
+			base       int64
+			uncertain  int64
+			violations int
+		)
+		step := func() {
+			v, err := th.Invoke(obj, "add", aide.Int(2))
+			if err != nil {
+				uncertain++ // the call may still have landed remotely
+				return
+			}
+			ok := v.I == 2 // a zeroed reclaim restarts the sequence
+			for extra := int64(0); extra <= uncertain; extra++ {
+				if v.I == base+(1+extra)*2 {
+					ok = true
+				}
+			}
+			if !ok {
+				violations++
+			}
+			base, uncertain = v.I, 0
+		}
+		for round := 0; round < rounds; round++ {
+			ct, st := remote.NewChannelPair()
+			p := prof.p
+			p.Seed = int64(round + 1)
+			p.SeverAfter = int64(15 + rng.Intn(60))
+			inj := faults.Wrap(ct, p)
+			s.Serve(st)
+			if err := client.Attach(inj); err != nil {
+				_ = inj.Sever()
+				for k := 0; k < 5; k++ {
+					step()
+				}
+				continue
+			}
+			_, _ = client.Offload() // best effort: a failed placement leaves the round local
+			for k := 0; k < 5; k++ {
+				step()
+			}
+			_ = inj.Sever()
+			step()
+		}
+		st := client.SpeculationStats()
+		total := st.LocalWins + st.RemoteWins + st.Misses
+		pt := specPoint{
+			Profile:     prof.name,
+			Rounds:      rounds,
+			LocalWins:   st.LocalWins,
+			RemoteWins:  st.RemoteWins,
+			Misses:      st.Misses,
+			Disconnects: client.Disconnects(),
+			Violations:  violations,
+		}
+		if total > 0 {
+			pt.WinRate = float64(st.LocalWins) / float64(total)
+		}
+		points = append(points, pt)
+		fmt.Printf("spec      %-12s %3d rounds  local %3d  remote %3d  miss %3d  win-rate %.2f  disconnects %d\n",
+			prof.name, rounds, pt.LocalWins, pt.RemoteWins, pt.Misses, pt.WinRate, pt.Disconnects)
+		if err := client.Close(); err != nil {
+			return nil, err
+		}
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+		if violations != 0 {
+			return nil, fmt.Errorf("speculation %s: %d exactly-once violations", prof.name, violations)
+		}
+	}
+	return points, nil
+}

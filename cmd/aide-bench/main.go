@@ -16,7 +16,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full Figure 7 policy sweep (slow)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry, partition, fleet)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, figure5, figure6, figure7, figure8, figure9, figure10, monitoring, ablation, energy, heapsweep, linksweep, rpc, faults, telemetry, partition, fleet, handoff)")
 	smoke := flag.Bool("smoke", false, "shrink benchmark axes to CI-sized single passes")
 	dot := flag.String("dot", "", "directory to write Figure 5 execution-graph DOT files into")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment replays (0 = GOMAXPROCS, 1 = serial; output is bit-identical at any width)")
@@ -225,6 +225,11 @@ func run(full, smoke bool, only, dotDir string, parallel int, jsonPath string) e
 			section("Extension: multi-tenant fleet",
 				"per-session isolation under >=100 concurrent tenants; admission, shedding, eviction across a surrogate fleet")
 			return fleetBench("BENCH_fleet.json", smoke)
+		}},
+		{"handoff", func() error {
+			section("Extension: snapshots, speculation, live handoff",
+				"snapshot wire size tracks live bytes; drain blackout stays bounded under live traffic; speculation wins degraded rounds")
+			return handoffBench("BENCH_handoff.json", smoke)
 		}},
 		{"energy", func() error {
 			section("Extension: client battery drain (paper §2/§8)",

@@ -31,19 +31,20 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "per-surrogate admission cap (0 = uncapped; in-process fleet)")
 	sessionQuota := flag.Int64("session-quota", 0, "per-session heap quota in bytes (0 = whole heap; in-process fleet)")
 	refreshEvery := flag.Int("refresh-every", 64, "re-probe the fleet after this many dispatched sessions")
+	drainEvery := flag.Int("drain-every", 0, "live-drain one fleet target (round-robin) every N dispatched sessions (0 disables; sessions then run with handoff support)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
 	jsonPath := flag.String("json", "", "file to write the machine-readable report into (empty disables)")
 	flag.Parse()
 
 	if err := run(*surrogates, *addrs, *sessions, *concurrency, *ops, *bytes, *heap,
-		*maxSessions, *sessionQuota, *refreshEvery, *timeout, *jsonPath); err != nil {
+		*maxSessions, *sessionQuota, *refreshEvery, *drainEvery, *timeout, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, heap int64,
-	maxSessions int, sessionQuota int64, refreshEvery int, timeout time.Duration, jsonPath string) error {
+	maxSessions int, sessionQuota int64, refreshEvery, drainEvery int, timeout time.Duration, jsonPath string) error {
 	reg, err := fleet.WorkloadRegistry()
 	if err != nil {
 		return err
@@ -94,6 +95,7 @@ func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, he
 		Ops:             ops,
 		BytesPerSession: bytes,
 		RefreshEvery:    refreshEvery,
+		DrainEvery:      drainEvery,
 	})
 	if err != nil {
 		return err
@@ -109,6 +111,9 @@ func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, he
 		r.OpP50.Round(time.Microsecond), r.OpP99.Round(time.Microsecond))
 	for name, n := range r.Placed {
 		fmt.Printf("placed     %-12s %d\n", name, n)
+	}
+	if drainEvery > 0 {
+		fmt.Printf("drains     %d completed, %d failed\n", r.Drains, r.DrainErrors)
 	}
 	fmt.Printf("isolation  %d cross-tenant failures\n", r.CrossTenantFailures)
 

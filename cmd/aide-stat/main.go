@@ -59,6 +59,7 @@ func run(w io.Writer, addr string, events int, asJSON bool) error {
 
 	fmt.Fprintf(w, "aide %s  health=%s  taken=%s\n\n", addr, health,
 		snap.TakenAt.Format(time.RFC3339))
+	printSessions(w, snap.Families)
 	printFamilies(w, snap.Families)
 
 	if events > 0 {
@@ -93,6 +94,43 @@ func get(url string) (string, error) {
 		return "", fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
 	}
 	return string(body), nil
+}
+
+// printSessions renders a compact session/quota panel for surrogate
+// endpoints: live session and lifecycle counts plus the shared-heap
+// quota ledger. Endpoints without surrogate metrics (clients) skip it.
+func printSessions(w io.Writer, families []telemetry.FamilySnapshot) {
+	vals := make(map[string]int64, len(families))
+	for _, f := range families {
+		vals[f.Name] = f.Value
+	}
+	if _, ok := vals["aide_surrogate_sessions_active"]; !ok {
+		return
+	}
+	fmt.Fprintf(w, "sessions   live=%d admitted=%d drained=%d sheds=%d evictions=%d rejected=%d\n",
+		vals["aide_surrogate_sessions_active"],
+		vals["aide_surrogate_sessions_admitted_total"],
+		vals["aide_surrogate_sessions_drained_total"],
+		vals["aide_surrogate_sessions_shed_total"],
+		vals["aide_surrogate_sessions_evicted_total"],
+		vals["aide_surrogate_sessions_rejected_total"])
+	capacity := vals["aide_surrogate_heap_capacity_bytes"]
+	used := vals["aide_surrogate_heap_committed_bytes"]
+	free := capacity - used
+	if capacity > 0 {
+		fmt.Fprintf(w, "quota      used=%s free=%s of %s (%.0f%% committed), heap live=%s\n\n",
+			mib(used), mib(free), mib(capacity),
+			100*float64(used)/float64(capacity),
+			mib(vals["aide_surrogate_heap_live_bytes"]))
+	} else {
+		fmt.Fprintf(w, "quota      used=%s (no capacity reported), heap live=%s\n\n",
+			mib(used), mib(vals["aide_surrogate_heap_live_bytes"]))
+	}
+}
+
+// mib renders a byte count in MiB with one decimal.
+func mib(v int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20))
 }
 
 func printFamilies(w io.Writer, families []telemetry.FamilySnapshot) {

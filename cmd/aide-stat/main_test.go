@@ -66,6 +66,46 @@ func TestRunFormatsMetricsAndEvents(t *testing.T) {
 	}
 }
 
+// TestRunSessionPanel verifies the session/quota gauges render as the
+// compact panel when surrogate metrics are present.
+func TestRunSessionPanel(t *testing.T) {
+	clock := func() time.Time { return time.Unix(1754000000, 0).UTC() }
+	reg := telemetry.NewWithClock(clock)
+	reg.Gauge("aide_surrogate_sessions_active", "live sessions").Set(3)
+	reg.Counter("aide_surrogate_sessions_admitted_total", "admitted").Add(120)
+	reg.Counter("aide_surrogate_sessions_drained_total", "drained").Add(2)
+	reg.Counter("aide_surrogate_sessions_shed_total", "shed").Add(1)
+	reg.Counter("aide_surrogate_sessions_evicted_total", "evicted").Add(4)
+	reg.Counter("aide_surrogate_sessions_rejected_total", "rejected").Add(5)
+	reg.Gauge("aide_surrogate_heap_capacity_bytes", "capacity").Set(256 << 20)
+	reg.Gauge("aide_surrogate_heap_committed_bytes", "committed").Set(64 << 20)
+	reg.Gauge("aide_surrogate_heap_live_bytes", "live").Set(8 << 20)
+	srv := httptest.NewServer(telemetry.Handler(reg, nil, nil))
+	t.Cleanup(srv.Close)
+
+	var out strings.Builder
+	if err := run(&out, strings.TrimPrefix(srv.URL, "http://"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"sessions   live=3 admitted=120 drained=2 sheds=1 evictions=4 rejected=5",
+		"quota      used=64.0MiB free=192.0MiB of 256.0MiB (25% committed), heap live=8.0MiB",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// A client endpoint (no surrogate metrics) must not render the panel.
+	var clientOut strings.Builder
+	if err := run(&clientOut, statFixture(t), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clientOut.String(), "sessions   live=") {
+		t.Errorf("session panel rendered without surrogate metrics:\n%s", clientOut.String())
+	}
+}
+
 func TestRunJSONDump(t *testing.T) {
 	addr := statFixture(t)
 	var out strings.Builder

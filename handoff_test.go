@@ -1,0 +1,246 @@
+package aide
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aide/internal/vm"
+)
+
+// handoffFixture stands up a client attached to one TCP surrogate with a
+// second TCP surrogate waiting as the drain destination, and one
+// offloaded Doc the appender can drive.
+type handoffFixture struct {
+	client   *Client
+	s1, s2   *Surrogate
+	addr1    string
+	addr2    string
+	th       *Thread
+	doc      ObjectID
+	expected int64 // the Doc counter's current value
+}
+
+func newHandoffFixture(t *testing.T, clientOpts ...Option) *handoffFixture {
+	t.Helper()
+	reg := demoRegistry(t)
+	f := &handoffFixture{
+		s1: NewSurrogate(reg),
+		s2: NewSurrogate(reg),
+	}
+	var err error
+	if f.addr1, err = f.s1.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen s1: %v", err)
+	}
+	if f.addr2, err = f.s2.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen s2: %v", err)
+	}
+	opts := append([]Option{WithHeap(1 << 20), WithCallTimeout(5 * time.Second)}, clientOpts...)
+	f.client = NewClient(reg, opts...)
+	t.Cleanup(func() {
+		_ = f.client.Close()
+		_ = f.s1.Close()
+		_ = f.s2.Close()
+	})
+	if err := f.client.AttachTCP(f.addr1); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	f.th = f.client.Thread()
+	if f.doc, err = f.th.New("Doc", 300<<10); err != nil {
+		t.Fatalf("new Doc: %v", err)
+	}
+	f.client.VM().SetRoot("doc", f.doc)
+	f.append(t) // one interaction so the monitor has a graph to partition
+	if _, err := f.client.Offload(); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	return f
+}
+
+// append adds 2 to the Doc counter and asserts the exactly-once
+// cumulative sequence.
+func (f *handoffFixture) append(t *testing.T) {
+	t.Helper()
+	if err := f.tryAppend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (f *handoffFixture) tryAppend() error {
+	v, err := f.th.Invoke(f.doc, "append", Int(2))
+	if err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	f.expected += 2
+	if v.I != f.expected {
+		return fmt.Errorf("append returned %d, want %d (lost or duplicated an increment)", v.I, f.expected)
+	}
+	return nil
+}
+
+// TestLiveHandoffBetweenTCPSurrogates drains a surrogate while the
+// application keeps calling: the session must move to the second
+// surrogate with the client observing no errors and no lost or repeated
+// increments — only latency.
+func TestLiveHandoffBetweenTCPSurrogates(t *testing.T) {
+	f := newHandoffFixture(t)
+
+	// Hammer appends from a background goroutine so calls are in flight
+	// when the drain hits; each one must see the exact cumulative value.
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			if err := f.tryAppend(); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the appender reach steady state
+	moved, err := f.s1.Drain(context.Background(), f.addr2)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if moved != 1 {
+		t.Fatalf("drain moved %d sessions, want 1", moved)
+	}
+	time.Sleep(50 * time.Millisecond) // let post-handoff appends land on s2
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("appender during drain: %v", err)
+	}
+
+	if n := f.client.Handoffs(); n != 1 {
+		t.Fatalf("client completed %d handoffs, want 1", n)
+	}
+	if st := f.s1.Stats(); st.Drained != 1 {
+		t.Fatalf("s1 drained %d sessions, want 1", st.Drained)
+	}
+	if n := f.s1.Sessions(); n != 0 {
+		t.Fatalf("s1 still holds %d sessions after drain", n)
+	}
+	if n := f.s2.Sessions(); n != 1 {
+		t.Fatalf("s2 holds %d sessions after drain, want 1", n)
+	}
+	// The moved session must serve the same counter: state survived.
+	f.append(t)
+	if n := f.client.Surrogates(); n != 1 {
+		t.Fatalf("client sees %d surrogates after handoff, want 1", n)
+	}
+}
+
+// TestDrainFailureKeepsSessionServing points a drain at an address
+// nothing listens on: the handoff must fail, the session must resume in
+// place, and the application must keep running against the original
+// surrogate.
+func TestDrainFailureKeepsSessionServing(t *testing.T) {
+	f := newHandoffFixture(t)
+
+	if _, err := f.s1.Drain(context.Background(), "127.0.0.1:1"); err == nil {
+		t.Fatal("drain to a dead destination reported success")
+	}
+	if st := f.s1.Stats(); st.Drained != 0 {
+		t.Fatalf("s1 drained %d sessions despite the failed handoff", st.Drained)
+	}
+	if n := f.client.Handoffs(); n != 0 {
+		t.Fatalf("client counted %d handoffs despite the failure", n)
+	}
+	// The session recovered: appends keep the exactly-once sequence on s1.
+	f.append(t)
+	f.append(t)
+	if n := f.s1.Sessions(); n != 1 {
+		t.Fatalf("s1 holds %d sessions after the failed drain, want 1", n)
+	}
+}
+
+// TestDrainEmptyDestinationRejected covers the argument check.
+func TestDrainEmptyDestinationRejected(t *testing.T) {
+	reg := demoRegistry(t)
+	s := NewSurrogate(reg)
+	defer func() { _ = s.Close() }()
+	if _, err := s.Drain(context.Background(), ""); err == nil {
+		t.Fatal("drain with empty destination succeeded")
+	}
+}
+
+// fakeVMPeer is an inert vm.Peer used only for pointer identity in the
+// waitHandoff round-detection tests; no method is ever called.
+type fakeVMPeer struct{ vm.Peer }
+
+// TestWaitHandoffRounds pins the drain handler's round detection: a
+// bounce from the peer a completed handoff replaced is a straggler and
+// retries immediately, while a bounce from the peer that handoff
+// installed means the new home is draining — the caller must park on a
+// fresh round and wake only when that round completes (or time out).
+func TestWaitHandoffRounds(t *testing.T) {
+	reg := demoRegistry(t)
+	c := NewClient(reg, WithHeap(1<<20), WithHandoffTimeout(50*time.Millisecond))
+	defer func() { _ = c.Close() }()
+
+	oldPeer := &fakeVMPeer{}
+	newPeer := &fakeVMPeer{}
+	done := make(chan struct{})
+	close(done)
+	c.mu.Lock()
+	c.handoffs[0] = &handoffWait{ch: done, done: true, installed: newPeer}
+	c.mu.Unlock()
+
+	// A straggler bounced by the replaced peer retries immediately.
+	if !c.waitHandoff(0, oldPeer) {
+		t.Fatal("straggler of a completed handoff did not retry")
+	}
+	// So does one whose peer identity was lost.
+	if !c.waitHandoff(0, nil) {
+		t.Fatal("identity-less straggler did not retry")
+	}
+
+	// A bounce from the installed home opens a new round: the caller
+	// parks until that round's handoff lands.
+	released := make(chan bool, 1)
+	go func() { released <- c.waitHandoff(0, newPeer) }()
+	// The parker must have replaced the stale done entry with a fresh
+	// open round before blocking.
+	deadline := time.Now().Add(time.Second)
+	var hw *handoffWait
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		hw = c.handoffs[0]
+		open := hw != nil && !hw.done
+		c.mu.Unlock()
+		if open {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-released:
+		t.Fatalf("parker returned %v before the new round completed", r)
+	default:
+	}
+	c.mu.Lock()
+	hw.done = true
+	hw.installed = oldPeer
+	close(hw.ch)
+	c.mu.Unlock()
+	if !<-released {
+		t.Fatal("parker did not retry after the new round completed")
+	}
+
+	// With no handoff arriving, a new-round park gives up at the
+	// handoff timeout and surfaces the drained error.
+	c.mu.Lock()
+	c.handoffs[0] = &handoffWait{ch: make(chan struct{}), done: true, installed: oldPeer}
+	c.mu.Unlock()
+	if c.waitHandoff(0, oldPeer) {
+		t.Fatal("abandoned round did not time out")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"aide"
 	"aide/internal/remote"
+	"aide/internal/vm"
 )
 
 // Status is one surrogate's placement inputs: the probe round trip, the
@@ -82,6 +83,20 @@ func (t *LocalTarget) Dial(ctx context.Context) (remote.Transport, error) {
 	return ct, nil
 }
 
+// Drainer is an optional Target capability: order the target to hand
+// every live session off to the surrogate addressed by dest. Clients
+// observe the handoff as a bounded latency bump, not an error.
+type Drainer interface {
+	DrainSessions(ctx context.Context, dest string) error
+}
+
+// DrainSessions implements Drainer by draining the in-process surrogate
+// directly.
+func (t *LocalTarget) DrainSessions(ctx context.Context, dest string) error {
+	_, err := t.Surrogate.Drain(ctx, dest)
+	return err
+}
+
 // TCPTarget is a surrogate reached over the network, probed with the
 // same MsgInfo sweep AttachBestTCP uses.
 type TCPTarget struct {
@@ -114,6 +129,26 @@ func (t *TCPTarget) Dial(ctx context.Context) (remote.Transport, error) {
 		return nil, fmt.Errorf("fleet: dial %s: %w", t.Addr, err)
 	}
 	return remote.NewConnTransport(conn), nil
+}
+
+// DrainSessions implements Drainer over the wire: a throwaway directive
+// connection (the same shape the probe sweep uses) carries the drain
+// order and blocks until the surrogate reports the drain done.
+func (t *TCPTarget) DrainSessions(ctx context.Context, dest string) error {
+	tr, err := t.Dial(ctx)
+	if err != nil {
+		return err
+	}
+	v := vm.New(vm.NewRegistry(), vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
+	peer := remote.NewPeer(v, tr, remote.Options{Workers: 1})
+	err = peer.DrainRemote(ctx, dest)
+	if cerr := peer.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: drain %s -> %s: %w", t.Addr, dest, err)
+	}
+	return nil
 }
 
 // Rank orders statuses best-first: reachable before failed, lower RTT
@@ -167,6 +202,7 @@ type Coordinator struct {
 	benched  map[string]bool
 	placed   int64
 	rejected int64
+	drained  int64
 }
 
 // New builds a coordinator over the given targets. Call Refresh before
@@ -241,6 +277,18 @@ func (c *Coordinator) Candidates() []Target {
 	return out
 }
 
+// TargetNames returns every target's name in registration order,
+// benched or not.
+func (c *Coordinator) TargetNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, len(c.targets))
+	for i, t := range c.targets {
+		names[i] = t.Name()
+	}
+	return names
+}
+
 func (c *Coordinator) lookup(name string) Target {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -274,6 +322,55 @@ func (c *Coordinator) Placements() (placed, rejected int64) {
 	return c.placed, c.rejected
 }
 
+// Drain empties the named target: it picks the best-ranked other
+// candidate as the destination, orders the drain (the target must
+// implement Drainer), and benches the drained target until the next
+// refresh so no new session lands on it mid-evacuation. It returns the
+// destination's name. Live sessions move via snapshot handoff; their
+// clients re-home to the destination without an application-visible
+// error.
+func (c *Coordinator) Drain(ctx context.Context, from string) (string, error) {
+	src := c.lookup(from)
+	if src == nil {
+		return "", fmt.Errorf("fleet: drain: unknown target %q", from)
+	}
+	dr, ok := src.(Drainer)
+	if !ok {
+		return "", fmt.Errorf("fleet: drain: target %q cannot drain", from)
+	}
+	var dest Target
+	for _, t := range c.Candidates() {
+		if t.Name() != from {
+			dest = t
+			break
+		}
+	}
+	if dest == nil {
+		return "", errors.New("fleet: drain: no destination candidate besides the drained target")
+	}
+	// Bench first: placements racing the drain must not land sessions on
+	// the target while it is evacuating (its gate would bounce them, but
+	// benching saves the round trip).
+	c.mu.Lock()
+	c.benched[from] = true
+	c.mu.Unlock()
+	if err := dr.DrainSessions(ctx, dest.Name()); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.drained++
+	c.mu.Unlock()
+	return dest.Name(), nil
+}
+
+// Drains reports how many successful target drains the coordinator has
+// ordered over its lifetime.
+func (c *Coordinator) Drains() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drained
+}
+
 // Place walks the ranked candidates, running attach against each until
 // one accepts the session. A typed admission rejection or shed benches
 // the candidate and falls through to the next; transport failures fall
@@ -295,7 +392,10 @@ func (c *Coordinator) Place(ctx context.Context, attach func(Target) error) (Tar
 			return t, nil
 		}
 		lastErr = err
-		if errors.Is(err, remote.ErrAdmissionRejected) || errors.Is(err, remote.ErrShed) {
+		// A draining surrogate refuses new sessions exactly like a full
+		// one; bench it alongside admission rejections and sheds.
+		if errors.Is(err, remote.ErrAdmissionRejected) || errors.Is(err, remote.ErrShed) ||
+			errors.Is(err, remote.ErrDrained) {
 			c.NoteRejected(t.Name())
 		}
 	}

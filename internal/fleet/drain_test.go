@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aide"
+	"aide/internal/remote"
+)
+
+// liveSession is one handoff-capable tenant: a full aide.Client whose
+// dialer resolves fleet target names, holding one offloaded Acct object
+// with a session-unique balance.
+type liveSession struct {
+	client *aide.Client
+	th     *aide.Thread
+	obj    aide.ObjectID
+	target string
+	base   int64
+	adds   int64
+}
+
+// place attaches a fresh live session through the coordinator and
+// offloads its object to whichever target Place picked.
+func place(t *testing.T, coord *Coordinator, reg *aide.Registry, id int) *liveSession {
+	t.Helper()
+	ls := &liveSession{base: int64(id+1) * 1_000_000}
+	ls.client = aide.NewClient(reg,
+		aide.WithHeap(64<<10),
+		aide.WithCallTimeout(5*time.Second),
+		aide.WithDialer(func(ctx context.Context, name string) (remote.Transport, error) {
+			tg := coord.lookup(name)
+			if tg == nil {
+				return nil, fmt.Errorf("fleet: handoff to unknown target %q", name)
+			}
+			return tg.Dial(ctx)
+		}),
+	)
+	t.Cleanup(func() { _ = ls.client.Close() })
+	ctx := context.Background()
+	target, err := coord.Place(ctx, func(tg Target) error {
+		tr, derr := tg.Dial(ctx)
+		if derr != nil {
+			return derr
+		}
+		return ls.client.AttachContext(ctx, tr)
+	})
+	if err != nil {
+		t.Fatalf("place session %d: %v", id, err)
+	}
+	ls.target = target.Name()
+	ls.th = ls.client.Thread()
+	if ls.obj, err = ls.th.New(WorkloadClass, 16<<10); err != nil {
+		t.Fatalf("new %s: %v", WorkloadClass, err)
+	}
+	ls.client.VM().SetRoot("acct", ls.obj)
+	if err := ls.th.SetField(ls.obj, "bal", aide.Int(ls.base)); err != nil {
+		t.Fatalf("seed balance: %v", err)
+	}
+	ls.add(t) // one interaction so the monitor has a graph to partition
+	if _, err := ls.client.Offload(); err != nil {
+		t.Fatalf("offload session %d: %v", id, err)
+	}
+	return ls
+}
+
+// add runs one increment and asserts the session's exactly-once
+// cumulative sequence — any lost, repeated, or cross-tenant increment
+// breaks the arithmetic on the spot.
+func (ls *liveSession) add(t *testing.T) {
+	t.Helper()
+	v, err := ls.th.Invoke(ls.obj, "add", aide.Int(1))
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	ls.adds++
+	if want := ls.base + ls.adds; v.I != want {
+		t.Fatalf("add returned %d, want %d (lost or duplicated an increment)", v.I, want)
+	}
+}
+
+// waitIdle waits for the surrogate's asynchronous session reaping.
+func waitIdle(t *testing.T, s *aide.Surrogate) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Sessions() != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := s.Sessions(); n != 0 {
+		t.Fatalf("surrogate still holds %d sessions", n)
+	}
+}
+
+// TestCoordinatorDrainInterleavings drives the drain/re-place
+// interleavings as a table: each scenario interleaves live sessions,
+// Coordinator.Drain orders, and fresh placements, asserting zero
+// cross-tenant corruption and exact session ledgers throughout.
+func TestCoordinatorDrainInterleavings(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, coord *Coordinator, surrogates []*aide.Surrogate, reg *aide.Registry)
+	}{
+		{
+			// Drain with a live session attached, then re-place: the session
+			// must move whole, the drained target is benched for placements
+			// until the next refresh, and the refresh re-admits it.
+			name: "drain-then-replace",
+			run: func(t *testing.T, coord *Coordinator, surrogates []*aide.Surrogate, reg *aide.Registry) {
+				ls := place(t, coord, reg, 0)
+				if ls.target != "a" {
+					t.Fatalf("first session placed on %q, want a", ls.target)
+				}
+				dest, err := coord.Drain(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("drain a: %v", err)
+				}
+				if dest != "b" {
+					t.Fatalf("drain destination %q, want b", dest)
+				}
+				if got := surrogates[0].Stats().Drained; got != 1 {
+					t.Fatalf("a drained sessions = %d, want 1", got)
+				}
+				waitIdle(t, surrogates[0])
+				if n := surrogates[1].Sessions(); n != 1 {
+					t.Fatalf("b holds %d sessions after the drain, want 1", n)
+				}
+				if n := ls.client.Handoffs(); n != 1 {
+					t.Fatalf("client completed %d handoffs, want 1", n)
+				}
+				ls.add(t) // the moved session serves the same counter
+
+				// a is benched: the next placement must land on b even though
+				// a now looks emptier.
+				ls2 := place(t, coord, reg, 1)
+				if ls2.target != "b" {
+					t.Fatalf("post-drain placement landed on %q, want b (a is benched)", ls2.target)
+				}
+				// A refresh clears the bench; a (zero sessions) ranks first.
+				coord.Refresh(context.Background())
+				ls3 := place(t, coord, reg, 2)
+				if ls3.target != "a" {
+					t.Fatalf("post-refresh placement landed on %q, want a", ls3.target)
+				}
+				for _, s := range []*liveSession{ls, ls2, ls3} {
+					s.add(t)
+				}
+				if d := coord.Drains(); d != 1 {
+					t.Fatalf("coordinator drains = %d, want 1", d)
+				}
+			},
+		},
+		{
+			// Two sessions on the drained target must both move, and every
+			// ledger (surrogate drained counters, client handoffs, session
+			// counts) must balance exactly.
+			name: "drain-moves-every-session",
+			run: func(t *testing.T, coord *Coordinator, surrogates []*aide.Surrogate, reg *aide.Registry) {
+				// Both sessions forced onto a: b is benched manually first.
+				coord.NoteRejected("b")
+				s1 := place(t, coord, reg, 0)
+				s2 := place(t, coord, reg, 1)
+				if s1.target != "a" || s2.target != "a" {
+					t.Fatalf("sessions placed on %q/%q, want a/a", s1.target, s2.target)
+				}
+				coord.Refresh(context.Background())
+				if _, err := coord.Drain(context.Background(), "a"); err != nil {
+					t.Fatalf("drain a: %v", err)
+				}
+				if got := surrogates[0].Stats().Drained; got != 2 {
+					t.Fatalf("a drained sessions = %d, want 2", got)
+				}
+				waitIdle(t, surrogates[0])
+				if n := surrogates[1].Sessions(); n != 2 {
+					t.Fatalf("b holds %d sessions, want 2", n)
+				}
+				// Both counters survived intact: no loss, no cross-tenant bleed.
+				s1.add(t)
+				s2.add(t)
+				if s1.client.Handoffs() != 1 || s2.client.Handoffs() != 1 {
+					t.Fatalf("handoffs = %d/%d, want 1/1", s1.client.Handoffs(), s2.client.Handoffs())
+				}
+			},
+		},
+		{
+			// Draining an idle target succeeds (nothing to move) but still
+			// benches it; errors cover the unknown target and the
+			// single-candidate fleet.
+			name: "drain-idle-and-errors",
+			run: func(t *testing.T, coord *Coordinator, surrogates []*aide.Surrogate, reg *aide.Registry) {
+				dest, err := coord.Drain(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("drain idle a: %v", err)
+				}
+				if dest != "b" {
+					t.Fatalf("idle drain destination %q, want b", dest)
+				}
+				if _, err := coord.Drain(context.Background(), "nope"); err == nil {
+					t.Fatal("drain of an unknown target succeeded")
+				}
+				// With a benched and b the only candidate, draining b has no
+				// destination left.
+				if _, err := coord.Drain(context.Background(), "b"); err == nil {
+					t.Fatal("drain with no destination candidate succeeded")
+				}
+				if d := coord.Drains(); d != 1 {
+					t.Fatalf("coordinator drains = %d, want 1", d)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := workloadReg(t)
+			surrogates := []*aide.Surrogate{
+				aide.NewSurrogate(reg, aide.WithHeap(64<<20)),
+				aide.NewSurrogate(reg, aide.WithHeap(64<<20)),
+			}
+			t.Cleanup(func() {
+				for _, s := range surrogates {
+					if err := s.Close(); err != nil {
+						t.Errorf("close surrogate: %v", err)
+					}
+				}
+			})
+			coord := New(
+				&LocalTarget{TargetName: "a", Surrogate: surrogates[0]},
+				&LocalTarget{TargetName: "b", Surrogate: surrogates[1], SyntheticRTT: time.Millisecond},
+			)
+			coord.Refresh(context.Background())
+			tc.run(t, coord, surrogates, reg)
+		})
+	}
+}
+
+// TestLoadgenDrainMidRun drains targets round-robin while the load
+// generator hammers live sessions: every session must complete with its
+// exact balance (zero cross-tenant corruption) despite sessions moving
+// under it, and every surrogate must end the run empty — the exact
+// release ledger.
+func TestLoadgenDrainMidRun(t *testing.T) {
+	coord, surrogates := newTestFleet(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	r, err := Run(ctx, coord, workloadReg(t), Config{
+		Sessions:        36,
+		Concurrency:     6,
+		Ops:             4,
+		BytesPerSession: 8 << 10,
+		DrainEvery:      9,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.CrossTenantFailures != 0 {
+		t.Fatalf("cross-tenant failures = %d, want 0", r.CrossTenantFailures)
+	}
+	if r.Completed != 36 || r.Failed != 0 || r.Unplaced != 0 {
+		t.Fatalf("completed/failed/unplaced = %d/%d/%d, want 36/0/0", r.Completed, r.Failed, r.Unplaced)
+	}
+	if r.Drains == 0 {
+		t.Fatal("no drain completed mid-run: the interleaving never happened")
+	}
+	if r.DrainErrors != 0 {
+		t.Fatalf("drain errors = %d, want 0", r.DrainErrors)
+	}
+	if r.Drains != coord.Drains() {
+		t.Fatalf("report drains %d != coordinator ledger %d", r.Drains, coord.Drains())
+	}
+	var moved int64
+	for _, s := range surrogates {
+		moved += s.Stats().Drained
+		waitIdle(t, s)
+	}
+	t.Logf("drains=%d sessions moved=%d", r.Drains, moved)
+}
+
+// TestPlaceBenchesDrainingTarget verifies the typed drain rejection
+// benches a target exactly like an admission rejection: an attach that
+// bounces off a draining gate with ErrDrained falls through to the next
+// candidate and benches the drainer.
+func TestPlaceBenchesDrainingTarget(t *testing.T) {
+	coord, _ := newTestFleet(t, 2)
+	coord.Refresh(context.Background())
+	calls := 0
+	target, err := coord.Place(context.Background(), func(tg Target) error {
+		calls++
+		if tg.Name() == "a" {
+			return fmt.Errorf("attach: %w", remote.ErrDrained)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if target.Name() != "b" || calls != 2 {
+		t.Fatalf("placed on %q after %d attempts, want b after 2", target.Name(), calls)
+	}
+	if _, rejected := coord.Placements(); rejected != 1 {
+		t.Fatalf("rejected ledger = %d, want 1 (the drained bounce)", rejected)
+	}
+	// The bench holds: the next placement never re-offers a.
+	calls = 0
+	if _, err := coord.Place(context.Background(), func(tg Target) error {
+		calls++
+		if tg.Name() == "a" {
+			return errors.New("a must be benched")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("second place: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("second place tried %d candidates, want 1 (a benched)", calls)
+	}
+}

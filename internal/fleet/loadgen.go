@@ -41,6 +41,12 @@ type Config struct {
 	// CallTimeout bounds each session's remote calls. Zero defaults to
 	// 5 s.
 	CallTimeout time.Duration
+	// DrainEvery, when positive, orders a live drain of one fleet target
+	// (round-robin, after a refresh so a destination is always available)
+	// every DrainEvery dispatched sessions. Draining needs sessions that
+	// can re-home, so the run drives full aide.Client sessions with live
+	// handoff support instead of raw wire peers.
+	DrainEvery int
 	// Telemetry, when set, records session and per-op latency histograms
 	// (aide_loadgen_*) in the registry.
 	Telemetry *telemetry.Registry
@@ -61,6 +67,10 @@ type Report struct {
 	// Typed session-control outcomes observed client-side.
 	Rejected int64 // attach attempts refused by admission control
 	Shed     int64 // attach attempts refused by load shedding
+
+	// Drain outcomes (only populated when Config.DrainEvery is set).
+	Drains      int64 // live target drains that completed
+	DrainErrors int64 // drain orders that failed
 
 	// CrossTenantFailures counts sessions whose verified state did not
 	// match what the session itself wrote — the isolation property the
@@ -169,7 +179,15 @@ func Run(ctx context.Context, coord *Coordinator, reg *vm.Registry, cfg Config) 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				target, sdur, ops, err := runSession(ctx, coord, reg, cfg, i, &rejected, &shed)
+				var target string
+				var sdur time.Duration
+				var ops []time.Duration
+				var err error
+				if cfg.DrainEvery > 0 {
+					target, sdur, ops, err = runLiveSession(ctx, coord, reg, cfg, i, &rejected, &shed)
+				} else {
+					target, sdur, ops, err = runSession(ctx, coord, reg, cfg, i, &rejected, &shed)
+				}
 				mu.Lock()
 				opLat = append(opLat, ops...)
 				if err == nil {
@@ -200,11 +218,32 @@ func Run(ctx context.Context, coord *Coordinator, reg *vm.Registry, cfg Config) 
 		}()
 	}
 
+	var drains, drainErrs int64
+	names := coord.TargetNames()
+	drainIdx := 0
 	var dispatchErr error
 dispatch:
 	for i := 0; i < cfg.Sessions; i++ {
 		if i > 0 && i%cfg.RefreshEvery == 0 {
 			coord.Refresh(ctx)
+		}
+		if cfg.DrainEvery > 0 && i > 0 && i%cfg.DrainEvery == 0 && len(names) > 1 {
+			// Refresh first: it clears the bench, so the round-robin victim
+			// always has a destination candidate even in a two-target fleet.
+			coord.Refresh(ctx)
+			from := names[drainIdx%len(names)]
+			drainIdx++
+			if dest, derr := coord.Drain(ctx, from); derr != nil {
+				drainErrs++
+				if cfg.Logf != nil {
+					cfg.Logf("fleet: drain %s: %v", from, derr)
+				}
+			} else {
+				drains++
+				if cfg.Logf != nil {
+					cfg.Logf("fleet: drained %s -> %s", from, dest)
+				}
+			}
 		}
 		select {
 		case idx <- i:
@@ -216,6 +255,8 @@ dispatch:
 	close(idx)
 	wg.Wait()
 
+	r.Drains = drains
+	r.DrainErrors = drainErrs
 	r.Completed = completed.Load()
 	r.Failed = failed.Load()
 	r.Unplaced = unplaced.Load()
@@ -301,6 +342,92 @@ func runSession(ctx context.Context, coord *Coordinator, reg *vm.Registry, cfg C
 		ops = append(ops, time.Since(t0))
 		if err != nil {
 			return name, 0, ops, fmt.Errorf("op %d: %w", j, err)
+		}
+	}
+	got, err := th.GetField(obj, "bal")
+	if err != nil {
+		return name, 0, ops, fmt.Errorf("verify: %w", err)
+	}
+	if want := base + int64(cfg.Ops); got.I != want {
+		return name, 0, ops, fmt.Errorf("%w: session %d read balance %d, want %d", errCrossTenant, i, got.I, want)
+	}
+	return name, time.Since(start), ops, nil
+}
+
+// runLiveSession is runSession over a full aide.Client instead of a raw
+// wire peer: the client carries the live-handoff machinery (snapshot
+// handler, drain redirect, slot takeover), so a mid-run Coordinator.Drain
+// moves the session to another surrogate with the op sequence intact.
+// The client's dialer resolves fleet target names, letting handoffs
+// re-home over channel transports as well as TCP.
+func runLiveSession(ctx context.Context, coord *Coordinator, reg *vm.Registry, cfg Config, i int, rejected, shed *atomic.Int64) (string, time.Duration, []time.Duration, error) {
+	start := time.Now()
+	client := aide.NewClient(reg,
+		aide.WithHeap(3*cfg.BytesPerSession+1<<13),
+		aide.WithCallTimeout(cfg.CallTimeout),
+		aide.WithDialer(func(dctx context.Context, name string) (remote.Transport, error) {
+			t := coord.lookup(name)
+			if t == nil {
+				return nil, fmt.Errorf("fleet: handoff to unknown target %q", name)
+			}
+			return t.Dial(dctx)
+		}),
+	)
+	defer func() {
+		if cerr := client.Close(); cerr != nil && cfg.Logf != nil {
+			cfg.Logf("fleet: close live session %d: %v", i, cerr)
+		}
+	}()
+	target, err := coord.Place(ctx, func(t Target) error {
+		tr, derr := t.Dial(ctx)
+		if derr != nil {
+			return derr
+		}
+		aerr := client.AttachContext(ctx, tr)
+		switch {
+		case errors.Is(aerr, remote.ErrAdmissionRejected):
+			rejected.Add(1)
+		case errors.Is(aerr, remote.ErrShed):
+			shed.Add(1)
+		}
+		return aerr
+	})
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: %w", errUnplaced, err)
+	}
+	name := target.Name()
+
+	th := client.Thread()
+	obj, err := th.New(WorkloadClass, cfg.BytesPerSession)
+	if err != nil {
+		return name, 0, nil, err
+	}
+	client.VM().SetRoot("acct", obj)
+	base := int64(i+1) * 1_000_000
+	if err := th.SetField(obj, "bal", vm.Int(base)); err != nil {
+		return name, 0, nil, err
+	}
+	ops := make([]time.Duration, 0, cfg.Ops)
+	op := func(j int) error {
+		t0 := time.Now()
+		_, err := th.Invoke(obj, "add", vm.Int(1))
+		ops = append(ops, time.Since(t0))
+		if err != nil {
+			return fmt.Errorf("op %d: %w", j, err)
+		}
+		return nil
+	}
+	// One op before offloading gives the monitor an interaction graph to
+	// partition; the rest run against whichever surrogate hosts the object.
+	if err := op(0); err != nil {
+		return name, 0, ops, err
+	}
+	if _, err := client.OffloadContext(ctx); err != nil {
+		return name, 0, ops, fmt.Errorf("offload: %w", err)
+	}
+	for j := 1; j < cfg.Ops; j++ {
+		if err := op(j); err != nil {
+			return name, 0, ops, err
 		}
 	}
 	got, err := th.GetField(obj, "bal")

@@ -65,6 +65,9 @@ const (
 	tagErrIndex
 	tagErrCode
 	tagSessions
+	tagBlob
+	tagSeq
+	tagTotal
 )
 
 // The binary codec encodes every field of the structs below; these pins
@@ -73,7 +76,7 @@ const (
 // in the same change.
 //
 //lint:wire Message
-const messageWireFields = 25
+const messageWireFields = 28
 
 //lint:wire aide/internal/vm.WireValue
 const wireValueWireFields = 7
@@ -215,6 +218,19 @@ func appendMessage(buf []byte, m *Message) []byte {
 	if m.Sessions != 0 {
 		buf = append(buf, tagSessions)
 		buf = binary.AppendVarint(buf, m.Sessions)
+	}
+	if len(m.Blob) > 0 {
+		buf = append(buf, tagBlob)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Blob)))
+		buf = append(buf, m.Blob...)
+	}
+	if m.Seq != 0 {
+		buf = append(buf, tagSeq)
+		buf = binary.AppendVarint(buf, m.Seq)
+	}
+	if m.Total != 0 {
+		buf = append(buf, tagTotal)
+		buf = binary.AppendVarint(buf, m.Total)
 	}
 	return buf
 }
@@ -429,6 +445,15 @@ func sizeMessage(m *Message) int {
 	if m.Sessions != 0 {
 		n += 1 + vm.VarintSize(m.Sessions)
 	}
+	if len(m.Blob) > 0 {
+		n += 1 + vm.UvarintSize(uint64(len(m.Blob))) + len(m.Blob)
+	}
+	if m.Seq != 0 {
+		n += 1 + vm.VarintSize(m.Seq)
+	}
+	if m.Total != 0 {
+		n += 1 + vm.VarintSize(m.Total)
+	}
 	return n
 }
 
@@ -578,6 +603,16 @@ func decodeMessage(data []byte) (*Message, error) {
 			rest = rest[1:]
 		case tagSessions:
 			m.Sessions, rest, err = vm.ReadVarint(rest)
+		case tagBlob:
+			var n uint64
+			if n, rest, err = readCount(rest); err == nil && n > 0 {
+				m.Blob = append([]byte(nil), rest[:n]...)
+				rest = rest[n:]
+			}
+		case tagSeq:
+			m.Seq, rest, err = vm.ReadVarint(rest)
+		case tagTotal:
+			m.Total, rest, err = vm.ReadVarint(rest)
 		default:
 			return nil, fmt.Errorf("remote: codec: unknown field tag %d", tag)
 		}

@@ -79,6 +79,21 @@ func codecMessages() []*Message {
 		// Rejected: the typed code rides next to the error text.
 		{Kind: MsgAttach, ID: 19, Reply: true, Err: "session cap reached",
 			ErrCode: uint8(CodeAdmission)},
+		// Snapshot chunk 2 of 3 of a restore push.
+		{Kind: MsgSnapshot, ID: 20, Method: "restore", Seq: 2, Total: 3,
+			Blob: []byte{0xca, 0xfe, 0xba, 0xbe}},
+		// Handoff announcement: the destination address rides in Class.
+		{Kind: MsgSnapshot, ID: 21, Method: "handoff", Class: "127.0.0.1:9021",
+			Seq: 1, Total: 1, Blob: []byte{1, 0}},
+		// Pull request for chunk 1; the reply carries the chunk and count.
+		{Kind: MsgSnapshot, ID: 22, Method: "pull", Seq: 1},
+		{Kind: MsgSnapshot, ID: 22, Reply: true, Seq: 1, Total: 2,
+			Blob: []byte{9, 9, 9}},
+		// Refused mid-drain: the typed drain code rides on the reply.
+		{Kind: MsgSnapshot, ID: 23, Reply: true, Err: "surrogate draining",
+			ErrCode: uint8(CodeDrained)},
+		{Kind: MsgSnapshotAck, ID: 24},
+		{Kind: MsgSnapshotAck, ID: 24, Reply: true},
 	}
 }
 
@@ -97,7 +112,7 @@ func TestWireBytesExact(t *testing.T) {
 			t.Errorf("%s (reply=%v): wireBytes() = %d, encoded frame is %d bytes", m.Kind, m.Reply, got, want)
 		}
 	}
-	for k := MsgInvoke; k <= MsgAttach; k++ {
+	for k := MsgInvoke; k <= MsgSnapshotAck; k++ {
 		if k == MsgPromiseRef {
 			// Never a top-level frame kind: it is the per-call receiver
 			// discriminator inside MsgInvokeBatch payloads.
@@ -183,7 +198,7 @@ func randomString(rng *rand.Rand, n int) string {
 
 func randomMessage(rng *rand.Rand) *Message {
 	m := &Message{
-		Kind: MsgKind(1 + rng.Intn(int(MsgAttach))),
+		Kind: MsgKind(1 + rng.Intn(int(MsgSnapshotAck))),
 		ID:   rng.Uint64() >> uint(rng.Intn(64)),
 	}
 	if rng.Intn(2) == 1 {
@@ -287,10 +302,16 @@ func randomMessage(rng *rand.Rand) *Message {
 		m.ErrIndex = int32(rng.Intn(64))
 	}
 	if rng.Intn(4) == 0 {
-		m.ErrCode = uint8(rng.Intn(4))
+		m.ErrCode = uint8(rng.Intn(5))
 	}
 	if rng.Intn(4) == 0 {
 		m.Sessions = rng.Int63n(1 << 16)
+	}
+	if n := rng.Intn(4); n > 0 {
+		m.Blob = make([]byte, 1+rng.Intn(64))
+		rng.Read(m.Blob)
+		m.Seq = 1 + rng.Int63n(16)
+		m.Total = m.Seq + rng.Int63n(16)
 	}
 	return m
 }
@@ -344,6 +365,13 @@ func TestDecodeMessageRejectsCorruptFrames(t *testing.T) {
 		"truncated err index":      {wireVersion, byte(MsgInvokeBatch), 1, tagErrIndex},
 		"truncated fetch classes":  {wireVersion, byte(MsgFieldFetch), 1, tagClasses, 1, 5, 't', 'e'},
 		"negative promise arg pos": {wireVersion, byte(MsgInvokeBatch), 1, tagCalls, 1, byte(MsgInvoke), 2, 1, 'f', 0, 1, 1, 1},
+
+		// Snapshot chunk hostile matrix: truncated chunk payloads, oversize
+		// declared lengths, and truncated sequence numbers must all reject.
+		"truncated snapshot chunk": {wireVersion, byte(MsgSnapshot), 1, tagBlob, 8, 0xca, 0xfe},
+		"huge snapshot blob":       {wireVersion, byte(MsgSnapshot), 1, tagBlob, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"truncated snapshot seq":   {wireVersion, byte(MsgSnapshot), 1, tagSeq},
+		"truncated snapshot total": {wireVersion, byte(MsgSnapshot), 1, tagSeq, 2, tagTotal},
 	}
 	for name, data := range cases {
 		if _, err := decodeMessage(data); err == nil {

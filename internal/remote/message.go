@@ -58,6 +58,18 @@ const (
 	// "unknown request kind" error, which Peer.Attach maps to
 	// ErrAttachUnsupported so callers can fall back to implicit admission.
 	MsgAttach
+	// MsgSnapshot moves one VM snapshot image, chunked under the maxFrame
+	// guard: Blob carries the chunk bytes, Seq the 1-based chunk number,
+	// Total the chunk count. Method selects what the receiver does with
+	// the assembled image ("restore" replaces its session VM's heap,
+	// "handoff" announces a drain destination named by Class, "drain"
+	// orders a surrogate to drain toward Class, "pull" requests chunk Seq
+	// of the receiver's own snapshot — the reply carries Blob and Total).
+	MsgSnapshot
+	// MsgSnapshotAck finalizes a snapshot exchange: the sender confirms it
+	// acted on the assembled image (restored it, or completed a handoff),
+	// letting the receiver release any cached snapshot state.
+	MsgSnapshotAck
 )
 
 // String returns the kind's name.
@@ -97,6 +109,10 @@ func (k MsgKind) String() string {
 		return "field-fetch"
 	case MsgAttach:
 		return "attach"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgSnapshotAck:
+		return "snapshot-ack"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -163,6 +179,14 @@ type Message struct {
 	// Sessions reports the serving surrogate's live admitted session count
 	// in info and attach replies (fleet placement input).
 	Sessions int64
+
+	// Blob, Seq, and Total carry one chunk of a snapshot image
+	// (MsgSnapshot): Blob the chunk bytes, Seq the 1-based chunk number,
+	// Total the chunk count. Chunking keeps every frame under the
+	// maxFrame guard regardless of heap size.
+	Blob  []byte
+	Seq   int64
+	Total int64
 }
 
 // wireBytes returns the exact on-the-wire frame size of the message
@@ -191,6 +215,11 @@ const (
 	// CodeEvicted marks a session torn down by the surrogate to reclaim
 	// capacity; late requests on the severed session carry it.
 	CodeEvicted
+	// CodeDrained marks a request refused because the surrogate is
+	// draining: the session is being handed off to another surrogate, and
+	// the refused call never executed (retrying it elsewhere is
+	// exactly-once safe).
+	CodeDrained
 )
 
 // String returns the code's name.
@@ -204,6 +233,8 @@ func (c ErrorCode) String() string {
 		return "shed"
 	case CodeEvicted:
 		return "evicted"
+	case CodeDrained:
+		return "drained"
 	default:
 		return fmt.Sprintf("ErrorCode(%d)", uint8(c))
 	}
@@ -222,6 +253,11 @@ var (
 	// ErrAttachUnsupported reports a peer that predates MsgAttach; callers
 	// treat it as a successful attach with no admission control.
 	ErrAttachUnsupported = errors.New("remote: peer does not support attach")
+	// ErrDrained reports a request refused because the surrogate is
+	// draining the session toward another surrogate. It wraps
+	// vm.ErrSessionDrained so the VM's drain-redirect retry recognizes the
+	// condition through the remote module's wrapping.
+	ErrDrained error = fmt.Errorf("remote: surrogate draining: %w", vm.ErrSessionDrained)
 )
 
 // sentinel maps an ErrorCode to its errors.Is target.
@@ -233,6 +269,8 @@ func (c ErrorCode) sentinel() error {
 		return ErrShed
 	case CodeEvicted:
 		return ErrEvicted
+	case CodeDrained:
+		return ErrDrained
 	default:
 		return nil
 	}
@@ -252,6 +290,8 @@ func CodeOf(err error) ErrorCode {
 		return CodeShed
 	case errors.Is(err, ErrEvicted):
 		return CodeEvicted
+	case errors.Is(err, ErrDrained):
+		return CodeDrained
 	}
 	return CodeNone
 }

@@ -35,6 +35,8 @@ const (
 	metricCallLatency        = "aide_remote_call_latency_seconds"
 	metricReleaseBatchSize   = "aide_remote_release_batch_size"
 	metricPipelineDepth      = "aide_remote_pipeline_depth"
+	metricSnapshotChunks     = "aide_remote_snapshot_chunks_total"
+	metricSnapshotBytes      = "aide_remote_snapshot_bytes_total"
 )
 
 // peerMetrics is the peer's wire accounting, held as telemetry
@@ -66,6 +68,8 @@ type peerMetrics struct {
 	lazyBytesSaved     *telemetry.Counter
 	duplicatesDropped  *telemetry.Counter
 	releasesDropped    *telemetry.Counter
+	snapshotChunks     *telemetry.Counter
+	snapshotBytes      *telemetry.Counter
 
 	degraded     *telemetry.Counter
 	healed       *telemetry.Counter
@@ -108,6 +112,8 @@ func newPeerMetrics(reg *telemetry.Registry) *peerMetrics {
 		lazyBytesSaved:     counterIn(reg, metricLazyBytesSaved, "migration wire bytes withheld by lazy state transfer"),
 		duplicatesDropped:  counterIn(reg, metricDuplicatesDropped, "incoming requests suppressed by the dedupe window"),
 		releasesDropped:    counterIn(reg, metricReleasesDropped, "decrefs lost when a release batch exhausted its retries"),
+		snapshotChunks:     counterIn(reg, metricSnapshotChunks, "snapshot image chunks moved (both directions)"),
+		snapshotBytes:      counterIn(reg, metricSnapshotBytes, "snapshot image bytes moved (both directions)"),
 		degraded:           counterIn(reg, metricDegraded, "healthy to degraded state transitions"),
 		healed:             counterIn(reg, metricHealed, "degraded to healthy state transitions"),
 		disconnected:       counterIn(reg, metricDisconnected, "involuntary disconnects"),

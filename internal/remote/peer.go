@@ -192,6 +192,28 @@ type Peer struct {
 	// transfer (vm.ExtractMigrationLazy); fixed at construction.
 	lazyMigration bool
 
+	// Snapshot transfer state. snapHandler consumes a fully assembled
+	// incoming image (push modes: restore, handoff, drain); snapSource
+	// captures this side's image for pull mode, cached in snapCache until
+	// the puller acks. snapBuf/snapSeq assemble the in-order chunk stream
+	// of one incoming push — one transfer at a time per peer, which the
+	// protocol guarantees because a pusher awaits each chunk's reply
+	// before sending the next. chunkSize is fixed at construction.
+	snapMu      sync.Mutex
+	snapHandler func(method, dest string, img []byte) error
+	snapSource  func() ([]byte, error)
+	snapBuf     []byte
+	snapSeq     int64
+	snapCache   []byte
+	chunkSize   int
+
+	// serveN counts in-flight serve() dispatches; serveCond (over
+	// serveMu) wakes WaitServeIdle so a draining surrogate can quiesce a
+	// session before snapshotting it.
+	serveMu   sync.Mutex
+	serveN    int
+	serveCond *sync.Cond
+
 	// m holds the wire accounting as telemetry instruments (atomic on
 	// the fast path, like the counters struct it replaced); tracer
 	// records offload-event spans when enabled. mnow is the metrics
@@ -354,6 +376,21 @@ type Options struct {
 	// count, free and capacity bytes across every tenant — instead of
 	// this peer's single VM heap. Runs on worker goroutines.
 	SessionInfo func() (sessions, freeBytes, capacityBytes int64)
+
+	// SnapshotChunkSize caps the Blob bytes per MsgSnapshot frame when
+	// pushing or serving a snapshot image. Zero defaults to 1 MiB; tests
+	// shrink it to exercise multi-chunk transfers with small images.
+	SnapshotChunkSize int
+
+	// Takeover, when set, builds the peer to inherit an existing peer
+	// slot instead of attaching a fresh one: the peer adopts *Takeover as
+	// its index for wire encode/decode but is NOT bound into the local
+	// VM's peer table. The live-handoff path uses this to construct the
+	// replacement connection to the destination surrogate, restore the
+	// session there, and only then vm.ReplacePeer the slot — preserving
+	// the stub and import-table namespace while keeping the VM off the
+	// half-initialized connection.
+	Takeover *int
 }
 
 // NewPeer attaches a VM to a transport and starts the receive loop and
@@ -380,13 +417,18 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 		gate:            opts.Gate,
 		sessionInfo:     opts.SessionInfo,
 		lazyMigration:   opts.LazyMigration,
+		chunkSize:       opts.SnapshotChunkSize,
 		stop:            make(chan struct{}),
 		m:               newPeerMetrics(opts.Telemetry),
 		tracer:          opts.Tracer,
 		mnow:            time.Now,
 	}
+	p.serveCond = sync.NewCond(&p.serveMu)
 	if p.now == nil {
 		p.now = time.Now
+	}
+	if p.chunkSize <= 0 {
+		p.chunkSize = snapshotChunk
 	}
 	if p.relBatch <= 0 {
 		p.relBatch = 32
@@ -414,7 +456,11 @@ func NewPeer(local *vm.VM, t Transport, opts Options) *Peer {
 	if window > 0 {
 		p.dedupe = newDedupeWindow(window)
 	}
-	p.idx = local.AttachPeer(p)
+	if opts.Takeover != nil {
+		p.idx = *opts.Takeover
+	} else {
+		p.idx = local.AttachPeer(p)
+	}
 	workersPlus := 1 + workers
 	if opts.ProbeInterval > 0 {
 		workersPlus++
@@ -450,6 +496,7 @@ func (p *Peer) fail(cause error) bool {
 	p.closeMu.Unlock()
 	p.state.Store(int32(StateDisconnected))
 	close(p.stop)
+	p.serveCond.Broadcast() // wake WaitServeIdle waiters on teardown
 	for i := range p.shards {
 		p.shards[i].sweep()
 	}
@@ -476,6 +523,21 @@ func (p *Peer) logfSafe(format string, args ...any) {
 // VMIndex returns this peer's slot in the local VM's peer table — the
 // index DetachPeer and ReclaimStubs address it by.
 func (p *Peer) VMIndex() int { return p.idx }
+
+// PendingCalls reports how many issued calls are still awaiting a
+// reply. A retiring connection (live handoff) polls this to zero before
+// closing, so replies already on the wire are delivered rather than
+// orphaned by the teardown.
+func (p *Peer) PendingCalls() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // State returns the connection-health state.
 func (p *Peer) State() State {
@@ -638,6 +700,12 @@ func (p *Peer) call(m *Message) (*Message, error) {
 // shape); instead the context is derived on demand from the stop
 // channel the peer already owns.
 func (p *Peer) lifeCtx() context.Context { return peerCtx{p} }
+
+// LifeContext exposes the peer-lifetime context to platform layers whose
+// work is scoped to this connection but runs outside any caller's call
+// chain — a handoff handler re-homing a session, a speculation race. It
+// is done exactly when the peer fails or closes.
+func (p *Peer) LifeContext() context.Context { return p.lifeCtx() }
 
 // peerCtx adapts the peer's stop channel to context.Context for the
 // ctx-less compatibility wrappers and the peer's own background loops.
@@ -1361,6 +1429,15 @@ func (p *Peer) recall(ctx context.Context, classNames []string) (objects int, by
 // serve executes one incoming request and replies.
 func (p *Peer) serve(m *Message) {
 	p.m.requestsServed.Inc()
+	p.serveMu.Lock()
+	p.serveN++
+	p.serveMu.Unlock()
+	defer func() {
+		p.serveMu.Lock()
+		p.serveN--
+		p.serveMu.Unlock()
+		p.serveCond.Broadcast()
+	}()
 
 	reply := &Message{ID: m.ID, Reply: true, Kind: m.Kind}
 	if p.gate != nil {
@@ -1533,6 +1610,10 @@ func (p *Peer) serve(m *Message) {
 		if p.tracer.Enabled() {
 			p.tracer.Emit(telemetry.Span{Kind: telemetry.SpanMigration, Note: "adopt", Peer: p.idx, N: int64(len(m.Batch))})
 		}
+	case MsgSnapshot:
+		p.serveSnapshot(m, reply)
+	case MsgSnapshotAck:
+		p.serveSnapshotAck()
 	default:
 		reply.Err = fmt.Sprintf("unknown request kind %d", m.Kind)
 	}

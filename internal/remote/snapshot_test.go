@@ -1,0 +1,266 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"aide/internal/vm"
+)
+
+// snapPair wires two peers over an in-process channel transport with a
+// snapshot chunk size small enough that modest images cross in many
+// chunks.
+func snapPair(t *testing.T, opts Options) (pc, ps *Peer) {
+	t.Helper()
+	reg := testRegistry(t)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20})
+	pc, ps = NewPair(client, surrogate, opts)
+	t.Cleanup(func() {
+		if err := pc.Close(); err != nil {
+			t.Errorf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("close surrogate peer: %v", err)
+		}
+	})
+	return pc, ps
+}
+
+// testImage builds a payload big enough to split into several chunks at
+// the given chunk size, with a recognizable byte pattern.
+func testImage(n int) []byte {
+	img := make([]byte, n)
+	for i := range img {
+		img[i] = byte(i * 31)
+	}
+	return img
+}
+
+func TestPushSnapshotChunkedDelivery(t *testing.T) {
+	var gotMethod, gotDest string
+	var gotImg []byte
+	done := make(chan struct{})
+	pc, ps := snapPair(t, Options{Workers: 2, SnapshotChunkSize: 64})
+	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		gotMethod, gotDest = method, dest
+		gotImg = img
+		close(done)
+		return nil
+	})
+
+	img := testImage(1000) // 16 chunks at 64 bytes
+	if err := pc.PushSnapshot(context.Background(), SnapRestore, "surrogate-2:9000", img); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	<-done
+	if gotMethod != SnapRestore || gotDest != "surrogate-2:9000" {
+		t.Fatalf("handler saw method=%q dest=%q", gotMethod, gotDest)
+	}
+	if !bytes.Equal(gotImg, img) {
+		t.Fatalf("assembled image differs: got %d bytes, want %d", len(gotImg), len(img))
+	}
+	if st := pc.Stats(); st.BytesSent == 0 {
+		t.Fatal("no wire bytes accounted for the push")
+	}
+}
+
+func TestPushSnapshotEmptyImage(t *testing.T) {
+	var calls atomic.Int64
+	pc, ps := snapPair(t, Options{Workers: 1})
+	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		if method != SnapDrain || dest != "10.0.0.7:9021" || len(img) != 0 {
+			t.Errorf("handler saw method=%q dest=%q len=%d", method, dest, len(img))
+		}
+		calls.Add(1)
+		return nil
+	})
+	if err := pc.DrainRemote(context.Background(), "10.0.0.7:9021"); err != nil {
+		t.Fatalf("drain directive: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestPushSnapshotHandlerErrorCarriesCode(t *testing.T) {
+	pc, ps := snapPair(t, Options{Workers: 1, SnapshotChunkSize: 32})
+	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		return ErrDrained
+	})
+	err := pc.PushSnapshot(context.Background(), SnapHandoff, "x", testImage(100))
+	if err == nil {
+		t.Fatal("push succeeded despite handler rejection")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeDrained {
+		t.Fatalf("error %v does not carry CodeDrained", err)
+	}
+	// The typed code must round-trip to the sentinel the VM drain-retry
+	// path recognizes.
+	if !errors.Is(re.Code.sentinel(), vm.ErrSessionDrained) {
+		t.Fatal("CodeDrained sentinel does not unwrap to vm.ErrSessionDrained")
+	}
+}
+
+func TestPushSnapshotNoHandler(t *testing.T) {
+	pc, _ := snapPair(t, Options{Workers: 1})
+	err := pc.PushSnapshot(context.Background(), SnapRestore, "", testImage(10))
+	if err == nil || !strings.Contains(err.Error(), "no snapshot handler") {
+		t.Fatalf("push without handler: %v", err)
+	}
+}
+
+func TestPullSnapshotChunkedRoundTrip(t *testing.T) {
+	img := testImage(777) // 13 chunks at 64 bytes, last one partial
+	var captures atomic.Int64
+	pc, ps := snapPair(t, Options{Workers: 2, SnapshotChunkSize: 64})
+	ps.SetSnapshotSource(func() ([]byte, error) {
+		captures.Add(1)
+		return img, nil
+	})
+
+	got, err := pc.PullSnapshot(context.Background())
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatalf("pulled image differs: got %d bytes, want %d", len(got), len(img))
+	}
+	if captures.Load() != 1 {
+		t.Fatalf("source captured %d times during one pull, want 1 (chunks must share a cache)", captures.Load())
+	}
+
+	// The ack released the cache: a second pull captures afresh.
+	if _, err := pc.PullSnapshot(context.Background()); err != nil {
+		t.Fatalf("second pull: %v", err)
+	}
+	if captures.Load() != 2 {
+		t.Fatalf("source captured %d times after two pulls, want 2", captures.Load())
+	}
+}
+
+func TestPullSnapshotNoSource(t *testing.T) {
+	pc, _ := snapPair(t, Options{Workers: 1})
+	if _, err := pc.PullSnapshot(context.Background()); err == nil || !strings.Contains(err.Error(), "no snapshot source") {
+		t.Fatalf("pull without source: %v", err)
+	}
+}
+
+func TestPullSnapshotSourceError(t *testing.T) {
+	pc, ps := snapPair(t, Options{Workers: 1})
+	ps.SetSnapshotSource(func() ([]byte, error) {
+		return nil, errors.New("heap walk failed")
+	})
+	if _, err := pc.PullSnapshot(context.Background()); err == nil || !strings.Contains(err.Error(), "heap walk failed") {
+		t.Fatalf("pull with failing source: %v", err)
+	}
+}
+
+func TestSnapshotGateRejectionCarriesDrainedCode(t *testing.T) {
+	reg := testRegistry(t)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20})
+	ta, tb := NewChannelPair()
+	pc := NewPeer(client, ta, Options{Workers: 1})
+	ps := NewPeer(surrogate, tb, Options{Workers: 1, Gate: func(kind MsgKind) error {
+		if kind == MsgInvoke {
+			return ErrDrained
+		}
+		return nil
+	}})
+	t.Cleanup(func() {
+		if err := pc.Close(); err != nil {
+			t.Errorf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("close surrogate peer: %v", err)
+		}
+	})
+
+	_, err := pc.Call(context.Background(), &Message{Kind: MsgInvoke, Obj: 1, Method: "x"})
+	if err == nil {
+		t.Fatal("gated invoke succeeded")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeDrained {
+		t.Fatalf("gated invoke error %v does not carry CodeDrained", err)
+	}
+	if !errors.Is(re.Code.sentinel(), ErrDrained) {
+		t.Fatal("CodeDrained does not unwrap to ErrDrained")
+	}
+}
+
+func TestWaitServeIdleQuiesces(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	pc, ps := snapPair(t, Options{Workers: 2})
+	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		close(entered)
+		<-release
+		return nil
+	})
+
+	pushDone := make(chan error, 1)
+	go func() { pushDone <- pc.PushSnapshot(context.Background(), SnapRestore, "", nil) }()
+	<-entered
+
+	// With the handler parked inside serve(), allow=1 passes immediately
+	// while allow=0 must block until the handler returns.
+	ps.WaitServeIdle(1)
+	idle := make(chan struct{})
+	go func() { ps.WaitServeIdle(0); close(idle) }()
+	select {
+	case <-idle:
+		t.Fatal("WaitServeIdle(0) returned with a serve in flight")
+	default:
+	}
+	close(release)
+	<-idle
+	if err := <-pushDone; err != nil {
+		t.Fatalf("push: %v", err)
+	}
+}
+
+func TestSnapshotTransferOverTCP(t *testing.T) {
+	reg := testRegistry(t)
+	client := vm.New(reg, vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 20})
+	surrogate := vm.New(reg, vm.Config{Role: vm.RoleSurrogate, HeapCapacity: 8 << 20})
+	tClient, tServer := tcpTransportPair(t, NewConnTransport)
+	pc := NewPeer(client, tClient, Options{Workers: 2, SnapshotChunkSize: 128})
+	ps := NewPeer(surrogate, tServer, Options{Workers: 2, SnapshotChunkSize: 128})
+	t.Cleanup(func() {
+		if err := pc.Close(); err != nil {
+			t.Errorf("close client peer: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("close surrogate peer: %v", err)
+		}
+	})
+
+	img := testImage(5000)
+	ps.SetSnapshotSource(func() ([]byte, error) { return img, nil })
+	got, err := pc.PullSnapshot(context.Background())
+	if err != nil {
+		t.Fatalf("pull over TCP: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatalf("pulled image differs over TCP: got %d bytes, want %d", len(got), len(img))
+	}
+
+	assembled := make(chan []byte, 1)
+	ps.SetSnapshotHandler(func(method, dest string, in []byte) error {
+		assembled <- append([]byte(nil), in...)
+		return nil
+	})
+	if err := pc.PushSnapshot(context.Background(), SnapRestore, "", img); err != nil {
+		t.Fatalf("push over TCP: %v", err)
+	}
+	if got := <-assembled; !bytes.Equal(got, img) {
+		t.Fatalf("pushed image differs over TCP: got %d bytes, want %d", len(got), len(img))
+	}
+}

@@ -1,0 +1,446 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aide/internal/vm"
+)
+
+// Versioned binary encoding of an Image. The rules match the platform's
+// wire codec (internal/vm/wirecodec.go): LEB128 uvarints for counts,
+// zigzag varints for signed integers, 8-byte little-endian IEEE-754 for
+// floats, length-prefixed strings and blobs, and canonicalization of
+// zero-length blobs to nil so encode(decode(encode(x))) is
+// byte-identical to encode(x). Field order inside the image is fixed by
+// vm.ExportSnapshot's deterministic sort, so the same VM state always
+// encodes to the same bytes.
+//
+// The gobwire analyzer pins every encoded struct's field count against
+// this codec: growing a struct without teaching the codec its new field
+// is a build-time lint failure, not a silent wire corruption.
+
+//lint:wire aide/internal/vm.SnapshotState
+const snapshotStateWireFields = 5
+
+//lint:wire aide/internal/vm.SnapshotObject
+const snapshotObjectWireFields = 11
+
+//lint:wire aide/internal/vm.SnapshotRoot
+const snapshotRootWireFields = 2
+
+//lint:wire aide/internal/vm.SnapshotStatic
+const snapshotStaticWireFields = 2
+
+//lint:wire aide/internal/vm.SnapshotResidual
+const snapshotResidualWireFields = 4
+
+//lint:wire Image
+const imageWireFields = 2
+
+// imageVersion is the encoding version byte leading every image.
+const imageVersion = 1
+
+// Object flag bits (one flags byte per encoded object).
+const (
+	flagRemote   = 1 << 0
+	flagExported = 1 << 1
+	flagLazy     = 1 << 2
+	flagFields   = 1 << 3
+	flagKnown    = flagRemote | flagExported | flagLazy | flagFields
+)
+
+// Encode serializes the image. Two images of identical state encode to
+// identical bytes.
+func (img *Image) Encode() []byte {
+	s := img.State
+	if s == nil {
+		s = &vm.SnapshotState{}
+	}
+	buf := []byte{imageVersion}
+	buf = binary.AppendUvarint(buf, uint64(s.NextID))
+
+	buf = binary.AppendUvarint(buf, uint64(len(s.Objects)))
+	for i := range s.Objects {
+		buf = appendObject(buf, &s.Objects[i])
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(s.Roots)))
+	for _, r := range s.Roots {
+		buf = vm.AppendString(buf, r.Name)
+		buf = binary.AppendUvarint(buf, uint64(r.ID))
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(s.Statics)))
+	for _, ss := range s.Statics {
+		buf = vm.AppendString(buf, ss.Class)
+		buf = binary.AppendUvarint(buf, uint64(len(ss.Values)))
+		for i := range ss.Values {
+			buf = appendValue(buf, &ss.Values[i])
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(s.Residual)))
+	for _, sr := range s.Residual {
+		buf = binary.AppendUvarint(buf, uint64(sr.ID))
+		buf = binary.AppendVarint(buf, sr.Bytes)
+		buf = binary.AppendUvarint(buf, uint64(len(sr.Names)))
+		for i, name := range sr.Names {
+			buf = vm.AppendString(buf, name)
+			buf = appendValue(buf, &sr.Values[i])
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(img.Aux)))
+	buf = append(buf, img.Aux...)
+	return buf
+}
+
+func appendObject(buf []byte, so *vm.SnapshotObject) []byte {
+	buf = binary.AppendUvarint(buf, uint64(so.ID))
+	buf = vm.AppendString(buf, so.Class)
+	buf = binary.AppendVarint(buf, so.Size)
+	var flags byte
+	if so.Remote {
+		flags |= flagRemote
+	}
+	if so.Exported != 0 {
+		flags |= flagExported
+	}
+	if so.LazyFrom != 0 || so.LazySrc != 0 {
+		flags |= flagLazy
+	}
+	if len(so.Fields) > 0 {
+		flags |= flagFields
+	}
+	buf = append(buf, flags)
+	if so.Remote {
+		buf = binary.AppendVarint(buf, int64(so.PeerIdx))
+		buf = binary.AppendUvarint(buf, uint64(so.PeerID))
+		buf = binary.AppendVarint(buf, so.RemoteSize)
+	}
+	if flags&flagExported != 0 {
+		buf = binary.AppendVarint(buf, so.Exported)
+	}
+	if flags&flagLazy != 0 {
+		buf = binary.AppendVarint(buf, int64(so.LazyFrom))
+		buf = binary.AppendUvarint(buf, uint64(so.LazySrc))
+	}
+	if flags&flagFields != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(so.Fields)))
+		for i := range so.Fields {
+			buf = appendValue(buf, &so.Fields[i])
+		}
+	}
+	return buf
+}
+
+// appendValue encodes one heap value: a kind byte plus the kind's
+// payload. References encode their snapshot-local ID — the snapshot has
+// a single ID namespace, so no locality tag is needed.
+func appendValue(buf []byte, val *vm.Value) []byte {
+	buf = append(buf, byte(val.Kind))
+	switch val.Kind {
+	case vm.KindInt:
+		buf = binary.AppendVarint(buf, val.I)
+	case vm.KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(val.F))
+	case vm.KindBool:
+		if val.B {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case vm.KindString:
+		buf = vm.AppendString(buf, val.S)
+	case vm.KindBytes:
+		buf = binary.AppendUvarint(buf, uint64(len(val.Bytes)))
+		buf = append(buf, val.Bytes...)
+	case vm.KindRef:
+		buf = binary.AppendUvarint(buf, uint64(val.Ref))
+	}
+	return buf
+}
+
+// Decode parses an encoded image. It rejects unknown versions, unknown
+// flag bits, unknown value kinds, truncation, and declared lengths that
+// exceed the remaining input — acceptance implies the canonical
+// round-trip property Encode pins.
+func Decode(data []byte) (*Image, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("snapshot: decode: empty input")
+	}
+	if data[0] != imageVersion {
+		return nil, fmt.Errorf("snapshot: decode: unsupported version %d", data[0])
+	}
+	rest := data[1:]
+
+	s := &vm.SnapshotState{}
+	n, rest, err := vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode next-id: %w", err)
+	}
+	s.NextID = vm.ObjectID(n)
+
+	count, rest, err := vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode object count: %w", err)
+	}
+	// Every encoded object occupies at least 4 bytes (ID, class length,
+	// size, flags); a count beyond the remaining bytes is corrupt —
+	// reject before allocating.
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("snapshot: decode: object count %d exceeds %d remaining bytes", count, len(rest))
+	}
+	if count > 0 {
+		s.Objects = make([]vm.SnapshotObject, count)
+		for i := range s.Objects {
+			if rest, err = decodeObject(&s.Objects[i], rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode object %d: %w", i, err)
+			}
+		}
+	}
+
+	count, rest, err = vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode root count: %w", err)
+	}
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("snapshot: decode: root count %d exceeds %d remaining bytes", count, len(rest))
+	}
+	if count > 0 {
+		s.Roots = make([]vm.SnapshotRoot, count)
+		for i := range s.Roots {
+			r := &s.Roots[i]
+			if r.Name, rest, err = vm.ReadString(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode root %d: %w", i, err)
+			}
+			var id uint64
+			if id, rest, err = vm.ReadUvarint(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode root %d: %w", i, err)
+			}
+			r.ID = vm.ObjectID(id)
+		}
+	}
+
+	count, rest, err = vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode static count: %w", err)
+	}
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("snapshot: decode: static count %d exceeds %d remaining bytes", count, len(rest))
+	}
+	if count > 0 {
+		s.Statics = make([]vm.SnapshotStatic, count)
+		for i := range s.Statics {
+			ss := &s.Statics[i]
+			if ss.Class, rest, err = vm.ReadString(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode static %d: %w", i, err)
+			}
+			var vals uint64
+			if vals, rest, err = vm.ReadUvarint(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode static %d: %w", i, err)
+			}
+			if vals > uint64(len(rest)) {
+				return nil, fmt.Errorf("snapshot: decode: static %d value count %d exceeds %d remaining bytes", i, vals, len(rest))
+			}
+			if vals > 0 {
+				ss.Values = make([]vm.Value, vals)
+				for j := range ss.Values {
+					if rest, err = decodeValue(&ss.Values[j], rest); err != nil {
+						return nil, fmt.Errorf("snapshot: decode static %d value %d: %w", i, j, err)
+					}
+				}
+			}
+		}
+	}
+
+	count, rest, err = vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode residual count: %w", err)
+	}
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("snapshot: decode: residual count %d exceeds %d remaining bytes", count, len(rest))
+	}
+	if count > 0 {
+		s.Residual = make([]vm.SnapshotResidual, count)
+		for i := range s.Residual {
+			sr := &s.Residual[i]
+			var id uint64
+			if id, rest, err = vm.ReadUvarint(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode residual %d: %w", i, err)
+			}
+			sr.ID = vm.ObjectID(id)
+			if sr.Bytes, rest, err = vm.ReadVarint(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode residual %d: %w", i, err)
+			}
+			var fields uint64
+			if fields, rest, err = vm.ReadUvarint(rest); err != nil {
+				return nil, fmt.Errorf("snapshot: decode residual %d: %w", i, err)
+			}
+			if fields > uint64(len(rest)) {
+				return nil, fmt.Errorf("snapshot: decode: residual %d field count %d exceeds %d remaining bytes", i, fields, len(rest))
+			}
+			if fields > 0 {
+				sr.Names = make([]string, fields)
+				sr.Values = make([]vm.Value, fields)
+				for j := range sr.Names {
+					if sr.Names[j], rest, err = vm.ReadString(rest); err != nil {
+						return nil, fmt.Errorf("snapshot: decode residual %d field %d: %w", i, j, err)
+					}
+					if rest, err = decodeValue(&sr.Values[j], rest); err != nil {
+						return nil, fmt.Errorf("snapshot: decode residual %d field %d: %w", i, j, err)
+					}
+				}
+			}
+		}
+	}
+
+	auxLen, rest, err := vm.ReadUvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode aux length: %w", err)
+	}
+	if auxLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("snapshot: decode: aux length %d exceeds %d remaining bytes", auxLen, len(rest))
+	}
+	img := &Image{State: s}
+	if auxLen > 0 {
+		img.Aux = append([]byte(nil), rest[:auxLen]...)
+	}
+	rest = rest[auxLen:]
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("snapshot: decode: %d trailing bytes", len(rest))
+	}
+	return img, nil
+}
+
+func decodeObject(so *vm.SnapshotObject, data []byte) ([]byte, error) {
+	id, rest, err := vm.ReadUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	so.ID = vm.ObjectID(id)
+	if so.Class, rest, err = vm.ReadString(rest); err != nil {
+		return nil, err
+	}
+	if so.Size, rest, err = vm.ReadVarint(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("truncated flags")
+	}
+	flags := rest[0]
+	rest = rest[1:]
+	if flags&^byte(flagKnown) != 0 {
+		return nil, fmt.Errorf("unknown flag bits %#x", flags)
+	}
+	if flags&flagRemote != 0 {
+		so.Remote = true
+		var idx int64
+		if idx, rest, err = vm.ReadVarint(rest); err != nil {
+			return nil, err
+		}
+		so.PeerIdx = int(idx)
+		var pid uint64
+		if pid, rest, err = vm.ReadUvarint(rest); err != nil {
+			return nil, err
+		}
+		so.PeerID = vm.ObjectID(pid)
+		if so.RemoteSize, rest, err = vm.ReadVarint(rest); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagExported != 0 {
+		if so.Exported, rest, err = vm.ReadVarint(rest); err != nil {
+			return nil, err
+		}
+		if so.Exported == 0 {
+			return nil, fmt.Errorf("non-canonical zero export pin")
+		}
+	}
+	if flags&flagLazy != 0 {
+		var from int64
+		if from, rest, err = vm.ReadVarint(rest); err != nil {
+			return nil, err
+		}
+		so.LazyFrom = int(from)
+		var src uint64
+		if src, rest, err = vm.ReadUvarint(rest); err != nil {
+			return nil, err
+		}
+		so.LazySrc = vm.ObjectID(src)
+		if so.LazyFrom == 0 && so.LazySrc == 0 {
+			return nil, fmt.Errorf("non-canonical zero lazy provenance")
+		}
+	}
+	if flags&flagFields != 0 {
+		var fields uint64
+		if fields, rest, err = vm.ReadUvarint(rest); err != nil {
+			return nil, err
+		}
+		if fields == 0 {
+			return nil, fmt.Errorf("non-canonical empty field list")
+		}
+		if fields > uint64(len(rest)) {
+			return nil, fmt.Errorf("field count %d exceeds %d remaining bytes", fields, len(rest))
+		}
+		so.Fields = make([]vm.Value, fields)
+		for i := range so.Fields {
+			if rest, err = decodeValue(&so.Fields[i], rest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rest, nil
+}
+
+func decodeValue(val *vm.Value, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("truncated value")
+	}
+	*val = vm.Value{Kind: vm.ValueKind(data[0])}
+	rest := data[1:]
+	var err error
+	switch val.Kind {
+	case vm.KindNil, vm.KindDeferred:
+	case vm.KindInt:
+		val.I, rest, err = vm.ReadVarint(rest)
+	case vm.KindFloat:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("truncated float")
+		}
+		val.F = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	case vm.KindBool:
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("truncated bool")
+		}
+		val.B = rest[0] != 0
+		rest = rest[1:]
+	case vm.KindString:
+		val.S, rest, err = vm.ReadString(rest)
+	case vm.KindBytes:
+		var n uint64
+		n, rest, err = vm.ReadUvarint(rest)
+		if err == nil {
+			if n > uint64(len(rest)) {
+				return nil, fmt.Errorf("blob length %d exceeds %d remaining bytes", n, len(rest))
+			}
+			if n > 0 {
+				val.Bytes = append([]byte(nil), rest[:n]...)
+			}
+			rest = rest[n:]
+		}
+	case vm.KindRef:
+		var id uint64
+		id, rest, err = vm.ReadUvarint(rest)
+		val.Ref = vm.ObjectID(id)
+	default:
+		return nil, fmt.Errorf("unknown value kind %d", val.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rest, nil
+}

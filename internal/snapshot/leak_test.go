@@ -1,0 +1,42 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain wraps the whole package run in a goroutine-leak check: the
+// snapshot codec is pure and must spawn nothing that outlives a test.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := settleGoroutines(before); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines outlived the package tests (started with %d)\n",
+				leaked, before)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// baseline, tolerating runtime-internal stragglers that need a few
+// scheduler rounds to park.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			if n <= baseline {
+				return 0
+			}
+			return n - baseline
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -21,6 +21,13 @@ const (
 	SpanProbe
 	SpanOrphan
 	SpanFault
+	// SpanSnapshot records a VM snapshot moving across the wire (capture,
+	// push, pull, restore); SpanDrain records a live session handoff from
+	// a draining surrogate; SpanSpeculate records one speculative race of
+	// local clone execution against the remote call.
+	SpanSnapshot
+	SpanDrain
+	SpanSpeculate
 )
 
 var spanKindNames = [...]string{
@@ -34,6 +41,9 @@ var spanKindNames = [...]string{
 	SpanProbe:       "probe",
 	SpanOrphan:      "orphan",
 	SpanFault:       "fault",
+	SpanSnapshot:    "snapshot",
+	SpanDrain:       "drain",
+	SpanSpeculate:   "speculate",
 }
 
 // String names the kind as it appears in /events output.

@@ -7,7 +7,7 @@ import "fmt"
 // objects are intercepted and converted into RPCs).
 func (t *Thread) GetField(target ObjectID, field string) (Value, error) {
 	v := t.vm
-	retried := false
+	retried, drains := false, 0
 retry:
 	v.mu.Lock()
 	o, ok := v.objects[target]
@@ -37,6 +37,10 @@ retry:
 		if err != nil {
 			if !retried && v.failoverIfGone(peerIdx, err) {
 				retried = true
+				goto retry
+			}
+			if drains < maxDrainRedirects && v.drainIfRedirected(peerIdx, peer, err) {
+				drains++
 				goto retry
 			}
 			return Nil(), fmt.Errorf("vm: remote get %s.%s: %w", to, field, err)
@@ -88,7 +92,7 @@ retry:
 // is remote.
 func (t *Thread) SetField(target ObjectID, field string, val Value) error {
 	v := t.vm
-	retried := false
+	retried, drains := false, 0
 retry:
 	v.mu.Lock()
 	o, ok := v.objects[target]
@@ -117,6 +121,10 @@ retry:
 		if err := peer.SetFieldRemote(peerID, field, val); err != nil {
 			if !retried && v.failoverIfGone(peerIdx, err) {
 				retried = true
+				goto retry
+			}
+			if drains < maxDrainRedirects && v.drainIfRedirected(peerIdx, peer, err) {
+				drains++
 				goto retry
 			}
 			return fmt.Errorf("vm: remote set %s.%s: %w", to, field, err)

@@ -134,7 +134,8 @@ func (t *Thread) Free(id ObjectID) error { return t.vm.FreeObject(id) }
 // §3.2).
 func (t *Thread) Invoke(target ObjectID, method string, args ...Value) (Value, error) {
 	v := t.vm
-	for retried := false; ; retried = true {
+	retried, drains := false, 0
+	for {
 		v.mu.Lock()
 		o, ok := v.objects[target]
 		if !ok {
@@ -145,10 +146,20 @@ func (t *Thread) Invoke(target ObjectID, method string, args ...Value) (Value, e
 			return v.invokeLocalLocked(o, method, args)
 		}
 		peerIdx := o.PeerIdx
+		used := v.peerAt(peerIdx)
 		ret, err := v.invokeRemoteLocked(o, method, args)
 		if err != nil && !retried && v.failoverIfGone(peerIdx, err) {
 			// The handler re-homed the peer's objects locally; the retry
 			// re-reads the object and executes on the reclaimed copy.
+			retried = true
+			continue
+		}
+		if err != nil && drains < maxDrainRedirects && v.drainIfRedirected(peerIdx, used, err) {
+			// The hosting surrogate is draining and the handler re-pointed
+			// the peer slot at the handoff destination; the rejected call
+			// never executed, so the retry is exactly-once safe. Several
+			// redirects may chain when handoffs ping-pong under the call.
+			drains++
 			continue
 		}
 		return ret, err

@@ -240,6 +240,12 @@ type VM struct {
 	// objects locally (ReclaimStubs) and the operation should be retried.
 	failover func(peerIdx int) bool
 
+	// drain is consulted when a remote operation is refused with
+	// ErrSessionDrained; returning true means the handler re-pointed the
+	// peer slot at the handoff destination (ReplacePeer) and the
+	// operation should be retried.
+	drain func(peerIdx int, used Peer) bool
+
 	// statelessLocal enables the §5.2 enhancement: stateless native
 	// methods execute on the VM where they are invoked.
 	statelessLocal bool

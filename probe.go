@@ -139,9 +139,10 @@ func (c *Client) AttachBestTCP(addrs []string) (string, error) {
 // AttachBestTCPContext is AttachBestTCP bounded by ctx: the probe sweep
 // and the attach dials abort when ctx is cancelled or expires, so a
 // reattach after a disconnection stays cancellable end to end. A
-// candidate that rejects the attach (admission cap, load shedding) falls
-// through to the next-ranked one; the error reports the last failure
-// when every reachable candidate refuses.
+// candidate that rejects the attach (admission cap, load shedding, or
+// the ErrDrained gate of a surrogate mid-handoff) falls through to the
+// next-ranked one; the error reports the last failure when every
+// reachable candidate refuses.
 func (c *Client) AttachBestTCPContext(ctx context.Context, addrs []string) (string, error) {
 	if len(addrs) == 0 {
 		return "", fmt.Errorf("aide: no surrogate candidates")

@@ -1,0 +1,175 @@
+package aide
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aide/internal/vm"
+)
+
+// specRegistry registers a Ctr class whose inc method can be made slow
+// (wall-clock) selectively on the remote session or on the speculation
+// clone. The clone is recognizable by its heap capacity: specCloneHeap
+// is used nowhere else.
+func specRegistry(t *testing.T, remoteSleep, cloneSleep *atomic.Int64) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	mustRegister(t, reg, ClassSpec{
+		Name:   "Ctr",
+		Fields: []string{"n"},
+		Methods: []MethodSpec{
+			{Name: "inc", Body: func(th *Thread, self ObjectID, args []Value) (Value, error) {
+				onClone := th.VM().Heap().Capacity == specCloneHeap
+				if onClone {
+					if ms := cloneSleep.Load(); ms > 0 {
+						time.Sleep(time.Duration(ms) * time.Millisecond)
+					}
+				} else if th.VM().Role() == vm.RoleSurrogate {
+					if ms := remoteSleep.Load(); ms > 0 {
+						time.Sleep(time.Duration(ms) * time.Millisecond)
+					}
+				}
+				cur, err := th.GetField(self, "n")
+				if err != nil {
+					return Nil(), err
+				}
+				n := cur.I + 1
+				return Int(n), th.SetField(self, "n", Int(n))
+			}},
+		},
+	})
+	return reg
+}
+
+// specFixture builds a speculating client against an in-process
+// surrogate with one offloaded Ctr object, then degrades the connection
+// with a single deliberately slow remote call.
+type specFixture struct {
+	client      *Client
+	surrogate   *Surrogate
+	th          *Thread
+	ctr         ObjectID
+	remoteSleep *atomic.Int64
+	cloneSleep  *atomic.Int64
+}
+
+func newSpecFixture(t *testing.T) *specFixture {
+	t.Helper()
+	f := &specFixture{remoteSleep: new(atomic.Int64), cloneSleep: new(atomic.Int64)}
+	reg := specRegistry(t, f.remoteSleep, f.cloneSleep)
+	var err error
+	f.client, f.surrogate, err = NewLocalPair(reg,
+		[]Option{
+			WithHeap(1 << 20), WithSpeculation(),
+			WithCallTimeout(150 * time.Millisecond),
+			WithDisconnectAfter(-1), // stay degraded, never escalate
+			WithRetryPolicy(-1, 0),  // no transport retries to muddy timing
+		},
+		// The surrogate heap must differ from specCloneHeap: the method
+		// body tells the clone apart by its unmistakable heap capacity.
+		[]Option{WithHeap(128 << 20)})
+	if err != nil {
+		t.Fatalf("local pair: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = f.client.Close()
+		_ = f.surrogate.Close()
+	})
+	f.th = f.client.Thread()
+	if f.ctr, err = f.th.New("Ctr", 300<<10); err != nil {
+		t.Fatalf("new Ctr: %v", err)
+	}
+	f.client.VM().SetRoot("ctr", f.ctr)
+	f.inc(t, 1) // build the interaction graph
+	if _, err := f.client.Offload(); err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	f.inc(t, 2) // healthy remote call
+
+	// Degrade: one call sleeps past the timeout. The straggler still
+	// executes remotely (n becomes 3); wait it out so later state is
+	// deterministic.
+	f.remoteSleep.Store(400)
+	if _, err := f.th.Invoke(f.ctr, "inc"); err == nil {
+		t.Fatal("slow call beat the timeout; cannot degrade the link")
+	}
+	time.Sleep(600 * time.Millisecond)
+	return f
+}
+
+func (f *specFixture) inc(t *testing.T, want int64) {
+	t.Helper()
+	v, err := f.th.Invoke(f.ctr, "inc")
+	if err != nil {
+		t.Fatalf("inc: %v", err)
+	}
+	if v.I != want {
+		t.Fatalf("inc returned %d, want %d", v.I, want)
+	}
+}
+
+// TestSpeculationLocalWinPromotesClone keeps the remote slow: the
+// speculative race must be won by the local clone, the clone's state
+// promoted into the client VM, and the degraded connection dropped —
+// with the straggling remote execution discarded along with the session.
+func TestSpeculationLocalWinPromotesClone(t *testing.T) {
+	f := newSpecFixture(t)
+
+	// Remote still slow: the race's remote leg times out while the local
+	// clone (seeded at n=3) answers. Exactly one increment lands: 4.
+	f.inc(t, 4)
+
+	st := f.client.SpeculationStats()
+	if st.LocalWins != 1 {
+		t.Fatalf("local wins = %d, want 1 (stats: %+v)", st.LocalWins, st)
+	}
+	if n := f.client.Surrogates(); n != 0 {
+		t.Fatalf("client still sees %d surrogates after a local win", n)
+	}
+	// The promoted object now lives locally; the sequence continues.
+	f.remoteSleep.Store(0)
+	f.inc(t, 5)
+	f.inc(t, 6)
+}
+
+// TestSpeculationRemoteWin makes the clone slow and the remote fast
+// while degraded: the remote result must win and the connection must
+// survive.
+func TestSpeculationRemoteWin(t *testing.T) {
+	f := newSpecFixture(t)
+
+	f.remoteSleep.Store(0)  // remote answers immediately again
+	f.cloneSleep.Store(400) // the clone lags behind
+	f.inc(t, 4)
+
+	st := f.client.SpeculationStats()
+	if st.RemoteWins != 1 {
+		t.Fatalf("remote wins = %d, want 1 (stats: %+v)", st.RemoteWins, st)
+	}
+	if n := f.client.Surrogates(); n != 1 {
+		t.Fatalf("client sees %d surrogates after a remote win, want 1", n)
+	}
+	// Convergent results keep the clone and the session in lockstep; the
+	// next degraded call races again without re-pulling.
+	f.cloneSleep.Store(0)
+	f.inc(t, 5)
+}
+
+// TestSpeculationMissOnRefArgs verifies calls carrying object references
+// never speculate: they pass through to the remote and count as misses.
+func TestSpeculationMissOnRefArgs(t *testing.T) {
+	f := newSpecFixture(t)
+	f.remoteSleep.Store(0)
+
+	if _, err := f.th.Invoke(f.ctr, "inc", RefOf(f.ctr)); err != nil {
+		t.Fatalf("inc with ref arg: %v", err)
+	}
+	st := f.client.SpeculationStats()
+	if st.Misses == 0 {
+		t.Fatalf("ref-arg call did not count as a speculation miss (stats: %+v)", st)
+	}
+	if st.LocalWins != 0 {
+		t.Fatalf("ref-arg call speculated (stats: %+v)", st)
+	}
+}

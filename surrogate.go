@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"aide/internal/remote"
+	"aide/internal/snapshot"
+	"aide/internal/telemetry"
 	"aide/internal/vm"
 )
 
@@ -43,7 +46,7 @@ type Surrogate struct {
 	admitted  int
 	committed int64
 	// Monotonic decision counters, surfaced by Stats().
-	admittedTotal, rejectedTotal, shedTotal, evictedTotal int64
+	admittedTotal, rejectedTotal, shedTotal, evictedTotal, drainedTotal int64
 
 	ln     net.Listener
 	closed bool
@@ -68,6 +71,13 @@ type session struct {
 	// under the surrogate mutex. rejectErr is guarded by that mutex.
 	admitted  atomic.Bool
 	rejectErr error
+
+	// draining flips when a live handoff of this session begins: the gate
+	// answers every later work request with the typed remote.ErrDrained so
+	// the client's drain handler blocks the calling thread until the slot
+	// is re-pointed at the destination surrogate. A failed handoff clears
+	// it and the session resumes in place.
+	draining atomic.Bool
 }
 
 // SurrogateStats reports the surrogate's session-control decisions.
@@ -76,11 +86,13 @@ type SurrogateStats struct {
 	Active int
 	// Admitted counts sessions ever admitted; Rejected those refused at
 	// the session or heap-quota cap; Shed those refused while degraded;
-	// Evicted those torn down to reclaim capacity.
+	// Evicted those torn down to reclaim capacity; Drained those handed
+	// off live to another surrogate.
 	Admitted int64
 	Rejected int64
 	Shed     int64
 	Evicted  int64
+	Drained  int64
 }
 
 // NewSurrogate builds a surrogate platform over the shared class registry.
@@ -177,6 +189,7 @@ func (s *Surrogate) Stats() SurrogateStats {
 		Rejected: s.rejectedTotal,
 		Shed:     s.shedTotal,
 		Evicted:  s.evictedTotal,
+		Drained:  s.drainedTotal,
 	}
 }
 
@@ -243,6 +256,33 @@ func (s *Surrogate) Serve(t remote.Transport) {
 		}()
 	}
 	p := remote.NewPeer(sv, t, ro)
+	// Snapshot plumbing: incoming pushes either restore a shipped session
+	// image into this session's VM (the receiving end of a handoff) or
+	// order a fleet-wide drain; pulls serve the speculation path a
+	// consistent copy of the session heap.
+	p.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		switch method {
+		case remote.SnapRestore:
+			// The image replaces the session heap wholesale, so a restore
+			// runs the same admission as a first work request — the gate
+			// passed the frames through without seeing the mode.
+			if err := s.admit(sess); err != nil {
+				return err
+			}
+			im, err := snapshot.Decode(img)
+			if err != nil {
+				return err
+			}
+			return snapshot.Restore(sess.vm, im)
+		case remote.SnapDrain:
+			return s.drainFrom(dest, p)
+		default:
+			return fmt.Errorf("aide: surrogate cannot consume snapshot push %q", method)
+		}
+	})
+	p.SetSnapshotSource(func() ([]byte, error) {
+		return snapshot.Snapshot(sess.vm).Encode(), nil
+	})
 	s.mu.Lock()
 	if s.closed {
 		// The session may have been admitted by an early request racing
@@ -267,13 +307,20 @@ func (s *Surrogate) Serve(t remote.Transport) {
 
 // gate screens one incoming request for the session (remote.Options.Gate).
 // Bookkeeping kinds always pass: probes must answer at capacity so fleet
-// placement can still rank a full surrogate, and distributed-GC releases
-// must apply exactly once no matter the session's fate. Work kinds require
-// admission; the first one (or an explicit MsgAttach) runs it.
+// placement can still rank a full surrogate, distributed-GC releases must
+// apply exactly once no matter the session's fate, and snapshot frames
+// carry their own admission inside the handler (the gate cannot see the
+// transfer mode). A draining session answers every work request with the
+// typed redirect; otherwise work kinds require admission, and the first
+// one (or an explicit MsgAttach) runs it.
 func (s *Surrogate) gate(sess *session, kind remote.MsgKind) error {
 	switch kind {
-	case remote.MsgPing, remote.MsgPong, remote.MsgInfo, remote.MsgRelease, remote.MsgReleaseBatch:
+	case remote.MsgPing, remote.MsgPong, remote.MsgInfo, remote.MsgRelease, remote.MsgReleaseBatch,
+		remote.MsgSnapshot, remote.MsgSnapshotAck:
 		return nil
+	}
+	if sess.draining.Load() {
+		return remote.ErrDrained
 	}
 	if sess.admitted.Load() {
 		return nil
@@ -406,6 +453,135 @@ func (s *Surrogate) evictLocked(n int) []*session {
 		}(v.peer, v.vm)
 	}
 	return victims
+}
+
+// Drain hands every admitted session off, live, to the surrogate at
+// dest: each session is quiesced, snapshotted, and the image pushed to
+// its own client with the destination address — the client dials dest,
+// restores the session there, and atomically re-points its peer slot.
+// The tenant observes only a bounded latency bump; calls that land
+// mid-handoff are answered with the typed ErrDrained redirect and retry
+// against the new home. It returns how many sessions moved. A session
+// whose client cannot complete the handoff (push failure, restore
+// rejected at dest) resumes in place and is counted in the returned
+// error instead.
+func (s *Surrogate) Drain(ctx context.Context, dest string) (int, error) {
+	return s.drain(ctx, dest, nil)
+}
+
+// drainFrom services a SnapDrain directive that arrived over the peer
+// from (the fleet coordinator's connection). The work is scoped to that
+// connection's lifetime, and the directive carrier's own serve slot is
+// discounted when quiescing its session.
+func (s *Surrogate) drainFrom(dest string, from *remote.Peer) error {
+	_, err := s.drain(from.LifeContext(), dest, from)
+	return err
+}
+
+func (s *Surrogate) drain(ctx context.Context, dest string, from *remote.Peer) (int, error) {
+	if dest == "" {
+		return 0, errors.New("aide: drain needs a destination address")
+	}
+	s.mu.Lock()
+	cands := make([]*session, 0, len(s.order))
+	for _, sess := range s.order {
+		if sess.admitted.Load() && !sess.draining.Load() {
+			cands = append(cands, sess)
+		}
+	}
+	s.mu.Unlock()
+	moved := 0
+	var firstErr error
+	for _, sess := range cands {
+		allow := 0
+		if sess.peer == from {
+			// The drain directive occupies one serve slot on this very
+			// peer; demanding zero in-flight serves would deadlock on our
+			// own dispatch.
+			allow = 1
+		}
+		if err := s.drainSession(ctx, sess, dest, allow); err != nil {
+			if errors.Is(err, remote.ErrClosed) {
+				// The session's own connection died mid-handoff: the client
+				// left (teardown racing the drain) and the reaper owns the
+				// session. Nothing is stranded, so nothing to report.
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("aide: drain session to %s: %w", dest, err)
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// drainSession performs one live handoff: flip the session to draining
+// (late work requests bounce with ErrDrained), wait for in-flight serves
+// to finish so the snapshot is quiescent, ship the image to the client
+// with the destination address, and on the client's acknowledgment
+// retire the session here. The span duration is the surrogate-side
+// blackout: the window in which the tenant had no serving home.
+func (s *Surrogate) drainSession(ctx context.Context, sess *session, dest string, allow int) error {
+	tr := s.opts.tracer
+	var sid uint64
+	var start time.Time
+	if tr.Enabled() {
+		sid = tr.NextID()
+		start = time.Now()
+	}
+	err := s.handoff(ctx, sess, dest, allow)
+	if tr.Enabled() {
+		tr.Emit(telemetry.Span{
+			ID: sid, Kind: telemetry.SpanDrain, Note: "session:" + dest,
+			Peer: sess.peer.VMIndex(), Err: err != nil, Start: start, Dur: time.Since(start),
+		})
+	}
+	return err
+}
+
+func (s *Surrogate) handoff(ctx context.Context, sess *session, dest string, allow int) error {
+	sess.draining.Store(true)
+	sess.peer.WaitServeIdle(allow)
+	img := snapshot.Snapshot(sess.vm).Encode()
+	if err := sess.peer.PushSnapshot(ctx, remote.SnapHandoff, dest, img); err != nil {
+		// The client could not re-home the session; let it keep running
+		// here rather than strand the tenant.
+		sess.draining.Store(false)
+		return err
+	}
+	// The client restored at dest and swapped its slot; retire the
+	// session. The gate keeps bouncing stragglers via the captured sess.
+	s.mu.Lock()
+	if _, ok := s.sessions[sess.peer]; ok {
+		delete(s.sessions, sess.peer)
+		s.removeOrderLocked(sess)
+	}
+	if sess.admitted.Load() {
+		sess.admitted.Store(false)
+		s.admitted--
+		s.committed -= sess.quota
+	}
+	s.drainedTotal++
+	s.sm.drained.Inc()
+	closed := s.closed
+	if !closed {
+		s.wg.Add(1)
+	}
+	logf := s.opts.logf
+	s.mu.Unlock()
+	if closed {
+		return nil // Close owns the teardown
+	}
+	go func(p *remote.Peer, sv *vm.VM) {
+		defer s.wg.Done()
+		sv.DetachPeer(p.VMIndex())
+		if err := p.Close(); err != nil && logf != nil {
+			logf("aide: surrogate drain session: %v", err)
+		}
+	}(sess.peer, sess.vm)
+	return nil
 }
 
 func (s *Surrogate) removeOrderLocked(sess *session) {

@@ -42,6 +42,10 @@ const (
 	metricRebalances       = "aide_policy_rebalances_total"
 	metricAttaches         = "aide_platform_attaches_total"
 	metricDisconnects      = "aide_platform_disconnects_total"
+	metricHandoffs         = "aide_platform_handoffs_total"
+	metricSpecLocalWins    = "aide_platform_speculation_local_wins_total"
+	metricSpecRemoteWins   = "aide_platform_speculation_remote_wins_total"
+	metricSpecMisses       = "aide_platform_speculation_misses_total"
 )
 
 // Surrogate session-control metric names.
@@ -51,6 +55,7 @@ const (
 	metricSessionsRejected  = "aide_surrogate_sessions_rejected_total"
 	metricSessionsShed      = "aide_surrogate_sessions_shed_total"
 	metricSessionsEvicted   = "aide_surrogate_sessions_evicted_total"
+	metricSessionsDrained   = "aide_surrogate_sessions_drained_total"
 	metricSurrogateLive     = "aide_surrogate_heap_live_bytes"
 	metricSurrogateCommit   = "aide_surrogate_heap_committed_bytes"
 	metricSurrogateCapacity = "aide_surrogate_heap_capacity_bytes"
@@ -66,6 +71,7 @@ type surrogateMetrics struct {
 	rejected *telemetry.Counter
 	shed     *telemetry.Counter
 	evicted  *telemetry.Counter
+	drained  *telemetry.Counter
 }
 
 func newSurrogateMetrics(reg *telemetry.Registry, s *Surrogate) surrogateMetrics {
@@ -91,6 +97,7 @@ func newSurrogateMetrics(reg *telemetry.Registry, s *Surrogate) surrogateMetrics
 		rejected: reg.Counter(metricSessionsRejected, "Tenant sessions rejected at the session or heap-quota cap."),
 		shed:     reg.Counter(metricSessionsShed, "Tenant sessions refused by load shedding while degraded."),
 		evicted:  reg.Counter(metricSessionsEvicted, "Tenant sessions evicted to reclaim capacity."),
+		drained:  reg.Counter(metricSessionsDrained, "Tenant sessions handed off live to another surrogate."),
 	}
 }
 
@@ -107,6 +114,10 @@ type platformMetrics struct {
 	rebalances       *telemetry.Counter
 	attaches         *telemetry.Counter
 	disconnects      *telemetry.Counter
+	handoffs         *telemetry.Counter
+	specLocalWins    *telemetry.Counter
+	specRemoteWins   *telemetry.Counter
+	specMisses       *telemetry.Counter
 }
 
 func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
@@ -123,5 +134,9 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		rebalances:       reg.Counter(metricRebalances, "Rebalance passes that ran the partitioning pipeline."),
 		attaches:         reg.Counter(metricAttaches, "Surrogate connections attached."),
 		disconnects:      reg.Counter(metricDisconnects, "Surrogate connections lost involuntarily."),
+		handoffs:         reg.Counter(metricHandoffs, "Live session handoffs completed by this client."),
+		specLocalWins:    reg.Counter(metricSpecLocalWins, "Speculative races won by the local clone."),
+		specRemoteWins:   reg.Counter(metricSpecRemoteWins, "Speculative races won by the remote call."),
+		specMisses:       reg.Counter(metricSpecMisses, "Speculation attempts that fell back to remote-only execution."),
 	}
 }
