@@ -171,6 +171,9 @@ type options struct {
 	dialer         func(ctx context.Context, addr string) (remote.Transport, error)
 	handoffTimeout time.Duration
 	speculate      bool
+
+	// Fleet-control credential, from WithDrainKey. Inert on clients.
+	drainKey string
 }
 
 // remoteOptions maps the platform options onto the remote module's
@@ -335,6 +338,16 @@ func WithDialer(dial func(ctx context.Context, addr string) (remote.Transport, e
 func WithHandoffTimeout(d time.Duration) Option {
 	return func(o *options) { o.handoffTimeout = d }
 }
+
+// WithDrainKey arms a surrogate to accept wire drain directives: a
+// SnapDrain push is honored only when it presents this key, so only the
+// fleet coordinator (configured with the same key) can order the
+// surrogate to hand its tenants' sessions to another address. Without a
+// key — the default — every wire drain directive is refused: an
+// ordinary tenant connection must never be able to redirect other
+// tenants' session state. The in-process Surrogate.Drain API is not
+// affected. Client-side the option is inert.
+func WithDrainKey(key string) Option { return func(o *options) { o.drainKey = key } }
 
 // WithSpeculation enables speculative clone execution: while a surrogate
 // connection is degraded (timing out but not yet disconnected), remote

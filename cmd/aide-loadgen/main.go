@@ -32,19 +32,20 @@ func main() {
 	sessionQuota := flag.Int64("session-quota", 0, "per-session heap quota in bytes (0 = whole heap; in-process fleet)")
 	refreshEvery := flag.Int("refresh-every", 64, "re-probe the fleet after this many dispatched sessions")
 	drainEvery := flag.Int("drain-every", 0, "live-drain one fleet target (round-robin) every N dispatched sessions (0 disables; sessions then run with handoff support)")
+	drainKey := flag.String("drain-key", "", "drain credential presented to TCP surrogates (must match their -drain-key; in-process fleets drain directly and ignore it)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
 	jsonPath := flag.String("json", "", "file to write the machine-readable report into (empty disables)")
 	flag.Parse()
 
 	if err := run(*surrogates, *addrs, *sessions, *concurrency, *ops, *bytes, *heap,
-		*maxSessions, *sessionQuota, *refreshEvery, *drainEvery, *timeout, *jsonPath); err != nil {
+		*maxSessions, *sessionQuota, *refreshEvery, *drainEvery, *drainKey, *timeout, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, heap int64,
-	maxSessions int, sessionQuota int64, refreshEvery, drainEvery int, timeout time.Duration, jsonPath string) error {
+	maxSessions int, sessionQuota int64, refreshEvery, drainEvery int, drainKey string, timeout time.Duration, jsonPath string) error {
 	reg, err := fleet.WorkloadRegistry()
 	if err != nil {
 		return err
@@ -54,7 +55,7 @@ func run(surrogates int, addrs string, sessions, concurrency, ops int, bytes, he
 	var owned []*aide.Surrogate
 	if addrs != "" {
 		for _, addr := range strings.Split(addrs, ",") {
-			targets = append(targets, &fleet.TCPTarget{Addr: strings.TrimSpace(addr)})
+			targets = append(targets, &fleet.TCPTarget{Addr: strings.TrimSpace(addr), DrainKey: drainKey})
 		}
 	} else {
 		if surrogates < 1 {

@@ -18,20 +18,21 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7707", "listen address")
-		app     = flag.String("app", "JavaNote", "application whose classes to serve (must match the client)")
-		heapMB  = flag.Int("heap", 256, "surrogate heap in MiB")
-		speed   = flag.Float64("speed", 3.5, "surrogate CPU speed relative to the client")
-		telAddr = flag.String("telemetry", "", "serve /metrics, /events, /healthz, /debug/pprof on this address (empty disables)")
+		addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
+		app      = flag.String("app", "JavaNote", "application whose classes to serve (must match the client)")
+		heapMB   = flag.Int("heap", 256, "surrogate heap in MiB")
+		speed    = flag.Float64("speed", 3.5, "surrogate CPU speed relative to the client")
+		telAddr  = flag.String("telemetry", "", "serve /metrics, /events, /healthz, /debug/pprof on this address (empty disables)")
+		drainKey = flag.String("drain-key", "", "credential wire drain directives must present (empty refuses all wire drains)")
 	)
 	flag.Parse()
-	if err := run(*addr, *app, *heapMB, *speed, *telAddr); err != nil {
+	if err := run(*addr, *app, *heapMB, *speed, *telAddr, *drainKey); err != nil {
 		fmt.Fprintln(os.Stderr, "aide-surrogate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, app string, heapMB int, speed float64, telAddr string) error {
+func run(addr, app string, heapMB int, speed float64, telAddr, drainKey string) error {
 	spec, err := apps.ByName(app)
 	if err != nil {
 		return err
@@ -44,6 +45,9 @@ func run(addr, app string, heapMB int, speed float64, telAddr string) error {
 	opts := []aide.Option{
 		aide.WithHeap(int64(heapMB) << 20),
 		aide.WithCPUSpeed(speed),
+	}
+	if drainKey != "" {
+		opts = append(opts, aide.WithDrainKey(drainKey))
 	}
 	var treg *aide.TelemetryRegistry
 	var tr *aide.Tracer

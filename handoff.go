@@ -18,7 +18,9 @@ import (
 // drained error late still retries immediately; installed records the
 // peer the completed handoff wired in, so a bounce coming from that
 // very peer is recognized as the start of the NEXT drain rather than a
-// straggler of the last one. Guarded by c.mu.
+// straggler of the last one. An aborted handoff closes the round with
+// installed nil — the session resumed in place, so every bounce retries
+// immediately against it. Guarded by c.mu.
 type handoffWait struct {
 	ch        chan struct{}
 	done      bool
@@ -40,7 +42,16 @@ func (c *Client) waitHandoff(idx int, used vm.Peer) bool {
 	case hw.done && (used == nil || used != hw.installed):
 		// Straggler of the completed handoff: the bounce came from the
 		// replaced peer and the slot already points at the new home.
+		aborted := hw.installed == nil
 		c.mu.Unlock()
+		if aborted {
+			// The round aborted and the session resumed in place. The
+			// surrogate clears its draining gate only when our error
+			// reply lands, which can lag this wake-up by a round trip; a
+			// short pause keeps the caller's bounded redirect retries
+			// from burning out against the still-closing gate.
+			time.Sleep(2 * time.Millisecond)
+		}
 		return true
 	case hw.done:
 		// The bounce came from the peer the last handoff installed: that
@@ -114,12 +125,29 @@ func (c *Client) handleHandoff(old *remote.Peer, dest string, img []byte) error 
 	}
 	c.mu.Unlock()
 
+	// fail abandons the handoff: the surrogate sees our error, clears
+	// draining, and the session resumes in place — so wake every parked
+	// waiter now (done with no installed peer: any later bounce is
+	// treated as a retriable straggler) instead of leaving them to sit
+	// out the full handoff timeout and surface ErrDrained for a session
+	// that is serving again.
+	fail := func(err error) error {
+		c.mu.Lock()
+		if c.handoffs[idx] == hw && !hw.done {
+			hw.done = true
+			hw.installed = nil
+			close(hw.ch)
+		}
+		c.mu.Unlock()
+		return err
+	}
+
 	// Scope the re-homing to the old connection's lifetime: if it dies
 	// mid-handoff the disconnect path owns the slot.
 	ctx := old.LifeContext()
 	t, err := c.dial(ctx, dest)
 	if err != nil {
-		return fmt.Errorf("aide: handoff dial %s: %w", dest, err)
+		return fail(fmt.Errorf("aide: handoff dial %s: %w", dest, err))
 	}
 	ro := c.opts.remoteOptions()
 	ro.OnDown = c.onPeerDown
@@ -130,7 +158,7 @@ func (c *Client) handleHandoff(old *remote.Peer, dest string, img []byte) error 
 		if cerr := np.Close(); cerr != nil && c.opts.logf != nil {
 			c.opts.logf("aide: close aborted handoff peer: %v", cerr)
 		}
-		return err
+		return fail(err)
 	}
 	if _, err := np.Attach(ctx); err != nil && !errors.Is(err, remote.ErrAttachUnsupported) {
 		return abort(fmt.Errorf("aide: handoff attach %s: %w", dest, err))

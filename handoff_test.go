@@ -2,10 +2,13 @@ package aide
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
+	"aide/internal/remote"
 	"aide/internal/vm"
 )
 
@@ -24,10 +27,15 @@ type handoffFixture struct {
 
 func newHandoffFixture(t *testing.T, clientOpts ...Option) *handoffFixture {
 	t.Helper()
+	return newHandoffFixtureOpts(t, clientOpts, nil)
+}
+
+func newHandoffFixtureOpts(t *testing.T, clientOpts, surrogateOpts []Option) *handoffFixture {
+	t.Helper()
 	reg := demoRegistry(t)
 	f := &handoffFixture{
-		s1: NewSurrogate(reg),
-		s2: NewSurrogate(reg),
+		s1: NewSurrogate(reg, surrogateOpts...),
+		s2: NewSurrogate(reg, surrogateOpts...),
 	}
 	var err error
 	if f.addr1, err = f.s1.ListenAndServe("127.0.0.1:0"); err != nil {
@@ -160,6 +168,132 @@ func TestDrainFailureKeepsSessionServing(t *testing.T) {
 	if n := f.s1.Sessions(); n != 1 {
 		t.Fatalf("s1 holds %d sessions after the failed drain, want 1", n)
 	}
+}
+
+// drainDirective dials addr as a throwaway directive connection (the
+// shape fleet.TCPTarget.DrainSessions uses) and sends a wire drain order
+// carrying key.
+func drainDirective(t *testing.T, addr, dest string, key []byte) error {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial directive connection: %v", err)
+	}
+	v := vm.New(vm.NewRegistry(), vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
+	peer := remote.NewPeer(v, remote.NewConnTransport(conn), remote.Options{Workers: 1})
+	defer func() { _ = peer.Close() }()
+	return peer.DrainRemote(context.Background(), dest, key)
+}
+
+// TestDrainDirectiveAuthorization pins the wire drain directive's
+// credential check: a surrogate honors SnapDrain only from a sender
+// presenting its WithDrainKey secret — any connected tenant reaches the
+// directive handler, and an unauthenticated drain would let one tenant
+// exfiltrate every other tenant's session to an address of its choosing.
+func TestDrainDirectiveAuthorization(t *testing.T) {
+	f := newHandoffFixtureOpts(t, nil, []Option{WithDrainKey("fleet-secret")})
+
+	if err := drainDirective(t, f.addr1, f.addr2, nil); err == nil {
+		t.Fatal("key-less drain directive accepted")
+	}
+	if err := drainDirective(t, f.addr1, f.addr2, []byte("wrong")); err == nil {
+		t.Fatal("wrong-key drain directive accepted")
+	}
+	if st := f.s1.Stats(); st.Drained != 0 {
+		t.Fatalf("s1 drained %d sessions on unauthorized directives", st.Drained)
+	}
+	if n := f.client.Handoffs(); n != 0 {
+		t.Fatalf("client completed %d handoffs on unauthorized directives", n)
+	}
+	f.append(t) // the session never moved and keeps serving
+
+	// The fleet credential is honored and the drain completes end to end.
+	if err := drainDirective(t, f.addr1, f.addr2, []byte("fleet-secret")); err != nil {
+		t.Fatalf("authorized drain directive: %v", err)
+	}
+	if st := f.s1.Stats(); st.Drained != 1 {
+		t.Fatalf("s1 drained %d sessions, want 1", st.Drained)
+	}
+	if n := f.s2.Sessions(); n != 1 {
+		t.Fatalf("s2 holds %d sessions after the drain, want 1", n)
+	}
+	f.append(t) // same counter, new home
+}
+
+// TestDrainDirectiveRefusedWithoutKey pins the default: a surrogate
+// constructed without WithDrainKey refuses every wire drain directive,
+// whatever credential it presents. Only the local Surrogate.Drain API
+// can order a drain then.
+func TestDrainDirectiveRefusedWithoutKey(t *testing.T) {
+	f := newHandoffFixture(t)
+	if err := drainDirective(t, f.addr1, f.addr2, []byte("anything")); err == nil {
+		t.Fatal("wire drain directive accepted by a surrogate with no drain key")
+	}
+	if st := f.s1.Stats(); st.Drained != 0 {
+		t.Fatalf("s1 drained %d sessions, want 0", st.Drained)
+	}
+	f.append(t)
+	// The local API still drains.
+	if _, err := f.s1.Drain(context.Background(), f.addr2); err != nil {
+		t.Fatalf("local drain: %v", err)
+	}
+	f.append(t)
+}
+
+// TestAbortedHandoffWakesParkedCallers pins the abort path's wake-up:
+// application calls that bounced off the draining gate and parked must
+// resume as soon as the handoff aborts and the session resumes in place
+// — not sit out the full handoff timeout and surface ErrDrained.
+func TestAbortedHandoffWakesParkedCallers(t *testing.T) {
+	f := newHandoffFixture(t,
+		WithHandoffTimeout(30*time.Second),
+		WithDialer(func(ctx context.Context, addr string) (remote.Transport, error) {
+			// Hold the handoff open long enough for appends to bounce and
+			// park, then fail it.
+			time.Sleep(150 * time.Millisecond)
+			return nil, errors.New("handoff destination unreachable")
+		}),
+	)
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			if err := f.tryAppend(); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the appender reach steady state
+
+	start := time.Now()
+	if _, err := f.s1.Drain(context.Background(), f.addr2); err == nil {
+		t.Fatal("drain succeeded despite the failing dialer")
+	}
+	time.Sleep(100 * time.Millisecond) // woken appends land in place
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("appender during aborted handoff: %v", err)
+	}
+	// Well under the 30 s handoff timeout: the abort woke the parked
+	// calls instead of leaving them to time out.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("appender resumed only after %v; parked callers were not woken", elapsed)
+	}
+	if n := f.client.Handoffs(); n != 0 {
+		t.Fatalf("client counted %d handoffs despite the abort", n)
+	}
+	if n := f.s1.Sessions(); n != 1 {
+		t.Fatalf("s1 holds %d sessions after the aborted handoff, want 1", n)
+	}
+	f.append(t) // exactly-once sequence intact, still served by s1
 }
 
 // TestDrainEmptyDestinationRejected covers the argument check.

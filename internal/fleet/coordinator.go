@@ -98,9 +98,13 @@ func (t *LocalTarget) DrainSessions(ctx context.Context, dest string) error {
 }
 
 // TCPTarget is a surrogate reached over the network, probed with the
-// same MsgInfo sweep AttachBestTCP uses.
+// same MsgInfo sweep AttachBestTCP uses. DrainKey is the fleet's drain
+// credential: it must match the surrogate's WithDrainKey for
+// DrainSessions to be honored (surrogates refuse unauthenticated wire
+// drain directives).
 type TCPTarget struct {
-	Addr string
+	Addr     string
+	DrainKey string
 }
 
 // Name implements Target.
@@ -141,7 +145,7 @@ func (t *TCPTarget) DrainSessions(ctx context.Context, dest string) error {
 	}
 	v := vm.New(vm.NewRegistry(), vm.Config{Role: vm.RoleClient, HeapCapacity: 1 << 16})
 	peer := remote.NewPeer(v, tr, remote.Options{Workers: 1})
-	err = peer.DrainRemote(ctx, dest)
+	err = peer.DrainRemote(ctx, dest, []byte(t.DrainKey))
 	if cerr := peer.Close(); err == nil {
 		err = cerr
 	}

@@ -26,7 +26,9 @@ const (
 	// the receiver should re-home it to.
 	SnapHandoff = "handoff"
 	// SnapDrain orders the receiving surrogate to drain toward the
-	// destination named in Class. No image crosses (Blob is empty).
+	// destination named in Class. No session image crosses: Blob carries
+	// the sender's drain-key credential, which the receiver validates
+	// before acting.
 	SnapDrain = "drain"
 	// SnapPull requests chunk Seq of the receiver's own snapshot; the
 	// reply carries Blob and Total.
@@ -159,14 +161,17 @@ func (p *Peer) pullSnapshot(ctx context.Context) ([]byte, error) {
 // the surrogate at dest and blocks until the drain completes (the
 // directive's reply is the receiving handler's verdict). The fleet
 // coordinator sends this over an ordinary client connection; the
-// surrogate's lobby gate admits the directive without a session.
-func (p *Peer) DrainRemote(ctx context.Context, dest string) error {
+// surrogate's lobby gate admits the directive without a session, so key
+// — carried as the directive's image bytes — must prove the sender's
+// authority (the surrogate checks it against its configured drain key
+// and refuses the directive otherwise).
+func (p *Peer) DrainRemote(ctx context.Context, dest string, key []byte) error {
 	if !p.tracer.Enabled() {
-		return p.PushSnapshot(ctx, SnapDrain, dest, nil)
+		return p.PushSnapshot(ctx, SnapDrain, dest, key)
 	}
 	sid := p.tracer.NextID()
 	start := p.mnow()
-	err := p.pushSnapshot(telemetry.WithSpan(ctx, sid), SnapDrain, dest, nil)
+	err := p.pushSnapshot(telemetry.WithSpan(ctx, sid), SnapDrain, dest, key)
 	p.tracer.Emit(telemetry.Span{
 		ID: sid, Kind: telemetry.SpanDrain, Note: "directive:" + dest, Peer: p.idx,
 		Err: err != nil, Start: start, Dur: p.mnow().Sub(start),

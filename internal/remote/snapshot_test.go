@@ -73,17 +73,33 @@ func TestPushSnapshotEmptyImage(t *testing.T) {
 	var calls atomic.Int64
 	pc, ps := snapPair(t, Options{Workers: 1})
 	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
-		if method != SnapDrain || dest != "10.0.0.7:9021" || len(img) != 0 {
-			t.Errorf("handler saw method=%q dest=%q len=%d", method, dest, len(img))
+		if method != SnapDrain || dest != "10.0.0.7:9021" || string(img) != "fleet-key" {
+			t.Errorf("handler saw method=%q dest=%q img=%q", method, dest, img)
 		}
 		calls.Add(1)
 		return nil
 	})
-	if err := pc.DrainRemote(context.Background(), "10.0.0.7:9021"); err != nil {
+	if err := pc.DrainRemote(context.Background(), "10.0.0.7:9021", []byte("fleet-key")); err != nil {
 		t.Fatalf("drain directive: %v", err)
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("handler ran %d times, want 1", calls.Load())
+	}
+
+	// A key-less directive still crosses as a single empty frame; the
+	// receiver's handler (not the transport) is what refuses it.
+	ps.SetSnapshotHandler(func(method, dest string, img []byte) error {
+		if len(img) != 0 {
+			t.Errorf("key-less directive carried %d image bytes", len(img))
+		}
+		calls.Add(1)
+		return nil
+	})
+	if err := pc.DrainRemote(context.Background(), "10.0.0.7:9021", nil); err != nil {
+		t.Fatalf("key-less drain directive: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("handler ran %d times, want 2", calls.Load())
 	}
 }
 

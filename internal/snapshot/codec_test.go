@@ -307,8 +307,13 @@ func TestRestoreRejectsBadImages(t *testing.T) {
 			Roots: []vm.SnapshotRoot{{Name: "r", ID: 1}}}},
 		{"unknown static class", &vm.SnapshotState{NextID: 1,
 			Statics: []vm.SnapshotStatic{{Class: "Ghost"}}}},
+		{"dangling static ref", &vm.SnapshotState{NextID: 1,
+			Statics: []vm.SnapshotStatic{{Class: "Account", Values: []vm.Value{vm.RefOf(9)}}}}},
 		{"residual name/value mismatch", &vm.SnapshotState{NextID: 1,
 			Residual: []vm.SnapshotResidual{{ID: 1, Names: []string{"a"}}}}},
+		{"dangling residual ref", &vm.SnapshotState{NextID: 1,
+			Residual: []vm.SnapshotResidual{{ID: 1, Names: []string{"a"},
+				Values: []vm.Value{vm.RefOf(9)}}}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

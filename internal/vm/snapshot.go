@@ -171,8 +171,12 @@ func (v *VM) ExportSnapshot() *SnapshotState {
 
 // ImportSnapshot replaces the VM's heap, roots, statics, and residual
 // store with the snapshot's state, preserving object IDs exactly. Every
-// class named by the snapshot must exist in this VM's registry, and the
-// restored live bytes must fit the heap; on error the VM is unchanged.
+// class named by the snapshot must exist in this VM's registry, every
+// reference — in object fields, roots, statics, and residual values —
+// must resolve to an object in the image (images arrive over the wire,
+// so a dangling reference is hostile input, not a tolerable glitch),
+// and the restored live bytes must fit the heap; on error the VM is
+// unchanged.
 // Peer slots are NOT part of the snapshot — stubs keep their PeerIdx and
 // resolve against whatever peers the receiving VM has attached, which is
 // what lets a restored session VM keep serving the same client.
@@ -238,7 +242,14 @@ func (v *VM) ImportSnapshot(s *SnapshotState) error {
 		slots := make([]Value, len(class.StaticFields))
 		for i := range slots {
 			if i < len(ss.Values) {
-				slots[i] = copyValue(ss.Values[i])
+				val := ss.Values[i]
+				if val.Kind == KindRef && val.Ref != InvalidObject {
+					if _, ok := objects[val.Ref]; !ok {
+						return fmt.Errorf("vm: restore static %s slot %d: dangling reference #%d",
+							ss.Class, i, val.Ref)
+					}
+				}
+				slots[i] = copyValue(val)
 			}
 		}
 		statics[ss.Class] = slots
@@ -262,7 +273,14 @@ func (v *VM) ImportSnapshot(s *SnapshotState) error {
 		}
 		res := &residual{fields: make(map[string]Value, len(sr.Names)), bytes: sr.Bytes}
 		for i, name := range sr.Names {
-			res.fields[name] = copyValue(sr.Values[i])
+			val := sr.Values[i]
+			if val.Kind == KindRef && val.Ref != InvalidObject {
+				if _, ok := objects[val.Ref]; !ok {
+					return fmt.Errorf("vm: restore residual #%d field %q: dangling reference #%d",
+						sr.ID, name, val.Ref)
+				}
+			}
+			res.fields[name] = copyValue(val)
 		}
 		residuals[sr.ID] = res
 		live += sr.Bytes

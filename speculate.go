@@ -211,8 +211,10 @@ func (sp *specPeer) InvokeRemote(peerObj ObjectID, method string, args []Value) 
 		return r.v, r.d, r.err
 	}
 
+	var r remoteResult
+	haveRemote := false
 	select {
-	case r := <-rch:
+	case r = <-rch:
 		if r.err == nil {
 			// The remote finished first with a verdict. Both sides applied
 			// the same call; deterministic execution means the clone
@@ -225,20 +227,41 @@ func (sp *specPeer) InvokeRemote(peerObj ObjectID, method string, args []Value) 
 			return r.v, r.d, nil
 		}
 		// The remote call failed; the local result stands.
+		haveRemote = true
 	default:
 		// The remote call is still in flight; the local result wins and
 		// the session is abandoned — the straggler's effects die with it.
 	}
-	sp.promote(clone)
-	c.noteSpec("local", tStart, traced, idx)
-	return lv, 0, nil
+	if sp.promote(clone) {
+		c.noteSpec("local", tStart, traced, idx)
+		return lv, 0, nil
+	}
+	// The slot was taken from under us (concurrent handoff or disconnect):
+	// the clone's effects cannot be promoted, so returning lv would report
+	// a success whose side effects never happened. The remote execution is
+	// the only one whose effects can survive — await its verdict and
+	// surface that instead (its error feeds the normal drain-redirect and
+	// failover retries).
+	sp.dropClone()
+	if !haveRemote {
+		r = <-rch
+	}
+	if r.err == nil {
+		c.noteSpec("remote", tStart, traced, idx)
+	} else {
+		c.noteSpec("miss", tStart, traced, idx)
+	}
+	return r.v, r.d, r.err
 }
 
 // promote makes the clone the authoritative copy: detach the degraded
 // connection, upgrade every stub that pointed at the session using the
 // clone's state, and close the connection. The remote execution — won
-// or still straggling — is discarded with the abandoned session.
-func (sp *specPeer) promote(clone *vm.VM) {
+// or still straggling — is discarded with the abandoned session. It
+// reports whether it actually claimed the peer slot; false means the
+// clone was NOT promoted (a concurrent handoff or disconnect owns the
+// slot) and the caller must not present the clone's result as applied.
+func (sp *specPeer) promote(clone *vm.VM) bool {
 	c := sp.c
 	idx := sp.inner.VMIndex()
 	c.discMu.Lock()
@@ -246,7 +269,7 @@ func (sp *specPeer) promote(clone *vm.VM) {
 	c.mu.Lock()
 	if idx < 0 || idx >= len(c.peers) || c.peers[idx] != sp.inner {
 		c.mu.Unlock()
-		return // a disconnect or another racing thread already owns the slot
+		return false // a disconnect or another racing thread already owns the slot
 	}
 	p := c.peers[idx]
 	c.peers[idx] = nil
@@ -270,6 +293,7 @@ func (sp *specPeer) promote(clone *vm.VM) {
 			logf("aide: close out-speculated surrogate %d: %v", idx, err)
 		}
 	}()
+	return true
 }
 
 // The remaining vm.Peer methods delegate to the wire connection. Reads
@@ -289,10 +313,14 @@ func (sp *specPeer) GetStaticRemote(class, field string) (Value, error) {
 }
 
 func (sp *specPeer) SetStaticRemote(class, field string, v Value) error {
+	sp.dropClone()
 	return sp.inner.SetStaticRemote(class, field, v)
 }
 
+// InvokeNativeRemote drops the clone too: a native body is opaque and
+// may mutate session state, so the clone must be assumed stale.
 func (sp *specPeer) InvokeNativeRemote(class, method string, peerSelf ObjectID, selfIsCallerLocal bool, args []Value) (Value, time.Duration, error) {
+	sp.dropClone()
 	return sp.inner.InvokeNativeRemote(class, method, peerSelf, selfIsCallerLocal, args)
 }
 

@@ -2,6 +2,7 @@ package aide
 
 import (
 	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net"
@@ -15,6 +16,15 @@ import (
 	"aide/internal/telemetry"
 	"aide/internal/vm"
 )
+
+// ErrDrainUnauthorized reports a wire drain directive refused because it
+// did not present the surrogate's WithDrainKey credential (or because no
+// key is configured, which disables wire drains entirely). Any connected
+// tenant can reach the directive handler, so the directive itself must
+// prove it speaks for the fleet coordinator — an unauthenticated drain
+// would let one tenant redirect every other tenant's session state to an
+// address of its choosing.
+var ErrDrainUnauthorized = errors.New("aide: drain directive unauthorized")
 
 // Surrogate is the platform on a nearby server that lends its resources to
 // clients. A device can perform the role of a surrogate with respect to a
@@ -275,6 +285,12 @@ func (s *Surrogate) Serve(t remote.Transport) {
 			}
 			return snapshot.Restore(sess.vm, im)
 		case remote.SnapDrain:
+			// The directive's image bytes are its credential, checked
+			// before anything else: an ordinary tenant connection reaches
+			// this handler too, and must not be able to order a drain.
+			if err := s.authorizeDrain(img); err != nil {
+				return err
+			}
 			return s.drainFrom(dest, p)
 		default:
 			return fmt.Errorf("aide: surrogate cannot consume snapshot push %q", method)
@@ -309,8 +325,9 @@ func (s *Surrogate) Serve(t remote.Transport) {
 // Bookkeeping kinds always pass: probes must answer at capacity so fleet
 // placement can still rank a full surrogate, distributed-GC releases must
 // apply exactly once no matter the session's fate, and snapshot frames
-// carry their own admission inside the handler (the gate cannot see the
-// transfer mode). A draining session answers every work request with the
+// carry their own admission — and, for drain directives, the WithDrainKey
+// authorization — inside the handler (the gate cannot see the transfer
+// mode). A draining session answers every work request with the
 // typed redirect; otherwise work kinds require admission, and the first
 // one (or an explicit MsgAttach) runs it.
 func (s *Surrogate) gate(sess *session, kind remote.MsgKind) error {
@@ -467,6 +484,21 @@ func (s *Surrogate) evictLocked(n int) []*session {
 // error instead.
 func (s *Surrogate) Drain(ctx context.Context, dest string) (int, error) {
 	return s.drain(ctx, dest, nil)
+}
+
+// authorizeDrain validates a wire drain directive's credential (the
+// directive frame's image bytes) against the WithDrainKey credential.
+// With no key configured every wire directive is refused — local
+// Surrogate.Drain remains the only way to order a drain.
+func (s *Surrogate) authorizeDrain(key []byte) error {
+	want := s.opts.drainKey
+	if want == "" {
+		return fmt.Errorf("%w: surrogate has no drain key configured", ErrDrainUnauthorized)
+	}
+	if subtle.ConstantTimeCompare(key, []byte(want)) != 1 {
+		return fmt.Errorf("%w: drain key mismatch", ErrDrainUnauthorized)
+	}
+	return nil
 }
 
 // drainFrom services a SnapDrain directive that arrived over the peer
